@@ -1,0 +1,54 @@
+"""Ablation: transparent tree QIM vs. random-forest probability model.
+
+The paper argues for a single decision tree because domain experts can
+review it, and notes stronger models would cost that transparency.  This
+bench quantifies the trade: a bagged-CART forest scored by its raw failure
+probabilities (no guarantees, no reviewable structure) against the
+calibrated tree's dependable bounds, both predicting failures of the fused
+outcome.
+"""
+
+from repro.core.timeseries_wrapper import stack_traces
+from repro.evaluation.metrics import pool_traces
+from repro.stats.brier import murphy_decomposition
+from repro.trees.forest import RandomForestClassifier
+
+
+def test_forest_vs_calibrated_tree(benchmark, study_data, write_output):
+    X_train, y_train = stack_traces(study_data.train_traces)
+    pooled = pool_traces(study_data.test_traces)
+    X_test, y_test = pooled.features, pooled.fused_wrong
+
+    def run():
+        forest = RandomForestClassifier(
+            n_estimators=10, max_depth=8, max_features=6, seed=1
+        )
+        forest.fit(X_train, y_train)
+        failure_col = list(forest.classes_).index(1)
+        return forest.predict_proba(X_test)[:, failure_col]
+
+    u_forest = benchmark.pedantic(run, rounds=1, iterations=1)
+    u_tree = study_data.ta_qim.estimate_uncertainty(X_test)
+
+    d_forest = murphy_decomposition(u_forest, y_test)
+    d_tree = murphy_decomposition(u_tree, y_test)
+
+    lines = [
+        "ABLATION - CALIBRATED TREE vs RANDOM FOREST (fused-outcome failures)",
+        f"{'model':<28} {'Brier':>8} {'Unreliability':>14} {'Overconfidence':>15}",
+        f"{'taQIM (guaranteed bounds)':<28} {d_tree.brier:>8.4f} "
+        f"{d_tree.unreliability:>14.5f} {d_tree.overconfidence:>15.1e}",
+        f"{'random forest (raw proba)':<28} {d_forest.brier:>8.4f} "
+        f"{d_forest.unreliability:>14.5f} {d_forest.overconfidence:>15.1e}",
+        "",
+        "The forest may edge out the tree on raw Brier, but it offers no",
+        "statistical guarantee and no reviewable structure; the calibrated",
+        "tree stays dependable (near-zero overconfidence).",
+    ]
+    write_output("ablation_forest_qim.txt", "\n".join(lines) + "\n")
+
+    # The guaranteed tree must remain the dependable option.
+    assert d_tree.overconfidence <= d_forest.overconfidence + 1e-9
+    # And the forest should not be wildly better -- the quality factors,
+    # not the model class, carry the signal.
+    assert d_forest.brier > 0.5 * d_tree.brier

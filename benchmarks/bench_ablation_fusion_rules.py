@@ -1,0 +1,61 @@
+"""Ablation: information-fusion rules beyond the paper's majority vote.
+
+The paper motivates majority voting as a simple transparent combiner and
+cites the classifier-combination literature for alternatives.  This bench
+compares the fused misclassification rate of majority voting against
+certainty-weighted voting, exponential-decay voting, and the no-fusion
+baseline on the same test traces.
+"""
+
+import numpy as np
+
+from repro.fusion.dempster import DempsterShaferFusion
+from repro.fusion.information import (
+    ExponentialDecayVote,
+    LatestOutcome,
+    MajorityVote,
+    WeightedMajorityVote,
+)
+
+RULES = {
+    "latest (no fusion)": LatestOutcome(),
+    "majority (paper)": MajorityVote(),
+    "certainty-weighted": WeightedMajorityVote(),
+    "decay 0.9": ExponentialDecayVote(decay=0.9),
+    "dempster-shafer": DempsterShaferFusion(),
+}
+
+
+def _fused_error_rate(rule, traces) -> float:
+    wrong = 0
+    total = 0
+    for trace in traces:
+        certainties = (1.0 - trace.uncertainties).tolist()
+        fused = rule.fuse_prefixes(trace.outcomes.tolist(), certainties)
+        wrong += sum(1 for f in fused if f != trace.truth)
+        total += len(fused)
+    return wrong / total
+
+
+def test_fusion_rule_ablation(benchmark, study_data, write_output):
+    traces = study_data.test_traces
+
+    def sweep():
+        return {name: _fused_error_rate(rule, traces) for name, rule in RULES.items()}
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["ABLATION - INFORMATION FUSION RULES (fused misclassification rate)"]
+    for name, rate in sorted(rates.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:<24} {rate:.4f}")
+    write_output("ablation_fusion_rules.txt", "\n".join(lines) + "\n")
+
+    # Every genuine fusion rule must beat the no-fusion baseline.
+    baseline = rates["latest (no fusion)"]
+    for name, rate in rates.items():
+        if name != "latest (no fusion)":
+            assert rate < baseline, f"{name} did not improve on no fusion"
+    # Certainty weighting should not be materially worse than plain
+    # majority voting (the literature reports no overall best rule).
+    assert rates["certainty-weighted"] < baseline
+    assert abs(rates["certainty-weighted"] - rates["majority (paper)"]) < 0.05

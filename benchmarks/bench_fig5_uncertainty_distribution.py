@@ -1,0 +1,30 @@
+"""Fig. 5: distribution of predicted uncertainty, stateless UW vs taUW + IF.
+
+Regenerates the paper's Fig. 5 panels: the histogram of dependable
+uncertainty estimates and the share of cases that receive the lowest
+guaranteeable uncertainty, for the stateless wrapper and the
+timeseries-aware wrapper.  Benchmarks the taUW inference pass that produces
+the bottom panel.
+"""
+
+from repro.evaluation.metrics import pool_traces
+from repro.evaluation.reporting import render_fig5
+
+
+def test_fig5_uncertainty_distribution(benchmark, study_data, study_results, write_output):
+    pooled = pool_traces(study_data.test_traces)
+    u_ta = benchmark(study_data.ta_qim.estimate_uncertainty, pooled.features)
+
+    write_output("fig5_uncertainty_distribution.txt", render_fig5(study_results))
+
+    stateless = study_results.distributions["stateless"]
+    ta = study_results.distributions["taUW"]
+
+    # The taUW guarantees a smaller minimum uncertainty than the stateless
+    # wrapper ("the amount of uncertainty that needs to be tolerated is
+    # reduced by more than half" in the paper).
+    assert ta.min_guaranteed < stateless.min_guaranteed
+    # More cases reach the lowest guaranteed uncertainty with the taUW.
+    assert ta.share_at_min > stateless.share_at_min
+    # The benchmark's inference output matches the summarised distribution.
+    assert u_ta.shape[0] == ta.uncertainties.shape[0]

@@ -1,0 +1,55 @@
+"""Fig. 6: calibration plot of the uncertainty-fusion approaches.
+
+Regenerates the quantile calibration curves (predicted certainty vs
+observed correctness in 10 % steps) for the naive, worst-case, opportune,
+and taUW models, and benchmarks the curve construction.
+"""
+
+import numpy as np
+
+from repro.evaluation.reporting import render_fig6
+from repro.evaluation.study import (
+    APPROACH_NAIVE,
+    APPROACH_OPPORTUNE,
+    APPROACH_TAUW,
+    APPROACH_WORST_CASE,
+)
+
+PLOTTED = (APPROACH_NAIVE, APPROACH_WORST_CASE, APPROACH_OPPORTUNE, APPROACH_TAUW)
+
+
+def _mean_signed_gap(curve) -> float:
+    """Count-weighted mean of (predicted - observed) certainty."""
+    weights = curve.counts / curve.counts.sum()
+    return float(np.sum(weights * (curve.predicted - curve.observed)))
+
+
+def test_fig6_calibration_curves(benchmark, study_results, write_output):
+    def build_curves():
+        return {
+            name: study_results.approach(name).calibration_curve(n_bins=10)
+            for name in PLOTTED
+        }
+
+    curves = benchmark(build_curves)
+    write_output("fig6_calibration.txt", render_fig6(curves))
+
+    gaps = {name: _mean_signed_gap(curve) for name, curve in curves.items()}
+
+    # Naive fusion sits below the diagonal (overconfident): predicted
+    # certainty exceeds observed correctness on average.
+    assert gaps[APPROACH_NAIVE] > 0.0
+    # Worst-case fusion is the most conservative of the four models.
+    assert gaps[APPROACH_WORST_CASE] == min(gaps.values())
+    # The naive model is the most overconfident of the four.
+    assert gaps[APPROACH_NAIVE] == max(gaps.values())
+    # taUW stays close to the diagonal (well calibrated).
+    assert abs(gaps[APPROACH_TAUW]) < abs(gaps[APPROACH_NAIVE])
+    # taUW offers the widest range of certainty values (finest resolution).
+    spreads = {
+        name: curve.predicted.max() - curve.predicted.min()
+        for name, curve in curves.items()
+    }
+    assert spreads[APPROACH_TAUW] >= max(
+        spreads[APPROACH_OPPORTUNE], spreads[APPROACH_WORST_CASE]
+    ) - 1e-9

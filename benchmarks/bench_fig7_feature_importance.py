@@ -1,0 +1,37 @@
+"""Fig. 7: feature-importance study over the four taQFs.
+
+Retrains and recalibrates the taQIM for every subset of
+{ratio, length, size, certainty} (16 runs including the stateless-only
+baseline) and reports the Brier score per subset; benchmarks the sweep.
+"""
+
+from repro.evaluation.importance import feature_importance_study
+from repro.evaluation.reporting import render_fig7
+
+
+def test_fig7_feature_importance(benchmark, study_data, write_output):
+    rows = benchmark.pedantic(
+        feature_importance_study, args=(study_data,), rounds=1, iterations=1
+    )
+    write_output("fig7_feature_importance.txt", render_fig7(rows))
+
+    by_subset = {row.subset: row.brier for row in rows}
+    baseline = by_subset[()]
+    singles = {
+        name: by_subset[(name,)] for name in ("ratio", "length", "size", "certainty")
+    }
+
+    # Paper: ratio and certainty are the strongest single factors; length
+    # is never the best factor on its own.
+    assert min(singles, key=singles.get) in ("ratio", "certainty")
+    assert singles["length"] >= singles[min(singles, key=singles.get)]
+    # Paper: in combination with one other feature, length helps (or at
+    # least does not hurt) relative to that feature alone.
+    assert by_subset[("ratio", "length")] <= singles["ratio"] + 1e-3
+    # Paper: the optimum is already reached with two factors (redundancy);
+    # the full set must not be materially better than the best pair.
+    pairs = [b for s, b in by_subset.items() if len(s) == 2]
+    full = by_subset[("ratio", "length", "size", "certainty")]
+    assert min(pairs) <= full + 1e-3
+    # Using taQFs helps: the best subset beats the stateless baseline.
+    assert min(by_subset.values()) < baseline

@@ -1,0 +1,50 @@
+"""Substrate performance: CART fitting and leaf lookup.
+
+The quality impact model's cost is dominated by growing the CART tree on
+the (large) training table and by `apply` at inference time.  These benches
+track both so regressions in the from-scratch tree show up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trees.cart import DecisionTreeClassifier
+from repro.trees.pruning import prune_to_min_samples
+
+
+@pytest.fixture(scope="module")
+def tree_data():
+    rng = np.random.default_rng(5)
+    n = 60_000
+    X = rng.uniform(size=(n, 12))
+    p_fail = 0.03 + 0.4 * (X[:, 0] > 0.8) + 0.3 * (X[:, 3] < 0.1)
+    y = (rng.uniform(size=n) < np.clip(p_fail, 0, 1)).astype(int)
+    return X, y
+
+
+def test_tree_fit_throughput(benchmark, tree_data):
+    X, y = tree_data
+
+    tree = benchmark.pedantic(
+        lambda: DecisionTreeClassifier(max_depth=8).fit(X, y),
+        rounds=3,
+        iterations=1,
+    )
+    assert tree.get_depth() <= 8
+    assert tree.get_n_leaves() > 4
+
+
+def test_tree_apply_throughput(benchmark, tree_data):
+    X, y = tree_data
+    tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+
+    leaves = benchmark(tree.apply, X)
+    assert leaves.shape == (len(X),)
+
+
+def test_tree_prune_throughput(benchmark, tree_data):
+    X, y = tree_data
+    tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+
+    pruned = benchmark(prune_to_min_samples, tree, X, 200)
+    assert pruned.get_n_leaves() <= tree.get_n_leaves()

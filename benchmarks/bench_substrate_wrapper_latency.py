@@ -1,0 +1,57 @@
+"""Runtime latency of the online taUW step.
+
+The wrapper is meant for runtime verification inside a perception loop, so
+its per-frame overhead matters: one `step` covers DDM inference, the
+stateless QIM lookup, buffer update, information fusion, taQF computation,
+and the taQIM lookup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
+
+
+@pytest.fixture(scope="module")
+def online_wrapper(study_data):
+    rng = np.random.default_rng(11)
+    wrapper = TimeseriesAwareUncertaintyWrapper(
+        ddm=study_data.ddm,
+        stateless_qim=study_data.stateless_qim,
+        timeseries_qim=study_data.ta_qim,
+        layout=study_data.layout,
+    )
+    dim = study_data.feature_model.config.dim
+    frames = rng.normal(size=(10, dim))
+    frames /= np.linalg.norm(frames, axis=1, keepdims=True)
+    quality = rng.uniform(0.0, 0.4, size=(10, len(study_data.layout.stateless_names)))
+    return wrapper, frames, quality
+
+
+def test_online_step_latency(benchmark, online_wrapper):
+    wrapper, frames, quality = online_wrapper
+
+    state = {"t": 0}
+
+    def one_step():
+        t = state["t"]
+        result = wrapper.step(frames[t], quality[t], new_series=(t == 0))
+        state["t"] = (t + 1) % len(frames)
+        return result
+
+    result = benchmark(one_step)
+    assert 0.0 <= result.fused_uncertainty <= 1.0
+
+
+def test_series_replay_latency(benchmark, online_wrapper):
+    wrapper, frames, quality = online_wrapper
+
+    def replay_series():
+        wrapper.reset()
+        last = None
+        for t in range(len(frames)):
+            last = wrapper.step(frames[t], quality[t])
+        return last
+
+    result = benchmark(replay_series)
+    assert result.timestep == len(frames) - 1

@@ -1,0 +1,50 @@
+"""Table I: Brier score and Murphy components for all six approaches.
+
+Regenerates the paper's Table I (stateless UW, IF + no UF, IF + naive UF,
+IF + worst-case UF, IF + opportune UF, IF + taUW) and benchmarks the full
+evaluation pass over the prepared study data.
+"""
+
+from repro.evaluation import evaluate_study
+from repro.evaluation.reporting import render_table1
+from repro.evaluation.study import (
+    APPROACH_IF_NO_UF,
+    APPROACH_NAIVE,
+    APPROACH_OPPORTUNE,
+    APPROACH_STATELESS,
+    APPROACH_TAUW,
+    APPROACH_WORST_CASE,
+)
+
+
+def test_table1_uncertainty_models(benchmark, study_data, write_output):
+    results = benchmark.pedantic(
+        evaluate_study, args=(study_data,), rounds=3, iterations=1
+    )
+
+    write_output("table1_uncertainty_models.txt", render_table1(results))
+
+    brier = {a.name: a.decomposition.brier for a in results.approaches}
+    overconf = {a.name: a.decomposition.overconfidence for a in results.approaches}
+    unspec = {a.name: a.decomposition.unspecificity for a in results.approaches}
+
+    # Paper's headline: the taUW wins the Brier score overall.
+    assert brier[APPROACH_TAUW] == min(brier.values())
+    # ... and has the lowest unspecificity of the fused approaches.
+    fused = [
+        APPROACH_IF_NO_UF,
+        APPROACH_NAIVE,
+        APPROACH_WORST_CASE,
+        APPROACH_OPPORTUNE,
+        APPROACH_TAUW,
+    ]
+    assert unspec[APPROACH_TAUW] == min(unspec[name] for name in fused)
+    # Naive fusion is by far the most overconfident (independence violated).
+    assert overconf[APPROACH_NAIVE] == max(overconf.values())
+    assert overconf[APPROACH_NAIVE] > 10 * overconf[APPROACH_TAUW] or (
+        overconf[APPROACH_TAUW] == 0.0
+    )
+    # Worst-case fusion stays on the conservative side.
+    assert overconf[APPROACH_WORST_CASE] <= overconf[APPROACH_NAIVE]
+    # Information fusion alone already improves on the stateless wrapper.
+    assert brier[APPROACH_IF_NO_UF] < brier[APPROACH_STATELESS]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive study pipeline (data generation, DDM training, wrapper
+calibration) runs once per session; every bench file reuses the prepared
+:class:`repro.evaluation.StudyData` and writes its regenerated table/figure
+to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import StudyConfig, evaluate_study, prepare_study_data
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study_data():
+    """The default-scale study pipeline, prepared once."""
+    return prepare_study_data(StudyConfig())
+
+
+@pytest.fixture(scope="session")
+def study_results(study_data):
+    """Evaluated Table I / Fig. 4-6 results on the prepared data."""
+    return evaluate_study(study_data)
+
+
+@pytest.fixture(scope="session")
+def write_output():
+    """Writer that persists a rendered table/figure and echoes it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / name
+        path.write_text(text)
+        print(f"\n--- {name} ---\n{text}")
+
+    return _write

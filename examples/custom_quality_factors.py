@@ -1,0 +1,133 @@
+"""Extending the wrapper: custom quality factors and a scope model.
+
+The wrapper framework is use-case agnostic: the quality impact model
+consumes whatever quality-factor columns you define, and the scope
+compliance model guards against leaving the target application scope (TAS).
+This example shows both extension points on the stateless wrapper:
+
+1. a custom quality-factor layout that adds an *embedding self-confidence*
+   signal (max softmax probability of the wrapped classifier) to the sensed
+   deficits -- a common, cheap extra QF;
+2. a scope model combining hard GPS boundary checks (Germany) with a
+   kNN-similarity check on the quality factors, and what happens when the
+   vehicle "drives" outside the TAS.
+
+Run:  python examples/custom_quality_factors.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BoundaryCheck,
+    QualityImpactModel,
+    ScopeComplianceModel,
+    SimilarityScope,
+    UncertaintyWrapper,
+)
+from repro.datasets import GERMANY_BBOX, GTSRBLikeGenerator, subsample_dataset
+from repro.evaluation import StudyConfig, prepare_study_data
+from repro.stats import brier_score
+
+
+def quality_with_confidence(ddm, embeddings, sensed) -> np.ndarray:
+    """Custom QF table: sensed deficits + the DDM's own max-softmax."""
+    max_proba = ddm.predict_proba(embeddings).max(axis=1, keepdims=True)
+    return np.hstack([sensed, max_proba])
+
+
+def main() -> None:
+    print("Preparing base study data...")
+    data = prepare_study_data(StudyConfig.smoke_scale())
+    rng = np.random.default_rng(7)
+    generator = GTSRBLikeGenerator()
+
+    # Fresh frame tables for fitting the custom wrapper.
+    def frame_table(n_series, seed_offset):
+        local = np.random.default_rng(1000 + seed_offset)
+        base = generator.generate_base(n_series, local, min_per_class=1)
+        ds = subsample_dataset(
+            generator.augment_with_situations(base, 2, local), 10, local
+        )
+        X, y, _ = data.feature_model.embed_dataset(ds, local)
+        sensed = np.vstack([s.sensed for s in ds])
+        return X, y, sensed
+
+    X_train, y_train, sensed_train = frame_table(80, 1)
+    X_cal, y_cal, sensed_cal = frame_table(80, 2)
+    X_test, y_test, sensed_test = frame_table(80, 3)
+
+    # ------------------------------------------------------------------
+    # 1. Custom quality factors
+    # ------------------------------------------------------------------
+    q_train = quality_with_confidence(data.ddm, X_train, sensed_train)
+    q_cal = quality_with_confidence(data.ddm, X_cal, sensed_cal)
+    q_test = quality_with_confidence(data.ddm, X_test, sensed_test)
+
+    plain = UncertaintyWrapper(
+        data.ddm, QualityImpactModel(min_calibration_samples=60)
+    )
+    plain.fit(X_train, sensed_train, y_train)
+    plain.calibrate(X_cal, sensed_cal, y_cal)
+
+    extended = UncertaintyWrapper(
+        data.ddm, QualityImpactModel(min_calibration_samples=60)
+    )
+    extended.fit(X_train, q_train, y_train)
+    extended.calibrate(X_cal, q_cal, y_cal)
+
+    wrong = (data.ddm.predict(X_test) != y_test).astype(int)
+    _, u_plain = plain.apply_batch(X_test, sensed_test)
+    _, u_extended = extended.apply_batch(X_test, q_test)
+    print("\nCustom quality factor (max softmax) effect on the Brier score:")
+    print(f"  sensed deficits only : {brier_score(u_plain, wrong):.4f}")
+    print(f"  + model confidence   : {brier_score(u_extended, wrong):.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. Scope compliance
+    # ------------------------------------------------------------------
+    lat_min, lat_max, lon_min, lon_max = GERMANY_BBOX
+    similarity = SimilarityScope(k=10, quantile=0.99).fit(q_cal, rng)
+    scope = ScopeComplianceModel(
+        checks=[
+            BoundaryCheck("latitude", lat_min, lat_max),
+            BoundaryCheck("longitude", lon_min, lon_max),
+        ],
+        similarity=similarity,
+        similarity_factors=tuple(
+            f"qf_{i}" for i in range(q_cal.shape[1])
+        ),
+    )
+    guarded = UncertaintyWrapper(
+        data.ddm,
+        extended.quality_impact_model,
+        scope_model=scope,
+    )
+
+    def scope_factors(latitude, longitude, quality_row):
+        factors = {"latitude": latitude, "longitude": longitude}
+        factors.update({f"qf_{i}": v for i, v in enumerate(quality_row)})
+        return factors
+
+    inside = guarded.apply(
+        X_test[0], q_test[0], scope_factors(49.49, 8.47, q_test[0])
+    )
+    outside = guarded.apply(
+        X_test[0], q_test[0], scope_factors(40.71, -74.01, q_test[0])
+    )
+    print("\nScope compliance (paper Fig. 1's (a) vs (b) inputs):")
+    print(
+        f"  Mannheim  (49.49, 8.47): u = {inside.uncertainty:.4f} "
+        f"(scope component {inside.scope_incompliance:.2f})"
+    )
+    print(
+        f"  New York (40.71, -74.01): u = {outside.uncertainty:.4f} "
+        f"(scope component {outside.scope_incompliance:.2f})"
+    )
+    print(
+        "\nOutside the TAS the wrapper pins uncertainty to 1.0 regardless "
+        "of input quality -- the runtime monitor must fall back."
+    )
+
+
+if __name__ == "__main__":
+    main()

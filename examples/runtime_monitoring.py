@@ -1,0 +1,103 @@
+"""Runtime monitoring: taUW + Kalman tracking inside a perception loop.
+
+Demonstrates the architecture of the paper's Fig. 2 end to end, the way a
+cyber-physical system would deploy it:
+
+* a stream of detections arrives from *multiple consecutive traffic signs*
+  (the vehicle passes one sign after another);
+* a Kalman-filter tracker decides when the detections switch to a new
+  physical sign and signals the wrapper to clear its timeseries buffer;
+* the taUW fuses outcomes per sign and emits dependable uncertainties;
+* a simplex-style monitor compares the uncertainty against a safety
+  threshold and decides ACCEPT (use the perception result) or FALLBACK
+  (degrade to a safe behaviour).
+
+Run:  python examples/runtime_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import TimeseriesAwareUncertaintyWrapper, UncertaintyMonitor
+from repro.datasets import GTSRBLikeGenerator, subsample_dataset
+from repro.evaluation import StudyConfig, prepare_study_data
+from repro.tracking import SignTracker
+
+ACCEPT_THRESHOLD = 0.05  # tolerate at most 5 % failure probability
+REENTRY_THRESHOLD = 0.03  # hysteresis: stricter re-entry after a fallback
+
+
+def main() -> None:
+    print("Preparing wrapper stack (default scale, ~15 s)...")
+    data = prepare_study_data(StudyConfig())
+    wrapper = TimeseriesAwareUncertaintyWrapper(
+        ddm=data.ddm,
+        stateless_qim=data.stateless_qim,
+        timeseries_qim=data.ta_qim,
+        layout=data.layout,
+    )
+
+    # A drive past three different signs: three series back to back.
+    rng = np.random.default_rng(99)
+    generator = GTSRBLikeGenerator()
+    base = generator.generate_base(3, rng)
+    drive = subsample_dataset(
+        generator.augment_with_situations(base, 1, rng), 10, rng
+    )
+    # Separate the signs laterally so the tracker can tell them apart.
+    for i, series in enumerate(drive):
+        series.positions[:, 1] += 40.0 * i
+
+    tracker = SignTracker(
+        dt=generator.geometry.frame_interval_s, process_noise=3.0
+    )
+    monitor = UncertaintyMonitor(
+        threshold=ACCEPT_THRESHOLD, reentry_threshold=REENTRY_THRESHOLD
+    )
+
+    print(f"Streaming {sum(s.n_frames for s in drive)} detections "
+          f"from {len(drive)} signs (accept u <= {ACCEPT_THRESHOLD}, "
+          f"re-entry u <= {REENTRY_THRESHOLD})\n")
+    header = (
+        f"{'frame':>5} {'track':>5} {'new?':>5} {'truth':>5} "
+        f"{'fused':>5} {'u_fused':>8} {'decision':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    frame_no = 0
+    correct_accepts = 0
+    for series in drive:
+        embeddings = data.feature_model.embed_series(series, rng)
+        for t in range(series.n_frames):
+            event = tracker.update(series.positions[t])
+            result = wrapper.step(
+                embeddings[t], series.sensed[t], new_series=event.new_series
+            )
+            verdict = monitor.judge(result.fused_uncertainty)
+            if verdict.accepted:
+                correct_accepts += result.fused_outcome == series.class_id
+            print(
+                f"{frame_no:>5} {event.track_id:>5} "
+                f"{'yes' if event.new_series else '':>5} {series.class_id:>5} "
+                f"{result.fused_outcome:>5} {result.fused_uncertainty:>8.4f} "
+                f"{verdict.decision.value.upper():>9}"
+            )
+            frame_no += 1
+
+    stats = monitor.statistics
+    print(
+        f"\nAccepted {stats.accepted}/{stats.steps} frames "
+        f"({stats.acceptance_rate:.0%}); accepted outcomes correct: "
+        f"{correct_accepts}/{stats.accepted}; expected accepted failures "
+        f"<= {stats.expected_accepted_failures:.2f}"
+    )
+    print(
+        "Frames whose timeseries evidence is still ambiguous run under "
+        "FALLBACK; once agreement accumulates the wrapper certifies the "
+        "low-uncertainty leaf and the monitor ACCEPTs.  The tracker's "
+        "new-series signal keeps evidence from leaking across signs."
+    )
+
+
+if __name__ == "__main__":
+    main()

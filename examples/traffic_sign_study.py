@@ -1,0 +1,66 @@
+"""Full reproduction study: regenerate every table and figure of the paper.
+
+Runs the complete evaluation pipeline at the default (laptop) scale and
+prints Fig. 4 (misclassification over timesteps), Table I (Brier score and
+components for all six uncertainty models), Fig. 5 (uncertainty
+distributions), Fig. 6 (calibration curves), and Fig. 7 (taQF feature
+importance).
+
+Run:  python examples/traffic_sign_study.py [--paper-scale]
+
+--paper-scale uses the paper's dataset sizes (1307 series, 28 settings per
+evaluation series); expect several minutes.
+"""
+
+import argparse
+import time
+
+from repro.evaluation import (
+    StudyConfig,
+    evaluate_study,
+    feature_importance_study,
+    prepare_study_data,
+    render_fig6,
+    render_fig7,
+    render_study_summary,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's dataset sizes (slower)",
+    )
+    parser.add_argument(
+        "--skip-importance",
+        action="store_true",
+        help="skip the Fig. 7 sweep (16 tree fits)",
+    )
+    args = parser.parse_args()
+
+    config = StudyConfig.paper_scale() if args.paper_scale else StudyConfig()
+    print(
+        f"Running study: {config.n_series} series, "
+        f"{config.eval_settings_per_series} settings per evaluation series"
+    )
+
+    start = time.time()
+    data = prepare_study_data(config)
+    print(f"Pipeline prepared in {time.time() - start:.1f}s\n")
+
+    results = evaluate_study(data)
+    print(render_study_summary(results))
+    print(render_fig6(results.calibration_curves()))
+
+    if not args.skip_importance:
+        print("Running feature-importance sweep (16 taQIM fits)...")
+        rows = feature_importance_study(data)
+        print(render_fig7(rows))
+
+    print(f"Total runtime: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

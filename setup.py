@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  ``python setup.py develop`` takes the legacy egg-link path instead,
+which works offline.  Metadata lives in ``pyproject.toml``; this file only
+restates what the legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

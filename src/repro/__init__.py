@@ -1,0 +1,83 @@
+"""repro: timeseries-aware uncertainty wrappers for information-fusion-enhanced ML.
+
+A from-scratch reproduction of "Timeseries-aware Uncertainty Wrappers for
+Uncertainty Quantification of Information-Fusion-Enhanced AI Models based on
+Machine Learning" (Gross, Klaes, Joeckel, Gerber; VERDI @ DSN 2023), including
+every substrate the study depends on: a GTSRB-like timeseries data
+generator, quality-deficit augmentation, numpy classifiers, CART decision
+trees, binomial guarantee bounds, Brier-score decomposition, Kalman-filter
+tracking, and the full evaluation harness.
+
+Quick start::
+
+    from repro import StudyConfig, run_study, render_table1
+
+    results = run_study(StudyConfig.smoke_scale())
+    print(render_table1(results))
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.core import (
+    QualityFactorLayout,
+    QualityImpactModel,
+    ScopeComplianceModel,
+    TimeseriesAwareUncertaintyWrapper,
+    TimeseriesBuffer,
+    TimeseriesWrappedOutcome,
+    UncertaintyWrapper,
+    WrappedOutcome,
+    trace_series,
+)
+from repro.evaluation import (
+    StudyConfig,
+    StudyResults,
+    evaluate_study,
+    feature_importance_study,
+    prepare_study_data,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_study_summary,
+    render_table1,
+    run_study,
+)
+from repro.fusion import (
+    MajorityVote,
+    NaiveProductFusion,
+    OpportuneFusion,
+    WorstCaseFusion,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QualityFactorLayout",
+    "QualityImpactModel",
+    "ScopeComplianceModel",
+    "TimeseriesAwareUncertaintyWrapper",
+    "TimeseriesBuffer",
+    "TimeseriesWrappedOutcome",
+    "UncertaintyWrapper",
+    "WrappedOutcome",
+    "trace_series",
+    "StudyConfig",
+    "StudyResults",
+    "evaluate_study",
+    "feature_importance_study",
+    "prepare_study_data",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_study_summary",
+    "render_table1",
+    "run_study",
+    "MajorityVote",
+    "NaiveProductFusion",
+    "OpportuneFusion",
+    "WorstCaseFusion",
+    "__version__",
+]

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``study``
+    Run the full reproduction study and print the paper's tables/figures;
+    optionally write JSON/CSV artifacts.
+``importance``
+    Run the Fig. 7 feature-importance sweep.
+``dataset``
+    Generate a GTSRB-like timeseries dataset and save it as ``.npz``.
+``bounds``
+    Tabulate the guarantee bounds for a given failure count / sample size
+    (handy when sizing calibration sets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timeseries-aware uncertainty wrappers (DSN/VERDI 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the full reproduction study")
+    study.add_argument("--paper-scale", action="store_true",
+                       help="use the paper's dataset sizes (slow)")
+    study.add_argument("--smoke", action="store_true",
+                       help="tiny configuration for a quick look")
+    study.add_argument("--seed", type=int, default=42, help="master seed")
+    study.add_argument("--json", metavar="PATH",
+                       help="write results JSON to PATH")
+    study.add_argument("--csv-dir", metavar="DIR",
+                       help="write table1.csv and fig4.csv into DIR")
+
+    importance = sub.add_parser(
+        "importance", help="run the Fig. 7 taQF importance sweep"
+    )
+    importance.add_argument("--paper-scale", action="store_true")
+    importance.add_argument("--smoke", action="store_true")
+    importance.add_argument("--seed", type=int, default=42)
+    importance.add_argument("--csv", metavar="PATH",
+                            help="write the sweep as CSV to PATH")
+
+    dataset = sub.add_parser(
+        "dataset", help="generate and save a GTSRB-like dataset"
+    )
+    dataset.add_argument("out", help="output .npz path")
+    dataset.add_argument("--n-series", type=int, default=100)
+    dataset.add_argument("--settings-per-series", type=int, default=1,
+                         help="situation augmentations per base series")
+    dataset.add_argument("--subsample-length", type=int, default=0,
+                         help="cut windows of this length (0 = keep full)")
+    dataset.add_argument("--seed", type=int, default=0)
+
+    bounds = sub.add_parser(
+        "bounds", help="tabulate guarantee bounds for k failures in n samples"
+    )
+    bounds.add_argument("failures", type=int)
+    bounds.add_argument("samples", type=int)
+    bounds.add_argument("--confidence", type=float, default=0.999)
+
+    return parser
+
+
+def _config_from_args(args):
+    from repro.evaluation import StudyConfig
+
+    if getattr(args, "paper_scale", False) and getattr(args, "smoke", False):
+        raise SystemExit("--paper-scale and --smoke are mutually exclusive")
+    if getattr(args, "paper_scale", False):
+        config = StudyConfig.paper_scale()
+    elif getattr(args, "smoke", False):
+        config = StudyConfig.smoke_scale()
+    else:
+        config = StudyConfig()
+    if args.seed != config.seed:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    return config
+
+
+def _cmd_study(args) -> int:
+    from repro.evaluation import (
+        evaluate_study,
+        prepare_study_data,
+        render_fig6,
+        render_study_summary,
+        save_fig4_csv,
+        save_results_json,
+        save_table1_csv,
+    )
+
+    config = _config_from_args(args)
+    start = time.time()
+    data = prepare_study_data(config)
+    results = evaluate_study(data)
+    print(render_study_summary(results))
+    print(render_fig6(results.calibration_curves()))
+    print(f"runtime: {time.time() - start:.1f}s")
+
+    if args.json:
+        path = save_results_json(results, args.json)
+        print(f"wrote {path}")
+    if args.csv_dir:
+        import pathlib
+
+        directory = pathlib.Path(args.csv_dir)
+        print(f"wrote {save_table1_csv(results, directory / 'table1.csv')}")
+        print(f"wrote {save_fig4_csv(results, directory / 'fig4.csv')}")
+    return 0
+
+
+def _cmd_importance(args) -> int:
+    from repro.evaluation import (
+        feature_importance_study,
+        prepare_study_data,
+        render_fig7,
+        save_importance_csv,
+    )
+
+    config = _config_from_args(args)
+    data = prepare_study_data(config)
+    rows = feature_importance_study(data)
+    print(render_fig7(rows))
+    if args.csv:
+        print(f"wrote {save_importance_csv(rows, args.csv)}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from repro.datasets import (
+        GTSRBLikeGenerator,
+        save_dataset_npz,
+        subsample_dataset,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    generator = GTSRBLikeGenerator()
+    base = generator.generate_base(args.n_series, rng)
+    dataset = generator.augment_with_situations(
+        base, args.settings_per_series, rng
+    )
+    if args.subsample_length > 0:
+        dataset = subsample_dataset(dataset, args.subsample_length, rng)
+    path = save_dataset_npz(dataset, args.out)
+    print(
+        f"wrote {path}: {len(dataset)} series, "
+        f"{dataset.n_frames_total} frames, {dataset.n_classes} classes"
+    )
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from repro.stats import (
+        clopper_pearson_upper,
+        hoeffding_upper,
+        jeffreys_upper,
+        wilson_upper,
+    )
+
+    k, n, confidence = args.failures, args.samples, args.confidence
+    print(
+        f"Upper bounds on the failure probability for {k} failures in "
+        f"{n} samples at one-sided confidence {confidence}:"
+    )
+    for name, fn in (
+        ("clopper-pearson", clopper_pearson_upper),
+        ("wilson", wilson_upper),
+        ("jeffreys", jeffreys_upper),
+        ("hoeffding", hoeffding_upper),
+    ):
+        print(f"  {name:<16} {fn(k, n, confidence):.6f}")
+    print(f"  point estimate   {k / n:.6f}")
+    return 0
+
+
+_COMMANDS = {
+    "study": _cmd_study,
+    "importance": _cmd_importance,
+    "dataset": _cmd_dataset,
+    "bounds": _cmd_bounds,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as error:  # surface library errors as CLI messages
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Core: uncertainty wrappers, quality factors, quality impact, scope, fusion glue.
+
+This package implements the paper's contribution: the classical stateless
+uncertainty wrapper (Fig. 1) and its timeseries-aware extension (Fig. 2)
+with the four timeseries-aware quality factors taQF1-taQF4.
+"""
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.combination import combine_uncertainties
+from repro.core.monitor import (
+    MonitorDecision,
+    MonitorStatistics,
+    MonitorVerdict,
+    UncertaintyMonitor,
+)
+from repro.core.quality_factors import (
+    QualityFactorLayout,
+    TAQF_NAMES,
+    TAQF_REGISTRY,
+    compute_taqf_vector,
+    taqf_cumulative_certainty,
+    taqf_length,
+    taqf_ratio,
+    taqf_unique_count,
+)
+from repro.core.quality_impact import BOUND_FUNCTIONS, QualityImpactModel
+from repro.core.scope import BoundaryCheck, ScopeComplianceModel, SimilarityScope
+from repro.core.timeseries_wrapper import (
+    SeriesTrace,
+    TimeseriesAwareUncertaintyWrapper,
+    TimeseriesWrappedOutcome,
+    stack_traces,
+    trace_series,
+)
+from repro.core.wrapper import UncertaintyWrapper, WrappedOutcome
+
+__all__ = [
+    "TimeseriesBuffer",
+    "combine_uncertainties",
+    "MonitorDecision",
+    "MonitorStatistics",
+    "MonitorVerdict",
+    "UncertaintyMonitor",
+    "QualityFactorLayout",
+    "TAQF_NAMES",
+    "TAQF_REGISTRY",
+    "compute_taqf_vector",
+    "taqf_cumulative_certainty",
+    "taqf_length",
+    "taqf_ratio",
+    "taqf_unique_count",
+    "BOUND_FUNCTIONS",
+    "QualityImpactModel",
+    "BoundaryCheck",
+    "ScopeComplianceModel",
+    "SimilarityScope",
+    "SeriesTrace",
+    "TimeseriesAwareUncertaintyWrapper",
+    "TimeseriesWrappedOutcome",
+    "stack_traces",
+    "trace_series",
+    "UncertaintyWrapper",
+    "WrappedOutcome",
+]

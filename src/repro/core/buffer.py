@@ -1,0 +1,98 @@
+"""Timeseries buffer: the state that makes an uncertainty wrapper stateful.
+
+"The first part of the extension is a timeseries buffer that temporarily
+stores interim results during each timestep.  The buffer is cleared at the
+onset of a new timeseries."
+
+Per timestep the buffer records the momentaneous DDM outcome and its
+stateless uncertainty estimate; the information-fusion component and the
+timeseries-aware quality model read these prefixes back at every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EmptyBufferError, ValidationError
+
+__all__ = ["TimeseriesBuffer"]
+
+
+class TimeseriesBuffer:
+    """Stores the per-timestep interim results of the current timeseries.
+
+    Parameters
+    ----------
+    max_length:
+        Optional cap on the number of retained timesteps; when exceeded the
+        oldest entries are dropped (sliding window).  ``None`` keeps the
+        whole series, which matches the paper's study (series of length 10).
+    """
+
+    def __init__(self, max_length: int | None = None) -> None:
+        if max_length is not None and max_length < 1:
+            raise ValidationError(f"max_length must be >= 1 or None, got {max_length}")
+        self.max_length = max_length
+        self._outcomes: list[int] = []
+        self._uncertainties: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no timestep has been recorded since the last reset."""
+        return not self._outcomes
+
+    def append(self, outcome: int, uncertainty: float) -> None:
+        """Record one timestep's momentaneous outcome and uncertainty."""
+        if not 0.0 <= uncertainty <= 1.0:
+            raise ValidationError(
+                f"uncertainty must lie in [0, 1], got {uncertainty!r}"
+            )
+        self._outcomes.append(int(outcome))
+        self._uncertainties.append(float(uncertainty))
+        if self.max_length is not None and len(self._outcomes) > self.max_length:
+            del self._outcomes[0]
+            del self._uncertainties[0]
+
+    def reset(self) -> None:
+        """Clear the buffer (onset of a new timeseries)."""
+        self._outcomes.clear()
+        self._uncertainties.clear()
+
+    @property
+    def outcomes(self) -> list[int]:
+        """Momentaneous outcomes recorded so far, oldest first (copy)."""
+        return list(self._outcomes)
+
+    @property
+    def uncertainties(self) -> list[float]:
+        """Momentaneous uncertainties recorded so far, oldest first (copy)."""
+        return list(self._uncertainties)
+
+    @property
+    def certainties(self) -> list[float]:
+        """Momentaneous certainties ``c_j = 1 - u_j``, oldest first."""
+        return [1.0 - u for u in self._uncertainties]
+
+    def outcomes_array(self) -> np.ndarray:
+        """Outcomes as an int array; raises on an empty buffer."""
+        self._require_non_empty()
+        return np.asarray(self._outcomes, dtype=np.int64)
+
+    def uncertainties_array(self) -> np.ndarray:
+        """Uncertainties as a float array; raises on an empty buffer."""
+        self._require_non_empty()
+        return np.asarray(self._uncertainties, dtype=float)
+
+    def last_outcome(self) -> int:
+        """The most recent outcome; raises on an empty buffer."""
+        self._require_non_empty()
+        return self._outcomes[-1]
+
+    def _require_non_empty(self) -> None:
+        if not self._outcomes:
+            raise EmptyBufferError(
+                "the timeseries buffer is empty; feed at least one timestep first"
+            )

@@ -1,0 +1,48 @@
+"""Combination of quality-impact and scope-compliance uncertainties.
+
+The uncertainty wrapper's final estimate merges the input-quality-related
+uncertainty (from the quality impact model) with the scope-compliance-
+related uncertainty (from the scope model).  Treating the two failure causes
+as non-exclusive, the combined certainty is the product of the component
+certainties::
+
+    1 - u = (1 - u_quality) * (1 - u_scope)
+
+which is the standard series-system composition used by the framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["combine_uncertainties"]
+
+
+def combine_uncertainties(u_quality, u_scope):
+    """Combine quality- and scope-related uncertainty estimates.
+
+    Parameters
+    ----------
+    u_quality:
+        Input-quality-related uncertainty (scalar or array, in ``[0, 1]``).
+    u_scope:
+        Scope-incompliance probability (scalar or array, broadcastable).
+
+    Returns
+    -------
+    float or numpy.ndarray
+        ``1 - (1 - u_quality) * (1 - u_scope)``; scalar when both inputs
+        are scalars.
+    """
+    uq = np.asarray(u_quality, dtype=float)
+    us = np.asarray(u_scope, dtype=float)
+    if np.any((uq < 0.0) | (uq > 1.0)):
+        raise ValidationError("u_quality must lie in [0, 1]")
+    if np.any((us < 0.0) | (us > 1.0)):
+        raise ValidationError("u_scope must lie in [0, 1]")
+    combined = 1.0 - (1.0 - uq) * (1.0 - us)
+    if np.ndim(u_quality) == 0 and np.ndim(u_scope) == 0:
+        return float(combined)
+    return combined

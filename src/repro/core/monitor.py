@@ -1,0 +1,164 @@
+"""Simplex-style runtime monitor on top of uncertainty estimates.
+
+The paper motivates uncertainty wrappers with runtime verification: a
+monitor watches the wrapped model's dependable uncertainty and, when it
+exceeds what the current situation tolerates, overrides the outcome or
+triggers a countermeasure (simplex pattern, [8][9][10] in the paper).
+
+:class:`UncertaintyMonitor` implements that decision layer:
+
+* a base acceptance threshold on the failure probability;
+* optional hysteresis -- after a fallback, acceptance requires the
+  uncertainty to drop below a stricter re-entry threshold, preventing
+  rapid accept/fallback oscillation at the boundary;
+* a running *risk budget*: the sum of accepted failure probabilities,
+  an upper bound (in expectation) on the number of accepted failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MonitorDecision", "MonitorVerdict", "MonitorStatistics", "UncertaintyMonitor"]
+
+
+class MonitorDecision(Enum):
+    """The two runtime actions of the simplex pattern."""
+
+    ACCEPT = "accept"
+    FALLBACK = "fallback"
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """Outcome of one monitored timestep.
+
+    Attributes
+    ----------
+    decision:
+        ACCEPT (use the model outcome) or FALLBACK (use the safe channel).
+    uncertainty:
+        The uncertainty estimate that was judged.
+    threshold:
+        The threshold in force for this step (base or re-entry).
+    in_hysteresis:
+        Whether the stricter re-entry threshold applied.
+    """
+
+    decision: MonitorDecision
+    uncertainty: float
+    threshold: float
+    in_hysteresis: bool
+
+    @property
+    def accepted(self) -> bool:
+        """Convenience: True when the decision is ACCEPT."""
+        return self.decision is MonitorDecision.ACCEPT
+
+
+@dataclass
+class MonitorStatistics:
+    """Running counters of a monitor's operation."""
+
+    steps: int = 0
+    accepted: int = 0
+    fallbacks: int = 0
+    accepted_risk: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of steps that were accepted (0 when no steps yet)."""
+        return self.accepted / self.steps if self.steps else 0.0
+
+    @property
+    def expected_accepted_failures(self) -> float:
+        """Upper bound (in expectation) on failures among accepted steps.
+
+        The sum of the dependable failure probabilities of every accepted
+        outcome; by linearity of expectation this bounds the expected
+        number of accepted failures when the estimates are conservative.
+        """
+        return self.accepted_risk
+
+
+class UncertaintyMonitor:
+    """Accept/fallback policy over dependable uncertainty estimates.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum tolerated failure probability for accepting an outcome.
+    reentry_threshold:
+        After a fallback, the uncertainty must drop to or below this
+        (stricter) value before outcomes are accepted again.  Defaults to
+        ``threshold`` (no hysteresis).
+    risk_budget:
+        Optional cap on the cumulative accepted risk; once the budget is
+        exhausted every further step falls back regardless of uncertainty
+        (mission-level risk control).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        reentry_threshold: float | None = None,
+        risk_budget: float | None = None,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValidationError(
+                f"threshold must lie strictly between 0 and 1, got {threshold}"
+            )
+        if reentry_threshold is None:
+            reentry_threshold = threshold
+        if not 0.0 < reentry_threshold <= threshold:
+            raise ValidationError(
+                "reentry_threshold must lie in (0, threshold]; got "
+                f"{reentry_threshold} vs threshold {threshold}"
+            )
+        if risk_budget is not None and risk_budget <= 0.0:
+            raise ValidationError(f"risk_budget must be > 0, got {risk_budget}")
+        self.threshold = threshold
+        self.reentry_threshold = reentry_threshold
+        self.risk_budget = risk_budget
+        self.statistics = MonitorStatistics()
+        self._in_hysteresis = False
+
+    def reset(self) -> None:
+        """Clear hysteresis state and statistics."""
+        self.statistics = MonitorStatistics()
+        self._in_hysteresis = False
+
+    def judge(self, uncertainty: float) -> MonitorVerdict:
+        """Decide ACCEPT or FALLBACK for one uncertainty estimate."""
+        if not 0.0 <= uncertainty <= 1.0:
+            raise ValidationError(
+                f"uncertainty must lie in [0, 1], got {uncertainty!r}"
+            )
+        stats = self.statistics
+        stats.steps += 1
+
+        budget_exhausted = (
+            self.risk_budget is not None
+            and stats.accepted_risk + uncertainty > self.risk_budget
+        )
+        threshold = (
+            self.reentry_threshold if self._in_hysteresis else self.threshold
+        )
+        accept = uncertainty <= threshold and not budget_exhausted
+        verdict = MonitorVerdict(
+            decision=MonitorDecision.ACCEPT if accept else MonitorDecision.FALLBACK,
+            uncertainty=float(uncertainty),
+            threshold=threshold,
+            in_hysteresis=self._in_hysteresis,
+        )
+        if accept:
+            stats.accepted += 1
+            stats.accepted_risk += float(uncertainty)
+            self._in_hysteresis = False
+        else:
+            stats.fallbacks += 1
+            self._in_hysteresis = self.reentry_threshold < self.threshold
+        return verdict

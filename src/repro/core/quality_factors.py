@@ -1,0 +1,240 @@
+"""Quality factors: stateless QFs and the paper's four timeseries-aware taQFs.
+
+The quality impact model consumes a feature vector per case.  For the
+stateless wrapper these are the runtime-observable *quality factors* (sensor
+readings such as rain intensity, ambient light, apparent sign size).  The
+timeseries-aware wrapper appends the four *timeseries-aware quality factors*
+computed from the buffer:
+
+* **taQF1 ratio** -- share of buffered outcomes agreeing with the current
+  fused outcome;
+* **taQF2 length** -- number of timesteps in the current series so far;
+* **taQF3 size** -- number of unique outcomes in the buffer;
+* **taQF4 certainty** -- cumulative certainty of the outcomes agreeing with
+  the fused outcome (disagreeing outcomes contribute zero).
+
+The factors are deliberately use-case independent: they only look at the
+outcome/uncertainty series, never at TSR specifics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "taqf_ratio",
+    "taqf_length",
+    "taqf_unique_count",
+    "taqf_cumulative_certainty",
+    "TAQF_REGISTRY",
+    "TAQF_NAMES",
+    "compute_taqf_vector",
+    "QualityFactorLayout",
+]
+
+
+def _check_series(outcomes: Sequence[int]) -> list[int]:
+    if len(outcomes) == 0:
+        raise ValidationError("timeseries-aware factors need at least one outcome")
+    return [int(o) for o in outcomes]
+
+
+def taqf_ratio(outcomes: Sequence[int], fused_outcome: int) -> float:
+    """taQF1: fraction of outcomes in conformity with the fused outcome.
+
+    ``(1 / (i+1)) * |{j : o_j == o_i^(if)}|`` -- the more often the fused
+    outcome was predicted within the series, the more certainty.
+    """
+    outcomes = _check_series(outcomes)
+    fused = int(fused_outcome)
+    return sum(1 for o in outcomes if o == fused) / len(outcomes)
+
+
+def taqf_length(outcomes: Sequence[int]) -> float:
+    """taQF2: length ``i + 1`` of the current timeseries prefix."""
+    return float(len(_check_series(outcomes)))
+
+
+def taqf_unique_count(outcomes: Sequence[int]) -> float:
+    """taQF3: number of distinct outcomes observed in the current series.
+
+    Higher variety signals higher uncertainty.
+    """
+    return float(len(set(_check_series(outcomes))))
+
+
+def taqf_cumulative_certainty(
+    outcomes: Sequence[int],
+    uncertainties: Sequence[float],
+    fused_outcome: int,
+) -> float:
+    """taQF4: summed certainty of outcomes agreeing with the fused outcome.
+
+    ``sum_j c_j`` with ``c_j = 1 - u_j`` when ``o_j == o_i^(if)`` and 0
+    otherwise.
+    """
+    outcomes = _check_series(outcomes)
+    if len(uncertainties) != len(outcomes):
+        raise ValidationError(
+            "uncertainties must align with outcomes, got "
+            f"{len(uncertainties)} vs {len(outcomes)}"
+        )
+    fused = int(fused_outcome)
+    total = 0.0
+    for outcome, uncertainty in zip(outcomes, uncertainties):
+        if not 0.0 <= uncertainty <= 1.0:
+            raise ValidationError(f"uncertainty {uncertainty!r} outside [0, 1]")
+        if outcome == fused:
+            total += 1.0 - uncertainty
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _ratio_from_buffer(buffer: TimeseriesBuffer, fused_outcome: int) -> float:
+    return taqf_ratio(buffer.outcomes, fused_outcome)
+
+
+def _length_from_buffer(buffer: TimeseriesBuffer, fused_outcome: int) -> float:
+    return taqf_length(buffer.outcomes)
+
+
+def _unique_from_buffer(buffer: TimeseriesBuffer, fused_outcome: int) -> float:
+    return taqf_unique_count(buffer.outcomes)
+
+
+def _certainty_from_buffer(buffer: TimeseriesBuffer, fused_outcome: int) -> float:
+    return taqf_cumulative_certainty(
+        buffer.outcomes, buffer.uncertainties, fused_outcome
+    )
+
+
+TAQF_REGISTRY: dict[str, Callable[[TimeseriesBuffer, int], float]] = {
+    "ratio": _ratio_from_buffer,
+    "length": _length_from_buffer,
+    "size": _unique_from_buffer,
+    "certainty": _certainty_from_buffer,
+}
+"""Name -> computation for each timeseries-aware quality factor."""
+
+TAQF_NAMES: tuple[str, ...] = tuple(TAQF_REGISTRY)
+"""Canonical ordering of the four taQFs: ratio, length, size, certainty."""
+
+
+def compute_taqf_vector(
+    buffer: TimeseriesBuffer,
+    fused_outcome: int,
+    names: Sequence[str] = TAQF_NAMES,
+) -> np.ndarray:
+    """Evaluate the selected taQFs against the buffer, in the given order.
+
+    Parameters
+    ----------
+    buffer:
+        The wrapper's timeseries buffer (must contain the current step).
+    fused_outcome:
+        The current fused outcome :math:`o_i^{(if)}`.
+    names:
+        Which factors to compute; any subset of :data:`TAQF_NAMES`.
+    """
+    values = np.empty(len(names), dtype=float)
+    for i, name in enumerate(names):
+        try:
+            fn = TAQF_REGISTRY[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown taQF {name!r}; expected one of {TAQF_NAMES}"
+            ) from None
+        values[i] = fn(buffer, fused_outcome)
+    return values
+
+
+class QualityFactorLayout:
+    """Describes the feature-vector layout fed to a quality impact model.
+
+    A layout is the ordered concatenation of the stateless quality-factor
+    names with the selected timeseries-aware factor names.  It is shared
+    between training-time feature-table construction and runtime inference
+    so both always agree on column order.
+
+    Parameters
+    ----------
+    stateless_names:
+        Names of the stateless quality-factor columns (e.g. the sensed
+        deficits plus apparent size).
+    taqf_names:
+        The selected timeseries-aware factors (possibly empty for a purely
+        stateless layout).
+    """
+
+    def __init__(
+        self,
+        stateless_names: Sequence[str],
+        taqf_names: Sequence[str] = (),
+    ) -> None:
+        stateless = tuple(str(n) for n in stateless_names)
+        selected = tuple(str(n) for n in taqf_names)
+        if len(set(stateless)) != len(stateless):
+            raise ValidationError("stateless quality-factor names must be unique")
+        unknown = [n for n in selected if n not in TAQF_REGISTRY]
+        if unknown:
+            raise ValidationError(
+                f"unknown taQF names {unknown}; expected a subset of {TAQF_NAMES}"
+            )
+        if len(set(selected)) != len(selected):
+            raise ValidationError("taQF names must be unique")
+        overlap = set(stateless) & set(selected)
+        if overlap:
+            raise ValidationError(
+                f"stateless and timeseries-aware names overlap: {sorted(overlap)}"
+            )
+        self.stateless_names = stateless
+        self.taqf_names = selected
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """All column names in order (stateless first, then taQFs)."""
+        return self.stateless_names + self.taqf_names
+
+    @property
+    def n_features(self) -> int:
+        """Total number of feature columns."""
+        return len(self.feature_names)
+
+    def assemble(
+        self,
+        stateless_values: np.ndarray,
+        buffer: TimeseriesBuffer | None = None,
+        fused_outcome: int | None = None,
+    ) -> np.ndarray:
+        """Build one feature row from stateless values plus buffer state.
+
+        Parameters
+        ----------
+        stateless_values:
+            Values for the stateless columns, in layout order.
+        buffer / fused_outcome:
+            Required when the layout includes taQFs.
+        """
+        stateless_values = np.asarray(stateless_values, dtype=float).ravel()
+        if stateless_values.size != len(self.stateless_names):
+            raise ValidationError(
+                f"expected {len(self.stateless_names)} stateless values, "
+                f"got {stateless_values.size}"
+            )
+        if not self.taqf_names:
+            return stateless_values.copy()
+        if buffer is None or fused_outcome is None:
+            raise ValidationError(
+                "this layout includes timeseries-aware factors; "
+                "buffer and fused_outcome are required"
+            )
+        ta = compute_taqf_vector(buffer, fused_outcome, self.taqf_names)
+        return np.concatenate([stateless_values, ta])

@@ -1,0 +1,209 @@
+"""Scope compliance model: is the DDM operating inside its intended scope?
+
+The onion-shell model attributes part of the runtime uncertainty to *scope
+compliance*: applying a model outside its target application scope (TAS).
+The paper describes two mechanisms -- "fixed boundary checks or the
+computation of a similarity degree between the data at runtime and the data
+used during DDM development" -- and omits the scope model from its study
+(all data in scope).  We implement both mechanisms so the full wrapper
+pattern is available; an example exercises it end-to-end.
+
+The model emits a *scope-incompliance probability* ``u_scope`` in ``[0, 1]``
+that the combination step (:mod:`repro.core.combination`) merges with the
+quality-related uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ScopeError, ValidationError
+
+__all__ = ["BoundaryCheck", "SimilarityScope", "ScopeComplianceModel"]
+
+
+@dataclass(frozen=True)
+class BoundaryCheck:
+    """A hard admissible interval for one scope factor.
+
+    Attributes
+    ----------
+    name:
+        Scope-factor name (e.g. ``"latitude"``).
+    low / high:
+        Inclusive admissible range; ``-inf``/``inf`` leave a side open.
+    """
+
+    name: str
+    low: float = float("-inf")
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValidationError(
+                f"boundary check {self.name!r} has low > high ({self.low} > {self.high})"
+            )
+
+    def passes(self, value: float) -> bool:
+        """Whether the value lies within the admissible interval."""
+        return self.low <= value <= self.high
+
+
+class SimilarityScope:
+    """k-nearest-neighbour similarity to the development data.
+
+    At fit time the model memorises (a subsample of) the development scope
+    factors and the distribution of each point's mean distance to its ``k``
+    nearest neighbours.  At runtime a case whose kNN distance exceeds the
+    calibration quantile is increasingly suspected to be out of scope; the
+    incompliance score ramps linearly from 0 at the quantile to 1 at
+    ``ramp_factor`` times the quantile.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    quantile:
+        Distance quantile of the development data regarded as "still
+        clearly in scope".
+    ramp_factor:
+        Multiple of the quantile distance at which incompliance saturates
+        at 1.
+    max_reference:
+        Upper bound on stored reference points (subsampled at fit time).
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        quantile: float = 0.99,
+        ramp_factor: float = 3.0,
+        max_reference: int = 5000,
+    ) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if not 0.0 < quantile < 1.0:
+            raise ValidationError(f"quantile must be in (0, 1), got {quantile}")
+        if ramp_factor <= 1.0:
+            raise ValidationError(f"ramp_factor must be > 1, got {ramp_factor}")
+        if max_reference < 2:
+            raise ValidationError(f"max_reference must be >= 2, got {max_reference}")
+        self.k = k
+        self.quantile = quantile
+        self.ramp_factor = ramp_factor
+        self.max_reference = max_reference
+        self._reference: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._threshold: float | None = None
+
+    def fit(self, X, rng: np.random.Generator | None = None) -> "SimilarityScope":
+        """Memorise development-scope data and calibrate the distance scale."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] < self.k + 1:
+            raise ValidationError(
+                f"need a 2-D array with more than k={self.k} rows, got shape {X.shape}"
+            )
+        if X.shape[0] > self.max_reference:
+            rng = rng or np.random.default_rng(0)
+            X = X[rng.choice(X.shape[0], self.max_reference, replace=False)]
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        self._reference = X / scale
+        distances = self._knn_distances(self._reference, exclude_self=True)
+        self._threshold = float(np.quantile(distances, self.quantile))
+        if self._threshold <= 0.0:
+            self._threshold = 1e-12
+        return self
+
+    def _knn_distances(self, Xn: np.ndarray, exclude_self: bool = False) -> np.ndarray:
+        """Mean distance to the k nearest reference points per query row."""
+        if self._reference is None:
+            raise NotFittedError("SimilarityScope is not fitted; call fit() first")
+        diffs = Xn[:, None, :] - self._reference[None, :, :]
+        d = np.sqrt(np.sum(diffs**2, axis=2))
+        k = self.k
+        if exclude_self:
+            # Each row's zero self-distance must not count as a neighbour.
+            np.fill_diagonal(d, np.inf)
+        k = min(k, d.shape[1] - (1 if exclude_self else 0))
+        part = np.partition(d, kth=k - 1, axis=1)[:, :k]
+        return part.mean(axis=1)
+
+    def incompliance(self, X) -> np.ndarray:
+        """Per-row scope-incompliance score in ``[0, 1]``."""
+        if self._reference is None or self._threshold is None:
+            raise NotFittedError("SimilarityScope is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._reference.shape[1]:
+            raise ValidationError(
+                f"X must have shape (n, {self._reference.shape[1]}), got {X.shape}"
+            )
+        distances = self._knn_distances(X / self._scale)
+        excess = (distances - self._threshold) / (
+            self._threshold * (self.ramp_factor - 1.0)
+        )
+        return np.clip(excess, 0.0, 1.0)
+
+
+class ScopeComplianceModel:
+    """Combines boundary checks and similarity into one scope estimate.
+
+    The incompliance probability of a case is 1 when any boundary check
+    fails, otherwise the similarity-based score (0 when no similarity model
+    is configured).
+
+    Parameters
+    ----------
+    checks:
+        Boundary checks, evaluated against named scope factors.
+    similarity:
+        Optional fitted :class:`SimilarityScope` over the numeric scope
+        factors.
+    similarity_factors:
+        Names (and order) of the scope factors fed to the similarity model.
+    """
+
+    def __init__(
+        self,
+        checks: list[BoundaryCheck] | None = None,
+        similarity: SimilarityScope | None = None,
+        similarity_factors: tuple[str, ...] = (),
+    ) -> None:
+        self.checks = list(checks or [])
+        self.similarity = similarity
+        self.similarity_factors = tuple(similarity_factors)
+        if similarity is not None and not similarity_factors:
+            raise ValidationError(
+                "similarity_factors must name the columns fed to the similarity model"
+            )
+
+    def incompliance_probability(self, scope_factors: dict[str, float]) -> float:
+        """Scope-incompliance estimate for one case.
+
+        Parameters
+        ----------
+        scope_factors:
+            Mapping from scope-factor name to value; must contain every
+            factor referenced by a boundary check or the similarity model.
+        """
+        for check in self.checks:
+            if check.name not in scope_factors:
+                raise ScopeError(
+                    f"scope factor {check.name!r} required by a boundary check is missing"
+                )
+            if not check.passes(float(scope_factors[check.name])):
+                return 1.0
+        if self.similarity is None:
+            return 0.0
+        try:
+            row = np.array(
+                [[float(scope_factors[name]) for name in self.similarity_factors]]
+            )
+        except KeyError as missing:
+            raise ScopeError(
+                f"scope factor {missing.args[0]!r} required by the similarity model is missing"
+            ) from None
+        return float(self.similarity.incompliance(row)[0])

@@ -1,0 +1,172 @@
+"""The classical (stateless) uncertainty wrapper.
+
+The wrapper pattern (Fig. 1 of the paper): a data-driven component whose
+outcome is enriched with a dependable uncertainty estimate.  The wrapper
+treats the DDM as a black box, evaluates the runtime quality factors with a
+calibrated quality impact model, optionally folds in a scope-compliance
+estimate, and emits ``(outcome, uncertainty)`` per input.
+
+Stateless means: the estimate :math:`u_i` depends only on the input at
+timestep :math:`t_i`.  The timeseries-aware extension lives in
+:mod:`repro.core.timeseries_wrapper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.combination import combine_uncertainties
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.scope import ScopeComplianceModel
+from repro.exceptions import ValidationError
+
+__all__ = ["WrappedOutcome", "UncertaintyWrapper"]
+
+
+@dataclass(frozen=True)
+class WrappedOutcome:
+    """A DDM outcome enriched with a dependable uncertainty estimate.
+
+    Attributes
+    ----------
+    outcome:
+        The DDM's predicted class.
+    uncertainty:
+        Combined dependable uncertainty (quality and scope).
+    quality_uncertainty:
+        The quality-impact component alone.
+    scope_incompliance:
+        The scope-compliance component alone (0 when no scope model runs).
+    """
+
+    outcome: int
+    uncertainty: float
+    quality_uncertainty: float
+    scope_incompliance: float
+
+    @property
+    def certainty(self) -> float:
+        """Convenience: ``1 - uncertainty``."""
+        return 1.0 - self.uncertainty
+
+
+class UncertaintyWrapper:
+    """Wraps a black-box DDM with dependable uncertainty estimation.
+
+    Parameters
+    ----------
+    ddm:
+        Any object with ``predict(batch) -> labels``
+        (:class:`repro.models.ddm.DataDrivenModel`).
+    quality_impact_model:
+        The tree-based uncertainty estimator; constructed with paper
+        defaults when omitted.
+    scope_model:
+        Optional scope-compliance model.
+    """
+
+    def __init__(
+        self,
+        ddm,
+        quality_impact_model: QualityImpactModel | None = None,
+        scope_model: ScopeComplianceModel | None = None,
+    ) -> None:
+        if not hasattr(ddm, "predict"):
+            raise ValidationError("ddm must expose a predict() method")
+        self.ddm = ddm
+        self.quality_impact_model = quality_impact_model or QualityImpactModel()
+        self.scope_model = scope_model
+
+    # ------------------------------------------------------------------
+    # Training / calibration
+    # ------------------------------------------------------------------
+    def fit(self, model_inputs, quality_features, labels) -> "UncertaintyWrapper":
+        """Train the quality impact model against observed DDM failures.
+
+        Runs the DDM on ``model_inputs``, derives the binary failure labels
+        by comparison with ``labels``, and grows the decision tree on the
+        quality features.
+        """
+        wrong = self._failures(model_inputs, labels)
+        self.quality_impact_model.fit(quality_features, wrong)
+        return self
+
+    def calibrate(self, model_inputs, quality_features, labels) -> "UncertaintyWrapper":
+        """Calibrate the quality impact model on held-out data."""
+        wrong = self._failures(model_inputs, labels)
+        self.quality_impact_model.calibrate(quality_features, wrong)
+        return self
+
+    def _failures(self, model_inputs, labels) -> np.ndarray:
+        predictions = np.asarray(self.ddm.predict(model_inputs))
+        labels = np.asarray(labels)
+        if predictions.shape != labels.shape:
+            raise ValidationError(
+                "DDM predictions and labels must align, got "
+                f"{predictions.shape} vs {labels.shape}"
+            )
+        return (predictions != labels).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self, model_inputs, quality_features
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised inference: ``(outcomes, uncertainties)`` for a batch.
+
+        Scope compliance is not evaluated on the batch path (the study
+        keeps all data in scope); use :meth:`apply` for single cases with
+        scope factors.
+        """
+        outcomes = np.asarray(self.ddm.predict(model_inputs))
+        uncertainties = self.quality_impact_model.estimate_uncertainty(
+            quality_features
+        )
+        if outcomes.shape[0] != uncertainties.shape[0]:
+            raise ValidationError(
+                "model_inputs and quality_features must describe the same cases"
+            )
+        return outcomes, uncertainties
+
+    def apply(
+        self,
+        model_input,
+        quality_features,
+        scope_factors: dict[str, float] | None = None,
+    ) -> WrappedOutcome:
+        """Wrap a single case; returns the enriched outcome.
+
+        Parameters
+        ----------
+        model_input:
+            One input row for the DDM (1-D; batched internally).
+        quality_features:
+            The stateless quality-factor values for this case (1-D).
+        scope_factors:
+            Named scope-factor values; evaluated only when the wrapper has
+            a scope model.
+        """
+        model_input = np.atleast_2d(np.asarray(model_input, dtype=float))
+        quality_features = np.atleast_2d(np.asarray(quality_features, dtype=float))
+        if model_input.shape[0] != 1 or quality_features.shape[0] != 1:
+            raise ValidationError("apply() wraps exactly one case; use apply_batch()")
+        outcome = int(np.asarray(self.ddm.predict(model_input))[0])
+        u_quality = float(
+            self.quality_impact_model.estimate_uncertainty(quality_features)[0]
+        )
+        u_scope = 0.0
+        if self.scope_model is not None:
+            if scope_factors is None:
+                raise ValidationError(
+                    "this wrapper has a scope model; scope_factors are required"
+                )
+            u_scope = self.scope_model.incompliance_probability(scope_factors)
+        return WrappedOutcome(
+            outcome=outcome,
+            uncertainty=combine_uncertainties(u_quality, u_scope),
+            quality_uncertainty=u_quality,
+            scope_incompliance=u_scope,
+        )

@@ -1,0 +1,75 @@
+"""GTSRB-like data substrate: situations, weather, deficits, series, splits.
+
+The paper's study runs on GTSRB timeseries augmented with nine quality
+deficits drawn from realistic situation settings (DWD weather x OSM
+locations).  Neither the images nor those sources are available offline, so
+this package generates series with the same statistical structure; see
+DESIGN.md section 2 for the substitution argument.
+"""
+
+from repro.datasets.augmentation import (
+    DEFICIT_NAMES,
+    N_DEFICITS,
+    VARYING_DEFICITS,
+    DeficitProfile,
+    IntensityLevel,
+    SensorModel,
+    SeriesAugmenter,
+    single_deficit_grid,
+)
+from repro.datasets.gtsrb import (
+    CONFUSION_PARTNERS,
+    GTSRB_CLASSES,
+    GTSRBLikeGenerator,
+    N_CLASSES,
+    SeriesGeometry,
+    SignClass,
+    SignSeries,
+    TimeseriesDataset,
+)
+from repro.datasets.situations import (
+    GERMANY_BBOX,
+    Location,
+    LocationModel,
+    RoadType,
+    SituationGenerator,
+    SituationSetting,
+    deficits_from_situation,
+)
+from repro.datasets.io import load_dataset_npz, save_dataset_npz
+from repro.datasets.splits import split_dataset, subsample_dataset, subsample_series
+from repro.datasets.weather import WeatherModel, WeatherState, sun_elevation_deg
+
+__all__ = [
+    "DEFICIT_NAMES",
+    "N_DEFICITS",
+    "VARYING_DEFICITS",
+    "DeficitProfile",
+    "IntensityLevel",
+    "SensorModel",
+    "SeriesAugmenter",
+    "single_deficit_grid",
+    "CONFUSION_PARTNERS",
+    "GTSRB_CLASSES",
+    "GTSRBLikeGenerator",
+    "N_CLASSES",
+    "SeriesGeometry",
+    "SignClass",
+    "SignSeries",
+    "TimeseriesDataset",
+    "GERMANY_BBOX",
+    "Location",
+    "LocationModel",
+    "RoadType",
+    "SituationGenerator",
+    "SituationSetting",
+    "deficits_from_situation",
+    "load_dataset_npz",
+    "save_dataset_npz",
+    "split_dataset",
+    "subsample_dataset",
+    "subsample_series",
+    "WeatherModel",
+    "WeatherState",
+    "sun_elevation_deg",
+]

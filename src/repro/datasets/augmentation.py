@@ -1,0 +1,274 @@
+"""Quality-deficit model and series-aware augmentation.
+
+The paper augments GTSRB images with nine types of quality deficits (rain,
+darkness, haze, natural/artificial backlight, dirt on the sign, dirt on the
+lens, a steamed-up lens, and motion blur) derived from realistic situation
+settings, propagating each setting through a whole series: most deficits stay
+constant over a series, while motion blur and artificial backlight may vary
+frame to frame.  Since we work with synthetic embeddings rather than pixels,
+a "deficit" here is an intensity in ``[0, 1]`` that later degrades the
+feature representation the wrapped model sees
+(:mod:`repro.models.features`).
+
+This module defines the deficit vocabulary, per-series propagation with the
+paper's constancy structure, the three-level intensity grid used for
+training-set augmentation, and the sensor model that turns true deficit
+intensities into the noisy runtime-observable quality factors fed to the
+uncertainty wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DEFICIT_NAMES",
+    "N_DEFICITS",
+    "VARYING_DEFICITS",
+    "IntensityLevel",
+    "DeficitProfile",
+    "SeriesAugmenter",
+    "SensorModel",
+    "single_deficit_grid",
+]
+
+DEFICIT_NAMES: tuple[str, ...] = (
+    "rain",
+    "darkness",
+    "haze",
+    "backlight_natural",
+    "backlight_artificial",
+    "dirt_sign",
+    "dirt_lens",
+    "steamed_lens",
+    "motion_blur",
+)
+"""The nine quality deficits of the paper's augmentation framework."""
+
+N_DEFICITS = len(DEFICIT_NAMES)
+
+VARYING_DEFICITS: tuple[str, ...] = ("motion_blur", "backlight_artificial")
+"""Deficits that may change within a series (the rest stay constant)."""
+
+_DEFICIT_INDEX = {name: i for i, name in enumerate(DEFICIT_NAMES)}
+
+
+class IntensityLevel(Enum):
+    """The three augmentation intensities used for the training grid."""
+
+    LOW = 0.25
+    MEDIUM = 0.55
+    HIGH = 0.85
+
+
+@dataclass(frozen=True)
+class DeficitProfile:
+    """Intensities of all nine deficits for one situation.
+
+    Attributes
+    ----------
+    intensities:
+        Array of nine floats in ``[0, 1]``, ordered as
+        :data:`DEFICIT_NAMES`.
+    """
+
+    intensities: np.ndarray = field(
+        default_factory=lambda: np.zeros(N_DEFICITS, dtype=float)
+    )
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.intensities, dtype=float)
+        if arr.shape != (N_DEFICITS,):
+            raise ValidationError(
+                f"a deficit profile needs {N_DEFICITS} intensities, got shape {arr.shape}"
+            )
+        if np.any((arr < 0.0) | (arr > 1.0)):
+            raise ValidationError("deficit intensities must lie in [0, 1]")
+        object.__setattr__(self, "intensities", arr)
+
+    @classmethod
+    def clean(cls) -> "DeficitProfile":
+        """A profile with every deficit at zero."""
+        return cls(np.zeros(N_DEFICITS, dtype=float))
+
+    @classmethod
+    def from_mapping(cls, values: dict[str, float]) -> "DeficitProfile":
+        """Build a profile from a name -> intensity mapping (rest zero)."""
+        arr = np.zeros(N_DEFICITS, dtype=float)
+        for name, value in values.items():
+            if name not in _DEFICIT_INDEX:
+                raise ValidationError(
+                    f"unknown deficit {name!r}; expected one of {DEFICIT_NAMES}"
+                )
+            arr[_DEFICIT_INDEX[name]] = value
+        return cls(arr)
+
+    def get(self, name: str) -> float:
+        """Return the intensity of the named deficit."""
+        try:
+            return float(self.intensities[_DEFICIT_INDEX[name]])
+        except KeyError:
+            raise ValidationError(
+                f"unknown deficit {name!r}; expected one of {DEFICIT_NAMES}"
+            ) from None
+
+    def with_deficit(self, name: str, value: float) -> "DeficitProfile":
+        """Return a copy with one deficit set to ``value``."""
+        if name not in _DEFICIT_INDEX:
+            raise ValidationError(
+                f"unknown deficit {name!r}; expected one of {DEFICIT_NAMES}"
+            )
+        arr = self.intensities.copy()
+        arr[_DEFICIT_INDEX[name]] = value
+        return DeficitProfile(arr)
+
+    def total_severity(self) -> float:
+        """Sum of all intensities -- a crude overall degradation measure."""
+        return float(self.intensities.sum())
+
+    def as_mapping(self) -> dict[str, float]:
+        """Return the profile as a name -> intensity dictionary."""
+        return {name: float(v) for name, v in zip(DEFICIT_NAMES, self.intensities)}
+
+
+def single_deficit_grid(
+    levels: tuple[IntensityLevel, ...] = (
+        IntensityLevel.LOW,
+        IntensityLevel.MEDIUM,
+        IntensityLevel.HIGH,
+    ),
+    include_clean: bool = True,
+) -> list[DeficitProfile]:
+    """The paper's training-augmentation grid.
+
+    "The training data was augmented for each quality deficit with low,
+    medium, and high intensity" -- one deficit active at a time, at each of
+    the three levels, yielding ``9 * 3 = 27`` profiles (plus the clean
+    original when ``include_clean``).
+    """
+    profiles: list[DeficitProfile] = []
+    if include_clean:
+        profiles.append(DeficitProfile.clean())
+    for name in DEFICIT_NAMES:
+        for level in levels:
+            profiles.append(DeficitProfile.from_mapping({name: level.value}))
+    return profiles
+
+
+class SeriesAugmenter:
+    """Propagates a deficit profile through the frames of a series.
+
+    Constant deficits keep their situation value for every frame; the two
+    varying deficits (motion blur, artificial backlight) follow a clipped
+    random walk around the situation value, reproducing the paper's note
+    that "the conditions might change within the series" for exactly these
+    two deficits.
+
+    Parameters
+    ----------
+    variation_scale:
+        Standard deviation of the per-frame random-walk step for the
+        varying deficits.
+    """
+
+    def __init__(self, variation_scale: float = 0.08) -> None:
+        if variation_scale < 0:
+            raise ValidationError(
+                f"variation_scale must be >= 0, got {variation_scale}"
+            )
+        self.variation_scale = variation_scale
+
+    def propagate(
+        self, profile: DeficitProfile, n_frames: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return per-frame intensities of shape ``(n_frames, 9)``.
+
+        Parameters
+        ----------
+        profile:
+            The situation-level deficit profile.
+        n_frames:
+            Number of frames in the series.
+        rng:
+            Randomness source for the varying deficits.
+        """
+        if n_frames < 1:
+            raise ValidationError(f"n_frames must be >= 1, got {n_frames}")
+        frames = np.tile(profile.intensities, (n_frames, 1))
+        for name in VARYING_DEFICITS:
+            col = _DEFICIT_INDEX[name]
+            steps = rng.normal(0.0, self.variation_scale, size=n_frames)
+            walk = profile.intensities[col] + np.cumsum(steps)
+            frames[:, col] = np.clip(walk, 0.0, 1.0)
+        return frames
+
+
+class SensorModel:
+    """Turns true deficit intensities into runtime-observable quality factors.
+
+    The uncertainty wrapper never sees ground-truth deficits; it sees sensor
+    readings (rain sensor, light sensor, ...) which measure the deficits with
+    noise.  The sensed vector also includes the apparent sign size in pixels
+    (normalised), which is observable from the detection bounding box.
+
+    Parameters
+    ----------
+    noise_scale:
+        Standard deviation of the additive Gaussian measurement noise on
+        each deficit intensity.
+    size_norm:
+        Pixel size that maps to a sensed size signal of 1.0.
+    """
+
+    #: Names of the sensed quality-factor columns, in order.
+    SIGNAL_NAMES: tuple[str, ...] = DEFICIT_NAMES + ("apparent_size",)
+
+    def __init__(self, noise_scale: float = 0.05, size_norm: float = 200.0) -> None:
+        if noise_scale < 0:
+            raise ValidationError(f"noise_scale must be >= 0, got {noise_scale}")
+        if size_norm <= 0:
+            raise ValidationError(f"size_norm must be > 0, got {size_norm}")
+        self.noise_scale = noise_scale
+        self.size_norm = size_norm
+
+    @property
+    def n_signals(self) -> int:
+        """Number of sensed quality-factor columns."""
+        return len(self.SIGNAL_NAMES)
+
+    def sense(
+        self,
+        deficit_frames: np.ndarray,
+        sizes_px: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return sensed signals of shape ``(n_frames, n_signals)``.
+
+        Parameters
+        ----------
+        deficit_frames:
+            True intensities, shape ``(n_frames, 9)``.
+        sizes_px:
+            Apparent sign sizes in pixels, shape ``(n_frames,)``.
+        rng:
+            Randomness source for measurement noise.
+        """
+        deficit_frames = np.asarray(deficit_frames, dtype=float)
+        sizes_px = np.asarray(sizes_px, dtype=float)
+        if deficit_frames.ndim != 2 or deficit_frames.shape[1] != N_DEFICITS:
+            raise ValidationError(
+                f"deficit_frames must have shape (n, {N_DEFICITS}), got {deficit_frames.shape}"
+            )
+        if sizes_px.shape != (deficit_frames.shape[0],):
+            raise ValidationError(
+                "sizes_px must be one-dimensional and aligned with deficit_frames"
+            )
+        noise = rng.normal(0.0, self.noise_scale, size=deficit_frames.shape)
+        sensed = np.clip(deficit_frames + noise, 0.0, 1.0)
+        size_signal = np.clip(sizes_px / self.size_norm, 0.0, 1.5)[:, None]
+        return np.hstack([sensed, size_signal])

@@ -1,0 +1,446 @@
+"""Synthetic GTSRB-like timeseries dataset.
+
+The German Traffic Sign Recognition Benchmark provides 1307 series of
+traffic-sign images recorded while a car approaches the sign, 29-30 frames
+each, over 43 classes with a strongly skewed class distribution.  The images
+themselves are not available offline; this module generates series with the
+same *structure*: a class drawn from the GTSRB frequency profile, approach
+geometry producing a growing apparent sign size, a world position per frame
+(consumed by the tracking substrate), and per-frame deficit intensities
+derived from one situation setting per series
+(:mod:`repro.datasets.situations`).
+
+What downstream components consume is exactly what they would get from real
+GTSRB: per-frame model inputs (here: embeddings built by
+:mod:`repro.models.features`), sensed quality factors, and ground-truth
+classes -- so the uncertainty-wrapper stack above is exercised unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.datasets.augmentation import (
+    DeficitProfile,
+    N_DEFICITS,
+    SensorModel,
+    SeriesAugmenter,
+)
+from repro.datasets.situations import (
+    SituationGenerator,
+    SituationSetting,
+    deficits_from_situation,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "SignClass",
+    "GTSRB_CLASSES",
+    "N_CLASSES",
+    "CONFUSION_PARTNERS",
+    "SignSeries",
+    "TimeseriesDataset",
+    "SeriesGeometry",
+    "GTSRBLikeGenerator",
+]
+
+
+@dataclass(frozen=True)
+class SignClass:
+    """One traffic-sign class of the GTSRB catalogue."""
+
+    class_id: int
+    name: str
+    category: str
+    frequency_weight: float
+
+
+def _build_catalogue() -> list[SignClass]:
+    """The 43 GTSRB classes with approximate relative frequencies.
+
+    Weights follow the well-known GTSRB imbalance: common speed limits and
+    priority/yield signs dominate; `20 km/h`, `dangerous curve left` and
+    similar classes are rare.
+    """
+    entries = [
+        # (name, category, weight)
+        ("speed limit 20", "speed_limit", 0.5),
+        ("speed limit 30", "speed_limit", 5.5),
+        ("speed limit 50", "speed_limit", 5.6),
+        ("speed limit 60", "speed_limit", 3.5),
+        ("speed limit 70", "speed_limit", 4.9),
+        ("speed limit 80", "speed_limit", 4.6),
+        ("end of speed limit 80", "end_of_restriction", 1.0),
+        ("speed limit 100", "speed_limit", 3.6),
+        ("speed limit 120", "speed_limit", 3.5),
+        ("no passing", "prohibitory", 3.7),
+        ("no passing for trucks", "prohibitory", 5.0),
+        ("right-of-way at next intersection", "danger", 3.3),
+        ("priority road", "priority", 5.3),
+        ("yield", "priority", 5.4),
+        ("stop", "priority", 1.9),
+        ("no vehicles", "prohibitory", 1.5),
+        ("no trucks", "prohibitory", 1.0),
+        ("no entry", "prohibitory", 2.8),
+        ("general caution", "danger", 3.0),
+        ("dangerous curve left", "danger", 0.5),
+        ("dangerous curve right", "danger", 0.9),
+        ("double curve", "danger", 0.8),
+        ("bumpy road", "danger", 0.9),
+        ("slippery road", "danger", 1.3),
+        ("road narrows on the right", "danger", 0.7),
+        ("road work", "danger", 3.8),
+        ("traffic signals", "danger", 1.5),
+        ("pedestrians", "danger", 0.6),
+        ("children crossing", "danger", 1.4),
+        ("bicycles crossing", "danger", 0.7),
+        ("beware of ice", "danger", 1.1),
+        ("wild animals crossing", "danger", 2.0),
+        ("end of all restrictions", "end_of_restriction", 0.6),
+        ("turn right ahead", "mandatory", 1.7),
+        ("turn left ahead", "mandatory", 1.0),
+        ("ahead only", "mandatory", 3.0),
+        ("go straight or right", "mandatory", 1.0),
+        ("go straight or left", "mandatory", 0.5),
+        ("keep right", "mandatory", 5.2),
+        ("keep left", "mandatory", 0.8),
+        ("roundabout mandatory", "mandatory", 0.9),
+        ("end of no passing", "end_of_restriction", 0.6),
+        ("end of no passing for trucks", "end_of_restriction", 0.6),
+    ]
+    return [
+        SignClass(class_id=i, name=name, category=cat, frequency_weight=w)
+        for i, (name, cat, w) in enumerate(entries)
+    ]
+
+
+GTSRB_CLASSES: list[SignClass] = _build_catalogue()
+N_CLASSES: int = len(GTSRB_CLASSES)
+
+
+def _build_confusion_partners() -> dict[int, int]:
+    """Primary confusion partner per class.
+
+    Under degraded input quality a classifier tends to confuse signs within
+    the same visual family (speed limits with each other, red-rim triangles
+    with each other, blue circles with each other).  Each class gets the
+    next class of its own category (cyclically) as its most likely confusion
+    target; this drives the systematic, within-series-correlated errors the
+    study depends on.
+    """
+    by_category: dict[str, list[int]] = {}
+    for sign in GTSRB_CLASSES:
+        by_category.setdefault(sign.category, []).append(sign.class_id)
+    partners: dict[int, int] = {}
+    for members in by_category.values():
+        if len(members) == 1:
+            partners[members[0]] = members[0]
+            continue
+        for pos, class_id in enumerate(members):
+            partners[class_id] = members[(pos + 1) % len(members)]
+    return partners
+
+
+CONFUSION_PARTNERS: dict[int, int] = _build_confusion_partners()
+
+
+@dataclass(frozen=True)
+class SeriesGeometry:
+    """Approach geometry parameters of the synthetic camera."""
+
+    focal_px: float = 900.0
+    sign_diameter_m: float = 0.75
+    frame_interval_s: float = 0.12
+    min_size_px: float = 8.0
+    max_size_px: float = 220.0
+
+
+@dataclass
+class SignSeries:
+    """One series: consecutive frames of a single physical traffic sign.
+
+    Attributes
+    ----------
+    series_id:
+        Unique identifier within the dataset.
+    class_id:
+        Ground-truth class of the depicted sign.
+    sizes_px:
+        Apparent sign size per frame (grows as the car approaches).
+    distances_m:
+        Distance to the sign per frame.
+    positions:
+        World ``(x, y)`` position of the sign relative to the vehicle per
+        frame (consumed by the tracking substrate), shape ``(n_frames, 2)``.
+    deficits:
+        True per-frame deficit intensities, shape ``(n_frames, 9)``.
+    sensed:
+        Runtime-observable quality signals per frame, shape
+        ``(n_frames, 10)`` (nine sensed deficits + normalised size).
+    situation:
+        The situation setting assigned to this series (``None`` for
+        un-augmented base series).
+    """
+
+    series_id: int
+    class_id: int
+    sizes_px: np.ndarray
+    distances_m: np.ndarray
+    positions: np.ndarray
+    deficits: np.ndarray
+    sensed: np.ndarray
+    situation: SituationSetting | None = None
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.sizes_px.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def window(self, start: int, length: int, new_id: int | None = None) -> "SignSeries":
+        """Return a contiguous sub-series (used for length-10 subsampling)."""
+        if start < 0 or length < 1 or start + length > self.n_frames:
+            raise ValidationError(
+                f"window [{start}, {start + length}) out of range for a series "
+                f"of {self.n_frames} frames"
+            )
+        stop = start + length
+        return SignSeries(
+            series_id=self.series_id if new_id is None else new_id,
+            class_id=self.class_id,
+            sizes_px=self.sizes_px[start:stop].copy(),
+            distances_m=self.distances_m[start:stop].copy(),
+            positions=self.positions[start:stop].copy(),
+            deficits=self.deficits[start:stop].copy(),
+            sensed=self.sensed[start:stop].copy(),
+            situation=self.situation,
+        )
+
+
+@dataclass
+class TimeseriesDataset:
+    """A collection of :class:`SignSeries` plus the class catalogue."""
+
+    series: list[SignSeries] = field(default_factory=list)
+    n_classes: int = N_CLASSES
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self):
+        return iter(self.series)
+
+    def __getitem__(self, index: int) -> SignSeries:
+        return self.series[index]
+
+    @property
+    def n_frames_total(self) -> int:
+        """Total number of frames over all series."""
+        return sum(s.n_frames for s in self.series)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of series per class."""
+        counts = np.zeros(self.n_classes, dtype=np.int64)
+        for s in self.series:
+            counts[s.class_id] += 1
+        return counts
+
+    def labels_per_frame(self) -> np.ndarray:
+        """Ground-truth class id repeated for every frame, concatenated."""
+        return np.concatenate(
+            [np.full(s.n_frames, s.class_id, dtype=np.int64) for s in self.series]
+        ) if self.series else np.empty(0, dtype=np.int64)
+
+
+class GTSRBLikeGenerator:
+    """Generates base series and augments them with situation settings.
+
+    Parameters
+    ----------
+    geometry:
+        Camera/approach geometry.
+    frames_per_series:
+        Tuple ``(min, max)`` of frames per series (GTSRB: 29-30).
+    situation_generator:
+        Source of situation settings for augmentation.
+    augmenter:
+        Propagates deficits through a series.
+    sensor:
+        Produces the runtime-observable quality signals.
+    """
+
+    def __init__(
+        self,
+        geometry: SeriesGeometry | None = None,
+        frames_per_series: tuple[int, int] = (29, 30),
+        situation_generator: SituationGenerator | None = None,
+        augmenter: SeriesAugmenter | None = None,
+        sensor: SensorModel | None = None,
+    ) -> None:
+        if frames_per_series[0] < 1 or frames_per_series[0] > frames_per_series[1]:
+            raise ValidationError(
+                f"invalid frames_per_series range {frames_per_series}"
+            )
+        self.geometry = geometry or SeriesGeometry()
+        self.frames_per_series = frames_per_series
+        self.situation_generator = situation_generator or SituationGenerator()
+        self.augmenter = augmenter or SeriesAugmenter()
+        self.sensor = sensor or SensorModel()
+
+    # ------------------------------------------------------------------
+    # Base geometry
+    # ------------------------------------------------------------------
+    def generate_base(
+        self,
+        n_series: int,
+        rng: np.random.Generator,
+        start_id: int = 0,
+        min_per_class: int = 0,
+    ) -> TimeseriesDataset:
+        """Generate ``n_series`` clean series (no deficits assigned yet).
+
+        Parameters
+        ----------
+        n_series:
+            Number of series to generate.
+        rng:
+            Randomness source.
+        start_id:
+            First series id.
+        min_per_class:
+            Guarantee at least this many series per class (the real GTSRB
+            training set covers every class; without the guarantee small
+            synthetic samples can miss rare classes entirely, which would
+            make every test series of that class trivially wrong).  The
+            remaining series are drawn from the frequency profile.
+        """
+        if n_series < 0:
+            raise ValidationError(f"n_series must be >= 0, got {n_series}")
+        if min_per_class < 0:
+            raise ValidationError(f"min_per_class must be >= 0, got {min_per_class}")
+        if min_per_class * N_CLASSES > n_series:
+            raise ValidationError(
+                f"min_per_class={min_per_class} needs at least "
+                f"{min_per_class * N_CLASSES} series, got n_series={n_series}"
+            )
+        weights = np.array([c.frequency_weight for c in GTSRB_CLASSES])
+        weights = weights / weights.sum()
+        class_ids = np.repeat(np.arange(N_CLASSES), min_per_class)
+        n_free = n_series - class_ids.size
+        class_ids = np.concatenate(
+            [class_ids, rng.choice(N_CLASSES, size=n_free, p=weights)]
+        )
+        rng.shuffle(class_ids)
+        dataset = TimeseriesDataset()
+        geom = self.geometry
+        for i in range(n_series):
+            class_id = int(class_ids[i])
+            n_frames = int(
+                rng.integers(self.frames_per_series[0], self.frames_per_series[1] + 1)
+            )
+            speed_ms = rng.uniform(8.0, 30.0)  # refined later by augmentation
+            start_distance = rng.uniform(45.0, 95.0)
+            t = np.arange(n_frames) * geom.frame_interval_s
+            distances = np.maximum(start_distance - speed_ms * t, 4.0)
+            sizes = np.clip(
+                geom.focal_px * geom.sign_diameter_m / distances,
+                geom.min_size_px,
+                geom.max_size_px,
+            )
+            lateral = rng.uniform(-4.0, 4.0)
+            positions = np.stack(
+                [distances, np.full(n_frames, lateral) + rng.normal(0, 0.05, n_frames)],
+                axis=1,
+            )
+            dataset.series.append(
+                SignSeries(
+                    series_id=start_id + i,
+                    class_id=class_id,
+                    sizes_px=sizes,
+                    distances_m=distances,
+                    positions=positions,
+                    deficits=np.zeros((n_frames, N_DEFICITS)),
+                    sensed=np.zeros((n_frames, self.sensor.n_signals)),
+                    situation=None,
+                )
+            )
+        return dataset
+
+    # ------------------------------------------------------------------
+    # Augmentation
+    # ------------------------------------------------------------------
+    def augment_with_profile(
+        self,
+        series: SignSeries,
+        profile: DeficitProfile,
+        rng: np.random.Generator,
+        new_id: int,
+        situation: SituationSetting | None = None,
+    ) -> SignSeries:
+        """Return a copy of ``series`` carrying the given deficit profile."""
+        deficit_frames = self.augmenter.propagate(profile, series.n_frames, rng)
+        sensed = self.sensor.sense(deficit_frames, series.sizes_px, rng)
+        return replace(
+            series,
+            series_id=new_id,
+            deficits=deficit_frames,
+            sensed=sensed,
+            situation=situation,
+        )
+
+    def augment_with_situations(
+        self,
+        base: TimeseriesDataset,
+        settings_per_series: int,
+        rng: np.random.Generator,
+        start_id: int = 0,
+    ) -> TimeseriesDataset:
+        """Augment every base series with random realistic situations.
+
+        This is the calibration/test-set treatment of the paper: "each
+        original series was augmented [28] times (each time based on a
+        different setting)".
+        """
+        if settings_per_series < 1:
+            raise ValidationError(
+                f"settings_per_series must be >= 1, got {settings_per_series}"
+            )
+        out = TimeseriesDataset()
+        next_id = start_id
+        for series in base:
+            for _ in range(settings_per_series):
+                setting = self.situation_generator.sample(rng)
+                profile = deficits_from_situation(setting)
+                out.series.append(
+                    self.augment_with_profile(series, profile, rng, next_id, setting)
+                )
+                next_id += 1
+        return out
+
+    def augment_with_grid(
+        self,
+        base: TimeseriesDataset,
+        profiles: list[DeficitProfile],
+        rng: np.random.Generator,
+        start_id: int = 0,
+    ) -> TimeseriesDataset:
+        """Augment every base series with every profile of a fixed grid.
+
+        This is the training-set treatment: each series with each single
+        deficit at low/medium/high intensity
+        (:func:`repro.datasets.augmentation.single_deficit_grid`).
+        """
+        if not profiles:
+            raise ValidationError("profiles must not be empty")
+        out = TimeseriesDataset()
+        next_id = start_id
+        for series in base:
+            for profile in profiles:
+                out.series.append(
+                    self.augment_with_profile(series, profile, rng, next_id, None)
+                )
+                next_id += 1
+        return out

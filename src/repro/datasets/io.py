@@ -1,0 +1,72 @@
+"""Dataset serialisation: save/load timeseries datasets as ``.npz``.
+
+Generating and augmenting paper-scale datasets takes tens of seconds; this
+module persists a :class:`repro.datasets.gtsrb.TimeseriesDataset` (minus
+the non-numeric situation metadata) so repeated experiments can reuse one
+draw.  The round trip preserves every array consumed downstream: class ids,
+sizes, distances, positions, deficits, and sensed quality signals.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.datasets.gtsrb import SignSeries, TimeseriesDataset
+from repro.exceptions import ValidationError
+
+__all__ = ["save_dataset_npz", "load_dataset_npz"]
+
+
+def save_dataset_npz(dataset: TimeseriesDataset, path) -> pathlib.Path:
+    """Write a dataset to ``path`` in compressed ``.npz`` form.
+
+    Situation settings are not persisted (they are generator metadata);
+    everything the models and wrappers consume survives the round trip.
+    """
+    if len(dataset) == 0:
+        raise ValidationError("refusing to save an empty dataset")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    lengths = np.array([s.n_frames for s in dataset], dtype=np.int64)
+    payload = {
+        "n_classes": np.array([dataset.n_classes], dtype=np.int64),
+        "series_ids": np.array([s.series_id for s in dataset], dtype=np.int64),
+        "class_ids": np.array([s.class_id for s in dataset], dtype=np.int64),
+        "lengths": lengths,
+        "sizes_px": np.concatenate([s.sizes_px for s in dataset]),
+        "distances_m": np.concatenate([s.distances_m for s in dataset]),
+        "positions": np.vstack([s.positions for s in dataset]),
+        "deficits": np.vstack([s.deficits for s in dataset]),
+        "sensed": np.vstack([s.sensed for s in dataset]),
+    }
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset_npz(path) -> TimeseriesDataset:
+    """Load a dataset previously written by :func:`save_dataset_npz`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no dataset file at {path}")
+    with np.load(path) as data:
+        lengths = data["lengths"]
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        dataset = TimeseriesDataset(n_classes=int(data["n_classes"][0]))
+        for i in range(lengths.size):
+            lo, hi = offsets[i], offsets[i + 1]
+            dataset.series.append(
+                SignSeries(
+                    series_id=int(data["series_ids"][i]),
+                    class_id=int(data["class_ids"][i]),
+                    sizes_px=data["sizes_px"][lo:hi].copy(),
+                    distances_m=data["distances_m"][lo:hi].copy(),
+                    positions=data["positions"][lo:hi].copy(),
+                    deficits=data["deficits"][lo:hi].copy(),
+                    sensed=data["sensed"][lo:hi].copy(),
+                    situation=None,
+                )
+            )
+    return dataset

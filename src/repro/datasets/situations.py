@@ -1,0 +1,257 @@
+"""Situation settings: where, when, and under which conditions a series occurs.
+
+The paper generates 2.7 million "realistic situation settings" from DWD
+weather records and OpenStreetMap street locations inside the target
+application scope (Germany), assigns one setting per series, and derives the
+quality deficits from it.  This module reproduces that pipeline
+synthetically: a location model samples street points inside Germany, the
+weather model (:mod:`repro.datasets.weather`) supplies conditions for the
+sampled month/hour, and :func:`deficits_from_situation` maps the complete
+setting onto the nine deficit intensities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.augmentation import DeficitProfile
+from repro.datasets.weather import WeatherModel, WeatherState
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "GERMANY_BBOX",
+    "RoadType",
+    "Location",
+    "LocationModel",
+    "SituationSetting",
+    "SituationGenerator",
+    "deficits_from_situation",
+]
+
+#: Bounding box of the target application scope (lat_min, lat_max, lon_min, lon_max).
+GERMANY_BBOX = (47.3, 55.0, 5.9, 15.0)
+
+
+class RoadType:
+    """Road categories with their typical speed (used for motion blur)."""
+
+    URBAN = "urban"
+    RURAL = "rural"
+    HIGHWAY = "highway"
+
+    SPEEDS_KMH = {URBAN: 50.0, RURAL: 100.0, HIGHWAY: 120.0}
+    WEIGHTS = {URBAN: 0.5, RURAL: 0.35, HIGHWAY: 0.15}
+
+    @classmethod
+    def all(cls) -> tuple[str, ...]:
+        return (cls.URBAN, cls.RURAL, cls.HIGHWAY)
+
+
+@dataclass(frozen=True)
+class Location:
+    """A street location within (or outside) the target application scope."""
+
+    latitude: float
+    longitude: float
+    road_type: str
+
+    def in_target_scope(self, bbox: tuple[float, float, float, float] = GERMANY_BBOX) -> bool:
+        """Whether the location lies inside the target application scope."""
+        lat_min, lat_max, lon_min, lon_max = bbox
+        return lat_min <= self.latitude <= lat_max and lon_min <= self.longitude <= lon_max
+
+
+class LocationModel:
+    """Samples street locations, optionally outside the target scope.
+
+    Parameters
+    ----------
+    out_of_scope_probability:
+        Probability of sampling a location outside Germany (used only by
+        scope-compliance experiments; the paper's study keeps all data in
+        scope).
+    """
+
+    def __init__(self, out_of_scope_probability: float = 0.0) -> None:
+        if not 0.0 <= out_of_scope_probability <= 1.0:
+            raise ValidationError(
+                "out_of_scope_probability must be in [0, 1], "
+                f"got {out_of_scope_probability}"
+            )
+        self.out_of_scope_probability = out_of_scope_probability
+
+    def sample(self, rng: np.random.Generator) -> Location:
+        """Sample one location."""
+        lat_min, lat_max, lon_min, lon_max = GERMANY_BBOX
+        if rng.uniform() < self.out_of_scope_probability:
+            # Somewhere clearly outside the bbox (e.g. New York or Madrid).
+            lat = float(rng.uniform(35.0, 45.0))
+            lon = float(rng.uniform(-80.0, -3.0))
+        else:
+            lat = float(rng.uniform(lat_min, lat_max))
+            lon = float(rng.uniform(lon_min, lon_max))
+        road_types = RoadType.all()
+        weights = np.array([RoadType.WEIGHTS[r] for r in road_types])
+        road = str(rng.choice(road_types, p=weights / weights.sum()))
+        return Location(latitude=lat, longitude=lon, road_type=road)
+
+
+@dataclass(frozen=True)
+class SituationSetting:
+    """One complete contextual setting assigned to a series.
+
+    Attributes
+    ----------
+    location:
+        Where the series takes place.
+    month / hour:
+        When (calendar month 1..12, local hour ``[0, 24)``).
+    weather:
+        Sampled weather state.
+    heading_deg:
+        Vehicle heading (0 = towards the sun's azimuth at low elevation --
+        drives natural backlight).
+    vehicle_speed_kmh:
+        Actual driving speed (around the road-type typical speed).
+    lens_dirt / sign_dirt:
+        Persistent contamination levels in ``[0, 1]``.
+    """
+
+    location: Location
+    month: int
+    hour: float
+    weather: WeatherState
+    heading_deg: float
+    vehicle_speed_kmh: float
+    lens_dirt: float
+    sign_dirt: float
+
+
+class SituationGenerator:
+    """Samples realistic situation settings (the paper's 2.7 M settings pool).
+
+    Parameters
+    ----------
+    location_model:
+        Source of street locations; defaults to in-scope-only sampling.
+    weather_model:
+        Source of weather states.
+    """
+
+    def __init__(
+        self,
+        location_model: LocationModel | None = None,
+        weather_model: WeatherModel | None = None,
+    ) -> None:
+        self.location_model = location_model or LocationModel()
+        self.weather_model = weather_model or WeatherModel()
+
+    def sample(self, rng: np.random.Generator) -> SituationSetting:
+        """Sample one situation setting."""
+        location = self.location_model.sample(rng)
+        month = int(rng.integers(1, 13))
+        # Driving happens mostly during the day with commuting peaks.
+        hour = float(
+            np.clip(
+                rng.choice(
+                    [rng.normal(8.0, 2.0), rng.normal(13.0, 3.0), rng.normal(18.0, 2.5)]
+                ),
+                0.0,
+                23.99,
+            )
+        )
+        weather = self.weather_model.sample(month, hour, location.latitude, rng)
+        heading = float(rng.uniform(0.0, 360.0))
+        base_speed = RoadType.SPEEDS_KMH[location.road_type]
+        speed = float(np.clip(rng.normal(base_speed, base_speed * 0.15), 10.0, 180.0))
+        lens_dirt = float(np.clip(rng.beta(1.2, 8.0), 0.0, 1.0))
+        sign_dirt = float(np.clip(rng.beta(1.2, 7.0), 0.0, 1.0))
+        return SituationSetting(
+            location=location,
+            month=month,
+            hour=hour,
+            weather=weather,
+            heading_deg=heading,
+            vehicle_speed_kmh=speed,
+            lens_dirt=lens_dirt,
+            sign_dirt=sign_dirt,
+        )
+
+    def sample_many(self, n: int, rng: np.random.Generator) -> list[SituationSetting]:
+        """Sample ``n`` independent settings."""
+        if n < 0:
+            raise ValidationError(f"n must be >= 0, got {n}")
+        return [self.sample(rng) for _ in range(n)]
+
+
+def _saturate(x: float, scale: float) -> float:
+    """Map ``x >= 0`` smoothly into ``[0, 1)`` with the given scale."""
+    return float(1.0 - np.exp(-max(x, 0.0) / scale))
+
+
+def deficits_from_situation(setting: SituationSetting) -> DeficitProfile:
+    """Map a situation setting onto the nine deficit intensities.
+
+    The mapping encodes the physical causes the paper's augmentation
+    framework models:
+
+    * rain deficit saturates with the rain rate;
+    * darkness is the complement of ambient light;
+    * haze follows inverse fog visibility;
+    * natural backlight needs a low sun roughly ahead of the vehicle;
+    * artificial backlight (oncoming headlights / street lights) needs
+      darkness and is strongest on urban and rural roads;
+    * sign/lens dirt are persistent situation properties;
+    * a steamed-up lens needs high humidity and low temperature;
+    * motion blur grows with speed and darkness (longer exposure).
+    """
+    w = setting.weather
+    rain = _saturate(w.rain_mm_h, scale=6.0)
+    darkness = float(np.clip(1.0 - w.light_level, 0.0, 1.0))
+    haze = float(np.clip(1.0 - w.fog_visibility_m / 2000.0, 0.0, 1.0)) ** 1.5
+
+    # Natural backlight: sun within ~40 deg of straight ahead and low.
+    sun_low = float(np.clip((18.0 - w.sun_elevation_deg) / 18.0, 0.0, 1.0))
+    sun_up = w.sun_elevation_deg > 0.0
+    # Solar azimuth is approximated by hour: morning east (90), evening west (270).
+    sun_azimuth = 90.0 + (setting.hour - 6.0) * 15.0
+    heading_diff = abs((setting.heading_deg - sun_azimuth + 180.0) % 360.0 - 180.0)
+    facing_sun = float(np.clip(1.0 - heading_diff / 60.0, 0.0, 1.0))
+    backlight_natural = sun_low * facing_sun * (1.0 if sun_up else 0.0)
+
+    urban_factor = {"urban": 1.0, "rural": 0.7, "highway": 0.4}[
+        setting.location.road_type
+    ]
+    backlight_artificial = float(np.clip(darkness * urban_factor * 0.8, 0.0, 1.0))
+
+    steamed = float(
+        np.clip(
+            (w.humidity - 0.7) * 3.0 * np.clip((12.0 - w.temperature_c) / 15.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        )
+    )
+    blur = float(
+        np.clip(
+            _saturate(setting.vehicle_speed_kmh - 30.0, scale=90.0)
+            * (0.55 + 0.45 * darkness),
+            0.0,
+            1.0,
+        )
+    )
+
+    return DeficitProfile.from_mapping(
+        {
+            "rain": rain,
+            "darkness": darkness,
+            "haze": haze,
+            "backlight_natural": backlight_natural,
+            "backlight_artificial": backlight_artificial,
+            "dirt_sign": setting.sign_dirt,
+            "dirt_lens": setting.lens_dirt,
+            "steamed_lens": steamed,
+            "motion_blur": blur,
+        }
+    )

@@ -1,0 +1,90 @@
+"""Dataset splitting and series subsampling.
+
+The paper splits the 1307 GTSRB timeseries 522/392/392 into training,
+calibration, and test sets (series-wise, never frame-wise -- frames of one
+series are heavily dependent), and subsamples every calibration/test series
+to a length-10 window with uniformly random start "to avoid biased
+uncertainty predictions due to the distance from the traffic signs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.gtsrb import SignSeries, TimeseriesDataset
+from repro.exceptions import ValidationError
+
+__all__ = ["split_dataset", "subsample_series", "subsample_dataset"]
+
+
+def split_dataset(
+    dataset: TimeseriesDataset,
+    fractions: tuple[float, float, float] = (0.4, 0.3, 0.3),
+    rng: np.random.Generator | None = None,
+) -> tuple[TimeseriesDataset, TimeseriesDataset, TimeseriesDataset]:
+    """Randomly split a dataset by series into train/calibration/test.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split; series objects are shared, not copied.
+    fractions:
+        Relative sizes of the three splits; must sum to 1 (the paper's
+        522/392/392 corresponds to 0.4/0.3/0.3).
+    rng:
+        Randomness source for the permutation.
+
+    Returns
+    -------
+    tuple
+        ``(train, calibration, test)`` datasets.
+    """
+    if len(fractions) != 3:
+        raise ValidationError(f"need exactly three fractions, got {len(fractions)}")
+    if any(f < 0 for f in fractions):
+        raise ValidationError("fractions must be non-negative")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValidationError(f"fractions must sum to 1, got {sum(fractions)}")
+    rng = rng or np.random.default_rng()
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_train = int(round(fractions[0] * n))
+    n_cal = int(round(fractions[1] * n))
+    idx_train = order[:n_train]
+    idx_cal = order[n_train : n_train + n_cal]
+    idx_test = order[n_train + n_cal :]
+
+    def subset(indices) -> TimeseriesDataset:
+        return TimeseriesDataset(
+            series=[dataset.series[i] for i in indices], n_classes=dataset.n_classes
+        )
+
+    return subset(idx_train), subset(idx_cal), subset(idx_test)
+
+
+def subsample_series(
+    series: SignSeries,
+    length: int,
+    rng: np.random.Generator,
+    new_id: int | None = None,
+) -> SignSeries:
+    """Cut one contiguous window of ``length`` frames at a random start.
+
+    Series shorter than ``length`` are returned whole (copied).
+    """
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    if series.n_frames <= length:
+        return series.window(0, series.n_frames, new_id=new_id)
+    start = int(rng.integers(0, series.n_frames - length + 1))
+    return series.window(start, length, new_id=new_id)
+
+
+def subsample_dataset(
+    dataset: TimeseriesDataset, length: int, rng: np.random.Generator
+) -> TimeseriesDataset:
+    """Apply :func:`subsample_series` to every series of a dataset."""
+    out = TimeseriesDataset(n_classes=dataset.n_classes)
+    for i, series in enumerate(dataset):
+        out.series.append(subsample_series(series, length, rng, new_id=i))
+    return out

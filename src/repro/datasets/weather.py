@@ -1,0 +1,167 @@
+"""Generative weather model emulating historical German weather statistics.
+
+The paper draws situation settings from historical Deutscher Wetterdienst
+(DWD) records.  Those records are not available offline, so this module
+implements a seasonal generative model with the moments that matter for the
+quality deficits: rain occurrence and intensity, fog, cloud cover,
+temperature, humidity, and the solar geometry that drives darkness and
+natural backlight.  The parameters are set to plausible German climatology
+(wet autumns, foggy cold mornings, short winter days) -- exact fidelity to
+DWD is not required because only the induced *deficit distribution* feeds
+the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["WeatherState", "WeatherModel", "sun_elevation_deg"]
+
+
+@dataclass(frozen=True)
+class WeatherState:
+    """Weather variables for one situation.
+
+    Attributes
+    ----------
+    rain_mm_h:
+        Rain rate in millimetres per hour (0 when dry).
+    fog_visibility_m:
+        Meteorological visibility in metres (large = clear).
+    cloud_cover:
+        Cloud fraction in ``[0, 1]``.
+    temperature_c:
+        Air temperature in degrees Celsius.
+    humidity:
+        Relative humidity in ``[0, 1]``.
+    sun_elevation_deg:
+        Solar elevation above the horizon in degrees (negative at night).
+    light_level:
+        Ambient light in ``[0, 1]`` (1 = bright day), derived from solar
+        elevation and cloud cover.
+    """
+
+    rain_mm_h: float
+    fog_visibility_m: float
+    cloud_cover: float
+    temperature_c: float
+    humidity: float
+    sun_elevation_deg: float
+    light_level: float
+
+
+def sun_elevation_deg(month: int, hour: float, latitude_deg: float = 50.0) -> float:
+    """Approximate solar elevation for a mid-latitude location.
+
+    Uses the standard declination approximation
+    ``delta = -23.44 * cos(2 pi (day_of_year + 10) / 365)`` with the month
+    mapped to its middle day, and the hour angle for local solar time.
+    Accurate to a few degrees -- plenty for driving darkness/backlight
+    deficits.
+
+    Parameters
+    ----------
+    month:
+        Calendar month, 1..12.
+    hour:
+        Local solar time in hours, ``[0, 24)``.
+    latitude_deg:
+        Geographic latitude (Germany spans roughly 47..55 deg N).
+    """
+    if not 1 <= month <= 12:
+        raise ValidationError(f"month must be in 1..12, got {month}")
+    if not 0.0 <= hour < 24.0:
+        raise ValidationError(f"hour must be in [0, 24), got {hour}")
+    day_of_year = (month - 1) * 30.4 + 15.0
+    declination = np.radians(-23.44 * np.cos(2.0 * np.pi * (day_of_year + 10.0) / 365.0))
+    hour_angle = np.radians(15.0 * (hour - 12.0))
+    lat = np.radians(latitude_deg)
+    sin_elev = np.sin(lat) * np.sin(declination) + np.cos(lat) * np.cos(
+        declination
+    ) * np.cos(hour_angle)
+    return float(np.degrees(np.arcsin(np.clip(sin_elev, -1.0, 1.0))))
+
+
+class WeatherModel:
+    """Samples :class:`WeatherState` values with German seasonal structure.
+
+    The model is intentionally simple but captures the couplings that shape
+    the deficits: rain is more frequent in summer/autumn, fog forms on cold
+    humid mornings, winter days are short, heavy clouds darken the scene.
+
+    Parameters
+    ----------
+    rain_probability_amplitude:
+        Seasonal swing of the rain-occurrence probability around its base.
+    """
+
+    #: Monthly mean temperature (deg C) for a German reference climate.
+    MONTHLY_TEMP_C = np.array(
+        [0.5, 1.5, 5.0, 9.0, 13.5, 16.5, 18.5, 18.0, 14.0, 9.5, 4.5, 1.5]
+    )
+    #: Monthly rain-occurrence probability.
+    MONTHLY_RAIN_P = np.array(
+        [0.27, 0.24, 0.24, 0.22, 0.25, 0.27, 0.28, 0.27, 0.25, 0.27, 0.29, 0.30]
+    )
+
+    def __init__(self, rain_probability_amplitude: float = 0.0) -> None:
+        if not 0.0 <= rain_probability_amplitude <= 0.5:
+            raise ValidationError(
+                "rain_probability_amplitude must be in [0, 0.5], "
+                f"got {rain_probability_amplitude}"
+            )
+        self.rain_probability_amplitude = rain_probability_amplitude
+
+    def sample(
+        self, month: int, hour: float, latitude_deg: float, rng: np.random.Generator
+    ) -> WeatherState:
+        """Sample one weather state for the given month/hour/latitude."""
+        if not 1 <= month <= 12:
+            raise ValidationError(f"month must be in 1..12, got {month}")
+        temp_mean = float(self.MONTHLY_TEMP_C[month - 1])
+        temperature = rng.normal(temp_mean, 4.0)
+
+        rain_p = float(self.MONTHLY_RAIN_P[month - 1]) + (
+            self.rain_probability_amplitude
+            * np.sin(2.0 * np.pi * (month - 6) / 12.0)
+        )
+        raining = rng.uniform() < np.clip(rain_p, 0.0, 1.0)
+        rain_mm_h = float(rng.lognormal(mean=0.2, sigma=0.9)) if raining else 0.0
+        rain_mm_h = min(rain_mm_h, 30.0)
+
+        humidity = float(np.clip(rng.normal(0.72 if raining else 0.62, 0.12), 0.2, 1.0))
+
+        # Fog: cold, humid, calm early hours.
+        fog_propensity = (
+            (humidity - 0.75) * 4.0
+            + (8.0 - temperature) * 0.05
+            + (1.0 if 4.0 <= hour <= 9.0 else 0.0) * 0.8
+        )
+        foggy = rng.uniform() < float(np.clip(0.05 + 0.1 * fog_propensity, 0.0, 0.6))
+        if foggy:
+            fog_visibility_m = float(np.clip(rng.lognormal(5.3, 0.7), 40.0, 2000.0))
+        else:
+            fog_visibility_m = float(np.clip(rng.lognormal(9.6, 0.4), 4000.0, 50000.0))
+
+        cloud_cover = float(
+            np.clip(rng.beta(2.2, 1.8) + (0.25 if raining else 0.0), 0.0, 1.0)
+        )
+
+        elevation = sun_elevation_deg(month, hour, latitude_deg)
+        # Ambient light: smooth ramp through twilight, dimmed by clouds.
+        twilight = 1.0 / (1.0 + np.exp(-(elevation + 3.0) / 3.0))
+        light_level = float(np.clip(twilight * (1.0 - 0.45 * cloud_cover), 0.0, 1.0))
+
+        return WeatherState(
+            rain_mm_h=rain_mm_h,
+            fog_visibility_m=fog_visibility_m,
+            cloud_cover=cloud_cover,
+            temperature_c=float(temperature),
+            humidity=humidity,
+            sun_elevation_deg=elevation,
+            light_level=light_level,
+        )

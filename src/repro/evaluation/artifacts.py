@@ -1,0 +1,152 @@
+"""Persistence of study results: JSON/CSV artifacts for downstream analysis.
+
+A reproduction is only useful if its numbers can leave the Python process:
+this module serialises :class:`repro.evaluation.study.StudyResults` (and
+the Fig. 7 importance rows) to JSON and CSV, and loads the JSON back into
+plain dictionaries for regression comparisons across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.evaluation.importance import ImportanceRow
+from repro.evaluation.study import StudyResults
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "results_to_dict",
+    "importance_to_rows",
+    "save_results_json",
+    "load_results_json",
+    "save_table1_csv",
+    "save_fig4_csv",
+    "save_importance_csv",
+]
+
+
+def results_to_dict(results: StudyResults) -> dict:
+    """Flatten study results into a JSON-serialisable dictionary."""
+    misclassification = results.misclassification
+    return {
+        "config": {
+            "n_series": results.config.n_series,
+            "eval_settings_per_series": results.config.eval_settings_per_series,
+            "subsample_length": results.config.subsample_length,
+            "tree_max_depth": results.config.tree_max_depth,
+            "min_calibration_samples": results.config.min_calibration_samples,
+            "confidence": results.config.confidence,
+            "ddm_kind": results.config.ddm_kind,
+            "seed": results.config.seed,
+        },
+        "ddm_accuracy_test": results.ddm_accuracy_test,
+        "misclassification": {
+            "timesteps": misclassification.timesteps.tolist(),
+            "isolated": misclassification.isolated.tolist(),
+            "fused": misclassification.fused.tolist(),
+            "n_series": misclassification.n_series.tolist(),
+        },
+        "approaches": [
+            {"name": a.name, **a.decomposition.as_dict()}
+            for a in results.approaches
+        ],
+        "distributions": {
+            key: {
+                "name": dist.name,
+                "min_guaranteed": dist.min_guaranteed,
+                "share_at_min": dist.share_at_min,
+                "n_cases": int(dist.uncertainties.size),
+            }
+            for key, dist in results.distributions.items()
+        },
+    }
+
+
+def importance_to_rows(rows: list[ImportanceRow]) -> list[dict]:
+    """Flatten Fig. 7 rows into JSON-serialisable dictionaries."""
+    return [
+        {
+            "subset": list(row.subset),
+            "label": row.label(),
+            "n_factors": row.n_factors,
+            "brier": row.brier,
+        }
+        for row in rows
+    ]
+
+
+def save_results_json(results: StudyResults, path) -> pathlib.Path:
+    """Write the flattened results to ``path`` as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results_to_dict(results), indent=2))
+    return path
+
+
+def load_results_json(path) -> dict:
+    """Load a results JSON written by :func:`save_results_json`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no results file at {path}")
+    return json.loads(path.read_text())
+
+
+def _write_csv(path, header: list[str], rows: list[list]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(str(cell) for cell in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def save_table1_csv(results: StudyResults, path) -> pathlib.Path:
+    """Write Table I (one row per approach) as CSV."""
+    header = [
+        "approach",
+        "brier",
+        "variance",
+        "unspecificity",
+        "unreliability",
+        "overconfidence",
+        "underconfidence",
+        "resolution",
+    ]
+    rows = []
+    for a in results.approaches:
+        d = a.decomposition
+        rows.append(
+            [
+                a.name,
+                d.brier,
+                d.variance,
+                d.unspecificity,
+                d.unreliability,
+                d.overconfidence,
+                d.underconfidence,
+                d.resolution,
+            ]
+        )
+    return _write_csv(path, header, rows)
+
+
+def save_fig4_csv(results: StudyResults, path) -> pathlib.Path:
+    """Write the Fig. 4 series (per-timestep error rates) as CSV."""
+    m = results.misclassification
+    header = ["timestep", "isolated", "fused", "n_series"]
+    rows = [
+        [int(t), float(i), float(f), int(n)]
+        for t, i, f, n in zip(m.timesteps, m.isolated, m.fused, m.n_series)
+    ]
+    return _write_csv(path, header, rows)
+
+
+def save_importance_csv(rows: list[ImportanceRow], path) -> pathlib.Path:
+    """Write the Fig. 7 sweep as CSV."""
+    header = ["n_factors", "subset", "brier"]
+    csv_rows = [[row.n_factors, row.label(), row.brier] for row in rows]
+    return _write_csv(path, header, csv_rows)

@@ -1,0 +1,108 @@
+"""Feature-importance study over the timeseries-aware quality factors.
+
+RQ3 / Fig. 7 of the paper: retrain and recalibrate the taQIM with every
+subset of {ratio, length, size, certainty} (15 non-empty subsets, plus the
+stateless-only baseline) and compare the resulting Brier scores on the test
+set.  Because the trace feature tables already contain every factor as a
+column, each subset run just selects columns -- no series replay is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.timeseries_wrapper import stack_traces
+from repro.evaluation.metrics import pool_traces
+from repro.evaluation.study import StudyData
+from repro.exceptions import ValidationError
+from repro.stats.brier import BrierDecomposition, murphy_decomposition
+
+__all__ = ["ImportanceRow", "taqf_subsets", "feature_importance_study"]
+
+
+@dataclass(frozen=True)
+class ImportanceRow:
+    """Result of one taQF subset run.
+
+    Attributes
+    ----------
+    subset:
+        The timeseries-aware factors used (empty = stateless features only,
+        retrained against the fused-outcome failures).
+    brier:
+        Brier score of the resulting uncertainty estimates on the test set.
+    decomposition:
+        Full Murphy decomposition for deeper comparisons.
+    """
+
+    subset: tuple[str, ...]
+    brier: float
+    decomposition: BrierDecomposition
+
+    @property
+    def n_factors(self) -> int:
+        return len(self.subset)
+
+    def label(self) -> str:
+        """Human-readable subset label (``"-"`` for the empty subset)."""
+        return "+".join(self.subset) if self.subset else "-"
+
+
+def taqf_subsets(names: tuple[str, ...], include_empty: bool = True):
+    """All subsets of the given factor names, ordered by size then position."""
+    sizes = range(0 if include_empty else 1, len(names) + 1)
+    for size in sizes:
+        yield from combinations(names, size)
+
+
+def feature_importance_study(
+    data: StudyData, include_empty: bool = True
+) -> list[ImportanceRow]:
+    """Run the Fig. 7 sweep on prepared study data.
+
+    For every factor subset a fresh taQIM is fitted on the training traces,
+    calibrated on the calibration traces, and scored on the test traces --
+    exactly the study's procedure, restricted to the selected columns.
+    """
+    layout = data.layout
+    if not layout.taqf_names:
+        raise ValidationError(
+            "the study data was prepared without timeseries-aware factors"
+        )
+    n_stateless = len(layout.stateless_names)
+    stateless_cols = list(range(n_stateless))
+    ta_col = {
+        name: n_stateless + i for i, name in enumerate(layout.taqf_names)
+    }
+
+    X_train, y_train = stack_traces(data.train_traces)
+    X_cal, y_cal = stack_traces(data.calibration_traces)
+    pooled_test = pool_traces(data.test_traces)
+    X_test = pooled_test.features
+    y_test = pooled_test.fused_wrong
+
+    config = data.config
+    rows: list[ImportanceRow] = []
+    for subset in taqf_subsets(layout.taqf_names, include_empty=include_empty):
+        cols = stateless_cols + [ta_col[name] for name in subset]
+        qim = QualityImpactModel(
+            max_depth=config.tree_max_depth,
+            min_calibration_samples=config.min_calibration_samples,
+            confidence=config.confidence,
+        )
+        qim.fit(X_train[:, cols], y_train)
+        qim.calibrate(X_cal[:, cols], y_cal)
+        u = qim.estimate_uncertainty(X_test[:, cols])
+        decomposition = murphy_decomposition(u, y_test)
+        rows.append(
+            ImportanceRow(
+                subset=tuple(subset),
+                brier=decomposition.brier,
+                decomposition=decomposition,
+            )
+        )
+    return rows

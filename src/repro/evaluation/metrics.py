@@ -1,0 +1,147 @@
+"""Study metrics: misclassification by timestep and pooled evaluation tables.
+
+These helpers turn lists of :class:`repro.core.timeseries_wrapper.SeriesTrace`
+into the quantities the paper reports: per-timestep misclassification rates
+(Fig. 4), pooled failure indicators and uncertainty series for the Brier
+evaluation (Table I), and the per-case uncertainty distributions (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timeseries_wrapper import SeriesTrace
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "MisclassificationByTimestep",
+    "misclassification_by_timestep",
+    "pool_traces",
+    "PooledCases",
+]
+
+
+@dataclass(frozen=True)
+class MisclassificationByTimestep:
+    """Per-timestep misclassification rates (the paper's Fig. 4 series).
+
+    Attributes
+    ----------
+    timesteps:
+        One-based timestep positions.
+    isolated:
+        Misclassification rate of the momentaneous DDM outcome per step.
+    fused:
+        Misclassification rate of the information-fused outcome per step.
+    n_series:
+        Number of series contributing to each step.
+    """
+
+    timesteps: np.ndarray
+    isolated: np.ndarray
+    fused: np.ndarray
+    n_series: np.ndarray
+
+    @property
+    def isolated_mean(self) -> float:
+        """DDM misclassification rate pooled over all steps."""
+        weights = self.n_series / self.n_series.sum()
+        return float(np.sum(weights * self.isolated))
+
+    @property
+    def fused_mean(self) -> float:
+        """Fused misclassification rate pooled over all steps."""
+        weights = self.n_series / self.n_series.sum()
+        return float(np.sum(weights * self.fused))
+
+    @property
+    def fused_final(self) -> float:
+        """Fused misclassification rate at the last timestep."""
+        return float(self.fused[-1])
+
+
+def misclassification_by_timestep(
+    traces: list[SeriesTrace],
+) -> MisclassificationByTimestep:
+    """Aggregate isolated and fused error rates per series position."""
+    if not traces:
+        raise ValidationError("need at least one trace")
+    max_len = max(t.n_steps for t in traces)
+    err_isolated = np.zeros(max_len)
+    err_fused = np.zeros(max_len)
+    counts = np.zeros(max_len)
+    for trace in traces:
+        n = trace.n_steps
+        err_isolated[:n] += trace.isolated_wrong()
+        err_fused[:n] += trace.fused_wrong()
+        counts[:n] += 1
+    return MisclassificationByTimestep(
+        timesteps=np.arange(1, max_len + 1),
+        isolated=err_isolated / counts,
+        fused=err_fused / counts,
+        n_series=counts.astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class PooledCases:
+    """All (series, timestep) cases of a trace list, flattened.
+
+    Attributes
+    ----------
+    series_index:
+        Index into the originating trace list per case.
+    timestep:
+        Zero-based position within the series per case.
+    isolated_wrong / fused_wrong:
+        Binary failure indicators per case.
+    isolated_uncertainty:
+        The stateless wrapper's momentaneous estimate per case.
+    features:
+        taQIM feature rows per case (layout order of the trace builder).
+    """
+
+    series_index: np.ndarray
+    timestep: np.ndarray
+    isolated_wrong: np.ndarray
+    fused_wrong: np.ndarray
+    isolated_uncertainty: np.ndarray
+    features: np.ndarray
+
+    @property
+    def n_cases(self) -> int:
+        return int(self.series_index.size)
+
+    def per_series_uncertainty_prefixes(self) -> list[np.ndarray]:
+        """Momentaneous uncertainty arrays grouped back by series.
+
+        Used by the uncertainty-fusion baselines, which fold the prefix
+        ``u_0..u_i`` of each series into a joint estimate per step.
+        """
+        groups: list[np.ndarray] = []
+        for sid in np.unique(self.series_index):
+            mask = self.series_index == sid
+            order = np.argsort(self.timestep[mask])
+            groups.append(self.isolated_uncertainty[mask][order])
+        return groups
+
+
+def pool_traces(traces: list[SeriesTrace]) -> PooledCases:
+    """Flatten traces into one pooled case table (evaluation input)."""
+    if not traces:
+        raise ValidationError("need at least one trace")
+    series_index = []
+    timestep = []
+    for i, trace in enumerate(traces):
+        series_index.append(np.full(trace.n_steps, i, dtype=np.int64))
+        timestep.append(np.arange(trace.n_steps, dtype=np.int64))
+    return PooledCases(
+        series_index=np.concatenate(series_index),
+        timestep=np.concatenate(timestep),
+        isolated_wrong=np.concatenate([t.isolated_wrong() for t in traces]),
+        fused_wrong=np.concatenate([t.fused_wrong() for t in traces]),
+        isolated_uncertainty=np.concatenate([t.uncertainties for t in traces]),
+        features=np.vstack([t.features for t in traces]),
+    )

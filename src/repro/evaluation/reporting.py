@@ -1,0 +1,153 @@
+"""Text rendering of the paper's tables and figures.
+
+No plotting stack is available offline, so every figure is rendered as an
+aligned text table (and CSV on request) that prints the same rows/series the
+paper plots.  The benchmark harness writes these renderings next to its
+timing output.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+import numpy as np
+
+from repro.evaluation.importance import ImportanceRow
+from repro.evaluation.metrics import MisclassificationByTimestep
+from repro.evaluation.study import StudyResults
+from repro.stats.calibration import CalibrationCurve
+
+__all__ = [
+    "render_table1",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_study_summary",
+]
+
+
+def _format_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def _table(header: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    out = StringIO()
+    out.write(_format_row(header, widths) + "\n")
+    out.write(_format_row(["-" * w for w in widths], widths) + "\n")
+    for row in rows:
+        out.write(_format_row(row, widths) + "\n")
+    return out.getvalue()
+
+
+def render_table1(results: StudyResults) -> str:
+    """Table I: Brier score and components for every approach."""
+    header = [
+        "Approach",
+        "Brier",
+        "Variance",
+        "Unspecificity",
+        "Unreliability",
+        "Overconfidence",
+    ]
+    rows = []
+    for result in results.approaches:
+        d = result.decomposition
+        rows.append(
+            [
+                result.name,
+                f"{d.brier:.4f}",
+                f"{d.variance:.4f}",
+                f"{d.unspecificity:.4f}",
+                f"{d.unreliability:.5f}",
+                f"{d.overconfidence:.1e}",
+            ]
+        )
+    return "TABLE I - EVALUATION OF DIFFERENT UNCERTAINTY MODELS\n" + _table(
+        header, rows
+    )
+
+
+def render_fig4(misclassification: MisclassificationByTimestep) -> str:
+    """Fig. 4: misclassification rate per timestep, isolated vs fused."""
+    header = ["Timestep", "Isolated DDM", "DDM + IF"]
+    rows = [
+        [str(int(t)), f"{iso:.4f}", f"{fus:.4f}"]
+        for t, iso, fus in zip(
+            misclassification.timesteps,
+            misclassification.isolated,
+            misclassification.fused,
+        )
+    ]
+    summary = (
+        f"mean isolated: {misclassification.isolated_mean:.4f}  "
+        f"mean fused: {misclassification.fused_mean:.4f}  "
+        f"fused @ final step: {misclassification.fused_final:.4f}\n"
+    )
+    return (
+        "Fig. 4 - MISCLASSIFICATION RATE OVER TIMESTEPS\n"
+        + _table(header, rows)
+        + summary
+    )
+
+
+def render_fig5(results: StudyResults) -> str:
+    """Fig. 5: distribution of predicted uncertainty per wrapper."""
+    lines = ["Fig. 5 - DISTRIBUTION OF UNCERTAINTY ACROSS CASES"]
+    for key in ("stateless", "taUW"):
+        dist = results.distributions[key]
+        lines.append(
+            f"{dist.name}: min guaranteed u = {dist.min_guaranteed:.4f}, "
+            f"share of cases at the minimum = {dist.share_at_min:.1%}"
+        )
+        counts, edges = dist.histogram(bins=20)
+        total = counts.sum()
+        for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+            if count == 0:
+                continue
+            bar = "#" * max(1, int(round(40 * count / total)))
+            lines.append(f"  u in [{lo:.2f}, {hi:.2f}): {count:>7d} {bar}")
+    return "\n".join(lines) + "\n"
+
+
+def render_fig6(curves: dict[str, CalibrationCurve]) -> str:
+    """Fig. 6: calibration plot data (predicted vs observed certainty)."""
+    lines = ["Fig. 6 - CALIBRATION OF UNCERTAINTY ESTIMATION MODELS"]
+    for name, curve in curves.items():
+        lines.append(f"{name}:")
+        header = ["Predicted certainty", "Observed correctness", "Cases"]
+        rows = [
+            [f"{p:.4f}", f"{o:.4f}", str(int(c))]
+            for p, o, c in zip(curve.predicted, curve.observed, curve.counts)
+        ]
+        lines.append(_table(header, rows).rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def render_fig7(rows: list[ImportanceRow]) -> str:
+    """Fig. 7: Brier score per taQF subset, grouped by subset size."""
+    header = ["#taQF", "Subset", "Brier"]
+    table_rows = [
+        [str(row.n_factors), row.label(), f"{row.brier:.4f}"]
+        for row in sorted(rows, key=lambda r: (r.n_factors, r.label()))
+    ]
+    return "Fig. 7 - FEATURE IMPORTANCE STUDY\n" + _table(header, table_rows)
+
+
+def render_study_summary(results: StudyResults) -> str:
+    """One-page summary: accuracy, Fig. 4 headline, Table I, Fig. 5 shares."""
+    out = StringIO()
+    out.write(
+        f"DDM accuracy on test frames: {results.ddm_accuracy_test:.4f} "
+        f"(misclassification {1 - results.ddm_accuracy_test:.4f})\n\n"
+    )
+    out.write(render_fig4(results.misclassification))
+    out.write("\n")
+    out.write(render_table1(results))
+    out.write("\n")
+    out.write(render_fig5(results))
+    return out.getvalue()

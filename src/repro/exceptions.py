@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "NotCalibratedError",
+    "ValidationError",
+    "EmptyBufferError",
+    "ScopeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NotFittedError(ReproError):
+    """An estimator was used before its ``fit`` method was called."""
+
+
+class NotCalibratedError(ReproError):
+    """An uncertainty model was queried before calibration.
+
+    Uncertainty wrappers provide *dependable* estimates only after the
+    calibration step computed statistical guarantees on held-out data.
+    Querying uncertainties before that point would silently return
+    non-guaranteed values, so the library refuses instead.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, range, or dtype)."""
+
+
+class EmptyBufferError(ReproError):
+    """A timeseries buffer was queried while it contained no timesteps."""
+
+
+class ScopeError(ReproError):
+    """A scope-compliance model could not evaluate the given scope factors."""

@@ -1,0 +1,39 @@
+"""Information fusion and uncertainty fusion over timeseries outcomes."""
+
+from repro.fusion.dempster import (
+    DempsterShaferFusion,
+    SimpleSupportMass,
+    combine_simple_support,
+)
+from repro.fusion.information import (
+    ExponentialDecayVote,
+    InformationFusion,
+    LatestOutcome,
+    MajorityVote,
+    WeightedMajorityVote,
+)
+from repro.fusion.uncertainty import (
+    NaiveProductFusion,
+    OpportuneFusion,
+    UNCERTAINTY_FUSION_REGISTRY,
+    UncertaintyFusion,
+    WorstCaseFusion,
+    get_uncertainty_fusion,
+)
+
+__all__ = [
+    "DempsterShaferFusion",
+    "SimpleSupportMass",
+    "combine_simple_support",
+    "ExponentialDecayVote",
+    "InformationFusion",
+    "LatestOutcome",
+    "MajorityVote",
+    "WeightedMajorityVote",
+    "NaiveProductFusion",
+    "OpportuneFusion",
+    "UNCERTAINTY_FUSION_REGISTRY",
+    "UncertaintyFusion",
+    "WorstCaseFusion",
+    "get_uncertainty_fusion",
+]

@@ -1,0 +1,179 @@
+"""Dempster-Shafer information fusion over classifier outcomes.
+
+The paper's related work cites Rogova's combination of neural-network
+classifiers via Dempster-Shafer theory as the classical alternative to
+plain voting.  This module implements that combiner for the wrapper
+setting: every timestep's (outcome, certainty) pair becomes a *simple
+support function* -- mass ``certainty`` on the predicted class and the
+remaining mass on the frame of discernment (ignorance) -- and successive
+timesteps are combined with Dempster's rule.
+
+Compared to majority voting this weighs confident outcomes more and yields
+a numeric *belief* per class plus a *conflict* measure, both useful as
+additional timeseries-aware quality factors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.fusion.information import InformationFusion
+
+__all__ = ["SimpleSupportMass", "combine_simple_support", "DempsterShaferFusion"]
+
+
+class SimpleSupportMass:
+    """A basic probability assignment with one focal class + ignorance.
+
+    Attributes
+    ----------
+    masses:
+        Mapping from class id to mass committed to exactly that class.
+    ignorance:
+        Mass on the whole frame of discernment.
+    """
+
+    def __init__(self, masses: dict[int, float], ignorance: float) -> None:
+        total = sum(masses.values()) + ignorance
+        if any(m < -1e-12 for m in masses.values()) or ignorance < -1e-12:
+            raise ValidationError("masses must be non-negative")
+        if abs(total - 1.0) > 1e-9:
+            raise ValidationError(f"masses must sum to 1, got {total}")
+        self.masses = {int(c): float(m) for c, m in masses.items() if m > 0.0}
+        self.ignorance = float(ignorance)
+
+    @classmethod
+    def from_outcome(cls, outcome: int, certainty: float) -> "SimpleSupportMass":
+        """Simple support function: mass ``certainty`` on the outcome."""
+        if not 0.0 <= certainty <= 1.0:
+            raise ValidationError(f"certainty must lie in [0, 1], got {certainty}")
+        return cls({int(outcome): certainty}, 1.0 - certainty)
+
+    def belief(self, class_id: int) -> float:
+        """Belief committed to exactly ``class_id``."""
+        return self.masses.get(int(class_id), 0.0)
+
+    def best_class(self) -> int:
+        """The class with maximal committed mass.
+
+        Raises
+        ------
+        ValidationError
+            If no mass is committed to any class (total ignorance).
+        """
+        if not self.masses:
+            raise ValidationError("total ignorance: no class has support")
+        return max(self.masses, key=lambda c: (self.masses[c], -c))
+
+
+def combine_simple_support(
+    a: SimpleSupportMass, b: SimpleSupportMass
+) -> tuple[SimpleSupportMass, float]:
+    """Dempster's rule for singleton-focal BPAs.
+
+    Because every focal element is either a singleton class or the full
+    frame, the combination stays in the same family and runs in
+    O(|classes|) time.
+
+    Returns
+    -------
+    tuple
+        ``(combined, conflict)`` where ``conflict`` is the mass assigned
+        to contradictory pairs before renormalisation (Shafer's K).
+    """
+    conflict = 0.0
+    combined: dict[int, float] = {}
+    for c_a, m_a in a.masses.items():
+        for c_b, m_b in b.masses.items():
+            if c_a == c_b:
+                combined[c_a] = combined.get(c_a, 0.0) + m_a * m_b
+            else:
+                conflict += m_a * m_b
+    for c_a, m_a in a.masses.items():
+        combined[c_a] = combined.get(c_a, 0.0) + m_a * b.ignorance
+    for c_b, m_b in b.masses.items():
+        combined[c_b] = combined.get(c_b, 0.0) + m_b * a.ignorance
+    ignorance = a.ignorance * b.ignorance
+
+    if conflict >= 1.0 - 1e-12:
+        raise ValidationError(
+            "total conflict: the evidence is fully contradictory"
+        )
+    # Renormalise against the actually accumulated mass rather than
+    # ``1 - conflict``: over long combination chains the two drift apart by
+    # floating-point error, and the BPA invariant must hold exactly.
+    total = sum(combined.values()) + ignorance
+    combined = {c: m / total for c, m in combined.items()}
+    return SimpleSupportMass(combined, ignorance / total), conflict
+
+
+class DempsterShaferFusion(InformationFusion):
+    """Information-fusion rule based on Dempster's rule of combination.
+
+    Each momentaneous outcome contributes a simple support function with
+    mass equal to its certainty (clipped to ``max_certainty`` so a single
+    certainty-1.0 outcome cannot create irreversible total commitment).
+    The fused outcome is the class with maximal combined belief; ties and
+    total ignorance resolve to the most recent outcome.
+
+    Parameters
+    ----------
+    max_certainty:
+        Upper clip applied to each certainty before it becomes mass.
+    default_certainty:
+        Mass used when the caller provides no certainties.
+    """
+
+    def __init__(self, max_certainty: float = 0.99, default_certainty: float = 0.6) -> None:
+        if not 0.0 < max_certainty < 1.0:
+            raise ValidationError(
+                f"max_certainty must lie strictly between 0 and 1, got {max_certainty}"
+            )
+        if not 0.0 < default_certainty <= max_certainty:
+            raise ValidationError(
+                "default_certainty must lie in (0, max_certainty], got "
+                f"{default_certainty}"
+            )
+        self.max_certainty = max_certainty
+        self.default_certainty = default_certainty
+
+    def combine_series(
+        self, outcomes: Sequence[int], certainties: Sequence[float] | None = None
+    ) -> tuple[SimpleSupportMass, float]:
+        """Return the combined BPA and the *accumulated* conflict mass."""
+        outcomes = self._check(outcomes)
+        if certainties is None:
+            certainties = [self.default_certainty] * len(outcomes)
+        if len(certainties) != len(outcomes):
+            raise ValidationError(
+                "certainties must align with outcomes, got "
+                f"{len(certainties)} vs {len(outcomes)}"
+            )
+        combined = SimpleSupportMass.from_outcome(
+            outcomes[0], min(float(certainties[0]), self.max_certainty)
+        )
+        total_conflict = 0.0
+        for outcome, certainty in zip(outcomes[1:], certainties[1:]):
+            mass = SimpleSupportMass.from_outcome(
+                outcome, min(float(certainty), self.max_certainty)
+            )
+            combined, conflict = combine_simple_support(combined, mass)
+            total_conflict += conflict
+        return combined, total_conflict
+
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        combined, _ = self.combine_series(outcomes, certainties)
+        if not combined.masses:
+            return int(outcomes[-1])
+        best = combined.best_class()
+        # Most-recent tie-break, consistent with the paper's majority rule.
+        top = combined.masses[best]
+        tied = {c for c, m in combined.masses.items() if abs(m - top) < 1e-12}
+        if len(tied) > 1:
+            for outcome in reversed(list(outcomes)):
+                if int(outcome) in tied:
+                    return int(outcome)
+        return best

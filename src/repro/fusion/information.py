@@ -1,0 +1,156 @@
+"""Information fusion over successive model outcomes.
+
+The paper fuses the classifier outcomes of a timeseries by majority voting,
+resolving ties in favour of the most recent momentaneous prediction.  A few
+additional transparent combiners from the classifier-combination literature
+(Kittler et al.) are provided for ablations; all operate on the outcomes
+seen *so far* and can therefore run incrementally at every timestep.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "InformationFusion",
+    "MajorityVote",
+    "LatestOutcome",
+    "WeightedMajorityVote",
+    "ExponentialDecayVote",
+]
+
+
+class InformationFusion(ABC):
+    """Strategy interface: combine a prefix of outcomes into one outcome."""
+
+    @abstractmethod
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        """Return the fused outcome for ``outcomes[0..i]``.
+
+        Parameters
+        ----------
+        outcomes:
+            The momentaneous predictions :math:`o_0 ... o_i` observed so
+            far, oldest first.
+        certainties:
+            Optional per-outcome certainties :math:`c_j = 1 - u_j`; ignored
+            by unweighted rules.
+        """
+
+    @staticmethod
+    def _check(outcomes: Sequence[int]) -> list[int]:
+        if len(outcomes) == 0:
+            raise ValidationError("cannot fuse an empty outcome sequence")
+        return [int(o) for o in outcomes]
+
+    def fuse_prefixes(
+        self, outcomes: Sequence[int], certainties: Sequence[float] | None = None
+    ) -> list[int]:
+        """Fused outcome after each timestep: ``[fuse(o[:1]), fuse(o[:2]), ...]``."""
+        outcomes = self._check(outcomes)
+        certs = list(certainties) if certainties is not None else None
+        return [
+            self.fuse(outcomes[: i + 1], certs[: i + 1] if certs is not None else None)
+            for i in range(len(outcomes))
+        ]
+
+
+class MajorityVote(InformationFusion):
+    """The paper's IF rule: mode of the outcomes, ties -> most recent.
+
+    "the mode of the number of momentaneous predictions per class is chosen
+    as the fused outcome [...] To resolve ties, the most recent momentaneous
+    prediction is chosen in case two or more classes were predicted the
+    greatest number of times."
+    """
+
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        outcomes = self._check(outcomes)
+        counts = Counter(outcomes)
+        top = max(counts.values())
+        tied = {cls for cls, cnt in counts.items() if cnt == top}
+        if len(tied) == 1:
+            return tied.pop()
+        for outcome in reversed(outcomes):
+            if outcome in tied:
+                return outcome
+        raise AssertionError("unreachable: a tied class must occur in outcomes")
+
+
+class LatestOutcome(InformationFusion):
+    """Degenerate rule: always the most recent prediction (no fusion).
+
+    Serves as the "isolated prediction" baseline in comparisons.
+    """
+
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        return self._check(outcomes)[-1]
+
+
+class WeightedMajorityVote(InformationFusion):
+    """Votes weighted by the momentaneous certainty of each outcome.
+
+    An outcome backed by a confident prediction counts more.  Falls back to
+    plain majority voting when certainties are unavailable.  Ties (equal
+    summed weight) resolve to the most recent tied outcome, mirroring
+    :class:`MajorityVote`.
+    """
+
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        outcomes = self._check(outcomes)
+        if certainties is None:
+            return MajorityVote().fuse(outcomes)
+        if len(certainties) != len(outcomes):
+            raise ValidationError(
+                "certainties must align with outcomes, got "
+                f"{len(certainties)} vs {len(outcomes)}"
+            )
+        weights: dict[int, float] = {}
+        for outcome, certainty in zip(outcomes, certainties):
+            if not 0.0 <= certainty <= 1.0:
+                raise ValidationError(f"certainty {certainty!r} outside [0, 1]")
+            weights[outcome] = weights.get(outcome, 0.0) + float(certainty)
+        top = max(weights.values())
+        tied = {cls for cls, w in weights.items() if abs(w - top) < 1e-12}
+        if len(tied) == 1:
+            return tied.pop()
+        for outcome in reversed(outcomes):
+            if outcome in tied:
+                return outcome
+        raise AssertionError("unreachable: a tied class must occur in outcomes")
+
+
+class ExponentialDecayVote(InformationFusion):
+    """Majority vote with exponentially decaying weight on older outcomes.
+
+    The most recent outcome has weight 1, the one before ``decay``, then
+    ``decay**2`` and so on.  With ``decay=1`` this reduces to plain majority
+    voting with most-recent tie-breaking; with ``decay=0`` it reduces to
+    :class:`LatestOutcome`.
+    """
+
+    def __init__(self, decay: float = 0.9) -> None:
+        if not 0.0 <= decay <= 1.0:
+            raise ValidationError(f"decay must lie in [0, 1], got {decay}")
+        self.decay = decay
+
+    def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
+        outcomes = self._check(outcomes)
+        n = len(outcomes)
+        weights: dict[int, float] = {}
+        for age, outcome in enumerate(reversed(outcomes)):
+            weights[outcome] = weights.get(outcome, 0.0) + self.decay**age
+        top = max(weights.values())
+        tied = {cls for cls, w in weights.items() if abs(w - top) < 1e-12}
+        if len(tied) == 1:
+            return tied.pop()
+        for outcome in reversed(outcomes):
+            if outcome in tied:
+                return outcome
+        raise AssertionError("unreachable: a tied class must occur in outcomes")

@@ -1,0 +1,108 @@
+"""Uncertainty fusion: joint uncertainty for fused outcomes.
+
+These are the related-work baselines the paper compares the taUW against
+(Section II, equations 1-3):
+
+* **naive** -- assumes independent failures and multiplies the momentaneous
+  uncertainties, ``u = prod(u_i)``.  Systematic within-series errors violate
+  the independence assumption, so this baseline is badly overconfident.
+* **opportune** -- the minimum uncertainty seen so far.  Valid only if the
+  momentaneous estimates are never overconfident; in practice it inherits
+  and amplifies their overconfident tail.
+* **worst-case** -- the maximum uncertainty seen so far.  Dependable but so
+  conservative that it negates the benefit of information fusion.
+
+Each rule consumes the momentaneous uncertainty estimates
+:math:`u_0 ... u_i` of the current series prefix and emits the joint
+uncertainty attributed to the fused outcome at step :math:`i`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "UncertaintyFusion",
+    "NaiveProductFusion",
+    "OpportuneFusion",
+    "WorstCaseFusion",
+    "UNCERTAINTY_FUSION_REGISTRY",
+    "get_uncertainty_fusion",
+]
+
+
+class UncertaintyFusion(ABC):
+    """Strategy interface: combine momentaneous uncertainties into one."""
+
+    #: Registry key / display name of the rule.
+    name: str = "abstract"
+
+    @abstractmethod
+    def fuse(self, uncertainties: Sequence[float]) -> float:
+        """Return the joint uncertainty for the prefix ``uncertainties``."""
+
+    @staticmethod
+    def _check(uncertainties: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(uncertainties, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValidationError("cannot fuse an empty uncertainty sequence")
+        if np.any((arr < 0.0) | (arr > 1.0)):
+            raise ValidationError("uncertainties must lie in [0, 1]")
+        return arr
+
+    def fuse_prefixes(self, uncertainties: Sequence[float]) -> list[float]:
+        """Joint uncertainty after each timestep (one value per prefix)."""
+        arr = self._check(uncertainties)
+        return [self.fuse(arr[: i + 1]) for i in range(arr.size)]
+
+
+class NaiveProductFusion(UncertaintyFusion):
+    """Equation (1): ``u = prod(u_i)`` -- assumes independent failures."""
+
+    name = "naive"
+
+    def fuse(self, uncertainties: Sequence[float]) -> float:
+        arr = self._check(uncertainties)
+        return float(np.prod(arr))
+
+
+class OpportuneFusion(UncertaintyFusion):
+    """Equation (2): ``u = min(u_i)`` -- trusts the most confident estimate."""
+
+    name = "opportune"
+
+    def fuse(self, uncertainties: Sequence[float]) -> float:
+        arr = self._check(uncertainties)
+        return float(np.min(arr))
+
+
+class WorstCaseFusion(UncertaintyFusion):
+    """Equation (3): ``u = max(u_i)`` -- keeps the most conservative estimate."""
+
+    name = "worst-case"
+
+    def fuse(self, uncertainties: Sequence[float]) -> float:
+        arr = self._check(uncertainties)
+        return float(np.max(arr))
+
+
+UNCERTAINTY_FUSION_REGISTRY: dict[str, type[UncertaintyFusion]] = {
+    cls.name: cls
+    for cls in (NaiveProductFusion, OpportuneFusion, WorstCaseFusion)
+}
+
+
+def get_uncertainty_fusion(name: str) -> UncertaintyFusion:
+    """Instantiate a fusion rule by registry name."""
+    try:
+        return UNCERTAINTY_FUSION_REGISTRY[name]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown uncertainty fusion {name!r}; expected one of "
+            f"{sorted(UNCERTAINTY_FUSION_REGISTRY)}"
+        ) from None

@@ -1,0 +1,18 @@
+"""DDM substrate: embeddings plus numpy classifiers standing in for the CNN."""
+
+from repro.models.ddm import ClassifierDDM, DataDrivenModel, SyntheticDDM
+from repro.models.features import FeatureConfig, PrototypeFeatureModel
+from repro.models.linear import SoftmaxRegression, one_hot, softmax
+from repro.models.mlp import MLPClassifier
+
+__all__ = [
+    "ClassifierDDM",
+    "DataDrivenModel",
+    "SyntheticDDM",
+    "FeatureConfig",
+    "PrototypeFeatureModel",
+    "SoftmaxRegression",
+    "one_hot",
+    "softmax",
+    "MLPClassifier",
+]

@@ -1,0 +1,105 @@
+"""The data-driven-model (DDM) abstraction and adapters.
+
+The uncertainty wrapper treats the wrapped model as a black box: the only
+requirement is a ``predict`` method mapping a batch of model inputs to class
+labels.  This module defines that protocol, an adapter for our numpy
+classifiers, and a configurable synthetic DDM whose error process is known in
+closed form -- invaluable for unit-testing the wrapper stack without any
+training.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.datasets.gtsrb import CONFUSION_PARTNERS
+from repro.exceptions import ValidationError
+
+__all__ = ["DataDrivenModel", "ClassifierDDM", "SyntheticDDM"]
+
+
+@runtime_checkable
+class DataDrivenModel(Protocol):
+    """Anything with a batch ``predict``: the wrapper needs nothing more."""
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - protocol stub
+        """Map a batch of model inputs to predicted class labels."""
+        ...
+
+
+class ClassifierDDM:
+    """Adapter presenting a fitted classifier as a black-box DDM.
+
+    Exists mostly for symmetry and documentation: our classifiers already
+    satisfy :class:`DataDrivenModel`, but wrapping them makes the black-box
+    boundary explicit and lets callers attach a human-readable name.
+    """
+
+    def __init__(self, classifier, name: str = "classifier-ddm") -> None:
+        if not hasattr(classifier, "predict"):
+            raise ValidationError("classifier must expose a predict() method")
+        self.classifier = classifier
+        self.name = name
+
+    def predict(self, X) -> np.ndarray:
+        """Delegate to the wrapped classifier."""
+        return np.asarray(self.classifier.predict(X))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClassifierDDM(name={self.name!r})"
+
+
+class SyntheticDDM:
+    """A DDM with an exactly known, controllable error process.
+
+    Instead of consuming embeddings, this model consumes rows of
+    ``(true_class, error_probability, series_noise)`` and misclassifies with
+    exactly ``error_probability``, directing errors to the class's confusion
+    partner.  ``series_noise`` in ``[0, 1)`` is a per-series uniform draw
+    shared by all frames of a series: comparing it against the error
+    probability produces *perfectly correlated* within-series errors, the
+    worst case for naive uncertainty fusion.
+
+    Parameters
+    ----------
+    correlated:
+        When True, the shared ``series_noise`` column decides errors
+        (within-series correlation 1); when False, an internal rng draws
+        per-frame noise (independent errors).
+    seed:
+        Seed of the internal rng (only used when ``correlated=False``).
+    """
+
+    #: Column indices of the expected input layout.
+    COL_TRUE_CLASS = 0
+    COL_ERROR_PROBABILITY = 1
+    COL_SERIES_NOISE = 2
+
+    def __init__(self, correlated: bool = True, seed: int = 0) -> None:
+        self.correlated = correlated
+        self._rng = np.random.default_rng(seed)
+
+    def predict(self, X) -> np.ndarray:
+        """Return labels, flipping to the confusion partner on error."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] < 3:
+            raise ValidationError(
+                "SyntheticDDM expects rows (true_class, error_probability, "
+                f"series_noise); got shape {X.shape}"
+            )
+        true_class = X[:, self.COL_TRUE_CLASS].astype(np.int64)
+        p_err = X[:, self.COL_ERROR_PROBABILITY]
+        if np.any((p_err < 0) | (p_err > 1)):
+            raise ValidationError("error probabilities must lie in [0, 1]")
+        if self.correlated:
+            noise = X[:, self.COL_SERIES_NOISE]
+        else:
+            noise = self._rng.uniform(size=X.shape[0])
+        wrong = noise < p_err
+        partners = np.array(
+            [CONFUSION_PARTNERS.get(int(c), int(c)) for c in true_class],
+            dtype=np.int64,
+        )
+        return np.where(wrong, partners, true_class)

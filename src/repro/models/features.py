@@ -1,0 +1,195 @@
+"""Synthetic image embeddings: what the wrapped classifier actually sees.
+
+The paper's DDM is a CNN consuming augmented GTSRB images.  Offline we
+replace the pixel pipeline with an embedding model that preserves the error
+process the uncertainty wrapper studies:
+
+* every class has a fixed prototype direction in feature space;
+* the *visibility* of a frame -- driven by apparent sign size and the nine
+  deficit intensities -- scales how much of the prototype survives;
+* as visibility drops, the embedding is pulled towards the prototype of the
+  class's confusion partner (same visual family), which makes
+  misclassifications systematic rather than uniformly random;
+* a per-series disturbance vector (same sticker, same viewpoint, same
+  weather for all frames of a series) correlates errors *within* a series --
+  the dependence that breaks the naive uncertainty-fusion assumption.
+
+A classifier trained on these embeddings exhibits exactly the behaviour the
+paper reports: high accuracy on clean large signs, degraded and strongly
+series-correlated errors under deficits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.augmentation import DEFICIT_NAMES, N_DEFICITS
+from repro.datasets.gtsrb import CONFUSION_PARTNERS, SignSeries
+from repro.exceptions import ValidationError
+
+__all__ = ["FeatureConfig", "PrototypeFeatureModel"]
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Parameters of the embedding model.
+
+    Attributes
+    ----------
+    dim:
+        Embedding dimensionality.
+    size_half_px:
+        Apparent size (pixels) at which size-driven visibility reaches 0.5.
+    noise_base:
+        Isotropic noise *vector norm* at perfect visibility (the
+        per-dimension standard deviation is this divided by ``sqrt(dim)``,
+        so the value is directly comparable to the unit-norm prototypes).
+    noise_scale:
+        Additional noise norm proportional to ``1 - visibility``.
+    confusion_strength:
+        How strongly low visibility pulls the embedding towards the
+        confusion partner's prototype.
+    series_effect_scale:
+        Magnitude of the shared per-series disturbance at zero visibility.
+    normalize:
+        L2-normalise embeddings (CNN-feature-like illumination invariance;
+        keeps train and test inputs on a comparable scale).
+    deficit_weights:
+        Relative impact of each deficit on visibility (ordered like
+        :data:`repro.datasets.augmentation.DEFICIT_NAMES`).
+    """
+
+    dim: int = 32
+    size_half_px: float = 5.0
+    noise_base: float = 0.17
+    noise_scale: float = 0.52
+    confusion_strength: float = 0.40
+    series_effect_scale: float = 0.40
+    normalize: bool = True
+    deficit_weights: tuple[float, ...] = (
+        0.20,  # rain
+        0.35,  # darkness
+        0.30,  # haze
+        0.22,  # backlight_natural
+        0.15,  # backlight_artificial
+        0.20,  # dirt_sign
+        0.18,  # dirt_lens
+        0.30,  # steamed_lens
+        0.28,  # motion_blur
+    )
+
+    def __post_init__(self) -> None:
+        if self.dim < 2:
+            raise ValidationError(f"dim must be >= 2, got {self.dim}")
+        if len(self.deficit_weights) != N_DEFICITS:
+            raise ValidationError(
+                f"deficit_weights needs {N_DEFICITS} entries "
+                f"(order {DEFICIT_NAMES}), got {len(self.deficit_weights)}"
+            )
+
+
+class PrototypeFeatureModel:
+    """Maps frames of a series to embedding vectors.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of sign classes (fixes the prototype bank).
+    config:
+        Embedding parameters.
+    seed:
+        Seed for the prototype bank.  Prototypes are a deterministic
+        function of the seed so that train/calibration/test embeddings are
+        consistent.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        config: FeatureConfig | None = None,
+        seed: int = 7,
+    ) -> None:
+        if n_classes < 2:
+            raise ValidationError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+        self.config = config or FeatureConfig()
+        proto_rng = np.random.default_rng(seed)
+        prototypes = proto_rng.normal(size=(n_classes, self.config.dim))
+        prototypes /= np.linalg.norm(prototypes, axis=1, keepdims=True)
+        self.prototypes = prototypes
+        self._weights = np.asarray(self.config.deficit_weights, dtype=float)
+
+    # ------------------------------------------------------------------
+    def visibility(self, sizes_px: np.ndarray, deficits: np.ndarray) -> np.ndarray:
+        """Per-frame visibility in ``(0, 1)``.
+
+        Size contributes a saturating factor
+        ``size / (size + size_half_px)``; deficits multiply in as
+        ``prod(1 - w_d * intensity_d)``.
+        """
+        sizes_px = np.asarray(sizes_px, dtype=float)
+        deficits = np.asarray(deficits, dtype=float)
+        size_factor = sizes_px / (sizes_px + self.config.size_half_px)
+        deficit_factor = np.prod(1.0 - self._weights[None, :] * deficits, axis=1)
+        return np.clip(size_factor * deficit_factor, 1e-4, 1.0)
+
+    def embed_series(self, series: SignSeries, rng: np.random.Generator) -> np.ndarray:
+        """Return embeddings of shape ``(n_frames, dim)`` for one series."""
+        cfg = self.config
+        if series.class_id >= self.n_classes:
+            raise ValidationError(
+                f"series class_id {series.class_id} outside the model's "
+                f"{self.n_classes} classes"
+            )
+        v = self.visibility(series.sizes_px, series.deficits)[:, None]
+        proto = self.prototypes[series.class_id][None, :]
+        partner_id = CONFUSION_PARTNERS.get(series.class_id, series.class_id)
+        partner = self.prototypes[partner_id][None, :]
+
+        # Shared per-series disturbance: one random direction for the whole
+        # series, active in proportion to the visibility loss of each frame.
+        series_noise = rng.normal(0.0, 1.0, size=(1, cfg.dim))
+        series_noise /= np.linalg.norm(series_noise)
+
+        mix = cfg.confusion_strength * (1.0 - v)
+        signal = (1.0 - mix) * proto + mix * partner
+        # noise_* parameters are vector norms; convert to per-dimension sd.
+        noise_sd = (cfg.noise_base + cfg.noise_scale * (1.0 - v)) / np.sqrt(cfg.dim)
+        frame_noise = rng.normal(0.0, 1.0, size=(series.n_frames, cfg.dim)) * noise_sd
+        shared = cfg.series_effect_scale * (1.0 - v) * series_noise
+        embeddings = v * signal + shared + frame_noise
+        if cfg.normalize:
+            norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+            embeddings = embeddings / np.maximum(norms, 1e-9)
+        return embeddings
+
+    def embed_dataset(
+        self, dataset, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Embed every frame of every series of a dataset.
+
+        Returns
+        -------
+        tuple
+            ``(X, y, series_index)`` where ``X`` stacks all frame
+            embeddings, ``y`` holds the ground-truth class per frame, and
+            ``series_index`` maps each frame row back to its position in
+            ``dataset.series``.
+        """
+        blocks: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        series_idx: list[np.ndarray] = []
+        for i, series in enumerate(dataset):
+            emb = self.embed_series(series, rng)
+            blocks.append(emb)
+            labels.append(np.full(series.n_frames, series.class_id, dtype=np.int64))
+            series_idx.append(np.full(series.n_frames, i, dtype=np.int64))
+        if not blocks:
+            return (
+                np.empty((0, self.config.dim)),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        return np.vstack(blocks), np.concatenate(labels), np.concatenate(series_idx)

@@ -1,0 +1,49 @@
+"""Statistics substrate: binomial bounds, Brier scoring, calibration, bootstrap.
+
+These are the building blocks the uncertainty wrapper framework relies on:
+Clopper-Pearson bounds turn per-leaf error counts into dependable guarantees,
+the Murphy decomposition of the Brier score produces the paper's Table I
+columns, and the quantile calibration curves reproduce Fig. 6.
+"""
+
+from repro.stats.binomial import (
+    clopper_pearson_interval,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    hoeffding_upper,
+    jeffreys_upper,
+    required_samples_for_bound,
+    wilson_upper,
+    zero_failure_bound,
+)
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci, cluster_bootstrap_ci
+from repro.stats.brier import BrierDecomposition, brier_score, murphy_decomposition
+from repro.stats.calibration import (
+    CalibrationCurve,
+    expected_calibration_error,
+    maximum_calibration_error,
+    quantile_calibration_curve,
+    width_calibration_curve,
+)
+
+__all__ = [
+    "clopper_pearson_interval",
+    "clopper_pearson_lower",
+    "clopper_pearson_upper",
+    "hoeffding_upper",
+    "jeffreys_upper",
+    "required_samples_for_bound",
+    "wilson_upper",
+    "zero_failure_bound",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "cluster_bootstrap_ci",
+    "BrierDecomposition",
+    "brier_score",
+    "murphy_decomposition",
+    "CalibrationCurve",
+    "expected_calibration_error",
+    "maximum_calibration_error",
+    "quantile_calibration_curve",
+    "width_calibration_curve",
+]

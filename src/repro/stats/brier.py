@@ -1,0 +1,194 @@
+"""Brier score and its Murphy decomposition.
+
+The paper evaluates uncertainty estimators with the Brier score ``bs`` of the
+predicted failure probability ``u`` against the indicator of an actual
+failure, and decomposes it following Murphy (1973) as::
+
+    bs = variance - resolution + unreliability
+
+where (using the paper's naming)
+
+* ``variance`` is the variance of the outcome indicator, ``obar * (1 - obar)``
+  with ``obar`` the overall failure rate.  It depends only on the wrapped
+  model, not on the uncertainty estimator.
+* ``resolution`` measures how much the per-group observed failure rates
+  deviate from ``obar`` -- higher is better, bounded above by ``variance``.
+* ``unreliability`` (the classical *reliability* term) measures calibration:
+  the weighted squared gap between predicted and observed failure rates
+  within groups of equal prediction -- lower is better.
+
+The paper additionally reports
+
+* ``unspecificity = variance - resolution`` (lower is better), and
+* ``overconfidence``: the portion of ``unreliability`` contributed by groups
+  whose prediction *underestimates* the observed failure rate (``u < obar_k``)
+  -- the dependability-critical direction.  The remainder is
+  ``underconfidence``.
+
+Groups are formed by the *unique predicted values*, which makes the
+decomposition exact (it reproduces ``bs`` to machine precision).  This is the
+natural choice here because decision-tree-based wrappers emit a finite set of
+per-leaf uncertainty values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "brier_score",
+    "BrierDecomposition",
+    "murphy_decomposition",
+]
+
+
+def _validate_pair(forecasts, outcomes) -> tuple[np.ndarray, np.ndarray]:
+    f = np.asarray(forecasts, dtype=float).ravel()
+    o = np.asarray(outcomes, dtype=float).ravel()
+    if f.shape != o.shape:
+        raise ValidationError(
+            f"forecasts and outcomes must have equal length, got {f.shape} vs {o.shape}"
+        )
+    if f.size == 0:
+        raise ValidationError("cannot score an empty forecast set")
+    if np.any((f < 0.0) | (f > 1.0)):
+        raise ValidationError("forecast probabilities must lie in [0, 1]")
+    if not np.all(np.isin(o, (0.0, 1.0))):
+        raise ValidationError("outcomes must be binary indicators (0 or 1)")
+    return f, o
+
+
+def brier_score(forecasts, outcomes) -> float:
+    """Mean squared error between forecast probabilities and binary outcomes.
+
+    Parameters
+    ----------
+    forecasts:
+        Predicted probabilities of the event (here: model failure), in
+        ``[0, 1]``.
+    outcomes:
+        Binary event indicators (1 = the model failed on this case).
+
+    Returns
+    -------
+    float
+        ``mean((forecasts - outcomes) ** 2)``.
+    """
+    f, o = _validate_pair(forecasts, outcomes)
+    return float(np.mean((f - o) ** 2))
+
+
+@dataclass(frozen=True)
+class BrierDecomposition:
+    """Murphy decomposition of a Brier score (paper's Table I columns).
+
+    Attributes
+    ----------
+    brier:
+        The full Brier score.
+    variance:
+        Outcome variance ``obar * (1 - obar)`` -- estimator-independent.
+    resolution:
+        Weighted squared deviation of group failure rates from ``obar``.
+    unreliability:
+        Weighted squared gap between group forecasts and group failure
+        rates (classical reliability term; lower is better).
+    unspecificity:
+        ``variance - resolution`` (lower is better).
+    overconfidence:
+        Portion of ``unreliability`` from groups where the forecast
+        underestimates the observed failure rate.
+    underconfidence:
+        Remaining portion of ``unreliability``.
+    base_rate:
+        Overall observed failure rate ``obar``.
+    n_groups:
+        Number of distinct forecast values.
+    n_samples:
+        Number of scored cases.
+    """
+
+    brier: float
+    variance: float
+    resolution: float
+    unreliability: float
+    unspecificity: float
+    overconfidence: float
+    underconfidence: float
+    base_rate: float
+    n_groups: int
+    n_samples: int
+
+    def identity_residual(self) -> float:
+        """Return ``brier - (variance - resolution + unreliability)``.
+
+        Zero up to floating-point error; exposed so tests and callers can
+        assert the decomposition is exact.
+        """
+        return self.brier - (self.variance - self.resolution + self.unreliability)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the scores as a plain dictionary (for table rendering)."""
+        return {
+            "brier": self.brier,
+            "variance": self.variance,
+            "resolution": self.resolution,
+            "unreliability": self.unreliability,
+            "unspecificity": self.unspecificity,
+            "overconfidence": self.overconfidence,
+            "underconfidence": self.underconfidence,
+        }
+
+
+def murphy_decomposition(forecasts, outcomes) -> BrierDecomposition:
+    """Exact Murphy (1973) decomposition grouped by unique forecast values.
+
+    Parameters
+    ----------
+    forecasts:
+        Predicted failure probabilities.
+    outcomes:
+        Binary failure indicators.
+
+    Returns
+    -------
+    BrierDecomposition
+        All components; satisfies
+        ``brier == variance - resolution + unreliability`` exactly (up to
+        floating-point round-off) because grouping is by unique forecast
+        value.
+    """
+    f, o = _validate_pair(forecasts, outcomes)
+    n = f.size
+    obar = float(np.mean(o))
+    variance = obar * (1.0 - obar)
+
+    values, inverse = np.unique(f, return_inverse=True)
+    group_n = np.bincount(inverse, minlength=values.size).astype(float)
+    group_events = np.bincount(inverse, weights=o, minlength=values.size)
+    group_rate = group_events / group_n
+    weights = group_n / n
+
+    resolution = float(np.sum(weights * (group_rate - obar) ** 2))
+    gaps = values - group_rate
+    unreliability = float(np.sum(weights * gaps**2))
+    over_mask = gaps < 0.0  # forecast below observed failure rate
+    overconfidence = float(np.sum(weights[over_mask] * gaps[over_mask] ** 2))
+    underconfidence = unreliability - overconfidence
+
+    return BrierDecomposition(
+        brier=float(np.mean((f - o) ** 2)),
+        variance=variance,
+        resolution=resolution,
+        unreliability=unreliability,
+        unspecificity=variance - resolution,
+        overconfidence=overconfidence,
+        underconfidence=underconfidence,
+        base_rate=obar,
+        n_groups=int(values.size),
+        n_samples=int(n),
+    )

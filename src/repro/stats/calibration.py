@@ -1,0 +1,163 @@
+"""Calibration diagnostics for uncertainty estimates.
+
+The paper's Fig. 6 plots quantiles of the predicted certainty ``c = 1 - u``
+(in 10 % steps) against the observed correctness within each quantile bin;
+points below the diagonal are overconfident, points above underconfident.
+This module reproduces that plot as data (no plotting dependency is
+available) and adds the standard expected-calibration-error summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "CalibrationCurve",
+    "quantile_calibration_curve",
+    "width_calibration_curve",
+    "expected_calibration_error",
+    "maximum_calibration_error",
+]
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """A binned calibration curve.
+
+    Attributes
+    ----------
+    predicted:
+        Mean predicted certainty per bin (x-axis of the paper's Fig. 6).
+    observed:
+        Observed correctness rate per bin (y-axis).
+    counts:
+        Number of cases per bin.
+    edges:
+        Bin edges in predicted-certainty space (length ``len(counts) + 1``).
+    """
+
+    predicted: np.ndarray
+    observed: np.ndarray
+    counts: np.ndarray
+    edges: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.counts.size)
+
+    def overconfidence_gaps(self) -> np.ndarray:
+        """Per-bin ``predicted - observed`` certainty gap.
+
+        Positive values mean the bin is overconfident (predicted certainty
+        exceeds observed correctness), matching "below the diagonal" in the
+        paper's calibration plot.
+        """
+        return self.predicted - self.observed
+
+    def is_overconfident(self) -> np.ndarray:
+        """Boolean mask of bins lying below the diagonal."""
+        return self.overconfidence_gaps() > 0.0
+
+
+def _validate(certainties, correct) -> tuple[np.ndarray, np.ndarray]:
+    c = np.asarray(certainties, dtype=float).ravel()
+    k = np.asarray(correct, dtype=float).ravel()
+    if c.shape != k.shape:
+        raise ValidationError(
+            f"certainties and correctness must have equal length, got {c.shape} vs {k.shape}"
+        )
+    if c.size == 0:
+        raise ValidationError("cannot compute a calibration curve from no cases")
+    if np.any((c < 0.0) | (c > 1.0)):
+        raise ValidationError("certainties must lie in [0, 1]")
+    if not np.all(np.isin(k, (0.0, 1.0))):
+        raise ValidationError("correctness must be binary indicators (0 or 1)")
+    return c, k
+
+
+def quantile_calibration_curve(certainties, correct, n_bins: int = 10) -> CalibrationCurve:
+    """Calibration curve with equal-count (quantile) bins.
+
+    This is the construction behind the paper's Fig. 6: cases are sorted by
+    predicted certainty and cut into ``n_bins`` quantile groups (10 % steps
+    for the default of 10 bins).  Bins that would be empty because many
+    cases share one predicted value are dropped.
+
+    Parameters
+    ----------
+    certainties:
+        Predicted certainty ``1 - u`` per case.
+    correct:
+        Binary correctness indicator per case.
+    n_bins:
+        Number of quantile bins.
+
+    Returns
+    -------
+    CalibrationCurve
+    """
+    c, k = _validate(certainties, correct)
+    if n_bins < 1:
+        raise ValidationError(f"n_bins must be >= 1, got {n_bins}")
+    quantiles = np.quantile(c, np.linspace(0.0, 1.0, n_bins + 1))
+    # Collapse duplicate edges (heavy ties on guaranteed-minimum uncertainty
+    # values are common for tree-based wrappers).
+    edges = np.unique(quantiles)
+    if edges.size < 2:
+        # All certainties identical: a single degenerate bin.
+        return CalibrationCurve(
+            predicted=np.array([float(c[0])]),
+            observed=np.array([float(np.mean(k))]),
+            counts=np.array([c.size]),
+            edges=np.array([edges[0], edges[0]]),
+        )
+    return _bin_curve(c, k, edges)
+
+
+def width_calibration_curve(certainties, correct, n_bins: int = 10) -> CalibrationCurve:
+    """Calibration curve with equal-width bins over ``[0, 1]``.
+
+    Complementary view to :func:`quantile_calibration_curve`; empty bins are
+    dropped from the result.
+    """
+    c, k = _validate(certainties, correct)
+    if n_bins < 1:
+        raise ValidationError(f"n_bins must be >= 1, got {n_bins}")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    return _bin_curve(c, k, edges)
+
+
+def _bin_curve(c: np.ndarray, k: np.ndarray, edges: np.ndarray) -> CalibrationCurve:
+    """Bin cases by certainty and aggregate one curve point per bin."""
+    idx = np.clip(np.searchsorted(edges, c, side="right") - 1, 0, edges.size - 2)
+    n_bins = edges.size - 1
+    counts = np.bincount(idx, minlength=n_bins)
+    sum_pred = np.bincount(idx, weights=c, minlength=n_bins)
+    sum_obs = np.bincount(idx, weights=k, minlength=n_bins)
+    keep = counts > 0
+    counts_kept = counts[keep]
+    return CalibrationCurve(
+        predicted=sum_pred[keep] / counts_kept,
+        observed=sum_obs[keep] / counts_kept,
+        counts=counts_kept,
+        edges=edges,
+    )
+
+
+def expected_calibration_error(certainties, correct, n_bins: int = 10) -> float:
+    """Count-weighted mean absolute calibration gap (ECE).
+
+    Uses equal-width bins, the common convention.
+    """
+    curve = width_calibration_curve(certainties, correct, n_bins=n_bins)
+    weights = curve.counts / curve.counts.sum()
+    return float(np.sum(weights * np.abs(curve.predicted - curve.observed)))
+
+
+def maximum_calibration_error(certainties, correct, n_bins: int = 10) -> float:
+    """Largest absolute calibration gap over equal-width bins (MCE)."""
+    curve = width_calibration_curve(certainties, correct, n_bins=n_bins)
+    return float(np.max(np.abs(curve.predicted - curve.observed)))

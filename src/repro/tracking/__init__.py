@@ -1,0 +1,6 @@
+"""Tracking substrate: Kalman filtering and series-onset detection."""
+
+from repro.tracking.kalman import KalmanFilter, constant_velocity_filter
+from repro.tracking.tracker import SignTracker, TrackEvent
+
+__all__ = ["KalmanFilter", "constant_velocity_filter", "SignTracker", "TrackEvent"]

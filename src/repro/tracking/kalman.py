@@ -1,0 +1,136 @@
+"""Linear Kalman filter.
+
+The paper's architecture relies on a tracking component (citing road-sign
+tracking work based on Kalman filtering) to decide when a *new* timeseries
+starts -- i.e. when the observed detections stop belonging to the same
+physical traffic sign, at which point the taUW buffer must be cleared.  This
+module provides a standard linear Kalman filter plus a convenience
+constructor for the constant-velocity point-tracking model the tracker uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["KalmanFilter", "constant_velocity_filter"]
+
+
+class KalmanFilter:
+    """Textbook linear-Gaussian Kalman filter.
+
+    State evolves as ``x' = F x + w`` with ``w ~ N(0, Q)``; measurements are
+    ``z = H x + v`` with ``v ~ N(0, R)``.
+
+    Parameters
+    ----------
+    F, H, Q, R:
+        Transition, measurement, process-noise, and measurement-noise
+        matrices.
+    x0, P0:
+        Initial state mean and covariance.
+    """
+
+    def __init__(self, F, H, Q, R, x0, P0) -> None:
+        self.F = np.asarray(F, dtype=float)
+        self.H = np.asarray(H, dtype=float)
+        self.Q = np.asarray(Q, dtype=float)
+        self.R = np.asarray(R, dtype=float)
+        self.x = np.asarray(x0, dtype=float).ravel()
+        self.P = np.asarray(P0, dtype=float)
+        n = self.x.size
+        if self.F.shape != (n, n):
+            raise ValidationError(f"F must be {n}x{n}, got {self.F.shape}")
+        if self.Q.shape != (n, n):
+            raise ValidationError(f"Q must be {n}x{n}, got {self.Q.shape}")
+        if self.P.shape != (n, n):
+            raise ValidationError(f"P0 must be {n}x{n}, got {self.P.shape}")
+        m = self.H.shape[0]
+        if self.H.shape != (m, n):
+            raise ValidationError(f"H must be m x {n}, got {self.H.shape}")
+        if self.R.shape != (m, m):
+            raise ValidationError(f"R must be {m}x{m}, got {self.R.shape}")
+
+    def predict(self) -> np.ndarray:
+        """Propagate the state one step; returns the predicted state mean."""
+        self.x = self.F @ self.x
+        self.P = self.F @ self.P @ self.F.T + self.Q
+        return self.x
+
+    def innovation(self, z) -> tuple[np.ndarray, np.ndarray]:
+        """Return the innovation ``y = z - H x`` and its covariance ``S``."""
+        z = np.asarray(z, dtype=float).ravel()
+        if z.size != self.H.shape[0]:
+            raise ValidationError(
+                f"measurement must have {self.H.shape[0]} entries, got {z.size}"
+            )
+        y = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        return y, S
+
+    def mahalanobis_squared(self, z) -> float:
+        """Squared Mahalanobis distance of measurement ``z`` (gating test)."""
+        y, S = self.innovation(z)
+        return float(y @ np.linalg.solve(S, y))
+
+    def update(self, z) -> np.ndarray:
+        """Fold measurement ``z`` into the state; returns the posterior mean."""
+        y, S = self.innovation(z)
+        K = self.P @ self.H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ y
+        identity = np.eye(self.P.shape[0])
+        # Joseph form for numerical symmetry/positive-definiteness.
+        A = identity - K @ self.H
+        self.P = A @ self.P @ A.T + K @ self.R @ K.T
+        return self.x
+
+
+def constant_velocity_filter(
+    initial_position,
+    dt: float = 0.1,
+    process_noise: float = 0.5,
+    measurement_noise: float = 0.3,
+    initial_speed_std: float = 25.0,
+) -> KalmanFilter:
+    """Build a 2-D constant-velocity filter tracking ``(x, y)`` positions.
+
+    State is ``(x, y, vx, vy)``; only positions are measured.
+
+    Parameters
+    ----------
+    initial_position:
+        Starting ``(x, y)``.
+    dt:
+        Time step between frames.
+    process_noise:
+        Acceleration noise intensity (white-noise-acceleration model).
+    measurement_noise:
+        Standard deviation of position measurements.
+    initial_speed_std:
+        Prior standard deviation of the unknown initial velocity.  Must
+        cover plausible relative speeds (a vehicle approaches signs at up
+        to ~40 m/s), otherwise the second detection of a legitimate track
+        falls outside the gate and every series fragments.
+    """
+    p = np.asarray(initial_position, dtype=float).ravel()
+    if p.size != 2:
+        raise ValidationError(f"initial_position must be (x, y), got {p!r}")
+    F = np.array(
+        [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    H = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
+    q = process_noise
+    # White-noise acceleration discretisation.
+    G = np.array([[0.5 * dt * dt, 0.0], [0.0, 0.5 * dt * dt], [dt, 0.0], [0.0, dt]])
+    Q = G @ G.T * q * q
+    R = np.eye(2) * measurement_noise**2
+    x0 = np.array([p[0], p[1], 0.0, 0.0])
+    v_var = initial_speed_std**2
+    P0 = np.diag([1.0, 1.0, v_var, v_var])
+    return KalmanFilter(F, H, Q, R, x0, P0)

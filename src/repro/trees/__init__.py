@@ -1,0 +1,32 @@
+"""CART decision trees built from scratch (the quality-impact-model substrate).
+
+sklearn is not available in this environment, so the tree the uncertainty
+wrapper framework depends on -- CART with gini impurity, bounded depth, and
+calibration-set leaf pruning -- is implemented here on plain numpy.
+"""
+
+from repro.trees.cart import LEAF, DecisionTreeClassifier
+from repro.trees.criteria import entropy_from_counts, get_criterion, gini_from_counts
+from repro.trees.export import export_text
+from repro.trees.forest import RandomForestClassifier
+from repro.trees.pruning import (
+    collapse_node,
+    count_samples_per_node,
+    prune_to_min_samples,
+)
+from repro.trees.splitter import SplitCandidate, find_best_split
+
+__all__ = [
+    "LEAF",
+    "DecisionTreeClassifier",
+    "entropy_from_counts",
+    "get_criterion",
+    "gini_from_counts",
+    "export_text",
+    "RandomForestClassifier",
+    "collapse_node",
+    "count_samples_per_node",
+    "prune_to_min_samples",
+    "SplitCandidate",
+    "find_best_split",
+]

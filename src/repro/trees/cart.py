@@ -1,0 +1,339 @@
+"""CART decision-tree classifier built on numpy.
+
+This is the tree behind the uncertainty wrapper's quality impact model.  It
+follows the sklearn conventions that matter for this project -- array-based
+node storage with ``children_left_ == -1`` marking leaves, ``apply`` for leaf
+lookup, ``predict_proba`` from per-leaf class counts -- while staying small
+enough to audit, which is the transparency property the paper leans on.
+
+The tree is grown depth-first with an explicit stack (no recursion limits),
+using exact best-split search (:mod:`repro.trees.splitter`) and either gini
+or entropy impurity (:mod:`repro.trees.criteria`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.trees.criteria import get_criterion
+from repro.trees.splitter import find_best_split
+
+__all__ = ["DecisionTreeClassifier", "LEAF"]
+
+LEAF = -1
+"""Sentinel used in the children arrays to mark a leaf node."""
+
+
+class DecisionTreeClassifier:
+    """A CART classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth of the tree (the paper uses 8 for the quality impact
+        model).  ``None`` grows until other constraints stop the split.
+    min_samples_split:
+        Minimum number of samples a node must hold to be considered for
+        splitting.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    min_impurity_decrease:
+        Minimum weighted impurity improvement required to accept a split.
+    criterion:
+        ``"gini"`` (paper default) or ``"entropy"``.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    classes_:
+        Sorted array of distinct class labels.
+    node_count_:
+        Number of nodes in the tree.
+    children_left_ / children_right_:
+        Child indices per node (:data:`LEAF` for leaves).
+    feature_ / threshold_:
+        Split definition per internal node (``-2`` / ``nan`` for leaves).
+    value_:
+        Per-node class-count matrix of shape ``(node_count_, n_classes)``.
+    impurity_:
+        Per-node training impurity.
+    n_node_samples_:
+        Per-node training sample count.
+    depth_:
+        Per-node depth (root is 0).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        criterion: str = "gini",
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1 or None, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValidationError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ValidationError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        if min_impurity_decrease < 0:
+            raise ValidationError(
+                f"min_impurity_decrease must be >= 0, got {min_impurity_decrease}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.criterion = criterion
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Grow the tree on feature matrix ``X`` and labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-dimensional, got shape {X.shape}")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ValidationError(
+                f"y must be 1-dimensional with len(X) entries, got shape {y.shape}"
+            )
+        if X.shape[0] == 0:
+            raise ValidationError("cannot fit a tree on an empty dataset")
+        if not np.all(np.isfinite(X)):
+            raise ValidationError("X contains non-finite values")
+
+        criterion_fn = get_criterion(self.criterion)
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        n_classes = self.classes_.size
+        self.n_features_in_ = X.shape[1]
+
+        children_left: list[int] = []
+        children_right: list[int] = []
+        feature: list[int] = []
+        threshold: list[float] = []
+        value: list[np.ndarray] = []
+        impurity: list[float] = []
+        n_node_samples: list[int] = []
+        depth: list[int] = []
+
+        def new_node(sample_idx: np.ndarray, node_depth: int) -> int:
+            node_id = len(children_left)
+            counts = np.bincount(y_codes[sample_idx], minlength=n_classes).astype(float)
+            children_left.append(LEAF)
+            children_right.append(LEAF)
+            feature.append(-2)
+            threshold.append(np.nan)
+            value.append(counts)
+            impurity.append(float(criterion_fn(counts)))
+            n_node_samples.append(int(sample_idx.size))
+            depth.append(node_depth)
+            return node_id
+
+        n_total = X.shape[0]
+        root_idx = np.arange(n_total)
+        root = new_node(root_idx, 0)
+        stack: list[tuple[int, np.ndarray]] = [(root, root_idx)]
+
+        while stack:
+            node_id, sample_idx = stack.pop()
+            node_depth = depth[node_id]
+            if self.max_depth is not None and node_depth >= self.max_depth:
+                continue
+            if sample_idx.size < self.min_samples_split:
+                continue
+            if impurity[node_id] <= 0.0:
+                continue
+            split = find_best_split(
+                X,
+                y_codes,
+                sample_idx,
+                n_classes,
+                criterion_fn,
+                self.min_samples_leaf,
+            )
+            if split is None:
+                continue
+            weighted_improvement = split.improvement * sample_idx.size / n_total
+            if weighted_improvement < self.min_impurity_decrease:
+                continue
+            go_left = X[sample_idx, split.feature] <= split.threshold
+            left_idx = sample_idx[go_left]
+            right_idx = sample_idx[~go_left]
+            if left_idx.size == 0 or right_idx.size == 0:
+                continue  # numerically degenerate threshold; refuse the split
+            left_id = new_node(left_idx, node_depth + 1)
+            right_id = new_node(right_idx, node_depth + 1)
+            children_left[node_id] = left_id
+            children_right[node_id] = right_id
+            feature[node_id] = split.feature
+            threshold[node_id] = split.threshold
+            stack.append((left_id, left_idx))
+            stack.append((right_id, right_idx))
+
+        self.children_left_ = np.asarray(children_left, dtype=np.int64)
+        self.children_right_ = np.asarray(children_right, dtype=np.int64)
+        self.feature_ = np.asarray(feature, dtype=np.int64)
+        self.threshold_ = np.asarray(threshold, dtype=float)
+        self.value_ = np.vstack(value)
+        self.impurity_ = np.asarray(impurity, dtype=float)
+        self.n_node_samples_ = np.asarray(n_node_samples, dtype=np.int64)
+        self.depth_ = np.asarray(depth, dtype=np.int64)
+        self.node_count_ = len(children_left)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                "this DecisionTreeClassifier has not been fitted yet; call fit() first"
+            )
+
+    def _check_X(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features but the tree was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return X
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf index each row of ``X`` falls into.
+
+        Descends all rows in lock-step: at each iteration every still-
+        internal row moves one level down, so the loop runs at most
+        ``max_depth`` times regardless of sample count.
+        """
+        self._check_fitted()
+        X = self._check_X(X)
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.children_left_[nodes] != LEAF
+        while np.any(active):
+            current = nodes[active]
+            feat = self.feature_[current]
+            thresh = self.threshold_[current]
+            rows = np.nonzero(active)[0]
+            go_left = X[rows, feat] <= thresh
+            nodes[rows] = np.where(
+                go_left, self.children_left_[current], self.children_right_[current]
+            )
+            active = self.children_left_[nodes] != LEAF
+        return nodes
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-frequency probabilities of the training samples per leaf."""
+        leaves = self.apply(X)
+        counts = self.value_[leaves]
+        totals = counts.sum(axis=1, keepdims=True)
+        return counts / totals
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-class prediction per row."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_leaf(self, node_id: int) -> bool:
+        """Return True when ``node_id`` is a leaf."""
+        self._check_fitted()
+        return self.children_left_[node_id] == LEAF
+
+    def reachable_nodes(self) -> np.ndarray:
+        """Return ids of nodes reachable from the root.
+
+        After pruning (see :mod:`repro.trees.pruning`) collapsed subtrees
+        stay in the node arrays but are disconnected; all introspection
+        helpers only consider reachable nodes.
+        """
+        self._check_fitted()
+        reachable = np.zeros(self.node_count_, dtype=bool)
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            reachable[node] = True
+            left = self.children_left_[node]
+            if left != LEAF:
+                stack.append(int(left))
+                stack.append(int(self.children_right_[node]))
+        return np.nonzero(reachable)[0]
+
+    def leaf_ids(self) -> np.ndarray:
+        """Return the indices of all reachable leaves."""
+        nodes = self.reachable_nodes()
+        return nodes[self.children_left_[nodes] == LEAF]
+
+    def get_depth(self) -> int:
+        """Return the depth of the deepest reachable node."""
+        return int(self.depth_[self.reachable_nodes()].max())
+
+    def get_n_leaves(self) -> int:
+        """Return the number of leaves."""
+        return int(self.leaf_ids().size)
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-based feature importances (normalised to sum to 1).
+
+        Each internal node contributes its weighted impurity decrease to
+        the importance of its splitting feature, mirroring sklearn's
+        definition.
+        """
+        self._check_fitted()
+        importances = np.zeros(self.n_features_in_, dtype=float)
+        n_total = float(self.n_node_samples_[0])
+        for node in self.reachable_nodes():
+            left = self.children_left_[node]
+            if left == LEAF:
+                continue
+            right = self.children_right_[node]
+            n = self.n_node_samples_[node]
+            n_l = self.n_node_samples_[left]
+            n_r = self.n_node_samples_[right]
+            decrease = (
+                n * self.impurity_[node]
+                - n_l * self.impurity_[left]
+                - n_r * self.impurity_[right]
+            ) / n_total
+            importances[self.feature_[node]] += decrease
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances
+
+    def copy(self) -> "DecisionTreeClassifier":
+        """Return a deep copy of the fitted tree (for in-place pruning)."""
+        self._check_fitted()
+        clone = DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            criterion=self.criterion,
+        )
+        clone.classes_ = self.classes_.copy()
+        clone.n_features_in_ = self.n_features_in_
+        clone.children_left_ = self.children_left_.copy()
+        clone.children_right_ = self.children_right_.copy()
+        clone.feature_ = self.feature_.copy()
+        clone.threshold_ = self.threshold_.copy()
+        clone.value_ = self.value_.copy()
+        clone.impurity_ = self.impurity_.copy()
+        clone.n_node_samples_ = self.n_node_samples_.copy()
+        clone.depth_ = self.depth_.copy()
+        clone.node_count_ = self.node_count_
+        clone._fitted = True
+        return clone

@@ -1,0 +1,91 @@
+"""Human-readable export of CART trees.
+
+Transparency is a selling point of the uncertainty wrapper approach: domain
+experts are supposed to be able to review the quality impact model.  This
+module renders a fitted tree as indented text, optionally annotating each
+leaf with caller-provided strings (the wrapper uses this to show the
+guaranteed uncertainty per leaf).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.trees.cart import LEAF, DecisionTreeClassifier
+
+__all__ = ["export_text"]
+
+
+def export_text(
+    tree: DecisionTreeClassifier,
+    feature_names: Sequence[str] | None = None,
+    leaf_annotations: Mapping[int, str] | None = None,
+    max_depth: int | None = None,
+    decimals: int = 4,
+) -> str:
+    """Render a fitted tree as an indented text diagram.
+
+    Parameters
+    ----------
+    tree:
+        The fitted tree to render.
+    feature_names:
+        Names for the feature columns; defaults to ``feature_<i>``.
+    leaf_annotations:
+        Optional mapping from leaf node id to an extra string appended to
+        that leaf's line (e.g. ``u <= 0.0072``).
+    max_depth:
+        Truncate the rendering below this depth (the subtree is summarised
+        as ``...``); ``None`` renders everything.
+    decimals:
+        Decimal places for thresholds.
+
+    Returns
+    -------
+    str
+        Multi-line diagram, one node per line.
+    """
+    tree._check_fitted()
+    if feature_names is not None and len(feature_names) < tree.n_features_in_:
+        raise ValidationError(
+            f"feature_names has {len(feature_names)} entries but the tree uses "
+            f"{tree.n_features_in_} features"
+        )
+    leaf_annotations = leaf_annotations or {}
+    lines: list[str] = []
+
+    def name(feature_id: int) -> str:
+        if feature_names is not None:
+            return str(feature_names[feature_id])
+        return f"feature_{feature_id}"
+
+    def leaf_line(node_id: int, indent: str) -> str:
+        counts = tree.value_[node_id]
+        total = counts.sum()
+        majority = tree.classes_[int(np.argmax(counts))]
+        line = f"{indent}leaf #{node_id}: class={majority!r} n={int(total)}"
+        annotation = leaf_annotations.get(node_id)
+        if annotation:
+            line += f" [{annotation}]"
+        return line
+
+    def walk(node_id: int, depth: int) -> None:
+        indent = "|   " * depth
+        if tree.children_left_[node_id] == LEAF:
+            lines.append(leaf_line(node_id, indent))
+            return
+        if max_depth is not None and depth >= max_depth:
+            lines.append(f"{indent}node #{node_id}: ...")
+            return
+        feat = name(int(tree.feature_[node_id]))
+        thresh = round(float(tree.threshold_[node_id]), decimals)
+        lines.append(f"{indent}{feat} <= {thresh}")
+        walk(int(tree.children_left_[node_id]), depth + 1)
+        lines.append(f"{indent}{feat} >  {thresh}")
+        walk(int(tree.children_right_[node_id]), depth + 1)
+
+    walk(0, 0)
+    return "\n".join(lines)

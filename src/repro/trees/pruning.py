@@ -1,0 +1,102 @@
+"""Calibration-driven pruning of CART trees.
+
+The uncertainty wrapper calibrates its quality impact model by pruning the
+trained tree "so that each leaf in the decision tree was left with at least
+200 samples" *of the calibration dataset* and then attaching statistical
+guarantees per leaf.  Pruning by calibration count (rather than training
+count) matters: the guarantee quality depends on how many held-out samples
+support each leaf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.trees.cart import LEAF, DecisionTreeClassifier
+
+__all__ = [
+    "count_samples_per_node",
+    "prune_to_min_samples",
+    "collapse_node",
+]
+
+
+def count_samples_per_node(tree: DecisionTreeClassifier, X) -> np.ndarray:
+    """Count how many rows of ``X`` pass through every node of ``tree``.
+
+    Returns an array of length ``tree.node_count_``; entry 0 (the root)
+    equals ``len(X)``.
+    """
+    counts = np.zeros(tree.node_count_, dtype=np.int64)
+    X = np.asarray(X, dtype=float)
+    if X.shape[0] == 0:
+        return counts
+    nodes = np.zeros(X.shape[0], dtype=np.int64)
+    np.add.at(counts, nodes, 1)
+    active = tree.children_left_[nodes] != LEAF
+    while np.any(active):
+        rows = np.nonzero(active)[0]
+        current = nodes[rows]
+        go_left = X[rows, tree.feature_[current]] <= tree.threshold_[current]
+        nxt = np.where(
+            go_left, tree.children_left_[current], tree.children_right_[current]
+        )
+        nodes[rows] = nxt
+        np.add.at(counts, nxt, 1)
+        active = tree.children_left_[nodes] != LEAF
+    return counts
+
+
+def collapse_node(tree: DecisionTreeClassifier, node_id: int) -> None:
+    """Turn ``node_id`` into a leaf in place (its subtree becomes unreachable)."""
+    if node_id < 0 or node_id >= tree.node_count_:
+        raise ValidationError(f"node_id {node_id} out of range")
+    tree.children_left_[node_id] = LEAF
+    tree.children_right_[node_id] = LEAF
+    tree.feature_[node_id] = -2
+    tree.threshold_[node_id] = np.nan
+
+def prune_to_min_samples(
+    tree: DecisionTreeClassifier, X_calibration, min_samples: int
+) -> DecisionTreeClassifier:
+    """Return a pruned copy whose every leaf holds >= ``min_samples`` rows.
+
+    Counts are taken over ``X_calibration``.  An internal node is collapsed
+    into a leaf whenever either of its children would end up supported by
+    fewer than ``min_samples`` calibration rows; the check runs bottom-up so
+    collapses propagate towards the root.  The root itself is never removed,
+    so if the calibration set is smaller than ``min_samples`` the result is
+    a single-leaf tree (and the caller will see the full calibration count
+    at the root).
+
+    Parameters
+    ----------
+    tree:
+        A fitted tree; not modified.
+    X_calibration:
+        Held-out feature rows used for support counting.
+    min_samples:
+        Minimum calibration rows per surviving leaf (paper: 200).
+
+    Returns
+    -------
+    DecisionTreeClassifier
+        A pruned deep copy of ``tree``.
+    """
+    if min_samples < 1:
+        raise ValidationError(f"min_samples must be >= 1, got {min_samples}")
+    pruned = tree.copy()
+    counts = count_samples_per_node(pruned, X_calibration)
+
+    # Bottom-up order: children always have larger ids than their parent in
+    # our depth-first construction, so iterating ids in reverse visits every
+    # child before its parent.
+    for node_id in range(pruned.node_count_ - 1, -1, -1):
+        left = pruned.children_left_[node_id]
+        if left == LEAF:
+            continue
+        right = pruned.children_right_[node_id]
+        if counts[left] < min_samples or counts[right] < min_samples:
+            collapse_node(pruned, node_id)
+    return pruned

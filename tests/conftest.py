@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import StudyConfig, prepare_study_data
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def smoke_study_data():
+    """One shared smoke-scale study run (expensive; ~5 s) for evaluation tests."""
+    return prepare_study_data(StudyConfig.smoke_scale())

@@ -1,0 +1,81 @@
+"""Tests for the timeseries buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.exceptions import EmptyBufferError, ValidationError
+
+
+class TestBuffer:
+    def test_starts_empty(self):
+        buffer = TimeseriesBuffer()
+        assert len(buffer) == 0
+        assert buffer.is_empty
+
+    def test_append_records_in_order(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(3, 0.1)
+        buffer.append(5, 0.2)
+        assert buffer.outcomes == [3, 5]
+        assert buffer.uncertainties == [0.1, 0.2]
+        assert len(buffer) == 2
+
+    def test_certainties_are_complements(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.25)
+        assert buffer.certainties == [0.75]
+
+    def test_reset_clears(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        buffer.reset()
+        assert buffer.is_empty
+
+    def test_properties_return_copies(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        outcomes = buffer.outcomes
+        outcomes.append(99)
+        assert buffer.outcomes == [1]
+
+    def test_arrays(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        buffer.append(2, 0.7)
+        assert np.array_equal(buffer.outcomes_array(), [1, 2])
+        assert np.allclose(buffer.uncertainties_array(), [0.5, 0.7])
+        assert buffer.outcomes_array().dtype == np.int64
+
+    def test_last_outcome(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        buffer.append(9, 0.5)
+        assert buffer.last_outcome() == 9
+
+    def test_empty_queries_raise(self):
+        buffer = TimeseriesBuffer()
+        with pytest.raises(EmptyBufferError):
+            buffer.outcomes_array()
+        with pytest.raises(EmptyBufferError):
+            buffer.uncertainties_array()
+        with pytest.raises(EmptyBufferError):
+            buffer.last_outcome()
+
+    def test_invalid_uncertainty_rejected(self):
+        buffer = TimeseriesBuffer()
+        with pytest.raises(ValidationError):
+            buffer.append(1, 1.5)
+        with pytest.raises(ValidationError):
+            buffer.append(1, -0.1)
+
+    def test_sliding_window(self):
+        buffer = TimeseriesBuffer(max_length=3)
+        for i in range(5):
+            buffer.append(i, 0.1 * i)
+        assert buffer.outcomes == [2, 3, 4]
+        assert len(buffer) == 3
+
+    def test_invalid_max_length_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeseriesBuffer(max_length=0)

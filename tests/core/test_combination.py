@@ -1,0 +1,50 @@
+"""Tests for combining quality- and scope-related uncertainties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combination import combine_uncertainties
+from repro.exceptions import ValidationError
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestCombine:
+    def test_formula(self):
+        assert combine_uncertainties(0.1, 0.2) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_zero_scope_is_identity(self):
+        assert combine_uncertainties(0.37, 0.0) == pytest.approx(0.37)
+
+    def test_certain_incompliance_dominates(self):
+        assert combine_uncertainties(0.01, 1.0) == 1.0
+
+    def test_scalar_output_type(self):
+        assert isinstance(combine_uncertainties(0.1, 0.1), float)
+
+    def test_array_broadcast(self):
+        result = combine_uncertainties(np.array([0.1, 0.2]), 0.5)
+        assert result.shape == (2,)
+        assert result[0] == pytest.approx(1 - 0.9 * 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_uncertainties(1.2, 0.0)
+        with pytest.raises(ValidationError):
+            combine_uncertainties(0.0, -0.1)
+
+    @given(uq=unit, us=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_and_monotonicity(self, uq, us):
+        combined = combine_uncertainties(uq, us)
+        assert 0.0 <= combined <= 1.0
+        assert combined >= max(uq, us) - 1e-12  # never below either component
+
+    @given(uq=unit, us=unit)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, uq, us):
+        assert combine_uncertainties(uq, us) == pytest.approx(
+            combine_uncertainties(us, uq)
+        )

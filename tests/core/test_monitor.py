@@ -1,0 +1,105 @@
+"""Tests for the simplex-style uncertainty monitor."""
+
+import pytest
+
+from repro.core.monitor import (
+    MonitorDecision,
+    UncertaintyMonitor,
+)
+from repro.exceptions import ValidationError
+
+
+class TestBasicThreshold:
+    def test_accepts_below_threshold(self):
+        monitor = UncertaintyMonitor(threshold=0.05)
+        verdict = monitor.judge(0.01)
+        assert verdict.decision is MonitorDecision.ACCEPT
+        assert verdict.accepted
+
+    def test_accepts_at_threshold(self):
+        monitor = UncertaintyMonitor(threshold=0.05)
+        assert monitor.judge(0.05).accepted
+
+    def test_falls_back_above_threshold(self):
+        monitor = UncertaintyMonitor(threshold=0.05)
+        verdict = monitor.judge(0.2)
+        assert verdict.decision is MonitorDecision.FALLBACK
+        assert not verdict.accepted
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor(threshold=0.0)
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor(threshold=1.0)
+
+    def test_invalid_uncertainty_rejected(self):
+        monitor = UncertaintyMonitor(threshold=0.1)
+        with pytest.raises(ValidationError):
+            monitor.judge(1.2)
+
+
+class TestHysteresis:
+    def test_reentry_threshold_applies_after_fallback(self):
+        monitor = UncertaintyMonitor(threshold=0.1, reentry_threshold=0.02)
+        assert monitor.judge(0.08).accepted  # fine under base threshold
+        assert not monitor.judge(0.5).accepted  # fallback
+        # 0.08 would pass the base threshold but not the re-entry one.
+        verdict = monitor.judge(0.08)
+        assert not verdict.accepted
+        assert verdict.in_hysteresis
+        assert verdict.threshold == 0.02
+        # Dropping below the re-entry threshold re-arms acceptance.
+        assert monitor.judge(0.01).accepted
+        assert monitor.judge(0.08).accepted  # base threshold again
+
+    def test_no_hysteresis_by_default(self):
+        monitor = UncertaintyMonitor(threshold=0.1)
+        monitor.judge(0.5)
+        assert monitor.judge(0.08).accepted
+
+    def test_invalid_reentry_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor(threshold=0.05, reentry_threshold=0.1)
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor(threshold=0.05, reentry_threshold=0.0)
+
+
+class TestRiskBudget:
+    def test_budget_exhaustion_forces_fallback(self):
+        monitor = UncertaintyMonitor(threshold=0.5, risk_budget=0.1)
+        assert monitor.judge(0.06).accepted
+        # 0.06 + 0.06 would exceed the 0.1 budget.
+        assert not monitor.judge(0.06).accepted
+        # A cheaper acceptance still fits.
+        assert monitor.judge(0.03).accepted
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor(threshold=0.1, risk_budget=0.0)
+
+
+class TestStatistics:
+    def test_counters(self):
+        monitor = UncertaintyMonitor(threshold=0.1)
+        monitor.judge(0.05)
+        monitor.judge(0.5)
+        monitor.judge(0.02)
+        stats = monitor.statistics
+        assert stats.steps == 3
+        assert stats.accepted == 2
+        assert stats.fallbacks == 1
+        assert stats.acceptance_rate == pytest.approx(2 / 3)
+        assert stats.accepted_risk == pytest.approx(0.07)
+        assert stats.expected_accepted_failures == pytest.approx(0.07)
+
+    def test_empty_statistics(self):
+        monitor = UncertaintyMonitor(threshold=0.1)
+        assert monitor.statistics.acceptance_rate == 0.0
+
+    def test_reset(self):
+        monitor = UncertaintyMonitor(threshold=0.1, reentry_threshold=0.01)
+        monitor.judge(0.5)
+        monitor.reset()
+        assert monitor.statistics.steps == 0
+        # Hysteresis state cleared: base threshold applies again.
+        assert monitor.judge(0.08).accepted

@@ -1,0 +1,173 @@
+"""Tests for the stateless/timeseries-aware quality-factor machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.quality_factors import (
+    QualityFactorLayout,
+    TAQF_NAMES,
+    compute_taqf_vector,
+    taqf_cumulative_certainty,
+    taqf_length,
+    taqf_ratio,
+    taqf_unique_count,
+)
+from repro.exceptions import ValidationError
+
+
+class TestTaqfRatio:
+    def test_all_agree(self):
+        assert taqf_ratio([4, 4, 4], 4) == 1.0
+
+    def test_none_agree(self):
+        assert taqf_ratio([1, 2, 3], 4) == 0.0
+
+    def test_partial(self):
+        assert taqf_ratio([1, 2, 1, 1], 1) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            taqf_ratio([], 1)
+
+    @given(
+        outcomes=st.lists(st.integers(0, 5), min_size=1, max_size=20),
+        fused=st.integers(0, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounded(self, outcomes, fused):
+        assert 0.0 <= taqf_ratio(outcomes, fused) <= 1.0
+
+
+class TestTaqfLength:
+    def test_counts_steps(self):
+        assert taqf_length([1]) == 1.0
+        assert taqf_length([1, 2, 3]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            taqf_length([])
+
+
+class TestTaqfUniqueCount:
+    def test_counts_distinct(self):
+        assert taqf_unique_count([1, 1, 1]) == 1.0
+        assert taqf_unique_count([1, 2, 1, 3]) == 3.0
+
+    @given(outcomes=st.lists(st.integers(0, 5), min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_length(self, outcomes):
+        assert 1.0 <= taqf_unique_count(outcomes) <= len(outcomes)
+
+
+class TestTaqfCumulativeCertainty:
+    def test_agreeing_outcomes_contribute_certainty(self):
+        # c_j = 1 - u_j for agreeing outcomes: 0.9 + 0.8 = 1.7.
+        value = taqf_cumulative_certainty([1, 1], [0.1, 0.2], 1)
+        assert value == pytest.approx(1.7)
+
+    def test_disagreeing_outcomes_contribute_zero(self):
+        value = taqf_cumulative_certainty([1, 2, 1], [0.1, 0.0, 0.2], 1)
+        assert value == pytest.approx(0.9 + 0.8)
+
+    def test_no_agreement_is_zero(self):
+        assert taqf_cumulative_certainty([2, 3], [0.1, 0.1], 1) == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValidationError):
+            taqf_cumulative_certainty([1, 2], [0.1], 1)
+
+    def test_invalid_uncertainty_rejected(self):
+        with pytest.raises(ValidationError):
+            taqf_cumulative_certainty([1], [1.5], 1)
+
+    @given(
+        n=st.integers(1, 15),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_agreement_count(self, n, seed):
+        rng = np.random.default_rng(seed)
+        outcomes = rng.integers(0, 3, size=n).tolist()
+        uncertainties = rng.uniform(size=n).tolist()
+        fused = int(outcomes[-1])
+        value = taqf_cumulative_certainty(outcomes, uncertainties, fused)
+        agreeing = sum(1 for o in outcomes if o == fused)
+        assert 0.0 <= value <= agreeing
+
+
+class TestComputeVector:
+    def test_default_order(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.1)
+        buffer.append(2, 0.2)
+        buffer.append(1, 0.3)
+        vec = compute_taqf_vector(buffer, 1)
+        assert vec.shape == (4,)
+        assert vec[0] == pytest.approx(2 / 3)  # ratio
+        assert vec[1] == 3.0  # length
+        assert vec[2] == 2.0  # size
+        assert vec[3] == pytest.approx(0.9 + 0.7)  # certainty
+
+    def test_subset_and_order_respected(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        vec = compute_taqf_vector(buffer, 1, names=("length", "ratio"))
+        assert vec[0] == 1.0
+        assert vec[1] == 1.0
+
+    def test_unknown_name_rejected(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        with pytest.raises(ValidationError):
+            compute_taqf_vector(buffer, 1, names=("bogus",))
+
+
+class TestLayout:
+    def test_feature_names_concatenated(self):
+        layout = QualityFactorLayout(["rain", "size"], ("ratio", "certainty"))
+        assert layout.feature_names == ("rain", "size", "ratio", "certainty")
+        assert layout.n_features == 4
+
+    def test_stateless_only_layout(self):
+        layout = QualityFactorLayout(["rain"])
+        assert layout.taqf_names == ()
+        row = layout.assemble(np.array([0.3]))
+        assert np.array_equal(row, [0.3])
+
+    def test_assemble_appends_taqfs(self):
+        layout = QualityFactorLayout(["rain"], ("ratio", "length"))
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.1)
+        buffer.append(1, 0.1)
+        row = layout.assemble(np.array([0.5]), buffer, 1)
+        assert np.allclose(row, [0.5, 1.0, 2.0])
+
+    def test_assemble_without_buffer_rejected(self):
+        layout = QualityFactorLayout(["rain"], ("ratio",))
+        with pytest.raises(ValidationError):
+            layout.assemble(np.array([0.5]))
+
+    def test_wrong_stateless_width_rejected(self):
+        layout = QualityFactorLayout(["rain", "size"])
+        with pytest.raises(ValidationError):
+            layout.assemble(np.array([0.5]))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            QualityFactorLayout(["rain", "rain"])
+        with pytest.raises(ValidationError):
+            QualityFactorLayout(["rain"], ("ratio", "ratio"))
+
+    def test_unknown_taqf_rejected(self):
+        with pytest.raises(ValidationError):
+            QualityFactorLayout(["rain"], ("bogus",))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            QualityFactorLayout(["ratio"], ("ratio",))
+
+    def test_canonical_names(self):
+        assert TAQF_NAMES == ("ratio", "length", "size", "certainty")

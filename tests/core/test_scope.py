@@ -1,0 +1,118 @@
+"""Tests for the scope compliance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.scope import BoundaryCheck, ScopeComplianceModel, SimilarityScope
+from repro.exceptions import NotFittedError, ScopeError, ValidationError
+
+
+class TestBoundaryCheck:
+    def test_passes_inside(self):
+        check = BoundaryCheck("latitude", 47.3, 55.0)
+        assert check.passes(50.0)
+        assert check.passes(47.3)
+        assert check.passes(55.0)
+
+    def test_fails_outside(self):
+        check = BoundaryCheck("latitude", 47.3, 55.0)
+        assert not check.passes(40.0)
+        assert not check.passes(56.0)
+
+    def test_open_sides(self):
+        assert BoundaryCheck("x", low=0.0).passes(1e9)
+        assert BoundaryCheck("x", high=0.0).passes(-1e9)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            BoundaryCheck("x", low=1.0, high=0.0)
+
+
+class TestSimilarityScope:
+    def test_in_distribution_scores_zero(self, rng):
+        X = rng.normal(size=(500, 3))
+        scope = SimilarityScope(k=5, quantile=0.95).fit(X, rng)
+        scores = scope.incompliance(rng.normal(size=(200, 3)))
+        assert np.mean(scores == 0.0) > 0.8
+
+    def test_far_outlier_scores_one(self, rng):
+        X = rng.normal(size=(500, 3))
+        scope = SimilarityScope(k=5).fit(X, rng)
+        assert scope.incompliance(np.full((1, 3), 100.0))[0] == 1.0
+
+    def test_scores_monotone_in_distance(self, rng):
+        X = rng.normal(size=(500, 2))
+        scope = SimilarityScope(k=5, quantile=0.9).fit(X, rng)
+        offsets = np.array([[0.0, 0.0], [5.0, 0.0], [15.0, 0.0], [50.0, 0.0]])
+        scores = scope.incompliance(offsets)
+        assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            SimilarityScope().incompliance(rng.normal(size=(2, 3)))
+
+    def test_wrong_width_rejected(self, rng):
+        scope = SimilarityScope(k=3).fit(rng.normal(size=(100, 3)), rng)
+        with pytest.raises(ValidationError):
+            scope.incompliance(rng.normal(size=(2, 4)))
+
+    def test_reference_subsampling(self, rng):
+        scope = SimilarityScope(k=3, max_reference=50).fit(
+            rng.normal(size=(500, 2)), rng
+        )
+        assert scope._reference.shape[0] == 50
+
+    def test_too_few_rows_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SimilarityScope(k=10).fit(rng.normal(size=(5, 2)), rng)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            SimilarityScope(k=0)
+        with pytest.raises(ValidationError):
+            SimilarityScope(quantile=1.0)
+        with pytest.raises(ValidationError):
+            SimilarityScope(ramp_factor=1.0)
+        with pytest.raises(ValidationError):
+            SimilarityScope(max_reference=1)
+
+
+class TestScopeComplianceModel:
+    def test_boundary_violation_is_certain_incompliance(self):
+        model = ScopeComplianceModel(checks=[BoundaryCheck("latitude", 47.3, 55.0)])
+        assert model.incompliance_probability({"latitude": 40.0}) == 1.0
+
+    def test_inside_boundaries_without_similarity_is_zero(self):
+        model = ScopeComplianceModel(checks=[BoundaryCheck("latitude", 47.3, 55.0)])
+        assert model.incompliance_probability({"latitude": 50.0}) == 0.0
+
+    def test_similarity_consulted_inside_boundaries(self, rng):
+        similarity = SimilarityScope(k=5).fit(rng.normal(size=(300, 2)), rng)
+        model = ScopeComplianceModel(
+            checks=[BoundaryCheck("a", -10.0, 10.0)],
+            similarity=similarity,
+            similarity_factors=("a", "b"),
+        )
+        assert model.incompliance_probability({"a": 9.9, "b": 100.0}) == 1.0
+        assert model.incompliance_probability({"a": 0.0, "b": 0.0}) < 0.5
+
+    def test_missing_boundary_factor_raises(self):
+        model = ScopeComplianceModel(checks=[BoundaryCheck("latitude")])
+        with pytest.raises(ScopeError):
+            model.incompliance_probability({"longitude": 9.0})
+
+    def test_missing_similarity_factor_raises(self, rng):
+        similarity = SimilarityScope(k=5).fit(rng.normal(size=(300, 2)), rng)
+        model = ScopeComplianceModel(
+            similarity=similarity, similarity_factors=("a", "b")
+        )
+        with pytest.raises(ScopeError):
+            model.incompliance_probability({"a": 0.0})
+
+    def test_similarity_without_factor_names_rejected(self, rng):
+        similarity = SimilarityScope(k=5).fit(rng.normal(size=(300, 2)), rng)
+        with pytest.raises(ValidationError):
+            ScopeComplianceModel(similarity=similarity)
+
+    def test_no_checks_no_similarity_always_compliant(self):
+        assert ScopeComplianceModel().incompliance_probability({}) == 0.0

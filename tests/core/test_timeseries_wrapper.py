@@ -1,0 +1,227 @@
+"""Tests for the timeseries-aware uncertainty wrapper and the trace path."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_factors import QualityFactorLayout, TAQF_NAMES
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.timeseries_wrapper import (
+    TimeseriesAwareUncertaintyWrapper,
+    stack_traces,
+    trace_series,
+)
+from repro.exceptions import NotCalibratedError, ValidationError
+from repro.fusion.information import MajorityVote
+from repro.models.ddm import SyntheticDDM
+
+
+def make_series(rng, n_series=120, length=10, correlation=0.6):
+    """Synthetic series for the correlated SyntheticDDM.
+
+    Per series: one truth, one error probability (the quality factor), and
+    per-frame noise draws that share a Gaussian-copula factor -- so errors
+    within a series are strongly but not perfectly correlated, the
+    dependence structure the taUW addresses.  (Perfect correlation would
+    make the fused outcome identical to the isolated one, leaving the
+    timeseries-aware factors nothing to explain.)
+    """
+    from scipy.stats import norm
+
+    series = []
+    rho = np.sqrt(correlation)
+    for _ in range(n_series):
+        truth = int(rng.integers(0, 10))
+        base = float(np.where(rng.uniform() < 0.5, 0.08, 0.45))
+        # Per-frame variation (as real deficits vary within a series):
+        # frames with lower error probability get lower stateless u, which
+        # is what makes the cumulative-certainty factor informative.
+        p_err = np.clip(base + rng.uniform(-0.25, 0.25, size=length), 0.01, 0.95)
+        z_series = rng.normal()
+        z_frames = rng.normal(size=length)
+        noise = norm.cdf(rho * z_series + np.sqrt(1 - rho * rho) * z_frames)
+        X_model = np.column_stack(
+            [np.full(length, truth), p_err, noise]
+        ).astype(float)
+        quality = p_err[:, None]
+        series.append((X_model, quality, truth))
+    return series
+
+
+def build_stack(rng, taqf_names=TAQF_NAMES, n_series=400):
+    """Train and calibrate a full taUW stack on synthetic series.
+
+    Calibration sets are sized so the Clopper-Pearson bounds stay close to
+    the empirical leaf rates (tiny leaves would otherwise drown the taQIM's
+    resolution advantage in bound slack).
+    """
+    ddm = SyntheticDDM(correlated=True)
+    layout = QualityFactorLayout(["p_err"], taqf_names)
+    fusion = MajorityVote()
+
+    train = make_series(rng, n_series=n_series)
+    cal = make_series(rng, n_series=n_series)
+
+    def frames(dataset):
+        X = np.vstack([s[0] for s in dataset])
+        q = np.vstack([s[1] for s in dataset])
+        y = np.concatenate([np.full(len(s[0]), s[2]) for s in dataset])
+        return X, q, y
+
+    X_train, q_train, y_train = frames(train)
+    X_cal, q_cal, y_cal = frames(cal)
+
+    stateless = QualityImpactModel(max_depth=3, min_calibration_samples=300)
+    stateless.fit(q_train, (ddm.predict(X_train) != y_train).astype(int))
+    stateless.calibrate(q_cal, (ddm.predict(X_cal) != y_cal).astype(int))
+
+    def traces(dataset):
+        out = []
+        for X_model, quality, truth in dataset:
+            outcomes = ddm.predict(X_model)
+            u = stateless.estimate_uncertainty(quality)
+            out.append(
+                trace_series(outcomes, u, quality, truth, layout, fusion)
+            )
+        return out
+
+    ta_qim = QualityImpactModel(max_depth=4, min_calibration_samples=300)
+    ta_qim.fit(*stack_traces(traces(train)))
+    ta_qim.calibrate(*stack_traces(traces(cal)))
+
+    wrapper = TimeseriesAwareUncertaintyWrapper(
+        ddm, stateless, ta_qim, layout, information_fusion=fusion
+    )
+    return wrapper, ddm, stateless, ta_qim, layout, fusion
+
+
+class TestTraceSeries:
+    def test_fused_outcomes_follow_majority(self):
+        layout = QualityFactorLayout(["qf"], ())
+        trace = trace_series(
+            outcomes=[1, 2, 2, 3],
+            uncertainties=[0.1] * 4,
+            stateless_features=np.zeros((4, 1)),
+            truth=2,
+            layout=layout,
+        )
+        assert trace.fused_outcomes.tolist() == [1, 2, 2, 2]
+        assert trace.fused_wrong().tolist() == [1, 0, 0, 0]
+        assert trace.isolated_wrong().tolist() == [1, 0, 0, 1]
+
+    def test_features_include_taqfs(self):
+        layout = QualityFactorLayout(["qf"], TAQF_NAMES)
+        trace = trace_series(
+            outcomes=[1, 1, 2],
+            uncertainties=[0.2, 0.1, 0.3],
+            stateless_features=np.full((3, 1), 0.5),
+            truth=1,
+            layout=layout,
+        )
+        # Step 2 (0-based): fused = 1; ratio 2/3; length 3; size 2;
+        # certainty (1-0.2)+(1-0.1) for the two agreeing outcomes.
+        assert trace.features.shape == (3, 5)
+        assert trace.features[2].tolist() == pytest.approx(
+            [0.5, 2 / 3, 3.0, 2.0, 1.7]
+        )
+
+    def test_empty_series_rejected(self):
+        layout = QualityFactorLayout(["qf"], ())
+        with pytest.raises(ValidationError):
+            trace_series([], [], np.zeros((0, 1)), 0, layout)
+
+    def test_misaligned_inputs_rejected(self):
+        layout = QualityFactorLayout(["qf"], ())
+        with pytest.raises(ValidationError):
+            trace_series([1, 2], [0.1], np.zeros((2, 1)), 0, layout)
+        with pytest.raises(ValidationError):
+            trace_series([1, 2], [0.1, 0.1], np.zeros((3, 1)), 0, layout)
+
+    def test_stack_traces_alignment(self):
+        layout = QualityFactorLayout(["qf"], ("ratio",))
+        t1 = trace_series([1, 1], [0.1, 0.1], np.zeros((2, 1)), 1, layout)
+        t2 = trace_series([2], [0.1], np.zeros((1, 1)), 3, layout)
+        X, y = stack_traces([t1, t2])
+        assert X.shape == (3, 2)
+        assert y.tolist() == [0, 0, 1]
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            stack_traces([])
+
+
+class TestOnlineWrapper:
+    def test_requires_calibrated_models(self, rng):
+        ddm = SyntheticDDM()
+        layout = QualityFactorLayout(["p_err"], TAQF_NAMES)
+        raw = QualityImpactModel()
+        with pytest.raises(NotCalibratedError):
+            TimeseriesAwareUncertaintyWrapper(ddm, raw, raw, layout)
+
+    def test_step_matches_offline_trace(self, rng):
+        # The online step() path and the offline trace path must agree
+        # exactly: same fused outcomes, same features, same uncertainties.
+        wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
+        X_model, quality, truth = make_series(rng, n_series=1)[0]
+        outcomes = ddm.predict(X_model)
+        u = stateless.estimate_uncertainty(quality)
+        trace = trace_series(outcomes, u, quality, truth, layout, fusion)
+        expected_u = ta_qim.estimate_uncertainty(trace.features)
+
+        wrapper.reset()
+        for t in range(len(X_model)):
+            result = wrapper.step(X_model[t], quality[t])
+            assert result.timestep == t
+            assert result.isolated_outcome == outcomes[t]
+            assert result.isolated_uncertainty == pytest.approx(u[t])
+            assert result.fused_outcome == trace.fused_outcomes[t]
+            assert result.fused_uncertainty == pytest.approx(expected_u[t])
+
+    def test_new_series_resets_buffer(self, rng):
+        wrapper, *_ = build_stack(rng)
+        X_model, quality, _ = make_series(rng, n_series=1)[0]
+        for t in range(3):
+            wrapper.step(X_model[t], quality[t])
+        assert wrapper.timestep == 3
+        result = wrapper.step(X_model[0], quality[0], new_series=True)
+        assert result.timestep == 0
+        assert wrapper.timestep == 1
+
+    def test_fused_certainty_property(self, rng):
+        wrapper, *_ = build_stack(rng)
+        X_model, quality, _ = make_series(rng, n_series=1)[0]
+        result = wrapper.step(X_model[0], quality[0])
+        assert result.fused_certainty == pytest.approx(1.0 - result.fused_uncertainty)
+
+    def test_wrong_quality_width_rejected(self, rng):
+        wrapper, *_ = build_stack(rng)
+        X_model, quality, _ = make_series(rng, n_series=1)[0]
+        with pytest.raises(ValidationError):
+            wrapper.step(X_model[0], np.zeros(3))
+
+    def test_max_buffer_length_slides(self, rng):
+        wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
+        bounded = TimeseriesAwareUncertaintyWrapper(
+            ddm, stateless, ta_qim, layout,
+            information_fusion=fusion, max_buffer_length=4,
+        )
+        X_model, quality, _ = make_series(rng, n_series=1, length=10)[0]
+        for t in range(10):
+            bounded.step(X_model[t], quality[t])
+        assert len(bounded.buffer) == 4
+
+    def test_taUW_improves_on_stateless_for_fused_outcomes(self, rng):
+        # On the synthetic process the taUW's Brier on fused outcomes
+        # should beat using the momentaneous stateless estimate.
+        from repro.stats.brier import brier_score
+
+        wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
+        test = make_series(rng, n_series=150)
+        u_ta, u_iso, wrong = [], [], []
+        for X_model, quality, truth in test:
+            outcomes = ddm.predict(X_model)
+            u = stateless.estimate_uncertainty(quality)
+            trace = trace_series(outcomes, u, quality, truth, layout, fusion)
+            u_ta.extend(ta_qim.estimate_uncertainty(trace.features))
+            u_iso.extend(u)
+            wrong.extend(trace.fused_wrong())
+        assert brier_score(u_ta, wrong) < brier_score(u_iso, wrong)

@@ -1,0 +1,125 @@
+"""Tests for the stateless uncertainty wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.scope import BoundaryCheck, ScopeComplianceModel
+from repro.core.wrapper import UncertaintyWrapper, WrappedOutcome
+from repro.exceptions import ValidationError
+from repro.models.ddm import SyntheticDDM
+
+
+def make_cases(rng, n=3000):
+    """Synthetic wrapper cases with exactly known error behaviour.
+
+    Each case is (true_class, error_probability, noise); the correlated
+    SyntheticDDM errs exactly when noise < error_probability, so outcomes
+    are deterministic given the rows.  The error probability doubles as the
+    (perfectly informative) quality factor.
+    """
+    truth = rng.integers(0, 10, size=n)
+    p_err = np.where(rng.uniform(size=n) < 0.5, 0.05, 0.5)
+    noise = rng.uniform(size=n)
+    X_model = np.column_stack([truth, p_err, noise]).astype(float)
+    quality = p_err[:, None]
+    return X_model, quality, truth
+
+
+@pytest.fixture
+def wrapper(rng):
+    ddm = SyntheticDDM(correlated=True)
+    qim = QualityImpactModel(max_depth=3, min_calibration_samples=100)
+    wrapper = UncertaintyWrapper(ddm, qim)
+    X_train, q_train, y_train = make_cases(rng)
+    X_cal, q_cal, y_cal = make_cases(rng)
+    wrapper.fit(X_train, q_train, y_train)
+    wrapper.calibrate(X_cal, q_cal, y_cal)
+    return wrapper
+
+
+class TestLifecycle:
+    def test_requires_predict_method(self):
+        with pytest.raises(ValidationError):
+            UncertaintyWrapper(object())
+
+    def test_default_qim_constructed(self):
+        wrapper = UncertaintyWrapper(SyntheticDDM())
+        assert isinstance(wrapper.quality_impact_model, QualityImpactModel)
+
+
+class TestApplyBatch:
+    def test_outcomes_match_ddm(self, wrapper, rng):
+        X, quality, _ = make_cases(rng, 500)
+        outcomes, _ = wrapper.apply_batch(X, quality)
+        assert np.array_equal(outcomes, wrapper.ddm.predict(X))
+
+    def test_uncertainty_tracks_risk(self, wrapper, rng):
+        X, quality, _ = make_cases(rng, 2000)
+        _, u = wrapper.apply_batch(X, quality)
+        risky = quality[:, 0] > 0.25
+        assert u[risky].mean() > u[~risky].mean() + 0.2
+
+    def test_uncertainty_conservative(self, wrapper, rng):
+        # Dependable estimates must upper-bound the true error rates
+        # (0.05 and 0.5 by construction).
+        X, quality, y = make_cases(rng, 4000)
+        _, u = wrapper.apply_batch(X, quality)
+        risky = quality[:, 0] > 0.25
+        assert u[risky].min() >= 0.45
+        assert u[~risky].min() >= 0.04
+
+    def test_misaligned_inputs_rejected(self, wrapper, rng):
+        X, quality, _ = make_cases(rng, 100)
+        with pytest.raises(ValidationError):
+            wrapper.apply_batch(X, quality[:-1])
+
+
+class TestApplySingle:
+    def test_returns_wrapped_outcome(self, wrapper):
+        result = wrapper.apply([3.0, 0.05, 0.9], [0.05])
+        assert isinstance(result, WrappedOutcome)
+        assert result.outcome == 3
+        assert 0.0 < result.uncertainty < 1.0
+        assert result.certainty == pytest.approx(1.0 - result.uncertainty)
+        assert result.scope_incompliance == 0.0
+
+    def test_single_matches_batch(self, wrapper, rng):
+        X, quality, _ = make_cases(rng, 20)
+        outcomes, uncertainties = wrapper.apply_batch(X, quality)
+        for i in range(5):
+            single = wrapper.apply(X[i], quality[i])
+            assert single.outcome == outcomes[i]
+            assert single.uncertainty == pytest.approx(uncertainties[i])
+
+    def test_batch_input_rejected(self, wrapper, rng):
+        X, quality, _ = make_cases(rng, 10)
+        with pytest.raises(ValidationError):
+            wrapper.apply(X, quality)
+
+
+class TestScopeIntegration:
+    def test_out_of_scope_forces_full_uncertainty(self, rng):
+        ddm = SyntheticDDM(correlated=True)
+        qim = QualityImpactModel(max_depth=2, min_calibration_samples=100)
+        scope = ScopeComplianceModel(checks=[BoundaryCheck("latitude", 47.3, 55.0)])
+        wrapper = UncertaintyWrapper(ddm, qim, scope_model=scope)
+        X_train, q_train, y_train = make_cases(rng)
+        wrapper.fit(X_train, q_train, y_train)
+        wrapper.calibrate(*make_cases(rng))
+        inside = wrapper.apply([1.0, 0.05, 0.9], [0.05], {"latitude": 50.0})
+        outside = wrapper.apply([1.0, 0.05, 0.9], [0.05], {"latitude": 40.0})
+        assert inside.scope_incompliance == 0.0
+        assert outside.scope_incompliance == 1.0
+        assert outside.uncertainty == 1.0
+        assert outside.outcome == inside.outcome
+
+    def test_scope_factors_required_when_model_present(self, rng):
+        ddm = SyntheticDDM(correlated=True)
+        scope = ScopeComplianceModel(checks=[BoundaryCheck("latitude")])
+        wrapper = UncertaintyWrapper(ddm, scope_model=scope)
+        X_train, q_train, y_train = make_cases(rng)
+        wrapper.fit(X_train, q_train, y_train)
+        wrapper.calibrate(*make_cases(rng))
+        with pytest.raises(ValidationError):
+            wrapper.apply([1.0, 0.05, 0.9], [0.05])

@@ -1,0 +1,162 @@
+"""Tests for deficit profiles, series propagation, and the sensor model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.augmentation import (
+    DEFICIT_NAMES,
+    DeficitProfile,
+    IntensityLevel,
+    N_DEFICITS,
+    SensorModel,
+    SeriesAugmenter,
+    VARYING_DEFICITS,
+    single_deficit_grid,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDeficitProfile:
+    def test_nine_deficits(self):
+        assert N_DEFICITS == 9
+        assert len(DEFICIT_NAMES) == 9
+
+    def test_clean_profile_is_zero(self):
+        assert DeficitProfile.clean().total_severity() == 0.0
+
+    def test_from_mapping(self):
+        p = DeficitProfile.from_mapping({"rain": 0.5, "motion_blur": 0.2})
+        assert p.get("rain") == 0.5
+        assert p.get("motion_blur") == 0.2
+        assert p.get("darkness") == 0.0
+
+    def test_unknown_deficit_rejected(self):
+        with pytest.raises(ValidationError):
+            DeficitProfile.from_mapping({"snow": 0.5})
+        with pytest.raises(ValidationError):
+            DeficitProfile.clean().get("snow")
+        with pytest.raises(ValidationError):
+            DeficitProfile.clean().with_deficit("snow", 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            DeficitProfile.from_mapping({"rain": 1.5})
+        with pytest.raises(ValidationError):
+            DeficitProfile(np.full(9, -0.1))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            DeficitProfile(np.zeros(5))
+
+    def test_with_deficit_copies(self):
+        base = DeficitProfile.clean()
+        changed = base.with_deficit("haze", 0.7)
+        assert base.get("haze") == 0.0
+        assert changed.get("haze") == 0.7
+
+    def test_as_mapping_round_trip(self):
+        p = DeficitProfile.from_mapping({"rain": 0.3})
+        assert DeficitProfile.from_mapping(p.as_mapping()).get("rain") == pytest.approx(0.3)
+
+
+class TestGrid:
+    def test_grid_size_matches_paper(self):
+        # 9 deficits x 3 intensities + clean original = 28 profiles.
+        assert len(single_deficit_grid()) == 28
+
+    def test_grid_without_clean(self):
+        assert len(single_deficit_grid(include_clean=False)) == 27
+
+    def test_each_profile_has_one_active_deficit(self):
+        for profile in single_deficit_grid(include_clean=False):
+            assert np.count_nonzero(profile.intensities) == 1
+
+    def test_levels_used(self):
+        grid = single_deficit_grid(include_clean=False)
+        rains = sorted(p.get("rain") for p in grid if p.get("rain") > 0)
+        assert rains == [l.value for l in IntensityLevel]
+
+
+class TestSeriesAugmenter:
+    def test_constant_deficits_stay_constant(self, rng):
+        profile = DeficitProfile.from_mapping({"rain": 0.6, "haze": 0.3})
+        frames = SeriesAugmenter().propagate(profile, 20, rng)
+        assert frames.shape == (20, 9)
+        for i, name in enumerate(DEFICIT_NAMES):
+            if name not in VARYING_DEFICITS:
+                assert np.all(frames[:, i] == profile.intensities[i])
+
+    def test_varying_deficits_change(self, rng):
+        profile = DeficitProfile.from_mapping({"motion_blur": 0.5})
+        frames = SeriesAugmenter(variation_scale=0.2).propagate(profile, 30, rng)
+        blur_col = DEFICIT_NAMES.index("motion_blur")
+        assert len(np.unique(frames[:, blur_col])) > 1
+
+    def test_varying_deficits_stay_in_range(self, rng):
+        profile = DeficitProfile.from_mapping({"motion_blur": 0.9})
+        frames = SeriesAugmenter(variation_scale=0.5).propagate(profile, 100, rng)
+        assert np.all((frames >= 0.0) & (frames <= 1.0))
+
+    def test_zero_variation_freezes_everything(self, rng):
+        profile = DeficitProfile.from_mapping({"motion_blur": 0.4})
+        frames = SeriesAugmenter(variation_scale=0.0).propagate(profile, 10, rng)
+        assert np.all(frames == profile.intensities)
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SeriesAugmenter(variation_scale=-0.1)
+        with pytest.raises(ValidationError):
+            SeriesAugmenter().propagate(DeficitProfile.clean(), 0, rng)
+
+
+class TestSensorModel:
+    def test_shapes(self, rng):
+        sensor = SensorModel()
+        deficits = rng.uniform(size=(15, 9))
+        sizes = rng.uniform(10, 100, size=15)
+        sensed = sensor.sense(deficits, sizes, rng)
+        assert sensed.shape == (15, sensor.n_signals)
+        assert sensor.n_signals == 10
+
+    def test_signals_clipped(self, rng):
+        sensor = SensorModel(noise_scale=2.0)
+        sensed = sensor.sense(np.ones((50, 9)), np.full(50, 50.0), rng)
+        assert np.all(sensed[:, :9] >= 0.0)
+        assert np.all(sensed[:, :9] <= 1.0)
+
+    def test_noise_free_sensor_reports_truth(self, rng):
+        sensor = SensorModel(noise_scale=0.0)
+        deficits = rng.uniform(size=(5, 9))
+        sensed = sensor.sense(deficits, np.full(5, 100.0), rng)
+        assert np.allclose(sensed[:, :9], deficits)
+
+    def test_size_signal_normalised(self, rng):
+        sensor = SensorModel(noise_scale=0.0, size_norm=200.0)
+        sensed = sensor.sense(np.zeros((3, 9)), np.array([50.0, 200.0, 400.0]), rng)
+        assert sensed[:, 9] == pytest.approx([0.25, 1.0, 1.5])
+
+    def test_signal_names_cover_columns(self):
+        assert len(SensorModel.SIGNAL_NAMES) == SensorModel().n_signals
+        assert SensorModel.SIGNAL_NAMES[-1] == "apparent_size"
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SensorModel(noise_scale=-1.0)
+        with pytest.raises(ValidationError):
+            SensorModel(size_norm=0.0)
+        with pytest.raises(ValidationError):
+            SensorModel().sense(np.zeros((5, 4)), np.zeros(5), rng)
+        with pytest.raises(ValidationError):
+            SensorModel().sense(np.zeros((5, 9)), np.zeros(3), rng)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_sensed_values_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        sensor = SensorModel(noise_scale=0.3)
+        deficits = rng.uniform(size=(10, 9))
+        sensed = sensor.sense(deficits, rng.uniform(5, 250, size=10), rng)
+        assert np.all(np.isfinite(sensed))
+        assert np.all(sensed[:, :9] >= 0.0) and np.all(sensed[:, :9] <= 1.0)

@@ -1,0 +1,194 @@
+"""Tests for the GTSRB-like series generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.augmentation import DeficitProfile, single_deficit_grid
+from repro.datasets.gtsrb import (
+    CONFUSION_PARTNERS,
+    GTSRB_CLASSES,
+    GTSRBLikeGenerator,
+    N_CLASSES,
+    SeriesGeometry,
+    TimeseriesDataset,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCatalogue:
+    def test_43_classes(self):
+        assert N_CLASSES == 43
+        assert len(GTSRB_CLASSES) == 43
+
+    def test_ids_are_contiguous(self):
+        assert [c.class_id for c in GTSRB_CLASSES] == list(range(43))
+
+    def test_weights_positive(self):
+        assert all(c.frequency_weight > 0 for c in GTSRB_CLASSES)
+
+    def test_frequency_skew(self):
+        # GTSRB is imbalanced: the most common class is >5x the rarest.
+        weights = [c.frequency_weight for c in GTSRB_CLASSES]
+        assert max(weights) / min(weights) > 5.0
+
+    def test_categories_present(self):
+        categories = {c.category for c in GTSRB_CLASSES}
+        assert {"speed_limit", "danger", "mandatory", "prohibitory", "priority"} <= categories
+
+
+class TestConfusionPartners:
+    def test_every_class_has_partner(self):
+        assert set(CONFUSION_PARTNERS) == set(range(43))
+
+    def test_partner_shares_category(self):
+        by_id = {c.class_id: c for c in GTSRB_CLASSES}
+        for class_id, partner in CONFUSION_PARTNERS.items():
+            assert by_id[class_id].category == by_id[partner].category
+
+    def test_partner_differs_unless_singleton(self):
+        by_category: dict = {}
+        for c in GTSRB_CLASSES:
+            by_category.setdefault(c.category, []).append(c.class_id)
+        for class_id, partner in CONFUSION_PARTNERS.items():
+            category_size = len(
+                by_category[next(c.category for c in GTSRB_CLASSES if c.class_id == class_id)]
+            )
+            if category_size > 1:
+                assert partner != class_id
+
+
+class TestGenerateBase:
+    def test_series_count_and_ids(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(25, rng)
+        assert len(ds) == 25
+        assert [s.series_id for s in ds] == list(range(25))
+
+    def test_frames_in_configured_range(self, rng):
+        gen = GTSRBLikeGenerator(frames_per_series=(29, 30))
+        ds = gen.generate_base(20, rng)
+        assert all(29 <= s.n_frames <= 30 for s in ds)
+
+    def test_sizes_grow_monotonically(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(20, rng)
+        for series in ds:
+            assert np.all(np.diff(series.sizes_px) >= 0)
+
+    def test_sizes_within_geometry_bounds(self, rng):
+        geom = SeriesGeometry()
+        ds = GTSRBLikeGenerator(geometry=geom).generate_base(20, rng)
+        for series in ds:
+            assert np.all(series.sizes_px >= geom.min_size_px)
+            assert np.all(series.sizes_px <= geom.max_size_px)
+
+    def test_distances_shrink(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(10, rng)
+        for series in ds:
+            assert np.all(np.diff(series.distances_m) <= 0)
+
+    def test_min_per_class_coverage(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(100, rng, min_per_class=2)
+        counts = ds.class_counts()
+        assert counts.min() >= 2
+
+    def test_min_per_class_too_large_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GTSRBLikeGenerator().generate_base(40, rng, min_per_class=1)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GTSRBLikeGenerator().generate_base(-1, rng)
+
+    def test_start_id_offsets(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(5, rng, start_id=100)
+        assert [s.series_id for s in ds] == [100, 101, 102, 103, 104]
+
+    def test_base_series_have_no_deficits(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(5, rng)
+        for series in ds:
+            assert np.all(series.deficits == 0.0)
+            assert series.situation is None
+
+
+class TestAugmentation:
+    def test_grid_multiplies_series(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(4, rng)
+        grid = single_deficit_grid()
+        out = gen.augment_with_grid(base, grid, rng)
+        assert len(out) == 4 * len(grid)
+
+    def test_grid_preserves_geometry(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(2, rng)
+        out = gen.augment_with_grid(base, [DeficitProfile.clean()], rng)
+        assert np.array_equal(out[0].sizes_px, base[0].sizes_px)
+        assert out[0].class_id == base[0].class_id
+
+    def test_grid_sets_sensed_signals(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(2, rng)
+        out = gen.augment_with_grid(base, single_deficit_grid(), rng)
+        for series in out:
+            assert series.sensed.shape == (series.n_frames, 10)
+
+    def test_empty_grid_rejected(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(2, rng)
+        with pytest.raises(ValidationError):
+            gen.augment_with_grid(base, [], rng)
+
+    def test_situations_multiply_series(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(3, rng)
+        out = gen.augment_with_situations(base, 5, rng)
+        assert len(out) == 15
+        assert all(s.situation is not None for s in out)
+
+    def test_situation_count_validated(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(2, rng)
+        with pytest.raises(ValidationError):
+            gen.augment_with_situations(base, 0, rng)
+
+    def test_augmented_ids_unique(self, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(3, rng)
+        out = gen.augment_with_situations(base, 4, rng)
+        ids = [s.series_id for s in out]
+        assert len(set(ids)) == len(ids)
+
+
+class TestSeriesAndDataset:
+    def test_window_slices_all_arrays(self, rng):
+        gen = GTSRBLikeGenerator()
+        series = gen.generate_base(1, rng)[0]
+        window = series.window(5, 10)
+        assert window.n_frames == 10
+        assert np.array_equal(window.sizes_px, series.sizes_px[5:15])
+        assert window.positions.shape == (10, 2)
+
+    def test_window_out_of_range_rejected(self, rng):
+        series = GTSRBLikeGenerator().generate_base(1, rng)[0]
+        with pytest.raises(ValidationError):
+            series.window(0, series.n_frames + 1)
+        with pytest.raises(ValidationError):
+            series.window(-1, 5)
+
+    def test_window_copies(self, rng):
+        series = GTSRBLikeGenerator().generate_base(1, rng)[0]
+        window = series.window(0, 5)
+        window.sizes_px[0] = -1.0
+        assert series.sizes_px[0] != -1.0
+
+    def test_dataset_frame_count(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(6, rng)
+        assert ds.n_frames_total == sum(s.n_frames for s in ds)
+
+    def test_labels_per_frame(self, rng):
+        ds = GTSRBLikeGenerator().generate_base(4, rng)
+        labels = ds.labels_per_frame()
+        assert labels.shape == (ds.n_frames_total,)
+        assert labels[0] == ds[0].class_id
+
+    def test_empty_dataset_labels(self):
+        assert TimeseriesDataset().labels_per_frame().size == 0

@@ -1,0 +1,59 @@
+"""Tests for dataset (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gtsrb import GTSRBLikeGenerator, TimeseriesDataset
+from repro.datasets.io import load_dataset_npz, save_dataset_npz
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def dataset(rng):
+    gen = GTSRBLikeGenerator()
+    base = gen.generate_base(6, rng)
+    return gen.augment_with_situations(base, 2, rng)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, dataset, tmp_path, rng):
+        path = save_dataset_npz(dataset, tmp_path / "data" / "series.npz")
+        loaded = load_dataset_npz(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.n_classes == dataset.n_classes
+        for original, restored in zip(dataset, loaded):
+            assert restored.series_id == original.series_id
+            assert restored.class_id == original.class_id
+            assert restored.n_frames == original.n_frames
+            assert np.array_equal(restored.sizes_px, original.sizes_px)
+            assert np.array_equal(restored.distances_m, original.distances_m)
+            assert np.array_equal(restored.positions, original.positions)
+            assert np.array_equal(restored.deficits, original.deficits)
+            assert np.array_equal(restored.sensed, original.sensed)
+
+    def test_situations_not_persisted(self, dataset, tmp_path):
+        path = save_dataset_npz(dataset, tmp_path / "series.npz")
+        loaded = load_dataset_npz(path)
+        assert all(s.situation is None for s in loaded)
+
+    def test_loaded_dataset_usable_downstream(self, dataset, tmp_path, rng):
+        from repro.datasets.splits import subsample_dataset
+        from repro.models import PrototypeFeatureModel
+
+        path = save_dataset_npz(dataset, tmp_path / "series.npz")
+        loaded = load_dataset_npz(path)
+        sub = subsample_dataset(loaded, 10, rng)
+        model = PrototypeFeatureModel(loaded.n_classes, seed=1)
+        X, y, _ = model.embed_dataset(sub, rng)
+        assert X.shape[0] == sub.n_frames_total
+        assert y.size == X.shape[0]
+
+
+class TestErrors:
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_dataset_npz(TimeseriesDataset(), tmp_path / "empty.npz")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_dataset_npz(tmp_path / "missing.npz")

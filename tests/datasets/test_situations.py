@@ -1,0 +1,176 @@
+"""Tests for situation settings and the situation -> deficit mapping."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.augmentation import DEFICIT_NAMES
+from repro.datasets.situations import (
+    GERMANY_BBOX,
+    Location,
+    LocationModel,
+    RoadType,
+    SituationGenerator,
+    SituationSetting,
+    deficits_from_situation,
+)
+from repro.datasets.weather import WeatherModel, WeatherState
+from repro.exceptions import ValidationError
+
+
+def make_setting(
+    rain=0.0,
+    light=1.0,
+    fog_vis=20000.0,
+    humidity=0.5,
+    temp=15.0,
+    elevation=45.0,
+    hour=12.0,
+    heading=180.0,
+    speed=50.0,
+    road="urban",
+    lens_dirt=0.0,
+    sign_dirt=0.0,
+):
+    weather = WeatherState(
+        rain_mm_h=rain,
+        fog_visibility_m=fog_vis,
+        cloud_cover=0.3,
+        temperature_c=temp,
+        humidity=humidity,
+        sun_elevation_deg=elevation,
+        light_level=light,
+    )
+    return SituationSetting(
+        location=Location(latitude=50.0, longitude=9.0, road_type=road),
+        month=6,
+        hour=hour,
+        weather=weather,
+        heading_deg=heading,
+        vehicle_speed_kmh=speed,
+        lens_dirt=lens_dirt,
+        sign_dirt=sign_dirt,
+    )
+
+
+class TestLocation:
+    def test_in_scope_detection(self):
+        inside = Location(50.0, 9.0, RoadType.URBAN)
+        outside = Location(40.7, -74.0, RoadType.URBAN)
+        assert inside.in_target_scope()
+        assert not outside.in_target_scope()
+
+    def test_location_model_in_scope_by_default(self, rng):
+        model = LocationModel()
+        for _ in range(50):
+            assert model.sample(rng).in_target_scope()
+
+    def test_location_model_out_of_scope_sampling(self, rng):
+        model = LocationModel(out_of_scope_probability=1.0)
+        for _ in range(20):
+            assert not model.sample(rng).in_target_scope()
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            LocationModel(out_of_scope_probability=1.5)
+
+    def test_road_types_sampled(self, rng):
+        model = LocationModel()
+        roads = {model.sample(rng).road_type for _ in range(200)}
+        assert roads == set(RoadType.all())
+
+
+class TestSituationGenerator:
+    def test_sample_fields_valid(self, rng):
+        gen = SituationGenerator()
+        for _ in range(50):
+            s = gen.sample(rng)
+            assert 1 <= s.month <= 12
+            assert 0.0 <= s.hour < 24.0
+            assert 0.0 <= s.heading_deg <= 360.0
+            assert 10.0 <= s.vehicle_speed_kmh <= 180.0
+            assert 0.0 <= s.lens_dirt <= 1.0
+            assert 0.0 <= s.sign_dirt <= 1.0
+
+    def test_sample_many(self, rng):
+        settings = SituationGenerator().sample_many(7, rng)
+        assert len(settings) == 7
+
+    def test_sample_many_negative_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SituationGenerator().sample_many(-1, rng)
+
+    def test_custom_models_used(self, rng):
+        gen = SituationGenerator(
+            location_model=LocationModel(out_of_scope_probability=1.0),
+            weather_model=WeatherModel(),
+        )
+        assert not gen.sample(rng).location.in_target_scope()
+
+
+class TestDeficitsFromSituation:
+    def test_all_deficits_in_range(self, rng):
+        gen = SituationGenerator()
+        for _ in range(100):
+            profile = deficits_from_situation(gen.sample(rng))
+            assert np.all(profile.intensities >= 0.0)
+            assert np.all(profile.intensities <= 1.0)
+
+    def test_clear_day_is_nearly_clean(self):
+        profile = deficits_from_situation(make_setting(speed=30.0, heading=0.0))
+        assert profile.get("rain") == 0.0
+        assert profile.get("darkness") == 0.0
+        assert profile.get("haze") < 0.05
+        assert profile.get("motion_blur") < 0.05
+
+    def test_rain_monotone_in_rate(self):
+        light_rain = deficits_from_situation(make_setting(rain=1.0))
+        heavy_rain = deficits_from_situation(make_setting(rain=15.0))
+        assert 0.0 < light_rain.get("rain") < heavy_rain.get("rain")
+
+    def test_night_is_dark_with_artificial_backlight(self):
+        night = deficits_from_situation(make_setting(light=0.0, elevation=-20.0))
+        assert night.get("darkness") == 1.0
+        assert night.get("backlight_artificial") > 0.5
+
+    def test_fog_creates_haze(self):
+        foggy = deficits_from_situation(make_setting(fog_vis=100.0))
+        assert foggy.get("haze") > 0.8
+
+    def test_natural_backlight_needs_low_sun_ahead(self):
+        # Evening sun in the west (~azimuth 270), car heading west.
+        glare = deficits_from_situation(
+            make_setting(elevation=5.0, hour=18.0, heading=270.0)
+        )
+        away = deficits_from_situation(
+            make_setting(elevation=5.0, hour=18.0, heading=90.0)
+        )
+        assert glare.get("backlight_natural") > 0.5
+        assert away.get("backlight_natural") == 0.0
+
+    def test_no_natural_backlight_below_horizon(self):
+        night = deficits_from_situation(
+            make_setting(elevation=-5.0, hour=22.0, heading=270.0, light=0.0)
+        )
+        assert night.get("backlight_natural") == 0.0
+
+    def test_steamed_lens_needs_humid_cold(self):
+        steamy = deficits_from_situation(make_setting(humidity=0.95, temp=2.0))
+        dry = deficits_from_situation(make_setting(humidity=0.4, temp=20.0))
+        assert steamy.get("steamed_lens") > 0.3
+        assert dry.get("steamed_lens") == 0.0
+
+    def test_blur_grows_with_speed_and_darkness(self):
+        slow = deficits_from_situation(make_setting(speed=30.0))
+        fast = deficits_from_situation(make_setting(speed=150.0))
+        fast_dark = deficits_from_situation(make_setting(speed=150.0, light=0.0))
+        assert slow.get("motion_blur") < fast.get("motion_blur")
+        assert fast.get("motion_blur") < fast_dark.get("motion_blur")
+
+    def test_dirt_passthrough(self):
+        dirty = deficits_from_situation(make_setting(lens_dirt=0.4, sign_dirt=0.7))
+        assert dirty.get("dirt_lens") == pytest.approx(0.4)
+        assert dirty.get("dirt_sign") == pytest.approx(0.7)
+
+    def test_profile_covers_all_names(self, rng):
+        profile = deficits_from_situation(SituationGenerator().sample(rng))
+        assert set(profile.as_mapping()) == set(DEFICIT_NAMES)

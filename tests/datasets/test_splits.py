@@ -1,0 +1,81 @@
+"""Tests for dataset splitting and series subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gtsrb import GTSRBLikeGenerator
+from repro.datasets.splits import split_dataset, subsample_dataset, subsample_series
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def dataset(rng):
+    return GTSRBLikeGenerator().generate_base(50, rng)
+
+
+class TestSplitDataset:
+    def test_fraction_sizes(self, dataset, rng):
+        train, cal, test = split_dataset(dataset, (0.4, 0.3, 0.3), rng)
+        assert len(train) == 20
+        assert len(cal) == 15
+        assert len(test) == 15
+
+    def test_disjoint_union(self, dataset, rng):
+        train, cal, test = split_dataset(dataset, rng=rng)
+        ids = [s.series_id for part in (train, cal, test) for s in part]
+        assert sorted(ids) == sorted(s.series_id for s in dataset)
+        assert len(set(ids)) == len(ids)
+
+    def test_paper_fractions_on_1307(self, rng):
+        # 0.4/0.3/0.3 of 1307 gives the paper's 522 training series.
+        ds = GTSRBLikeGenerator(frames_per_series=(2, 2)).generate_base(1307, rng)
+        train, cal, test = split_dataset(ds, rng=rng)
+        assert len(train) == 523  # round(0.4 * 1307)
+        assert len(cal) == 392
+        assert len(test) == 392
+
+    def test_invalid_fractions_rejected(self, dataset, rng):
+        with pytest.raises(ValidationError):
+            split_dataset(dataset, (0.5, 0.5, 0.5), rng)
+        with pytest.raises(ValidationError):
+            split_dataset(dataset, (-0.1, 0.6, 0.5), rng)
+
+    def test_deterministic_given_rng(self, dataset):
+        a = split_dataset(dataset, rng=np.random.default_rng(7))
+        b = split_dataset(dataset, rng=np.random.default_rng(7))
+        assert [s.series_id for s in a[0]] == [s.series_id for s in b[0]]
+
+
+class TestSubsample:
+    def test_window_length(self, dataset, rng):
+        series = dataset[0]
+        sub = subsample_series(series, 10, rng)
+        assert sub.n_frames == 10
+
+    def test_window_is_contiguous(self, dataset, rng):
+        series = dataset[0]
+        sub = subsample_series(series, 10, rng)
+        start = np.where(series.sizes_px == sub.sizes_px[0])[0][0]
+        assert np.array_equal(sub.sizes_px, series.sizes_px[start : start + 10])
+
+    def test_short_series_returned_whole(self, dataset, rng):
+        series = dataset[0].window(0, 5)
+        sub = subsample_series(series, 10, rng)
+        assert sub.n_frames == 5
+
+    def test_invalid_length_rejected(self, dataset, rng):
+        with pytest.raises(ValidationError):
+            subsample_series(dataset[0], 0, rng)
+
+    def test_start_positions_vary(self, dataset, rng):
+        starts = set()
+        for _ in range(50):
+            sub = subsample_series(dataset[0], 10, rng)
+            starts.add(float(sub.sizes_px[0]))
+        assert len(starts) > 3
+
+    def test_subsample_dataset(self, dataset, rng):
+        sub = subsample_dataset(dataset, 10, rng)
+        assert len(sub) == len(dataset)
+        assert all(s.n_frames == 10 for s in sub)
+        assert [s.series_id for s in sub] == list(range(len(dataset)))

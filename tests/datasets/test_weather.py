@@ -1,0 +1,87 @@
+"""Tests for the synthetic weather model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.weather import WeatherModel, sun_elevation_deg
+from repro.exceptions import ValidationError
+
+
+class TestSunElevation:
+    def test_noon_above_midnight(self):
+        assert sun_elevation_deg(6, 12.0) > sun_elevation_deg(6, 0.0)
+
+    def test_summer_noon_above_winter_noon(self):
+        assert sun_elevation_deg(6, 12.0) > sun_elevation_deg(12, 12.0)
+
+    def test_night_is_negative(self):
+        assert sun_elevation_deg(6, 1.0) < 0.0
+
+    def test_summer_noon_plausible_for_germany(self):
+        # At 50 deg N the June midday sun stands around 60 deg high.
+        elevation = sun_elevation_deg(6, 12.0, latitude_deg=50.0)
+        assert 55.0 < elevation < 68.0
+
+    def test_bounded(self):
+        for month in range(1, 13):
+            for hour in (0.0, 6.0, 12.0, 18.0):
+                assert -90.0 <= sun_elevation_deg(month, hour) <= 90.0
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValidationError):
+            sun_elevation_deg(0, 12.0)
+        with pytest.raises(ValidationError):
+            sun_elevation_deg(13, 12.0)
+
+    def test_invalid_hour_rejected(self):
+        with pytest.raises(ValidationError):
+            sun_elevation_deg(6, 24.0)
+        with pytest.raises(ValidationError):
+            sun_elevation_deg(6, -1.0)
+
+
+class TestWeatherModel:
+    def test_sampled_fields_in_range(self, rng):
+        model = WeatherModel()
+        for month in (1, 4, 7, 10):
+            for hour in (3.0, 9.0, 15.0, 21.0):
+                w = model.sample(month, hour, 50.0, rng)
+                assert w.rain_mm_h >= 0.0
+                assert w.fog_visibility_m > 0.0
+                assert 0.0 <= w.cloud_cover <= 1.0
+                assert 0.0 <= w.humidity <= 1.0
+                assert 0.0 <= w.light_level <= 1.0
+
+    def test_night_is_dark(self, rng):
+        model = WeatherModel()
+        lights = [model.sample(12, 23.0, 50.0, rng).light_level for _ in range(30)]
+        assert max(lights) < 0.1
+
+    def test_summer_noon_is_bright(self, rng):
+        model = WeatherModel()
+        lights = [model.sample(6, 12.0, 50.0, rng).light_level for _ in range(30)]
+        assert np.mean(lights) > 0.5
+
+    def test_winter_colder_than_summer(self, rng):
+        model = WeatherModel()
+        winter = np.mean([model.sample(1, 12.0, 50.0, rng).temperature_c for _ in range(60)])
+        summer = np.mean([model.sample(7, 12.0, 50.0, rng).temperature_c for _ in range(60)])
+        assert winter < summer - 8.0
+
+    def test_rain_occurs_at_plausible_rate(self, rng):
+        model = WeatherModel()
+        raining = [model.sample(10, 12.0, 50.0, rng).rain_mm_h > 0 for _ in range(400)]
+        assert 0.1 < np.mean(raining) < 0.5
+
+    def test_rain_intensity_capped(self, rng):
+        model = WeatherModel()
+        rates = [model.sample(7, 15.0, 50.0, rng).rain_mm_h for _ in range(300)]
+        assert max(rates) <= 30.0
+
+    def test_invalid_month_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            WeatherModel().sample(0, 12.0, 50.0, rng)
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValidationError):
+            WeatherModel(rain_probability_amplitude=0.9)

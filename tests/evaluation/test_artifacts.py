@@ -1,0 +1,85 @@
+"""Tests for study-result serialisation."""
+
+import json
+
+import pytest
+
+from repro.evaluation.artifacts import (
+    importance_to_rows,
+    load_results_json,
+    results_to_dict,
+    save_fig4_csv,
+    save_importance_csv,
+    save_results_json,
+    save_table1_csv,
+)
+from repro.evaluation.importance import feature_importance_study
+from repro.evaluation.study import evaluate_study
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def results(smoke_study_data):
+    return evaluate_study(smoke_study_data)
+
+
+class TestResultsToDict:
+    def test_round_trips_through_json(self, results):
+        payload = results_to_dict(results)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_contains_all_sections(self, results):
+        payload = results_to_dict(results)
+        assert set(payload) == {
+            "config",
+            "ddm_accuracy_test",
+            "misclassification",
+            "approaches",
+            "distributions",
+        }
+        assert len(payload["approaches"]) == 6
+        assert {"stateless", "taUW"} == set(payload["distributions"])
+
+    def test_approach_rows_carry_decomposition(self, results):
+        row = results_to_dict(results)["approaches"][0]
+        for key in ("brier", "variance", "unspecificity", "unreliability",
+                    "overconfidence"):
+            assert key in row
+
+    def test_misclassification_series_lengths_match(self, results):
+        m = results_to_dict(results)["misclassification"]
+        assert len(m["timesteps"]) == len(m["isolated"]) == len(m["fused"])
+
+
+class TestJsonFiles:
+    def test_save_and_load(self, results, tmp_path):
+        path = save_results_json(results, tmp_path / "out" / "results.json")
+        loaded = load_results_json(path)
+        assert loaded == results_to_dict(results)
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_results_json(tmp_path / "nope.json")
+
+
+class TestCsvFiles:
+    def test_table1_csv(self, results, tmp_path):
+        path = save_table1_csv(results, tmp_path / "table1.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("approach,brier")
+        assert len(lines) == 7  # header + 6 approaches
+
+    def test_fig4_csv(self, results, tmp_path):
+        path = save_fig4_csv(results, tmp_path / "fig4.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "timestep,isolated,fused,n_series"
+        assert len(lines) == 1 + results.misclassification.timesteps.size
+
+    def test_importance_csv(self, smoke_study_data, tmp_path):
+        rows = feature_importance_study(smoke_study_data)
+        path = save_importance_csv(rows, tmp_path / "fig7.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 17  # header + 16 subsets
+        flattened = importance_to_rows(rows)
+        assert len(flattened) == 16
+        assert all("brier" in r for r in flattened)

@@ -1,0 +1,55 @@
+"""Tests for the feature-importance sweep (Fig. 7)."""
+
+import pytest
+
+from repro.evaluation.importance import (
+    feature_importance_study,
+    taqf_subsets,
+)
+
+
+class TestSubsets:
+    def test_counts_with_empty(self):
+        subsets = list(taqf_subsets(("a", "b", "c", "d")))
+        assert len(subsets) == 16
+        assert subsets[0] == ()
+
+    def test_counts_without_empty(self):
+        subsets = list(taqf_subsets(("a", "b", "c", "d"), include_empty=False))
+        assert len(subsets) == 15
+
+    def test_ordered_by_size(self):
+        sizes = [len(s) for s in taqf_subsets(("a", "b", "c"))]
+        assert sizes == sorted(sizes)
+
+
+class TestImportanceStudy:
+    @pytest.fixture(scope="class")
+    def rows(self, smoke_study_data):
+        return feature_importance_study(smoke_study_data)
+
+    def test_sixteen_rows(self, rows):
+        assert len(rows) == 16
+
+    def test_all_subsets_unique(self, rows):
+        assert len({r.subset for r in rows}) == 16
+
+    def test_labels(self, rows):
+        by_subset = {r.subset: r for r in rows}
+        assert by_subset[()].label() == "-"
+        assert by_subset[("ratio", "certainty")].label() == "ratio+certainty"
+
+    def test_briers_positive_and_bounded(self, rows):
+        for row in rows:
+            assert 0.0 < row.brier < 1.0
+            assert row.brier == pytest.approx(row.decomposition.brier)
+
+    def test_full_subset_at_least_as_good_as_baseline(self, rows):
+        by_subset = {r.subset: r for r in rows}
+        full = by_subset[("ratio", "length", "size", "certainty")]
+        baseline = by_subset[()]
+        # More features should not hurt materially (tree can ignore them).
+        assert full.brier <= baseline.brier * 1.1
+
+    def test_n_factors(self, rows):
+        assert {r.n_factors for r in rows} == {0, 1, 2, 3, 4}

@@ -1,0 +1,88 @@
+"""Tests for study metrics (misclassification by timestep, pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_factors import QualityFactorLayout
+from repro.core.timeseries_wrapper import trace_series
+from repro.evaluation.metrics import misclassification_by_timestep, pool_traces
+from repro.exceptions import ValidationError
+
+
+def make_trace(outcomes, truth, uncertainties=None):
+    layout = QualityFactorLayout(["qf"], ())
+    n = len(outcomes)
+    if uncertainties is None:
+        uncertainties = [0.1] * n
+    return trace_series(
+        outcomes, uncertainties, np.zeros((n, 1)), truth, layout
+    )
+
+
+class TestMisclassificationByTimestep:
+    def test_crafted_rates(self):
+        # Series A: isolated errors at steps 0 and 2; fused errors at 0 only
+        # (majority of [1, 2, 1] prefixes: 1, then tie->2... craft simply).
+        traces = [
+            make_trace([2, 1, 1], truth=1),  # iso wrong: 1,0,0
+            make_trace([1, 1, 1], truth=1),  # iso wrong: 0,0,0
+        ]
+        result = misclassification_by_timestep(traces)
+        assert result.timesteps.tolist() == [1, 2, 3]
+        assert result.isolated.tolist() == [0.5, 0.0, 0.0]
+        assert result.n_series.tolist() == [2, 2, 2]
+
+    def test_fused_uses_majority(self):
+        trace = make_trace([2, 1, 1], truth=1)
+        # fused prefixes: [2], [2,1]->tie->1, [2,1,1]->1
+        assert trace.fused_outcomes.tolist() == [2, 1, 1]
+        result = misclassification_by_timestep([trace])
+        assert result.fused.tolist() == [1.0, 0.0, 0.0]
+
+    def test_ragged_lengths(self):
+        traces = [make_trace([1, 1, 1, 1], truth=1), make_trace([2], truth=1)]
+        result = misclassification_by_timestep(traces)
+        assert result.n_series.tolist() == [2, 1, 1, 1]
+        assert result.isolated[0] == 0.5
+        assert result.isolated[1] == 0.0
+
+    def test_means_weighted_by_counts(self):
+        traces = [make_trace([2, 2], truth=1), make_trace([1], truth=1)]
+        result = misclassification_by_timestep(traces)
+        # 3 cases total, 2 isolated errors.
+        assert result.isolated_mean == pytest.approx(2 / 3)
+
+    def test_fused_final(self):
+        traces = [make_trace([2, 1, 1], truth=1)]
+        assert misclassification_by_timestep(traces).fused_final == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            misclassification_by_timestep([])
+
+
+class TestPoolTraces:
+    def test_alignment(self):
+        t1 = make_trace([1, 2], truth=1, uncertainties=[0.1, 0.2])
+        t2 = make_trace([3], truth=3, uncertainties=[0.4])
+        pooled = pool_traces([t1, t2])
+        assert pooled.n_cases == 3
+        assert pooled.series_index.tolist() == [0, 0, 1]
+        assert pooled.timestep.tolist() == [0, 1, 0]
+        assert pooled.isolated_uncertainty.tolist() == [0.1, 0.2, 0.4]
+        assert pooled.isolated_wrong.tolist() == [0, 1, 0]
+
+    def test_feature_stacking(self):
+        t1 = make_trace([1, 2], truth=1)
+        pooled = pool_traces([t1])
+        assert pooled.features.shape == (2, 1)
+
+    def test_per_series_prefixes(self):
+        t1 = make_trace([1, 2], truth=1, uncertainties=[0.1, 0.2])
+        t2 = make_trace([3], truth=3, uncertainties=[0.4])
+        groups = pool_traces([t1, t2]).per_series_uncertainty_prefixes()
+        assert [g.tolist() for g in groups] == [[0.1, 0.2], [0.4]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            pool_traces([])

@@ -1,0 +1,66 @@
+"""Tests for text rendering of tables and figures."""
+
+import pytest
+
+from repro.evaluation.importance import feature_importance_study
+from repro.evaluation.reporting import (
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_study_summary,
+    render_table1,
+)
+from repro.evaluation.study import APPROACH_TAUW, evaluate_study
+
+
+@pytest.fixture(scope="module")
+def results(smoke_study_data):
+    return evaluate_study(smoke_study_data)
+
+
+class TestRenderers:
+    def test_table1_contains_all_approaches(self, results):
+        text = render_table1(results)
+        assert "TABLE I" in text
+        for approach in results.approaches:
+            assert approach.name in text
+
+    def test_table1_contains_component_columns(self, results):
+        text = render_table1(results)
+        for column in ("Brier", "Variance", "Unspecificity", "Unreliability",
+                       "Overconfidence"):
+            assert column in text
+
+    def test_fig4_lists_every_timestep(self, results):
+        text = render_fig4(results.misclassification)
+        for t in results.misclassification.timesteps:
+            assert f"\n{int(t)} " in text or text.splitlines()[int(t) + 2].startswith(str(int(t)))
+
+    def test_fig4_summary_line(self, results):
+        text = render_fig4(results.misclassification)
+        assert "mean isolated" in text
+        assert "fused @ final step" in text
+
+    def test_fig5_shows_minimum_share(self, results):
+        text = render_fig5(results)
+        assert "min guaranteed u" in text
+        assert "%" in text
+
+    def test_fig6_renders_curves(self, results):
+        text = render_fig6(results.calibration_curves())
+        assert "Predicted certainty" in text
+        assert APPROACH_TAUW in text
+
+    def test_fig7_renders_rows(self, smoke_study_data):
+        rows = feature_importance_study(smoke_study_data)
+        text = render_fig7(rows)
+        assert "ratio+certainty" in text
+        assert text.count("\n") >= 17
+
+    def test_summary_concatenates_everything(self, results):
+        text = render_study_summary(results)
+        assert "DDM accuracy" in text
+        assert "TABLE I" in text
+        assert "Fig. 4" in text
+        assert "Fig. 5" in text

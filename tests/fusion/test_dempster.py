@@ -1,0 +1,155 @@
+"""Tests for Dempster-Shafer information fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.fusion.dempster import (
+    DempsterShaferFusion,
+    SimpleSupportMass,
+    combine_simple_support,
+)
+from repro.fusion.information import MajorityVote
+
+
+class TestSimpleSupportMass:
+    def test_from_outcome(self):
+        mass = SimpleSupportMass.from_outcome(3, 0.7)
+        assert mass.belief(3) == pytest.approx(0.7)
+        assert mass.belief(5) == 0.0
+        assert mass.ignorance == pytest.approx(0.3)
+
+    def test_best_class(self):
+        mass = SimpleSupportMass({1: 0.3, 2: 0.5}, 0.2)
+        assert mass.best_class() == 2
+
+    def test_total_ignorance_has_no_best_class(self):
+        with pytest.raises(ValidationError):
+            SimpleSupportMass({}, 1.0).best_class()
+
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            SimpleSupportMass({1: 0.5}, 0.2)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValidationError):
+            SimpleSupportMass({1: -0.1}, 1.1)
+
+    def test_invalid_certainty_rejected(self):
+        with pytest.raises(ValidationError):
+            SimpleSupportMass.from_outcome(1, 1.5)
+
+
+class TestCombination:
+    def test_agreement_reinforces(self):
+        a = SimpleSupportMass.from_outcome(1, 0.6)
+        b = SimpleSupportMass.from_outcome(1, 0.6)
+        combined, conflict = combine_simple_support(a, b)
+        assert conflict == 0.0
+        # Classic DS: 1 - (1-0.6)^2 = 0.84 belief after two agreements.
+        assert combined.belief(1) == pytest.approx(0.84)
+
+    def test_disagreement_creates_conflict(self):
+        a = SimpleSupportMass.from_outcome(1, 0.6)
+        b = SimpleSupportMass.from_outcome(2, 0.5)
+        combined, conflict = combine_simple_support(a, b)
+        assert conflict == pytest.approx(0.3)  # 0.6 * 0.5
+        # Renormalised masses: 1: 0.6*0.5/0.7, 2: 0.5*0.4/0.7.
+        assert combined.belief(1) == pytest.approx(0.3 / 0.7)
+        assert combined.belief(2) == pytest.approx(0.2 / 0.7)
+
+    def test_total_conflict_rejected(self):
+        a = SimpleSupportMass.from_outcome(1, 1.0)
+        b = SimpleSupportMass.from_outcome(2, 1.0)
+        with pytest.raises(ValidationError):
+            combine_simple_support(a, b)
+
+    def test_combination_commutative(self):
+        a = SimpleSupportMass.from_outcome(1, 0.7)
+        b = SimpleSupportMass.from_outcome(2, 0.4)
+        ab, k_ab = combine_simple_support(a, b)
+        ba, k_ba = combine_simple_support(b, a)
+        assert k_ab == pytest.approx(k_ba)
+        assert ab.belief(1) == pytest.approx(ba.belief(1))
+        assert ab.belief(2) == pytest.approx(ba.belief(2))
+
+    def test_masses_remain_normalised(self):
+        a = SimpleSupportMass.from_outcome(1, 0.8)
+        b = SimpleSupportMass.from_outcome(2, 0.6)
+        combined, _ = combine_simple_support(a, b)
+        total = sum(combined.masses.values()) + combined.ignorance
+        assert total == pytest.approx(1.0)
+
+
+class TestDempsterShaferFusion:
+    def test_confident_minority_can_win(self):
+        fusion = DempsterShaferFusion()
+        outcome = fusion.fuse([1, 1, 2], certainties=[0.2, 0.2, 0.95])
+        assert outcome == 2
+
+    def test_agreeing_majority_wins(self):
+        fusion = DempsterShaferFusion()
+        assert fusion.fuse([1, 1, 2], certainties=[0.6, 0.6, 0.6]) == 1
+
+    def test_without_certainties_uses_default(self):
+        fusion = DempsterShaferFusion(default_certainty=0.5)
+        assert fusion.fuse([1, 1, 2]) == 1
+
+    def test_single_outcome(self):
+        assert DempsterShaferFusion().fuse([7], certainties=[0.9]) == 7
+
+    def test_certainty_clipping_prevents_lock_in(self):
+        # A certainty-1.0 outcome must not make later evidence irrelevant.
+        fusion = DempsterShaferFusion(max_certainty=0.9)
+        outcome = fusion.fuse(
+            [2, 1, 1, 1, 1], certainties=[1.0, 0.9, 0.9, 0.9, 0.9]
+        )
+        assert outcome == 1
+
+    def test_misaligned_certainties_rejected(self):
+        with pytest.raises(ValidationError):
+            DempsterShaferFusion().fuse([1, 2], certainties=[0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            DempsterShaferFusion().fuse([])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            DempsterShaferFusion(max_certainty=1.0)
+        with pytest.raises(ValidationError):
+            DempsterShaferFusion(default_certainty=0.0)
+        with pytest.raises(ValidationError):
+            DempsterShaferFusion(max_certainty=0.5, default_certainty=0.6)
+
+    def test_combine_series_reports_conflict(self):
+        fusion = DempsterShaferFusion()
+        _, conflict_agree = fusion.combine_series([1, 1, 1], [0.6, 0.6, 0.6])
+        _, conflict_mixed = fusion.combine_series([1, 2, 1], [0.6, 0.6, 0.6])
+        assert conflict_agree == 0.0
+        assert conflict_mixed > 0.0
+
+    @given(
+        outcomes=st.lists(st.integers(0, 4), min_size=1, max_size=10),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fused_outcome_occurs_in_series(self, outcomes, seed):
+        rng = np.random.default_rng(seed)
+        certainties = rng.uniform(0.1, 0.9, size=len(outcomes)).tolist()
+        assert DempsterShaferFusion().fuse(outcomes, certainties) in outcomes
+
+    @given(outcomes=st.lists(st.integers(0, 3), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_certainties_behave_like_majority_on_clear_wins(self, outcomes):
+        # With identical certainties DS ranks classes by vote count, so a
+        # strict majority winner must match majority voting.
+        counts = {o: outcomes.count(o) for o in set(outcomes)}
+        top = max(counts.values())
+        winners = [c for c, n in counts.items() if n == top]
+        if len(winners) != 1:
+            return  # ties resolve differently; skip
+        ds = DempsterShaferFusion().fuse(outcomes, [0.5] * len(outcomes))
+        assert ds == MajorityVote().fuse(outcomes)

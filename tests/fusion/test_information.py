@@ -1,0 +1,116 @@
+"""Tests for information-fusion rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.fusion.information import (
+    ExponentialDecayVote,
+    LatestOutcome,
+    MajorityVote,
+    WeightedMajorityVote,
+)
+
+
+class TestMajorityVote:
+    def test_clear_majority(self):
+        assert MajorityVote().fuse([1, 1, 2]) == 1
+
+    def test_single_outcome(self):
+        assert MajorityVote().fuse([7]) == 7
+
+    def test_tie_resolved_to_most_recent(self):
+        # Paper: "the most recent momentaneous prediction is chosen".
+        assert MajorityVote().fuse([1, 2]) == 2
+        assert MajorityVote().fuse([2, 1]) == 1
+        assert MajorityVote().fuse([1, 1, 2, 2]) == 2
+        assert MajorityVote().fuse([2, 2, 1, 1]) == 1
+
+    def test_three_way_tie(self):
+        assert MajorityVote().fuse([3, 1, 2]) == 2
+
+    def test_tie_between_subset_of_classes(self):
+        # 1 and 2 are tied at two votes; 3 has one; latest tied is 2.
+        assert MajorityVote().fuse([1, 1, 2, 3, 2]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            MajorityVote().fuse([])
+
+    def test_fuse_prefixes(self):
+        fused = MajorityVote().fuse_prefixes([1, 2, 2, 3, 3, 3])
+        assert fused == [1, 2, 2, 2, 3, 3]
+
+    def test_certainties_ignored(self):
+        assert MajorityVote().fuse([1, 1, 2], certainties=[0.1, 0.1, 0.99]) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_fused_outcome_always_occurs_in_series(self, outcomes):
+        assert MajorityVote().fuse(outcomes) in outcomes
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_fused_outcome_has_maximal_count(self, outcomes):
+        fused = MajorityVote().fuse(outcomes)
+        counts = {o: outcomes.count(o) for o in set(outcomes)}
+        assert counts[fused] == max(counts.values())
+
+
+class TestLatestOutcome:
+    def test_returns_last(self):
+        assert LatestOutcome().fuse([1, 2, 3]) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            LatestOutcome().fuse([])
+
+
+class TestWeightedMajorityVote:
+    def test_certainty_outweighs_count(self):
+        fused = WeightedMajorityVote().fuse([1, 1, 2], certainties=[0.2, 0.2, 0.9])
+        assert fused == 2
+
+    def test_falls_back_to_majority_without_certainties(self):
+        assert WeightedMajorityVote().fuse([1, 1, 2]) == 1
+
+    def test_tie_resolved_to_most_recent(self):
+        fused = WeightedMajorityVote().fuse([1, 2], certainties=[0.5, 0.5])
+        assert fused == 2
+
+    def test_misaligned_certainties_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedMajorityVote().fuse([1, 2], certainties=[0.5])
+
+    def test_invalid_certainty_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedMajorityVote().fuse([1], certainties=[1.5])
+
+
+class TestExponentialDecayVote:
+    def test_decay_one_equals_majority(self):
+        outcomes = [1, 1, 2, 2, 2, 1]
+        assert ExponentialDecayVote(decay=1.0).fuse(outcomes) == MajorityVote().fuse(
+            outcomes
+        )
+
+    def test_decay_zero_equals_latest(self):
+        assert ExponentialDecayVote(decay=0.0).fuse([1, 1, 1, 2]) == 2
+
+    def test_recent_outcomes_dominate(self):
+        # Two old votes for 1 vs two recent votes for 2 with decay.
+        assert ExponentialDecayVote(decay=0.5).fuse([1, 1, 2, 2]) == 2
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialDecayVote(decay=1.5)
+
+    @given(
+        outcomes=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12),
+        decay=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_result_occurs_in_series(self, outcomes, decay):
+        assert ExponentialDecayVote(decay=decay).fuse(outcomes) in outcomes

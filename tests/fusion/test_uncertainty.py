@@ -1,0 +1,97 @@
+"""Tests for the uncertainty-fusion baselines (paper equations 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.fusion.uncertainty import (
+    NaiveProductFusion,
+    OpportuneFusion,
+    UNCERTAINTY_FUSION_REGISTRY,
+    WorstCaseFusion,
+    get_uncertainty_fusion,
+)
+
+uncertainty_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=15
+)
+
+
+class TestNaiveProduct:
+    def test_equation_one(self):
+        # u = prod(u_i)
+        assert NaiveProductFusion().fuse([0.5, 0.5]) == pytest.approx(0.25)
+        assert NaiveProductFusion().fuse([0.1, 0.2, 0.3]) == pytest.approx(0.006)
+
+    def test_single_value_identity(self):
+        assert NaiveProductFusion().fuse([0.42]) == pytest.approx(0.42)
+
+    def test_prefixes_non_increasing(self):
+        prefixes = NaiveProductFusion().fuse_prefixes([0.9, 0.8, 0.7, 0.9])
+        assert all(a >= b for a, b in zip(prefixes, prefixes[1:]))
+
+
+class TestOpportune:
+    def test_equation_two(self):
+        assert OpportuneFusion().fuse([0.5, 0.2, 0.8]) == pytest.approx(0.2)
+
+    def test_prefixes_non_increasing(self):
+        prefixes = OpportuneFusion().fuse_prefixes([0.5, 0.3, 0.6, 0.1])
+        assert prefixes == [0.5, 0.3, 0.3, 0.1]
+
+
+class TestWorstCase:
+    def test_equation_three(self):
+        assert WorstCaseFusion().fuse([0.5, 0.2, 0.8]) == pytest.approx(0.8)
+
+    def test_prefixes_non_decreasing(self):
+        prefixes = WorstCaseFusion().fuse_prefixes([0.5, 0.3, 0.6, 0.1])
+        assert prefixes == [0.5, 0.5, 0.6, 0.6]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "fusion", [NaiveProductFusion(), OpportuneFusion(), WorstCaseFusion()]
+    )
+    def test_empty_rejected(self, fusion):
+        with pytest.raises(ValidationError):
+            fusion.fuse([])
+
+    @pytest.mark.parametrize(
+        "fusion", [NaiveProductFusion(), OpportuneFusion(), WorstCaseFusion()]
+    )
+    def test_out_of_range_rejected(self, fusion):
+        with pytest.raises(ValidationError):
+            fusion.fuse([0.5, 1.2])
+
+    @given(uncertainties=uncertainty_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_ordering_naive_le_opportune_le_worst(self, uncertainties):
+        # prod <= min <= max always holds for values in [0, 1].
+        naive = NaiveProductFusion().fuse(uncertainties)
+        opportune = OpportuneFusion().fuse(uncertainties)
+        worst = WorstCaseFusion().fuse(uncertainties)
+        assert naive <= opportune + 1e-12
+        assert opportune <= worst + 1e-12
+
+    @given(uncertainties=uncertainty_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_results_stay_in_unit_interval(self, uncertainties):
+        for fusion in (NaiveProductFusion(), OpportuneFusion(), WorstCaseFusion()):
+            assert 0.0 <= fusion.fuse(uncertainties) <= 1.0
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert set(UNCERTAINTY_FUSION_REGISTRY) == {"naive", "opportune", "worst-case"}
+
+    def test_lookup_constructs_instances(self):
+        assert isinstance(get_uncertainty_fusion("naive"), NaiveProductFusion)
+        assert isinstance(get_uncertainty_fusion("opportune"), OpportuneFusion)
+        assert isinstance(get_uncertainty_fusion("worst-case"), WorstCaseFusion)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            get_uncertainty_fusion("bayes")

@@ -1,0 +1,67 @@
+"""Tests for the DDM protocol, adapter, and synthetic DDM."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gtsrb import CONFUSION_PARTNERS
+from repro.exceptions import ValidationError
+from repro.models.ddm import ClassifierDDM, DataDrivenModel, SyntheticDDM
+from repro.models.linear import SoftmaxRegression
+
+
+class TestClassifierDDM:
+    def test_delegates_predict(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        clf = SoftmaxRegression(epochs=10, seed=0).fit(X, y)
+        ddm = ClassifierDDM(clf, name="test")
+        assert np.array_equal(ddm.predict(X), clf.predict(X))
+
+    def test_satisfies_protocol(self, rng):
+        X = rng.normal(size=(10, 2))
+        clf = SoftmaxRegression(epochs=2, seed=0).fit(X, np.zeros(10, dtype=int))
+        assert isinstance(ClassifierDDM(clf), DataDrivenModel)
+
+    def test_requires_predict(self):
+        with pytest.raises(ValidationError):
+            ClassifierDDM(object())
+
+
+def rows(true_class, p_err, noise):
+    return np.column_stack([true_class, p_err, noise]).astype(float)
+
+
+class TestSyntheticDDM:
+    def test_zero_error_probability_is_perfect(self):
+        X = rows([3, 5, 7], [0.0, 0.0, 0.0], [0.5, 0.5, 0.5])
+        assert np.array_equal(SyntheticDDM().predict(X), [3, 5, 7])
+
+    def test_certain_error_flips_to_partner(self):
+        X = rows([0, 14], [1.0, 1.0], [0.5, 0.5])
+        expected = [CONFUSION_PARTNERS[0], CONFUSION_PARTNERS[14]]
+        assert np.array_equal(SyntheticDDM().predict(X), expected)
+
+    def test_correlated_mode_uses_series_noise(self):
+        # noise < p -> error; same noise, same p -> identical outcomes.
+        X = rows([5] * 4, [0.3] * 4, [0.1] * 4)
+        out = SyntheticDDM(correlated=True).predict(X)
+        assert np.all(out == CONFUSION_PARTNERS[5])
+        X2 = rows([5] * 4, [0.3] * 4, [0.9] * 4)
+        assert np.all(SyntheticDDM(correlated=True).predict(X2) == 5)
+
+    def test_uncorrelated_mode_hits_error_rate(self):
+        n = 20000
+        X = rows([2] * n, [0.25] * n, [0.0] * n)
+        out = SyntheticDDM(correlated=False, seed=1).predict(X)
+        assert (out != 2).mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_protocol_satisfied(self):
+        assert isinstance(SyntheticDDM(), DataDrivenModel)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticDDM().predict(np.zeros((3, 2)))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticDDM().predict(rows([1], [1.5], [0.5]))

@@ -1,0 +1,129 @@
+"""Tests for the prototype embedding model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.augmentation import DeficitProfile
+from repro.datasets.gtsrb import GTSRBLikeGenerator, N_CLASSES
+from repro.exceptions import ValidationError
+from repro.models.features import FeatureConfig, PrototypeFeatureModel
+
+
+@pytest.fixture
+def model():
+    return PrototypeFeatureModel(N_CLASSES, seed=3)
+
+
+@pytest.fixture
+def series(rng):
+    gen = GTSRBLikeGenerator()
+    base = gen.generate_base(3, rng)
+    return gen.augment_with_profile(
+        base[0], DeficitProfile.from_mapping({"rain": 0.4}), rng, new_id=0
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        FeatureConfig()
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureConfig(dim=1)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureConfig(deficit_weights=(0.5, 0.5))
+
+
+class TestPrototypes:
+    def test_unit_norm(self, model):
+        norms = np.linalg.norm(model.prototypes, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = PrototypeFeatureModel(N_CLASSES, seed=5)
+        b = PrototypeFeatureModel(N_CLASSES, seed=5)
+        assert np.array_equal(a.prototypes, b.prototypes)
+
+    def test_different_seeds_differ(self):
+        a = PrototypeFeatureModel(N_CLASSES, seed=5)
+        b = PrototypeFeatureModel(N_CLASSES, seed=6)
+        assert not np.allclose(a.prototypes, b.prototypes)
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValidationError):
+            PrototypeFeatureModel(1)
+
+
+class TestVisibility:
+    def test_monotone_in_size(self, model):
+        deficits = np.zeros((3, 9))
+        sizes = np.array([10.0, 50.0, 200.0])
+        v = model.visibility(sizes, deficits)
+        assert np.all(np.diff(v) > 0)
+
+    def test_monotone_in_deficits(self, model):
+        sizes = np.full(3, 50.0)
+        deficits = np.zeros((3, 9))
+        deficits[1, 1] = 0.5
+        deficits[2, 1] = 1.0
+        v = model.visibility(sizes, deficits)
+        assert v[0] > v[1] > v[2]
+
+    def test_bounded(self, model, rng):
+        v = model.visibility(
+            rng.uniform(5, 250, size=100), rng.uniform(size=(100, 9))
+        )
+        assert np.all((v > 0.0) & (v <= 1.0))
+
+
+class TestEmbedding:
+    def test_shape(self, model, series, rng):
+        emb = model.embed_series(series, rng)
+        assert emb.shape == (series.n_frames, model.config.dim)
+
+    def test_normalised(self, model, series, rng):
+        emb = model.embed_series(series, rng)
+        assert np.allclose(np.linalg.norm(emb, axis=1), 1.0)
+
+    def test_unnormalised_config(self, series, rng):
+        model = PrototypeFeatureModel(
+            N_CLASSES, FeatureConfig(normalize=False), seed=3
+        )
+        emb = model.embed_series(series, rng)
+        assert not np.allclose(np.linalg.norm(emb, axis=1), 1.0)
+
+    def test_clean_large_sign_aligns_with_prototype(self, model, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(1, rng)
+        series = gen.augment_with_profile(
+            base[0], DeficitProfile.clean(), rng, new_id=0
+        )
+        emb = model.embed_series(series, rng)
+        # The last (closest, largest) frame should correlate most strongly
+        # with its own class prototype.
+        sims = emb[-1] @ model.prototypes.T
+        assert int(np.argmax(sims)) == series.class_id
+
+    def test_class_out_of_range_rejected(self, series, rng):
+        small = PrototypeFeatureModel(2, seed=3)
+        series.class_id = 5
+        with pytest.raises(ValidationError):
+            small.embed_series(series, rng)
+
+    def test_embed_dataset_alignment(self, model, rng):
+        gen = GTSRBLikeGenerator()
+        base = gen.generate_base(4, rng)
+        ds = gen.augment_with_situations(base, 2, rng)
+        X, y, sidx = model.embed_dataset(ds, rng)
+        assert X.shape[0] == ds.n_frames_total
+        assert np.array_equal(y, ds.labels_per_frame())
+        assert sidx.max() == len(ds) - 1
+
+    def test_embed_empty_dataset(self, model, rng):
+        from repro.datasets.gtsrb import TimeseriesDataset
+
+        X, y, sidx = model.embed_dataset(TimeseriesDataset(), rng)
+        assert X.shape == (0, model.config.dim)
+        assert y.size == 0 and sidx.size == 0

@@ -1,0 +1,75 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci, cluster_bootstrap_ci
+
+
+class TestBootstrapCI:
+    def test_estimate_is_statistic_of_full_data(self, rng):
+        data = rng.normal(5.0, 1.0, size=200)
+        result = bootstrap_ci(np.mean, data, rng=rng)
+        assert result.estimate == pytest.approx(data.mean())
+
+    def test_interval_contains_estimate(self, rng):
+        data = rng.normal(size=100)
+        result = bootstrap_ci(np.mean, data, rng=rng)
+        assert result.lower <= result.estimate <= result.upper
+
+    def test_interval_narrows_with_sample_size(self, rng):
+        small = bootstrap_ci(np.mean, rng.normal(size=30), rng=rng, n_resamples=400)
+        large = bootstrap_ci(np.mean, rng.normal(size=3000), rng=rng, n_resamples=400)
+        assert large.width() < small.width()
+
+    def test_coverage_on_known_mean(self, rng):
+        # ~95 % of intervals should cover the true mean; check loosely.
+        covered = 0
+        for _ in range(40):
+            data = rng.normal(2.0, 1.0, size=80)
+            r = bootstrap_ci(np.mean, data, confidence=0.95, n_resamples=300, rng=rng)
+            covered += r.lower <= 2.0 <= r.upper
+        assert covered >= 30
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.mean, [1.0])
+
+    def test_invalid_confidence_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.mean, rng.normal(size=10), confidence=1.0)
+
+    def test_invalid_resamples_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.mean, rng.normal(size=10), n_resamples=0)
+
+    def test_result_str(self, rng):
+        result = bootstrap_ci(np.mean, rng.normal(size=50), rng=rng)
+        assert isinstance(result, BootstrapResult)
+        assert "[" in str(result)
+
+
+class TestClusterBootstrap:
+    def test_estimate_uses_all_clusters(self, rng):
+        clusters = [rng.normal(i, 0.1, size=10) for i in range(5)]
+        result = cluster_bootstrap_ci(np.mean, clusters, rng=rng, n_resamples=200)
+        assert result.estimate == pytest.approx(
+            np.concatenate(clusters).mean()
+        )
+
+    def test_cluster_ci_wider_than_iid_for_correlated_data(self, rng):
+        # Strong within-cluster correlation: cluster bootstrap must widen.
+        clusters = [np.full(20, rng.normal()) for _ in range(30)]
+        flat = np.concatenate(clusters)
+        iid = bootstrap_ci(np.mean, flat, rng=rng, n_resamples=400)
+        clustered = cluster_bootstrap_ci(np.mean, clusters, rng=rng, n_resamples=400)
+        assert clustered.width() > iid.width()
+
+    def test_too_few_clusters_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            cluster_bootstrap_ci(np.mean, [rng.normal(size=5)])
+
+    def test_empty_cluster_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            cluster_bootstrap_ci(np.mean, [rng.normal(size=5), np.array([])])

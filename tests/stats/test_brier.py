@@ -1,0 +1,131 @@
+"""Tests for the Brier score and its Murphy decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.stats.brier import brier_score, murphy_decomposition
+
+
+class TestBrierScore:
+    def test_perfect_forecast_scores_zero(self):
+        assert brier_score([0.0, 1.0, 0.0], [0, 1, 0]) == 0.0
+
+    def test_worst_forecast_scores_one(self):
+        assert brier_score([1.0, 0.0], [0, 1]) == 1.0
+
+    def test_known_value(self):
+        # ((0.8-1)^2 + (0.3-0)^2) / 2 = (0.04 + 0.09) / 2
+        assert brier_score([0.8, 0.3], [1, 0]) == pytest.approx(0.065)
+
+    def test_constant_half_forecast(self):
+        assert brier_score([0.5] * 4, [0, 1, 0, 1]) == pytest.approx(0.25)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            brier_score([0.5, 0.5], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            brier_score([], [])
+
+    def test_out_of_range_forecast_rejected(self):
+        with pytest.raises(ValidationError):
+            brier_score([1.2], [1])
+
+    def test_non_binary_outcome_rejected(self):
+        with pytest.raises(ValidationError):
+            brier_score([0.5], [0.5])
+
+
+class TestMurphyDecomposition:
+    def test_identity_on_random_data(self, rng):
+        f = rng.uniform(size=500)
+        o = (rng.uniform(size=500) < f).astype(int)
+        d = murphy_decomposition(f, o)
+        assert d.identity_residual() == pytest.approx(0.0, abs=1e-12)
+
+    def test_brier_matches_direct_computation(self, rng):
+        f = rng.uniform(size=200)
+        o = rng.integers(0, 2, size=200)
+        d = murphy_decomposition(f, o)
+        assert d.brier == pytest.approx(brier_score(f, o))
+
+    def test_variance_depends_only_on_outcomes(self, rng):
+        o = rng.integers(0, 2, size=300)
+        d1 = murphy_decomposition(rng.uniform(size=300), o)
+        d2 = murphy_decomposition(rng.uniform(size=300), o)
+        assert d1.variance == pytest.approx(d2.variance)
+        obar = o.mean()
+        assert d1.variance == pytest.approx(obar * (1 - obar))
+
+    def test_perfectly_calibrated_groups_have_zero_unreliability(self):
+        # Two groups whose forecast equals the group failure rate exactly.
+        f = np.array([0.25] * 4 + [0.75] * 4)
+        o = np.array([1, 0, 0, 0, 1, 1, 1, 0])
+        d = murphy_decomposition(f, o)
+        assert d.unreliability == pytest.approx(0.0, abs=1e-15)
+        assert d.overconfidence == 0.0
+        assert d.underconfidence == pytest.approx(0.0, abs=1e-15)
+
+    def test_resolution_zero_for_constant_forecast(self, rng):
+        o = rng.integers(0, 2, size=100)
+        d = murphy_decomposition(np.full(100, 0.5), o)
+        assert d.resolution == pytest.approx(0.0, abs=1e-15)
+        assert d.n_groups == 1
+
+    def test_overconfident_group_detected(self):
+        # Forecast 0.1 but everything failed: pure overconfidence.
+        d = murphy_decomposition([0.1] * 10, [1] * 10)
+        assert d.overconfidence == pytest.approx(d.unreliability)
+        assert d.underconfidence == pytest.approx(0.0)
+        assert d.overconfidence == pytest.approx(0.81)
+
+    def test_underconfident_group_detected(self):
+        # Forecast 0.9 but nothing failed: pure underconfidence.
+        d = murphy_decomposition([0.9] * 10, [0] * 10)
+        assert d.underconfidence == pytest.approx(d.unreliability)
+        assert d.overconfidence == 0.0
+
+    def test_unspecificity_definition(self, rng):
+        f = rng.uniform(size=400)
+        o = (rng.uniform(size=400) < f).astype(int)
+        d = murphy_decomposition(f, o)
+        assert d.unspecificity == pytest.approx(d.variance - d.resolution)
+
+    def test_over_plus_under_equals_unreliability(self, rng):
+        f = np.round(rng.uniform(size=600), 1)
+        o = (rng.uniform(size=600) < 0.3).astype(int)
+        d = murphy_decomposition(f, o)
+        assert d.overconfidence + d.underconfidence == pytest.approx(d.unreliability)
+
+    def test_group_count(self):
+        d = murphy_decomposition([0.1, 0.1, 0.2, 0.3], [0, 1, 0, 1])
+        assert d.n_groups == 3
+        assert d.n_samples == 4
+
+    def test_as_dict_keys(self, rng):
+        d = murphy_decomposition(rng.uniform(size=50), rng.integers(0, 2, size=50))
+        keys = set(d.as_dict())
+        assert {"brier", "variance", "resolution", "unreliability",
+                "unspecificity", "overconfidence", "underconfidence"} == keys
+
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identity_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # Quantised forecasts create heavy ties (tree-like outputs).
+        f = np.round(rng.uniform(size=n), 2)
+        o = rng.integers(0, 2, size=n)
+        d = murphy_decomposition(f, o)
+        assert abs(d.identity_residual()) < 1e-10
+        assert d.resolution >= -1e-15
+        assert d.unreliability >= -1e-15
+        assert 0.0 <= d.variance <= 0.25 + 1e-15
+        assert d.overconfidence >= 0.0
+        assert d.underconfidence >= -1e-15

@@ -1,0 +1,97 @@
+"""Tests for calibration curves and calibration-error summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.calibration import (
+    expected_calibration_error,
+    maximum_calibration_error,
+    quantile_calibration_curve,
+    width_calibration_curve,
+)
+
+
+class TestQuantileCurve:
+    def test_perfectly_calibrated_curve_hugs_diagonal(self, rng):
+        c = rng.uniform(size=20000)
+        correct = (rng.uniform(size=20000) < c).astype(int)
+        curve = quantile_calibration_curve(c, correct, n_bins=10)
+        assert np.all(np.abs(curve.predicted - curve.observed) < 0.05)
+
+    def test_bin_count(self, rng):
+        c = rng.uniform(size=1000)
+        correct = rng.integers(0, 2, size=1000)
+        curve = quantile_calibration_curve(c, correct, n_bins=10)
+        assert 1 <= len(curve) <= 10
+        assert curve.counts.sum() == 1000
+
+    def test_quantile_bins_have_similar_counts(self, rng):
+        c = rng.uniform(size=10000)
+        correct = rng.integers(0, 2, size=10000)
+        curve = quantile_calibration_curve(c, correct, n_bins=10)
+        assert len(curve) == 10
+        assert curve.counts.min() > 500
+
+    def test_degenerate_single_value(self):
+        curve = quantile_calibration_curve([0.8] * 50, [1] * 40 + [0] * 10)
+        assert len(curve) == 1
+        assert curve.predicted[0] == pytest.approx(0.8)
+        assert curve.observed[0] == pytest.approx(0.8)
+
+    def test_overconfidence_gap_sign(self):
+        # Predicted certainty 0.9 but only 50 % correct: overconfident.
+        curve = quantile_calibration_curve([0.9] * 10, [1, 0] * 5)
+        assert curve.overconfidence_gaps()[0] == pytest.approx(0.4)
+        assert curve.is_overconfident()[0]
+
+    def test_underconfident_bin(self):
+        curve = quantile_calibration_curve([0.5] * 10, [1] * 10)
+        assert not curve.is_overconfident()[0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            quantile_calibration_curve([0.5], [1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            quantile_calibration_curve([], [])
+
+    def test_out_of_range_certainty_rejected(self):
+        with pytest.raises(ValidationError):
+            quantile_calibration_curve([1.5], [1])
+
+    def test_invalid_bins_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            quantile_calibration_curve([0.5, 0.6], [1, 0], n_bins=0)
+
+
+class TestWidthCurve:
+    def test_bins_respect_edges(self, rng):
+        c = rng.uniform(size=5000)
+        correct = rng.integers(0, 2, size=5000)
+        curve = width_calibration_curve(c, correct, n_bins=5)
+        assert len(curve) == 5
+        for i in range(len(curve)):
+            assert curve.edges[i] <= curve.predicted[i] <= curve.edges[i + 1]
+
+    def test_empty_bins_dropped(self):
+        curve = width_calibration_curve([0.05, 0.95], [0, 1], n_bins=10)
+        assert len(curve) == 2
+
+
+class TestCalibrationErrors:
+    def test_perfect_forecast_has_low_ece(self, rng):
+        c = rng.uniform(size=20000)
+        correct = (rng.uniform(size=20000) < c).astype(int)
+        assert expected_calibration_error(c, correct) < 0.02
+
+    def test_badly_calibrated_has_high_ece(self):
+        assert expected_calibration_error([0.95] * 100, [0] * 100) > 0.9
+
+    def test_mce_at_least_ece(self, rng):
+        c = rng.uniform(size=2000)
+        correct = rng.integers(0, 2, size=2000)
+        assert maximum_calibration_error(c, correct) >= expected_calibration_error(
+            c, correct
+        )

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_flags(self):
+        args = build_parser().parse_args(["study", "--smoke", "--seed", "7"])
+        assert args.command == "study"
+        assert args.smoke and not args.paper_scale
+        assert args.seed == 7
+
+    def test_dataset_flags(self):
+        args = build_parser().parse_args(
+            ["dataset", "out.npz", "--n-series", "20", "--subsample-length", "10"]
+        )
+        assert args.out == "out.npz"
+        assert args.n_series == 20
+        assert args.subsample_length == 10
+
+
+class TestBoundsCommand:
+    def test_prints_all_bound_families(self, capsys):
+        assert main(["bounds", "0", "959"]) == 0
+        out = capsys.readouterr().out
+        for name in ("clopper-pearson", "wilson", "jeffreys", "hoeffding"):
+            assert name in out
+        assert "0.0071" in out or "0.0072" in out  # the paper's minimum u
+
+    def test_invalid_counts_fail_gracefully(self, capsys):
+        assert main(["bounds", "10", "5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDatasetCommand:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        code = main(
+            ["dataset", str(out), "--n-series", "8", "--subsample-length", "5"]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.datasets import load_dataset_npz
+
+        dataset = load_dataset_npz(out)
+        assert len(dataset) == 8
+        assert all(s.n_frames == 5 for s in dataset)
+
+    def test_settings_multiply_series(self, tmp_path):
+        out = tmp_path / "ds.npz"
+        main(["dataset", str(out), "--n-series", "4", "--settings-per-series", "3"])
+        from repro.datasets import load_dataset_npz
+
+        assert len(load_dataset_npz(out)) == 12
+
+
+class TestStudyCommand:
+    def test_smoke_study_with_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        csv_dir = tmp_path / "csv"
+        code = main(
+            [
+                "study",
+                "--smoke",
+                "--json",
+                str(json_path),
+                "--csv-dir",
+                str(csv_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert json_path.exists()
+        assert (csv_dir / "table1.csv").exists()
+        assert (csv_dir / "fig4.csv").exists()
+
+    def test_conflicting_scales_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--smoke", "--paper-scale"])
+
+
+class TestImportanceCommand:
+    def test_smoke_importance_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig7.csv"
+        code = main(["importance", "--smoke", "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FEATURE IMPORTANCE" in out
+        assert csv_path.exists()
+        assert len(csv_path.read_text().strip().splitlines()) == 17

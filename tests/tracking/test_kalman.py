@@ -1,0 +1,71 @@
+"""Tests for the Kalman filter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tracking.kalman import KalmanFilter, constant_velocity_filter
+
+
+class TestConstantVelocityFilter:
+    def test_tracks_linear_motion(self, rng):
+        kf = constant_velocity_filter([0.0, 0.0], dt=0.1, measurement_noise=0.1)
+        true_v = np.array([2.0, -1.0])
+        position = np.zeros(2)
+        for _ in range(60):
+            position = position + true_v * 0.1
+            kf.predict()
+            kf.update(position + rng.normal(0, 0.1, size=2))
+        assert np.allclose(kf.x[:2], position, atol=0.5)
+        assert np.allclose(kf.x[2:], true_v, atol=0.6)
+
+    def test_covariance_shrinks_with_measurements(self, rng):
+        kf = constant_velocity_filter([0.0, 0.0])
+        initial_trace = np.trace(kf.P)
+        for _ in range(20):
+            kf.predict()
+            kf.update(rng.normal(0, 0.1, size=2))
+        assert np.trace(kf.P) < initial_trace
+
+    def test_mahalanobis_small_for_expected_measurement(self):
+        kf = constant_velocity_filter([1.0, 1.0])
+        kf.predict()
+        assert kf.mahalanobis_squared([1.0, 1.0]) < 1.0
+
+    def test_mahalanobis_large_for_jump(self):
+        kf = constant_velocity_filter([0.0, 0.0], measurement_noise=0.1)
+        for _ in range(10):
+            kf.predict()
+            kf.update([0.0, 0.0])
+        kf.predict()
+        assert kf.mahalanobis_squared([50.0, 50.0]) > 100.0
+
+    def test_bad_initial_position_rejected(self):
+        with pytest.raises(ValidationError):
+            constant_velocity_filter([0.0, 0.0, 0.0])
+
+    def test_bad_measurement_rejected(self):
+        kf = constant_velocity_filter([0.0, 0.0])
+        with pytest.raises(ValidationError):
+            kf.update([1.0, 2.0, 3.0])
+
+
+class TestKalmanFilterValidation:
+    def test_dimension_checks(self):
+        eye2 = np.eye(2)
+        with pytest.raises(ValidationError):
+            KalmanFilter(np.eye(3), eye2, eye2, eye2, np.zeros(2), eye2)
+        with pytest.raises(ValidationError):
+            KalmanFilter(eye2, np.eye(3), eye2, eye2, np.zeros(2), eye2)
+        with pytest.raises(ValidationError):
+            KalmanFilter(eye2, eye2, np.eye(3), eye2, np.zeros(2), eye2)
+        with pytest.raises(ValidationError):
+            KalmanFilter(eye2, eye2, eye2, np.eye(3), np.zeros(2), eye2)
+
+    def test_covariance_stays_symmetric(self, rng):
+        kf = constant_velocity_filter([0.0, 0.0])
+        for _ in range(30):
+            kf.predict()
+            kf.update(rng.normal(size=2))
+        assert np.allclose(kf.P, kf.P.T)
+        assert np.all(np.linalg.eigvalsh(kf.P) > 0)

@@ -1,0 +1,65 @@
+"""Tests for tree split criteria."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.trees.criteria import entropy_from_counts, get_criterion, gini_from_counts
+
+
+class TestGini:
+    def test_pure_node_is_zero(self):
+        assert gini_from_counts(np.array([10.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_binary_is_half(self):
+        assert gini_from_counts(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_uniform_k_classes(self):
+        k = 4
+        counts = np.full(k, 25.0)
+        assert gini_from_counts(counts) == pytest.approx(1.0 - 1.0 / k)
+
+    def test_known_value(self):
+        # p = (0.75, 0.25): gini = 1 - 0.5625 - 0.0625 = 0.375
+        assert gini_from_counts(np.array([3.0, 1.0])) == pytest.approx(0.375)
+
+    def test_empty_group_is_zero(self):
+        assert gini_from_counts(np.array([0.0, 0.0])) == 0.0
+
+    def test_vectorised_shapes(self):
+        counts = np.array([[10.0, 0.0], [5.0, 5.0], [0.0, 0.0]])
+        result = gini_from_counts(counts)
+        assert result.shape == (3,)
+        assert result[0] == 0.0
+        assert result[1] == pytest.approx(0.5)
+        assert result[2] == 0.0
+
+    def test_scale_invariance(self):
+        a = gini_from_counts(np.array([3.0, 7.0]))
+        b = gini_from_counts(np.array([30.0, 70.0]))
+        assert a == pytest.approx(b)
+
+
+class TestEntropy:
+    def test_pure_node_is_zero(self):
+        assert entropy_from_counts(np.array([10.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_binary_is_ln2(self):
+        assert entropy_from_counts(np.array([5.0, 5.0])) == pytest.approx(np.log(2))
+
+    def test_empty_group_is_zero(self):
+        assert entropy_from_counts(np.array([0.0, 0.0])) == 0.0
+
+    def test_entropy_exceeds_gini_for_impure_nodes(self):
+        counts = np.array([4.0, 6.0])
+        assert entropy_from_counts(counts) > gini_from_counts(counts)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_criterion("gini") is gini_from_counts
+        assert get_criterion("entropy") is entropy_from_counts
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            get_criterion("mse")

@@ -1,0 +1,62 @@
+"""Tests for tree text export."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.trees.cart import DecisionTreeClassifier
+from repro.trees.export import export_text
+
+
+@pytest.fixture
+def tree(rng):
+    X = rng.normal(size=(300, 2))
+    y = (X[:, 0] > 0).astype(int)
+    return DecisionTreeClassifier(max_depth=3).fit(X, y)
+
+
+class TestExportText:
+    def test_contains_default_feature_names(self, tree):
+        text = export_text(tree)
+        assert "feature_0" in text
+
+    def test_custom_feature_names(self, tree):
+        text = export_text(tree, feature_names=["rain", "darkness"])
+        assert "rain" in text
+        assert "feature_0" not in text
+
+    def test_too_few_names_rejected(self, tree):
+        with pytest.raises(ValidationError):
+            export_text(tree, feature_names=["only_one"])
+
+    def test_leaf_lines_show_class_and_count(self, tree):
+        text = export_text(tree)
+        assert "leaf #" in text
+        assert "n=" in text
+
+    def test_annotations_rendered(self, tree):
+        leaf = int(tree.leaf_ids()[0])
+        text = export_text(tree, leaf_annotations={leaf: "u <= 0.0072"})
+        assert "u <= 0.0072" in text
+
+    def test_max_depth_truncates(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)  # needs depth >= 2
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        text = export_text(deep, max_depth=1)
+        assert "..." in text
+
+    def test_single_leaf_tree(self, rng):
+        X = rng.normal(size=(20, 2))
+        stump = DecisionTreeClassifier().fit(X, np.zeros(20, dtype=int))
+        text = export_text(stump)
+        assert text.startswith("leaf #0")
+
+    def test_line_count_matches_nodes(self, tree):
+        text = export_text(tree)
+        # One line per reachable node (internal nodes appear twice: <= and >).
+        n_internal = sum(
+            1 for n in tree.reachable_nodes() if tree.children_left_[n] != -1
+        )
+        n_leaves = tree.get_n_leaves()
+        assert len(text.splitlines()) == 2 * n_internal + n_leaves

@@ -1,0 +1,94 @@
+"""Tests for the random-forest ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.trees.cart import DecisionTreeClassifier
+from repro.trees.forest import RandomForestClassifier
+
+
+@pytest.fixture
+def noisy_xor(rng):
+    X = rng.normal(size=(1200, 6))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    flip = rng.uniform(size=1200) < 0.05
+    return X, np.where(flip, 1 - y, y)
+
+
+class TestForest:
+    def test_learns_noisy_xor(self, noisy_xor):
+        X, y = noisy_xor
+        forest = RandomForestClassifier(n_estimators=15, max_depth=6, seed=0)
+        forest.fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_proba_shape_and_sum(self, noisy_xor):
+        X, y = noisy_xor
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+        proba = forest.predict_proba(X[:50])
+        assert proba.shape == (50, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_probabilities_smoother_than_single_tree(self, noisy_xor):
+        X, y = noisy_xor
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=6, seed=0).fit(X, y)
+        # The forest produces many more distinct probability levels.
+        assert (
+            len(np.unique(forest.predict_proba(X)[:, 1]))
+            > len(np.unique(tree.predict_proba(X)[:, 1]))
+        )
+
+    def test_deterministic_given_seed(self, noisy_xor):
+        X, y = noisy_xor
+        p1 = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X[:10])
+        p2 = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X[:10])
+        assert np.allclose(p1, p2)
+
+    def test_different_seeds_differ(self, noisy_xor):
+        X, y = noisy_xor
+        p1 = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X[:10])
+        p2 = RandomForestClassifier(n_estimators=5, seed=4).fit(X, y).predict_proba(X[:10])
+        assert not np.allclose(p1, p2)
+
+    def test_max_features_respected(self, noisy_xor):
+        X, y = noisy_xor
+        forest = RandomForestClassifier(
+            n_estimators=4, max_features=2, seed=0
+        ).fit(X, y)
+        assert all(cols.size == 2 for cols in forest.feature_subsets_)
+
+    def test_default_max_features_sqrt(self, noisy_xor):
+        X, y = noisy_xor
+        forest = RandomForestClassifier(n_estimators=2, seed=0).fit(X, y)
+        assert all(cols.size == 3 for cols in forest.feature_subsets_)  # ceil(sqrt(6))
+
+    def test_multiclass_with_partial_bootstrap_coverage(self, rng):
+        # Rare classes may be absent from some bootstraps; predict_proba
+        # must still return columns for every global class.
+        X = rng.normal(size=(300, 4))
+        y = np.where(X[:, 0] > 1.5, 2, (X[:, 0] > 0).astype(int))
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = forest.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict([[0.0]])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(max_features=0)
+
+    def test_bad_shapes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            RandomForestClassifier().fit(rng.normal(size=10), np.zeros(10))
+        forest = RandomForestClassifier(n_estimators=2, seed=0).fit(
+            rng.normal(size=(50, 3)), rng.integers(0, 2, 50)
+        )
+        with pytest.raises(ValidationError):
+            forest.predict(rng.normal(size=(5, 2)))

@@ -1,0 +1,118 @@
+"""Tests for calibration-driven pruning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.trees.cart import LEAF, DecisionTreeClassifier
+from repro.trees.pruning import (
+    collapse_node,
+    count_samples_per_node,
+    prune_to_min_samples,
+)
+
+
+@pytest.fixture
+def fitted(rng):
+    X = rng.normal(size=(2000, 5))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0.3)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+    X_cal = rng.normal(size=(1000, 5))
+    return tree, X_cal
+
+
+class TestCountSamples:
+    def test_root_counts_everything(self, fitted):
+        tree, X_cal = fitted
+        counts = count_samples_per_node(tree, X_cal)
+        assert counts[0] == len(X_cal)
+
+    def test_children_partition_parent(self, fitted):
+        tree, X_cal = fitted
+        counts = count_samples_per_node(tree, X_cal)
+        for node in range(tree.node_count_):
+            left = tree.children_left_[node]
+            if left == LEAF:
+                continue
+            right = tree.children_right_[node]
+            assert counts[node] == counts[left] + counts[right]
+
+    def test_leaf_counts_match_apply(self, fitted):
+        tree, X_cal = fitted
+        counts = count_samples_per_node(tree, X_cal)
+        leaves, leaf_counts = np.unique(tree.apply(X_cal), return_counts=True)
+        for leaf, count in zip(leaves, leaf_counts):
+            assert counts[leaf] == count
+
+    def test_empty_input(self, fitted):
+        tree, _ = fitted
+        counts = count_samples_per_node(tree, np.empty((0, 5)))
+        assert counts.sum() == 0
+
+
+class TestPrune:
+    def test_every_leaf_meets_minimum(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 100)
+        counts = count_samples_per_node(pruned, X_cal)
+        assert all(counts[leaf] >= 100 for leaf in pruned.leaf_ids())
+
+    def test_pruning_reduces_leaves(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 200)
+        assert pruned.get_n_leaves() < tree.get_n_leaves()
+
+    def test_original_untouched(self, fitted):
+        tree, X_cal = fitted
+        before = tree.get_n_leaves()
+        prune_to_min_samples(tree, X_cal, 200)
+        assert tree.get_n_leaves() == before
+
+    def test_huge_minimum_collapses_to_root(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 10_000)
+        assert pruned.get_n_leaves() == 1
+        assert pruned.children_left_[0] == LEAF
+
+    def test_minimum_of_one_keeps_non_empty_leaves(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 1)
+        counts = count_samples_per_node(pruned, X_cal)
+        assert all(counts[leaf] >= 1 for leaf in pruned.leaf_ids())
+
+    def test_pruned_tree_still_predicts(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 150)
+        predictions = pruned.predict(X_cal)
+        assert predictions.shape == (len(X_cal),)
+
+    def test_apply_lands_in_reachable_leaves(self, fitted):
+        tree, X_cal = fitted
+        pruned = prune_to_min_samples(tree, X_cal, 150)
+        assert set(pruned.apply(X_cal)) <= set(pruned.leaf_ids())
+
+    def test_invalid_minimum_rejected(self, fitted):
+        tree, X_cal = fitted
+        with pytest.raises(ValidationError):
+            prune_to_min_samples(tree, X_cal, 0)
+
+    def test_monotone_in_minimum(self, fitted):
+        tree, X_cal = fitted
+        leaves = [
+            prune_to_min_samples(tree, X_cal, m).get_n_leaves()
+            for m in (10, 50, 200, 500)
+        ]
+        assert leaves == sorted(leaves, reverse=True)
+
+
+class TestCollapse:
+    def test_collapse_root(self, fitted):
+        tree, _ = fitted
+        clone = tree.copy()
+        collapse_node(clone, 0)
+        assert clone.get_n_leaves() == 1
+
+    def test_out_of_range_rejected(self, fitted):
+        tree, _ = fitted
+        with pytest.raises(ValidationError):
+            collapse_node(tree.copy(), tree.node_count_)
