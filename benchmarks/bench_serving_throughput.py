@@ -1,0 +1,105 @@
+"""Serving throughput: batched engine vs naive per-stream step loop.
+
+The streaming engine's claim is that taUW uncertainty machinery stays
+practical at fleet scale: one tick of 256 concurrent object streams runs as
+one batched DDM inference + one vectorized fusion/taQF/taQIM pass instead of
+256 sequential wrapper ``step`` calls.  This benchmark measures both paths
+on the same interleaved GTSRB situation workload and asserts the engine's
+advantage (>= 3x frames/sec at 256 streams) together with bitwise-identical
+outcomes -- speed without changing a single result.
+
+The identity assert relies on the engine's documented precondition that
+``ddm.predict`` is row-independent: the MLP's batched ``X @ W`` must agree
+bitwise with its per-row evaluation (true for every numpy build tested; a
+BLAS that routes GEMM and GEMV through different accumulation orders could
+flip an argmax on a near-tied logit pair and fail this gate spuriously).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
+from repro.serving import (
+    StreamingEngine,
+    build_stream_workload,
+    replay_engine,
+    replay_naive,
+)
+
+N_STREAMS = 256
+N_TICKS = 12
+
+
+@pytest.fixture(scope="module")
+def workload(study_data):
+    rng = np.random.default_rng(2024)
+    return build_stream_workload(study_data.feature_model, N_STREAMS, N_TICKS, rng)
+
+
+def _make_engine(study_data):
+    return StreamingEngine(
+        ddm=study_data.ddm,
+        stateless_qim=study_data.stateless_qim,
+        timeseries_qim=study_data.ta_qim,
+        layout=study_data.layout,
+    )
+
+
+def _make_wrapper(study_data):
+    return TimeseriesAwareUncertaintyWrapper(
+        ddm=study_data.ddm,
+        stateless_qim=study_data.stateless_qim,
+        timeseries_qim=study_data.ta_qim,
+        layout=study_data.layout,
+    )
+
+
+def test_engine_throughput(benchmark, study_data, workload):
+    def run():
+        return replay_engine(_make_engine(study_data), workload)
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == N_STREAMS
+    benchmark.extra_info["frames_per_round"] = workload.n_frames
+
+
+def test_naive_throughput(benchmark, study_data, workload):
+    def run():
+        return replay_naive(lambda: _make_wrapper(study_data), workload)
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == N_STREAMS
+    benchmark.extra_info["frames_per_round"] = workload.n_frames
+
+
+def test_speedup_and_equivalence_at_256_streams(study_data, workload, write_output):
+    start = time.perf_counter()
+    engine_outcomes = replay_engine(_make_engine(study_data), workload)
+    engine_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive_outcomes = replay_naive(lambda: _make_wrapper(study_data), workload)
+    naive_seconds = time.perf_counter() - start
+
+    speedup = naive_seconds / engine_seconds
+    engine_fps = workload.n_frames / engine_seconds
+    naive_fps = workload.n_frames / naive_seconds
+    identical = engine_outcomes == naive_outcomes
+
+    write_output(
+        "serving_throughput.txt",
+        "SERVING THROUGHPUT (256 concurrent GTSRB situation streams)\n"
+        f"frames:               {workload.n_frames}\n"
+        f"engine  frames/sec:   {engine_fps:,.0f}\n"
+        f"naive   frames/sec:   {naive_fps:,.0f}\n"
+        f"speedup:              {speedup:.1f}x\n"
+        f"outputs identical:    {identical}\n",
+    )
+
+    assert identical, "engine outcomes must be bitwise identical to step replay"
+    assert speedup >= 3.0, (
+        f"StreamingEngine.step_batch must be >= 3x the naive loop at "
+        f"{N_STREAMS} streams, measured {speedup:.2f}x"
+    )

@@ -15,8 +15,8 @@ Quick start::
     results = run_study(StudyConfig.smoke_scale())
     print(render_table1(results))
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-vs-measured comparison of every table and figure.
+See README.md for the architecture overview, the serving-engine API, and
+the install/benchmark instructions.
 """
 
 from repro.core import (
@@ -50,6 +50,12 @@ from repro.fusion import (
     OpportuneFusion,
     WorstCaseFusion,
 )
+from repro.serving import (
+    StreamFrame,
+    StreamRegistry,
+    StreamStepResult,
+    StreamingEngine,
+)
 
 __version__ = "1.0.0"
 
@@ -79,5 +85,9 @@ __all__ = [
     "NaiveProductFusion",
     "OpportuneFusion",
     "WorstCaseFusion",
+    "StreamFrame",
+    "StreamRegistry",
+    "StreamStepResult",
+    "StreamingEngine",
     "__version__",
 ]

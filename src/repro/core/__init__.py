@@ -17,6 +17,7 @@ from repro.core.quality_factors import (
     QualityFactorLayout,
     TAQF_NAMES,
     TAQF_REGISTRY,
+    compute_taqf_matrix,
     compute_taqf_vector,
     taqf_cumulative_certainty,
     taqf_length,
@@ -24,6 +25,7 @@ from repro.core.quality_factors import (
     taqf_unique_count,
 )
 from repro.core.quality_impact import BOUND_FUNCTIONS, QualityImpactModel
+from repro.core.ragged import RaggedBatch, segment_class_counts
 from repro.core.scope import BoundaryCheck, ScopeComplianceModel, SimilarityScope
 from repro.core.timeseries_wrapper import (
     SeriesTrace,
@@ -44,7 +46,10 @@ __all__ = [
     "QualityFactorLayout",
     "TAQF_NAMES",
     "TAQF_REGISTRY",
+    "compute_taqf_matrix",
     "compute_taqf_vector",
+    "RaggedBatch",
+    "segment_class_counts",
     "taqf_cumulative_certainty",
     "taqf_length",
     "taqf_ratio",

@@ -7,6 +7,13 @@ onset of a new timeseries."
 Per timestep the buffer records the momentaneous DDM outcome and its
 stateless uncertainty estimate; the information-fusion component and the
 timeseries-aware quality model read these prefixes back at every step.
+
+Storage is array-backed: outcomes and uncertainties live in preallocated
+numpy arrays with an amortized-O(1) append, and the hot paths (the online
+wrapper step, the batched serving engine) read them through the O(1)
+``outcomes_view`` / ``uncertainties_view`` slices instead of rebuilding
+Python lists.  With ``max_length`` set, the oldest entries slide out by
+advancing the window start; the backing arrays are compacted lazily.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ import numpy as np
 from repro.exceptions import EmptyBufferError, ValidationError
 
 __all__ = ["TimeseriesBuffer"]
+
+_INITIAL_CAPACITY = 32
 
 
 class TimeseriesBuffer:
@@ -33,16 +42,26 @@ class TimeseriesBuffer:
         if max_length is not None and max_length < 1:
             raise ValidationError(f"max_length must be >= 1 or None, got {max_length}")
         self.max_length = max_length
-        self._outcomes: list[int] = []
-        self._uncertainties: list[float] = []
+        # Storage starts small regardless of the window cap (a registry may
+        # hold thousands of mostly-short buffers) and grows on demand up to
+        # 2 * max_length, at which point the window shift back to the front
+        # of the arrays amortizes to O(1) per append.
+        capacity = _INITIAL_CAPACITY
+        if max_length is not None:
+            capacity = min(capacity, 2 * max_length)
+        self._out = np.empty(capacity, dtype=np.int64)
+        self._unc = np.empty(capacity, dtype=float)
+        self._start = 0
+        self._end = 0
+        self._cache: tuple[list[int], list[float]] | None = None
 
     def __len__(self) -> int:
-        return len(self._outcomes)
+        return self._end - self._start
 
     @property
     def is_empty(self) -> bool:
         """True when no timestep has been recorded since the last reset."""
-        return not self._outcomes
+        return self._end == self._start
 
     def append(self, outcome: int, uncertainty: float) -> None:
         """Record one timestep's momentaneous outcome and uncertainty."""
@@ -50,49 +69,107 @@ class TimeseriesBuffer:
             raise ValidationError(
                 f"uncertainty must lie in [0, 1], got {uncertainty!r}"
             )
-        self._outcomes.append(int(outcome))
-        self._uncertainties.append(float(uncertainty))
-        if self.max_length is not None and len(self._outcomes) > self.max_length:
-            del self._outcomes[0]
-            del self._uncertainties[0]
+        if self._end == self._out.size:
+            self._make_room()
+        self._out[self._end] = int(outcome)
+        self._unc[self._end] = float(uncertainty)
+        self._end += 1
+        if self.max_length is not None and len(self) > self.max_length:
+            self._start += 1
+        self._cache = None
+
+    def _make_room(self) -> None:
+        """Compact the live window to the front, growing when it is tight.
+
+        Growing whenever the live window exceeds half the capacity (capped
+        at ``2 * max_length`` for bounded buffers) guarantees that every
+        shift frees at least half the arrays, so appends stay amortized
+        O(1) in both the unbounded and the sliding-window regime.
+        """
+        n = len(self)
+        capacity = self._out.size
+        target = capacity
+        if n > capacity // 2:
+            target = capacity * 2
+            if self.max_length is not None:
+                target = min(target, 2 * self.max_length)
+        if target > capacity:
+            out = np.empty(target, dtype=np.int64)
+            unc = np.empty(target, dtype=float)
+            out[:n] = self._out[self._start : self._end]
+            unc[:n] = self._unc[self._start : self._end]
+            self._out, self._unc = out, unc
+        else:  # window drifted to the end; shift it back in place
+            self._out[:n] = self._out[self._start : self._end]
+            self._unc[:n] = self._unc[self._start : self._end]
+        self._start, self._end = 0, n
 
     def reset(self) -> None:
         """Clear the buffer (onset of a new timeseries)."""
-        self._outcomes.clear()
-        self._uncertainties.clear()
+        self._start = 0
+        self._end = 0
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    # Array views (hot path): O(1) slices of the backing storage.
+    # ------------------------------------------------------------------
+    def outcomes_view(self) -> np.ndarray:
+        """Contiguous int64 view of the live outcomes, oldest first.
+
+        Valid until the next ``append``/``reset``; do not mutate.
+        """
+        return self._out[self._start : self._end]
+
+    def uncertainties_view(self) -> np.ndarray:
+        """Contiguous float view of the live uncertainties, oldest first.
+
+        Valid until the next ``append``/``reset``; do not mutate.
+        """
+        return self._unc[self._start : self._end]
+
+    # ------------------------------------------------------------------
+    # List/array accessors (convenience and introspection paths).
+    # ------------------------------------------------------------------
+    def _lists(self) -> tuple[list[int], list[float]]:
+        if self._cache is None:
+            self._cache = (
+                self.outcomes_view().tolist(),
+                self.uncertainties_view().tolist(),
+            )
+        return self._cache
 
     @property
     def outcomes(self) -> list[int]:
         """Momentaneous outcomes recorded so far, oldest first (copy)."""
-        return list(self._outcomes)
+        return self._lists()[0].copy()
 
     @property
     def uncertainties(self) -> list[float]:
         """Momentaneous uncertainties recorded so far, oldest first (copy)."""
-        return list(self._uncertainties)
+        return self._lists()[1].copy()
 
     @property
     def certainties(self) -> list[float]:
         """Momentaneous certainties ``c_j = 1 - u_j``, oldest first."""
-        return [1.0 - u for u in self._uncertainties]
+        return [1.0 - u for u in self._lists()[1]]
 
     def outcomes_array(self) -> np.ndarray:
         """Outcomes as an int array; raises on an empty buffer."""
         self._require_non_empty()
-        return np.asarray(self._outcomes, dtype=np.int64)
+        return self.outcomes_view().copy()
 
     def uncertainties_array(self) -> np.ndarray:
         """Uncertainties as a float array; raises on an empty buffer."""
         self._require_non_empty()
-        return np.asarray(self._uncertainties, dtype=float)
+        return self.uncertainties_view().copy()
 
     def last_outcome(self) -> int:
         """The most recent outcome; raises on an empty buffer."""
         self._require_non_empty()
-        return self._outcomes[-1]
+        return int(self._out[self._end - 1])
 
     def _require_non_empty(self) -> None:
-        if not self._outcomes:
+        if self.is_empty:
             raise EmptyBufferError(
                 "the timeseries buffer is empty; feed at least one timestep first"
             )

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.buffer import TimeseriesBuffer
+from repro.core.ragged import RaggedBatch, segment_class_counts
 from repro.exceptions import ValidationError
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "TAQF_REGISTRY",
     "TAQF_NAMES",
     "compute_taqf_vector",
+    "compute_taqf_matrix",
     "QualityFactorLayout",
 ]
 
@@ -127,6 +129,23 @@ TAQF_REGISTRY: dict[str, Callable[[TimeseriesBuffer, int], float]] = {
 TAQF_NAMES: tuple[str, ...] = tuple(TAQF_REGISTRY)
 """Canonical ordering of the four taQFs: ratio, length, size, certainty."""
 
+_BUILTIN_TAQF_IMPLS = dict(TAQF_REGISTRY)
+"""The original built-in callables, for detecting registry overrides."""
+
+
+def _names_use_builtin_kernel(names: Sequence[str]) -> bool:
+    """Whether every name still maps to its original built-in factor.
+
+    The batched kernel hard-codes the four built-in factors; any custom
+    registration -- a new name or an override of a built-in -- must keep
+    dispatching through :data:`TAQF_REGISTRY`.
+    """
+    return all(
+        name in TAQF_NAMES
+        and TAQF_REGISTRY.get(name) is _BUILTIN_TAQF_IMPLS[name]
+        for name in names
+    )
+
 
 def compute_taqf_vector(
     buffer: TimeseriesBuffer,
@@ -135,6 +154,13 @@ def compute_taqf_vector(
 ) -> np.ndarray:
     """Evaluate the selected taQFs against the buffer, in the given order.
 
+    For the built-in factors this delegates to :func:`compute_taqf_matrix`
+    with a single-segment batch, so scalar and batched callers run the
+    identical kernel and agree bitwise (the pure-Python factor functions
+    above are the documented reference semantics; float summation order
+    may differ by ~1 ulp).  Names registered into :data:`TAQF_REGISTRY`
+    beyond the built-ins dispatch through the registry.
+
     Parameters
     ----------
     buffer:
@@ -142,17 +168,101 @@ def compute_taqf_vector(
     fused_outcome:
         The current fused outcome :math:`o_i^{(if)}`.
     names:
-        Which factors to compute; any subset of :data:`TAQF_NAMES`.
+        Which factors to compute; any subset of :data:`TAQF_REGISTRY`.
     """
+    if buffer.is_empty:
+        raise ValidationError("timeseries-aware factors need at least one outcome")
+    if _names_use_builtin_kernel(names):
+        batch = RaggedBatch.from_buffers([buffer])
+        return compute_taqf_matrix(batch, np.array([int(fused_outcome)]), names)[0]
     values = np.empty(len(names), dtype=float)
     for i, name in enumerate(names):
         try:
             fn = TAQF_REGISTRY[name]
         except KeyError:
             raise ValidationError(
-                f"unknown taQF {name!r}; expected one of {TAQF_NAMES}"
+                f"unknown taQF {name!r}; expected one of {tuple(TAQF_REGISTRY)}"
             ) from None
         values[i] = fn(buffer, fused_outcome)
+    return values
+
+
+def compute_taqf_matrix(
+    batch: RaggedBatch,
+    fused: np.ndarray,
+    names: Sequence[str] = TAQF_NAMES,
+    vote=None,
+) -> np.ndarray:
+    """Evaluate the selected taQFs for every segment of a ragged batch.
+
+    The batched counterpart of :func:`compute_taqf_vector`: one row per
+    segment, one column per selected factor, computed with segmented numpy
+    kernels (``bincount`` counting, ``np.add.reduceat`` certainty sums).
+    The kernels reduce each segment independently of its neighbours, so a
+    segment evaluated alone and the same segment inside a large batch get
+    bitwise-identical factor values -- the property the single-stream
+    wrapper, the offline trace path, and the streaming engine rely on to
+    agree exactly.
+
+    Parameters
+    ----------
+    batch:
+        The buffered outcome/uncertainty segments (one per stream or
+        prefix).
+    fused:
+        The fused outcome per segment, aligned with the batch.
+    names:
+        Which factors to compute; any subset of :data:`TAQF_NAMES`.
+    vote:
+        Optional :class:`~repro.fusion.vectorized.VoteResult` from fusing
+        *this* batch into *this* ``fused`` array; its per-segment counts
+        are reused so the ratio/size factors skip a second counting pass.
+    """
+    fused = np.asarray(fused, dtype=np.int64).ravel()
+    if fused.size != batch.n_segments:
+        raise ValidationError(
+            f"fused outcomes must align with segments, got {fused.size} "
+            f"vs {batch.n_segments}"
+        )
+    # The batched kernel implements exactly the four built-in factors;
+    # custom TAQF_REGISTRY entries must go through the scalar registry
+    # dispatch (compute_taqf_vector falls back to it automatically).
+    unknown = [n for n in names if n not in TAQF_NAMES]
+    if unknown:
+        raise ValidationError(
+            f"taQF names {unknown} are not supported by the batched kernel; "
+            f"expected a subset of {TAQF_NAMES}"
+        )
+
+    values = np.empty((batch.n_segments, len(names)), dtype=float)
+    need_counts = any(n in ("ratio", "size") for n in names)
+    if need_counts:
+        if vote is not None:
+            fused_counts = vote.fused_counts
+            unique_counts = vote.unique_counts
+        else:
+            codes, counts = segment_class_counts(batch)
+            fused_code = np.minimum(np.searchsorted(codes, fused), codes.size - 1)
+            fused_counts = np.where(
+                codes[fused_code] == fused,
+                counts[np.arange(batch.n_segments), fused_code],
+                0,
+            )
+            unique_counts = np.count_nonzero(counts, axis=1)
+    if "certainty" in names:
+        agree = batch.outcomes == batch.expand(fused)
+        contributions = np.where(agree, 1.0 - batch.uncertainties, 0.0)
+        cumulative = np.add.reduceat(contributions, batch.offsets)
+
+    for j, name in enumerate(names):
+        if name == "ratio":
+            values[:, j] = fused_counts / batch.lengths
+        elif name == "length":
+            values[:, j] = batch.lengths.astype(float)
+        elif name == "size":
+            values[:, j] = unique_counts.astype(float)
+        else:  # "certainty"
+            values[:, j] = cumulative
     return values
 
 
@@ -236,5 +346,91 @@ class QualityFactorLayout:
                 "this layout includes timeseries-aware factors; "
                 "buffer and fused_outcome are required"
             )
+        # Same kernel as the batched path (single-segment batch), so a row
+        # assembled here is bitwise identical to the same row inside an
+        # assemble_batch call.
         ta = compute_taqf_vector(buffer, fused_outcome, self.taqf_names)
         return np.concatenate([stateless_values, ta])
+
+    def assemble_batch(
+        self,
+        stateless_values: np.ndarray,
+        batch: RaggedBatch | None = None,
+        fused_outcomes: np.ndarray | None = None,
+        vote=None,
+    ) -> np.ndarray:
+        """Build one feature row per segment of a ragged batch.
+
+        The batched counterpart of :meth:`assemble`, used by the streaming
+        engine (one segment per stream) and the offline trace path (one
+        segment per series prefix).
+
+        Parameters
+        ----------
+        stateless_values:
+            Stateless column values, shape ``(n_segments, n_stateless)``.
+        batch / fused_outcomes:
+            Required when the layout includes taQFs; ``fused_outcomes``
+            holds the fused outcome per segment.
+        vote:
+            Optional ``VoteResult`` from the fusion step (see
+            :func:`compute_taqf_matrix`).
+        """
+        stateless_values = np.atleast_2d(np.asarray(stateless_values, dtype=float))
+        if stateless_values.shape[1] != len(self.stateless_names):
+            raise ValidationError(
+                f"expected {len(self.stateless_names)} stateless columns, "
+                f"got {stateless_values.shape[1]}"
+            )
+        if not self.taqf_names:
+            return stateless_values.copy()
+        if batch is None or fused_outcomes is None:
+            raise ValidationError(
+                "this layout includes timeseries-aware factors; "
+                "batch and fused_outcomes are required"
+            )
+        if stateless_values.shape[0] != batch.n_segments:
+            raise ValidationError(
+                f"stateless rows must align with segments, got "
+                f"{stateless_values.shape[0]} vs {batch.n_segments}"
+            )
+        fused_outcomes = np.asarray(fused_outcomes, dtype=np.int64).ravel()
+        if not _names_use_builtin_kernel(self.taqf_names):
+            return self._assemble_rows_via_registry(
+                stateless_values, batch, fused_outcomes
+            )
+        ta = compute_taqf_matrix(batch, fused_outcomes, self.taqf_names, vote)
+        return np.hstack([stateless_values, ta])
+
+    def _assemble_rows_via_registry(
+        self,
+        stateless_values: np.ndarray,
+        batch: RaggedBatch,
+        fused_outcomes: np.ndarray,
+    ) -> np.ndarray:
+        """Per-segment scalar fallback for layouts with custom taQFs.
+
+        Factors registered into :data:`TAQF_REGISTRY` beyond the built-ins
+        only exist as ``(buffer, fused) -> float`` callables, so each
+        segment is replayed into a scratch buffer and assembled through
+        the scalar path.  Slow but faithful; built-in-only layouts (the
+        paper's) never take this branch.
+        """
+        if fused_outcomes.size != batch.n_segments:
+            raise ValidationError(
+                f"fused outcomes must align with segments, got "
+                f"{fused_outcomes.size} vs {batch.n_segments}"
+            )
+        rows = np.empty((batch.n_segments, self.n_features), dtype=float)
+        for i in range(batch.n_segments):
+            start = batch.offsets[i]
+            stop = start + batch.lengths[i]
+            buffer = TimeseriesBuffer()
+            for outcome, uncertainty in zip(
+                batch.outcomes[start:stop], batch.uncertainties[start:stop]
+            ):
+                buffer.append(int(outcome), float(uncertainty))
+            rows[i] = self.assemble(
+                stateless_values[i], buffer, int(fused_outcomes[i])
+            )
+        return rows

@@ -1,0 +1,184 @@
+"""Ragged segment batches: many variable-length timeseries as flat arrays.
+
+The serving engine processes one buffered timeseries per tracked object, and
+the different objects have been tracked for different numbers of frames.  A
+:class:`RaggedBatch` stores such a collection as flat ``outcomes`` /
+``uncertainties`` arrays plus per-segment ``offsets``/``lengths``, which is
+the layout every vectorized kernel in this codebase consumes: the batched
+majority vote (:mod:`repro.fusion.vectorized`), the batched taQF computation
+(:func:`repro.core.quality_factors.compute_taqf_matrix`), and through them
+the online wrapper, the offline trace path, and the streaming engine.
+
+All three callers build their segments from the *same* contiguous arrays and
+reduce them with the *same* segmented numpy kernels, so a stream processed
+alone and the same stream processed inside a 1000-stream batch produce
+bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["RaggedBatch", "segment_class_counts"]
+
+
+@dataclass(frozen=True)
+class RaggedBatch:
+    """A batch of variable-length outcome/uncertainty series, flattened.
+
+    Attributes
+    ----------
+    outcomes:
+        All segments' momentaneous outcomes concatenated, oldest first
+        within each segment (``int64``).
+    uncertainties:
+        Momentaneous uncertainties aligned with ``outcomes`` (``float64``).
+    offsets:
+        Start index of each segment within the flat arrays (``intp``).
+    lengths:
+        Number of elements of each segment (``int64``, all ``>= 1``).
+    """
+
+    outcomes: np.ndarray
+    uncertainties: np.ndarray
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        """Number of series in the batch."""
+        return int(self.lengths.size)
+
+    @property
+    def total(self) -> int:
+        """Total number of flattened elements."""
+        return int(self.outcomes.size)
+
+    def segment_ids(self) -> np.ndarray:
+        """Segment index per flat element (``[0,0,...,1,1,...]``)."""
+        return np.repeat(np.arange(self.n_segments), self.lengths)
+
+    def certainties(self) -> np.ndarray:
+        """Flat complements ``c_j = 1 - u_j`` of the uncertainties."""
+        return 1.0 - self.uncertainties
+
+    def expand(self, per_segment: np.ndarray) -> np.ndarray:
+        """Broadcast one value per segment onto the flat element axis."""
+        return np.repeat(per_segment, self.lengths)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_segments(cls, segments) -> "RaggedBatch":
+        """Build a batch from ``(outcomes, uncertainties)`` array pairs.
+
+        Each pair is one segment; arrays are copied into the flat layout.
+        """
+        if not segments:
+            raise ValidationError("need at least one segment")
+        outs, uncs, lengths = [], [], []
+        for outcomes, uncertainties in segments:
+            outcomes = np.asarray(outcomes, dtype=np.int64).ravel()
+            uncertainties = np.asarray(uncertainties, dtype=float).ravel()
+            if outcomes.size == 0:
+                raise ValidationError("segments must contain at least one step")
+            if outcomes.size != uncertainties.size:
+                raise ValidationError(
+                    "segment outcomes and uncertainties must align, got "
+                    f"{outcomes.size} vs {uncertainties.size}"
+                )
+            outs.append(outcomes)
+            uncs.append(uncertainties)
+            lengths.append(outcomes.size)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets = np.zeros(lengths.size, dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        return cls(
+            outcomes=np.concatenate(outs),
+            uncertainties=np.concatenate(uncs),
+            offsets=offsets,
+            lengths=lengths,
+        )
+
+    @classmethod
+    def from_buffers(cls, buffers) -> "RaggedBatch":
+        """Build a batch from :class:`~repro.core.buffer.TimeseriesBuffer`\\ s.
+
+        Uses the buffers' O(1) array views; every buffer must be non-empty.
+        """
+        return cls.from_segments(
+            [(b.outcomes_view(), b.uncertainties_view()) for b in buffers]
+        )
+
+    @classmethod
+    def prefixes(
+        cls, outcomes, uncertainties, start: int = 0, stop: int | None = None
+    ) -> "RaggedBatch":
+        """Prefixes of one series as a batch: segment ``t`` is ``[:t+1]``.
+
+        This is the offline trace layout: replaying a series of length
+        ``L`` step by step evaluates the fusion and the taQFs on every
+        prefix, so the trace path hands the prefixes to the batched
+        kernels instead of looping.  ``start``/``stop`` select a range of
+        prefix rows (``start <= t < stop``) so long series can be
+        processed in chunks: flattening all ``L`` prefixes at once costs
+        ``L * (L + 1) / 2`` elements.
+        """
+        outcomes = np.asarray(outcomes, dtype=np.int64).ravel()
+        uncertainties = np.asarray(uncertainties, dtype=float).ravel()
+        if outcomes.size == 0:
+            raise ValidationError("cannot build prefixes of an empty series")
+        if outcomes.size != uncertainties.size:
+            raise ValidationError("uncertainties must align with outcomes")
+        n = outcomes.size
+        stop = n if stop is None else stop
+        if not 0 <= start < stop <= n:
+            raise ValidationError(
+                f"invalid prefix row range [{start}, {stop}) for a series "
+                f"of {n} steps"
+            )
+        lengths = np.arange(start + 1, stop + 1, dtype=np.int64)
+        offsets = np.zeros(lengths.size, dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        # Flat element k of segment t is outcomes[k]: positions within each
+        # segment run 0..t, so the gather index is position-within-segment.
+        total = int(lengths.sum())
+        positions = np.arange(total) - np.repeat(offsets, lengths)
+        return cls(
+            outcomes=outcomes[positions],
+            uncertainties=uncertainties[positions],
+            offsets=offsets,
+            lengths=lengths,
+        )
+
+
+def segment_class_counts(batch: RaggedBatch, with_key: bool = False):
+    """Per-segment occurrence counts of every outcome class in the batch.
+
+    Returns
+    -------
+    tuple
+        ``(codes, counts)`` where ``codes`` holds the distinct outcome
+        values of the whole batch (sorted) and ``counts`` has shape
+        ``(n_segments, codes.size)`` with exact integer counts.  With
+        ``with_key=True`` additionally returns ``key``, the flat
+        ``segment * codes.size + code_index`` per element -- the scatter
+        index the vectorized vote reuses for its tie-break pass.
+
+    Notes
+    -----
+    Memory is ``n_segments * n_distinct_classes`` -- fine for classifier
+    label spaces (GTSRB: 43), not meant for unbounded id spaces.
+    """
+    codes, inverse = np.unique(batch.outcomes, return_inverse=True)
+    key = batch.segment_ids() * codes.size + inverse
+    counts = np.bincount(key, minlength=batch.n_segments * codes.size)
+    counts = counts.reshape(batch.n_segments, codes.size)
+    if with_key:
+        return codes, counts, key
+    return codes, counts

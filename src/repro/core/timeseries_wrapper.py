@@ -30,9 +30,11 @@ from repro.core.buffer import TimeseriesBuffer
 from repro.core.combination import combine_uncertainties
 from repro.core.quality_factors import QualityFactorLayout
 from repro.core.quality_impact import QualityImpactModel
+from repro.core.ragged import RaggedBatch
 from repro.core.scope import ScopeComplianceModel
 from repro.exceptions import NotCalibratedError, ValidationError
 from repro.fusion.information import InformationFusion, MajorityVote
+from repro.fusion.vectorized import fuse_segments
 
 __all__ = [
     "TimeseriesWrappedOutcome",
@@ -41,6 +43,10 @@ __all__ = [
     "trace_series",
     "stack_traces",
 ]
+
+#: Cap on flattened prefix elements per trace chunk (~8 MB of float64);
+#: keeps trace_series at O(n) memory for arbitrarily long series.
+_PREFIX_CHUNK_ELEMENTS = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -58,7 +64,9 @@ class TimeseriesWrappedOutcome:
     isolated_uncertainty:
         The stateless wrapper's momentaneous estimate :math:`u_i`.
     timestep:
-        Zero-based index within the current series.
+        Zero-based absolute index within the current series.  Counts every
+        processed frame since the series onset, so it keeps growing when a
+        ``max_buffer_length`` sliding window caps the buffer.
     scope_incompliance:
         Scope component folded into ``fused_uncertainty`` (0 without a
         scope model).
@@ -123,15 +131,21 @@ class TimeseriesAwareUncertaintyWrapper:
         self.information_fusion = information_fusion or MajorityVote()
         self.scope_model = scope_model
         self.buffer = TimeseriesBuffer(max_length=max_buffer_length)
+        self._step_count = 0
 
     def reset(self) -> None:
         """Clear the buffer (a new physical object is being observed)."""
         self.buffer.reset()
+        self._step_count = 0
 
     @property
     def timestep(self) -> int:
-        """Zero-based index of the *next* frame within the current series."""
-        return len(self.buffer)
+        """Zero-based index of the *next* frame within the current series.
+
+        Tracks the absolute number of frames processed since the series
+        onset, independent of the sliding-window cap on the buffer.
+        """
+        return self._step_count
 
     def step(
         self,
@@ -155,9 +169,6 @@ class TimeseriesAwareUncertaintyWrapper:
         scope_factors:
             Named scope-factor values when a scope model is configured.
         """
-        if new_series:
-            self.reset()
-
         model_input = np.atleast_2d(np.asarray(model_input, dtype=float))
         stateless = np.asarray(stateless_quality_values, dtype=float).ravel()
         if stateless.size != len(self.layout.stateless_names):
@@ -170,16 +181,10 @@ class TimeseriesAwareUncertaintyWrapper:
         isolated_u = float(
             self.stateless_qim.estimate_uncertainty(stateless[None, :])[0]
         )
-        self.buffer.append(isolated_outcome, isolated_u)
-
-        fused_outcome = self.information_fusion.fuse(
-            self.buffer.outcomes, self.buffer.certainties
-        )
-        features = self.layout.assemble(stateless, self.buffer, fused_outcome)
-        u_quality = float(
-            self.timeseries_qim.estimate_uncertainty(features[None, :])[0]
-        )
-
+        if not 0.0 <= isolated_u <= 1.0:  # NaN-rejecting, before any mutation
+            raise ValidationError(
+                f"stateless uncertainty must lie in [0, 1], got {isolated_u!r}"
+            )
         u_scope = 0.0
         if self.scope_model is not None:
             if scope_factors is None:
@@ -188,12 +193,31 @@ class TimeseriesAwareUncertaintyWrapper:
                 )
             u_scope = self.scope_model.incompliance_probability(scope_factors)
 
+        # Reset only after everything fallible ran: a rejected frame must
+        # not wipe the current series (mirrors the engine, which validates
+        # a whole tick before touching any stream state).
+        if new_series:
+            self.reset()
+        self.buffer.append(isolated_outcome, isolated_u)
+        self._step_count += 1
+
+        # Single-segment batch through the same segmented kernels the
+        # streaming engine uses, so one stream served alone and the same
+        # stream inside a large batch agree bitwise.
+        segment = RaggedBatch.from_buffers([self.buffer])
+        fused, vote = fuse_segments(self.information_fusion, segment)
+        fused_outcome = int(fused[0])
+        features = self.layout.assemble_batch(stateless[None, :], segment, fused, vote)
+        u_quality = float(
+            self.timeseries_qim.estimate_uncertainty(features)[0]
+        )
+
         return TimeseriesWrappedOutcome(
             fused_outcome=fused_outcome,
             fused_uncertainty=combine_uncertainties(u_quality, u_scope),
             isolated_outcome=isolated_outcome,
             isolated_uncertainty=isolated_u,
-            timestep=len(self.buffer) - 1,
+            timestep=self._step_count - 1,
             scope_incompliance=u_scope,
         )
 
@@ -276,6 +300,8 @@ def trace_series(
         raise ValidationError("cannot trace an empty series")
     if uncertainties.shape != outcomes.shape:
         raise ValidationError("uncertainties must align with outcomes")
+    if not np.all((uncertainties >= 0.0) & (uncertainties <= 1.0)):  # NaN-rejecting
+        raise ValidationError("uncertainties must lie in [0, 1]")
     if stateless_features.shape != (outcomes.size, len(layout.stateless_names)):
         raise ValidationError(
             "stateless_features must have shape "
@@ -283,14 +309,25 @@ def trace_series(
             f"got {stateless_features.shape}"
         )
 
+    # Every step of the replay evaluates fusion and taQFs on one prefix of
+    # the series, so the prefixes go through the segmented kernels as ragged
+    # batches -- the array-native fast path the online wrapper and the
+    # streaming engine share.  Flattening all prefixes at once costs
+    # O(n^2) memory, so long series are processed in row chunks (bitwise
+    # equivalent: the kernels reduce each segment independently).
     fusion = information_fusion or MajorityVote()
-    buffer = TimeseriesBuffer()
-    fused = np.empty(outcomes.size, dtype=np.int64)
-    features = np.empty((outcomes.size, layout.n_features), dtype=float)
-    for t in range(outcomes.size):
-        buffer.append(int(outcomes[t]), float(uncertainties[t]))
-        fused[t] = fusion.fuse(buffer.outcomes, buffer.certainties)
-        features[t] = layout.assemble(stateless_features[t], buffer, int(fused[t]))
+    n = outcomes.size
+    fused = np.empty(n, dtype=np.int64)
+    features = np.empty((n, layout.n_features), dtype=float)
+    chunk_rows = max(1, _PREFIX_CHUNK_ELEMENTS // n)
+    for start in range(0, n, chunk_rows):
+        stop = min(start + chunk_rows, n)
+        batch = RaggedBatch.prefixes(outcomes, uncertainties, start, stop)
+        chunk_fused, vote = fuse_segments(fusion, batch)
+        fused[start:stop] = chunk_fused
+        features[start:stop] = layout.assemble_batch(
+            stateless_features[start:stop], batch, chunk_fused, vote
+        )
 
     return SeriesTrace(
         truth=int(truth),

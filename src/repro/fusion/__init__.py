@@ -12,6 +12,11 @@ from repro.fusion.information import (
     MajorityVote,
     WeightedMajorityVote,
 )
+from repro.fusion.vectorized import (
+    VoteResult,
+    fuse_segments,
+    majority_vote_batch,
+)
 from repro.fusion.uncertainty import (
     NaiveProductFusion,
     OpportuneFusion,
@@ -30,6 +35,9 @@ __all__ = [
     "LatestOutcome",
     "MajorityVote",
     "WeightedMajorityVote",
+    "VoteResult",
+    "fuse_segments",
+    "majority_vote_batch",
     "NaiveProductFusion",
     "OpportuneFusion",
     "UNCERTAINTY_FUSION_REGISTRY",

@@ -17,7 +17,12 @@ import numpy as np
 from repro.datasets.gtsrb import CONFUSION_PARTNERS
 from repro.exceptions import ValidationError
 
-__all__ = ["DataDrivenModel", "ClassifierDDM", "SyntheticDDM"]
+__all__ = [
+    "DataDrivenModel",
+    "ClassifierDDM",
+    "SyntheticDDM",
+    "synthetic_correlated_series",
+]
 
 
 @runtime_checkable
@@ -103,3 +108,56 @@ class SyntheticDDM:
             dtype=np.int64,
         )
         return np.where(wrong, partners, true_class)
+
+
+def synthetic_correlated_series(
+    rng: np.random.Generator,
+    n_series: int = 120,
+    length: int = 10,
+    correlation: float = 0.6,
+) -> list[tuple[np.ndarray, np.ndarray, int]]:
+    """Series of :class:`SyntheticDDM` inputs with correlated in-series errors.
+
+    Per series: one truth, per-frame error probabilities (doubling as the
+    stateless quality factor), and per-frame noise draws sharing a
+    Gaussian-copula factor -- so errors within a series are strongly but
+    not perfectly correlated, the dependence structure the taUW addresses.
+    (Perfect correlation would make the fused outcome identical to the
+    isolated one, leaving the timeseries-aware factors nothing to
+    explain.)  The wrapper/engine test suites and examples all draw their
+    synthetic workloads from this one generator.
+
+    Returns
+    -------
+    list
+        ``(model_inputs, quality, truth)`` per series, where
+        ``model_inputs`` has the `SyntheticDDM` row layout
+        ``(true_class, error_probability, series_noise)`` and ``quality``
+        is the ``(length, 1)`` stateless quality-factor column.
+    """
+    from scipy.stats import norm
+
+    if n_series < 0:
+        raise ValidationError(f"n_series must be >= 0, got {n_series}")
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValidationError(f"correlation must lie in [0, 1], got {correlation}")
+
+    series = []
+    rho = np.sqrt(correlation)
+    for _ in range(n_series):
+        truth = int(rng.integers(0, 10))
+        base = float(np.where(rng.uniform() < 0.5, 0.08, 0.45))
+        # Per-frame variation (as real deficits vary within a series):
+        # frames with lower error probability get lower stateless u, which
+        # is what makes the cumulative-certainty factor informative.
+        p_err = np.clip(base + rng.uniform(-0.25, 0.25, size=length), 0.01, 0.95)
+        z_series = rng.normal()
+        z_frames = rng.normal(size=length)
+        noise = norm.cdf(rho * z_series + np.sqrt(1 - rho * rho) * z_frames)
+        model_inputs = np.column_stack(
+            [np.full(length, truth), p_err, noise]
+        ).astype(float)
+        series.append((model_inputs, p_err[:, None], truth))
+    return series

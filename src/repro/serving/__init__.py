@@ -1,0 +1,31 @@
+"""Serving: batched taUW inference over many concurrent object streams.
+
+The runtime-facing layer above the core wrapper: a
+:class:`~repro.serving.registry.StreamRegistry` owning per-stream buffers,
+monitors, and TTL-based eviction, and a
+:class:`~repro.serving.engine.StreamingEngine` whose ``step_batch`` runs a
+whole tick of N streams as one vectorized pass -- bitwise identical to N
+single-stream wrapper ``step`` calls, at a fraction of the cost.
+"""
+
+from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
+from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
+from repro.serving.simulate import (
+    StreamWorkload,
+    build_stream_workload,
+    replay_engine,
+    replay_naive,
+)
+
+__all__ = [
+    "StreamFrame",
+    "StreamStepResult",
+    "StreamingEngine",
+    "RegistryStatistics",
+    "StreamRegistry",
+    "StreamState",
+    "StreamWorkload",
+    "build_stream_workload",
+    "replay_engine",
+    "replay_naive",
+]

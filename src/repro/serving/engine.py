@@ -1,0 +1,316 @@
+"""Batched taUW inference over many concurrent object streams.
+
+The paper's :class:`~repro.core.timeseries_wrapper.TimeseriesAwareUncertaintyWrapper`
+serves exactly one physical object: one buffer, one fusion pass, one taQIM
+lookup per frame.  A deployed perception stack tracks many objects per
+camera frame and many clients at once, and serving N objects through N
+wrapper ``step`` calls costs N sequential DDM inferences and N tree
+lookups.
+
+:class:`StreamingEngine` runs one whole tick -- one frame from each of N
+streams -- as a single vectorized pass:
+
+1. one batched ``ddm.predict`` over all N model inputs;
+2. one batched stateless-QIM lookup for the momentaneous uncertainties;
+3. per-stream ring-buffer appends (O(1) each) via the
+   :class:`~repro.serving.registry.StreamRegistry`;
+4. one vectorized information-fusion pass over all N buffers
+   (:func:`repro.fusion.vectorized.fuse_segments`);
+5. one batched taQF assembly + one batched taQIM lookup;
+6. per-stream simplex monitor verdicts.
+
+Because steps 4-5 run the same segmented kernels the single-stream wrapper
+uses, a stream served inside a 1000-stream batch produces bitwise-identical
+outcomes and uncertainties to the same frames replayed through
+``wrapper.step`` -- provided the DDM's ``predict`` is row-independent, as
+every model in this codebase is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.combination import combine_uncertainties
+from repro.core.monitor import MonitorVerdict, UncertaintyMonitor
+from repro.core.quality_factors import QualityFactorLayout
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.ragged import RaggedBatch
+from repro.core.timeseries_wrapper import TimeseriesWrappedOutcome
+from repro.exceptions import NotCalibratedError, ValidationError
+from repro.fusion.information import InformationFusion, MajorityVote
+from repro.fusion.vectorized import fuse_segments
+from repro.serving.registry import StreamRegistry
+
+__all__ = ["StreamFrame", "StreamStepResult", "StreamingEngine"]
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One frame of one object stream, as submitted to ``step_batch``.
+
+    Attributes
+    ----------
+    stream_id:
+        Caller-chosen identifier of the tracked object stream (hashable).
+    model_input:
+        One DDM input row for this frame.
+    stateless_quality_values:
+        The frame's stateless quality-factor values, ordered as
+        ``layout.stateless_names``.
+    new_series:
+        True when the tracking component signals that the stream now shows
+        a new physical object (clears the stream's buffer first).
+    """
+
+    stream_id: object
+    model_input: object
+    stateless_quality_values: object
+    new_series: bool = False
+
+
+@dataclass(frozen=True)
+class StreamStepResult:
+    """Result of one stream's frame within a batched tick.
+
+    Attributes
+    ----------
+    stream_id:
+        The stream the result belongs to.
+    outcome:
+        The taUW outcome, identical in shape and semantics to what the
+        single-stream wrapper's ``step`` returns.
+    verdict:
+        The stream monitor's accept/fallback decision, or ``None`` when
+        the engine runs without monitors.
+    """
+
+    stream_id: object
+    outcome: TimeseriesWrappedOutcome
+    verdict: MonitorVerdict | None = None
+
+    @property
+    def accepted(self) -> bool:
+        """Monitor decision as a flag (True when unmonitored)."""
+        return self.verdict is None or self.verdict.accepted
+
+
+class StreamingEngine:
+    """Batched taUW serving over a registry of concurrent object streams.
+
+    Parameters
+    ----------
+    ddm:
+        Black-box model with a row-independent batch ``predict``.
+    stateless_qim / timeseries_qim:
+        Calibrated quality impact models, as for the single-stream wrapper.
+    layout:
+        Feature layout shared with training.
+    information_fusion:
+        Fusion rule; the paper's majority vote (vectorized) when omitted.
+    max_buffer_length:
+        Sliding-window cap per stream buffer.
+    monitor_factory:
+        Builds one :class:`UncertaintyMonitor` per new stream (``None``
+        serves without monitoring).
+    idle_ttl:
+        Evict streams after this many ticks without frames.
+    """
+
+    def __init__(
+        self,
+        ddm,
+        stateless_qim: QualityImpactModel,
+        timeseries_qim: QualityImpactModel,
+        layout: QualityFactorLayout,
+        information_fusion: InformationFusion | None = None,
+        max_buffer_length: int | None = None,
+        monitor_factory: Callable[[], UncertaintyMonitor] | None = None,
+        idle_ttl: int | None = None,
+    ) -> None:
+        if not hasattr(ddm, "predict"):
+            raise ValidationError("ddm must expose a predict() method")
+        if not stateless_qim.is_calibrated:
+            raise NotCalibratedError("stateless_qim must be calibrated")
+        if not timeseries_qim.is_calibrated:
+            raise NotCalibratedError("timeseries_qim must be calibrated")
+        self.ddm = ddm
+        self.stateless_qim = stateless_qim
+        self.timeseries_qim = timeseries_qim
+        self.layout = layout
+        self.information_fusion = information_fusion or MajorityVote()
+        self.registry = StreamRegistry(
+            max_buffer_length=max_buffer_length,
+            monitor_factory=monitor_factory,
+            idle_ttl=idle_ttl,
+        )
+        self._tick = 0
+
+    @property
+    def tick(self) -> int:
+        """Number of completed ``step_batch`` calls."""
+        return self._tick
+
+    @property
+    def n_streams(self) -> int:
+        """Number of currently tracked streams."""
+        return len(self.registry)
+
+    # ------------------------------------------------------------------
+    def step_batch(self, frames: Sequence[StreamFrame]) -> list[StreamStepResult]:
+        """Process one tick: one frame from each of the given streams.
+
+        Returns one :class:`StreamStepResult` per input frame, in input
+        order.  Advances the engine tick and sweeps idle streams
+        afterwards; an empty batch still counts as a tick (time passes
+        without frames).  A *rejected* batch (validation error) advances
+        nothing: no frames were recorded, so existing streams neither age
+        toward eviction nor lose state.  If a downstream component fails
+        *after* the frames were recorded (e.g. a misbehaving taQIM), the
+        tick still advances -- the error message says so -- because the
+        frames are committed and must not be resubmitted.
+        """
+        frames = list(frames)
+        if not frames:
+            self._finish_tick()
+            return []
+        prepared = self._prepare(frames)  # raises -> nothing committed
+        self._commit(prepared)  # raise-free
+        try:
+            return self._evaluate(prepared)
+        finally:
+            self._finish_tick()
+
+    def _finish_tick(self) -> None:
+        # Sweep with the current tick, then advance: a stream seen at
+        # tick t survives idle_ttl frameless ticks and is evicted at
+        # the end of tick t + idle_ttl + 1.
+        self.registry.evict_idle(self._tick)
+        self._tick += 1
+
+    def step_stream(
+        self,
+        stream_id: object,
+        model_input,
+        stateless_quality_values,
+        new_series: bool = False,
+    ) -> StreamStepResult:
+        """Convenience: one single-stream tick through the batched path."""
+        return self.step_batch(
+            [StreamFrame(stream_id, model_input, stateless_quality_values, new_series)]
+        )[0]
+
+    # ------------------------------------------------------------------
+    def _prepare(self, frames: list[StreamFrame]):
+        """Everything fallible before state changes: validation, the DDM
+        pass, the stateless-QIM pass, and (atomic) state acquisition."""
+        n_stateless = len(self.layout.stateless_names)
+        seen: set = set()
+        inputs, quality = [], []
+        for frame in frames:
+            if frame.stream_id in seen:
+                raise ValidationError(
+                    f"duplicate stream {frame.stream_id!r} within one tick; "
+                    "submit at most one frame per stream per step_batch call"
+                )
+            seen.add(frame.stream_id)
+            row = np.atleast_2d(np.asarray(frame.model_input, dtype=float))
+            if row.shape[0] != 1:
+                raise ValidationError(
+                    f"stream {frame.stream_id!r}: model_input must be one row, "
+                    f"got shape {row.shape}"
+                )
+            q = np.asarray(frame.stateless_quality_values, dtype=float).ravel()
+            if q.size != n_stateless:
+                raise ValidationError(
+                    f"stream {frame.stream_id!r}: expected {n_stateless} "
+                    f"stateless quality values, got {q.size}"
+                )
+            inputs.append(row)
+            quality.append(q)
+
+        X = np.vstack(inputs)
+        Q = np.vstack(quality)
+        predictions = np.asarray(self.ddm.predict(X)).ravel()
+        if predictions.size != len(frames):
+            raise ValidationError(
+                f"ddm.predict returned {predictions.size} labels for "
+                f"{len(frames)} inputs"
+            )
+        if not np.issubdtype(predictions.dtype, np.integer):
+            if not np.all(np.isfinite(predictions)):
+                raise ValidationError("ddm.predict returned non-finite labels")
+        labels = predictions.astype(np.int64)
+        u_isolated = np.asarray(
+            self.stateless_qim.estimate_uncertainty(Q), dtype=float
+        ).ravel()
+        if u_isolated.size != len(frames):
+            raise ValidationError(
+                f"stateless_qim returned {u_isolated.size} estimates for "
+                f"{len(frames)} frames"
+            )
+        if not np.all((u_isolated >= 0.0) & (u_isolated <= 1.0)):  # NaN-rejecting
+            raise ValidationError("stateless uncertainties must lie in [0, 1]")
+
+        # Acquire all stream states atomically (the monitor factory may
+        # raise for a new stream): all input validation has now run, so a
+        # rejected tick never leaves half-applied frames or phantom
+        # registry entries.
+        states = self.registry.get_or_create_many(
+            [frame.stream_id for frame in frames], self._tick
+        )
+        return frames, states, Q, labels, u_isolated
+
+    def _commit(self, prepared) -> None:
+        """Record every frame into its stream; raise-free by construction
+        (all inputs were validated in ``_prepare``)."""
+        frames, states, _, labels, u_isolated = prepared
+        for i, (frame, state) in enumerate(zip(frames, states)):
+            if frame.new_series and state.step_count > 0:
+                state.begin_series()
+                self.registry.statistics.series_started += 1
+            state.buffer.append(int(labels[i]), float(u_isolated[i]))
+            state.step_count += 1
+
+    def _evaluate(self, prepared) -> list[StreamStepResult]:
+        """The batched fusion/taQF/taQIM/monitor pass over committed
+        frames.  A failure here (broken fusion rule or taQIM) happens
+        after the tick was recorded; errors say so."""
+        frames, states, Q, labels, u_isolated = prepared
+        batch = RaggedBatch.from_buffers([s.buffer for s in states])
+        fused, vote = fuse_segments(self.information_fusion, batch)
+        features = self.layout.assemble_batch(Q, batch, fused, vote)
+        u_quality = np.asarray(
+            self.timeseries_qim.estimate_uncertainty(features), dtype=float
+        ).ravel()
+        if u_quality.size != len(frames):
+            raise ValidationError(
+                f"timeseries_qim returned {u_quality.size} estimates for "
+                f"{len(frames)} frames (tick already recorded)"
+            )
+        if not np.all((u_quality >= 0.0) & (u_quality <= 1.0)):  # NaN-rejecting
+            raise ValidationError(
+                "timeseries_qim produced uncertainties outside [0, 1] "
+                "(tick already recorded)"
+            )
+        u_fused = combine_uncertainties(u_quality, np.zeros_like(u_quality))
+
+        results = []
+        for i, (frame, state) in enumerate(zip(frames, states)):
+            fused_u = float(u_fused[i])
+            verdict = state.monitor.judge(fused_u) if state.monitor else None
+            outcome = TimeseriesWrappedOutcome(
+                fused_outcome=int(fused[i]),
+                fused_uncertainty=fused_u,
+                isolated_outcome=int(labels[i]),
+                isolated_uncertainty=float(u_isolated[i]),
+                timestep=state.step_count - 1,
+            )
+            results.append(
+                StreamStepResult(
+                    stream_id=frame.stream_id, outcome=outcome, verdict=verdict
+                )
+            )
+        return results

@@ -1,0 +1,199 @@
+"""Per-stream state for the streaming serving engine.
+
+Each tracked physical object (one ``stream_id``) owns exactly the state the
+paper's taUW keeps for a single timeseries: the ring-buffer-backed outcome/
+uncertainty buffer, the absolute step counter within the current series,
+and optionally a per-stream :class:`~repro.core.monitor.UncertaintyMonitor`
+implementing the simplex accept/fallback policy for that object.
+
+The :class:`StreamRegistry` owns the stream table: it creates state lazily
+on first sight of a stream id, stamps every touch with the engine's tick
+counter, and evicts streams that have not produced a frame for
+``idle_ttl`` ticks -- the serving-side replacement for the single-stream
+wrapper's explicit ``reset`` when objects simply disappear from view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ValidationError
+
+__all__ = ["StreamState", "RegistryStatistics", "StreamRegistry"]
+
+
+@dataclass
+class StreamState:
+    """Everything the engine keeps per tracked object stream.
+
+    Attributes
+    ----------
+    stream_id:
+        The caller-chosen identifier of the object stream.
+    buffer:
+        The stream's timeseries buffer (sliding window when the registry
+        was built with ``max_buffer_length``).
+    monitor:
+        Per-stream simplex monitor, or ``None`` when the registry has no
+        monitor factory.
+    step_count:
+        Absolute frames processed since the current series' onset (keeps
+        counting past a sliding buffer window).
+    last_tick:
+        Engine tick at which the stream last received a frame.
+    """
+
+    stream_id: object
+    buffer: TimeseriesBuffer
+    monitor: UncertaintyMonitor | None
+    step_count: int = 0
+    last_tick: int = 0
+
+    def begin_series(self) -> None:
+        """Start a new timeseries: clear the buffer and the step counter.
+
+        The monitor deliberately survives: its risk budget and hysteresis
+        are properties of the stream's *lifetime*, not of one physical
+        object.  That lifetime ends when the registry evicts the stream --
+        all state, the monitor included, is dropped then (a later frame
+        under the same id is a brand-new stream with a fresh budget; keep
+        ``idle_ttl=None`` or monitor risk outside the registry when a
+        budget must outlive idle gaps).
+        """
+        self.buffer.reset()
+        self.step_count = 0
+
+
+@dataclass
+class RegistryStatistics:
+    """Running counters of a registry's stream lifecycle."""
+
+    created: int = 0
+    evicted: int = 0
+    series_started: int = 0
+
+
+class StreamRegistry:
+    """Owns the per-stream state of a :class:`StreamingEngine`.
+
+    Parameters
+    ----------
+    max_buffer_length:
+        Sliding-window cap applied to every stream's buffer (``None``
+        keeps whole series, as the paper's study does).
+    monitor_factory:
+        Zero-argument callable building one fresh
+        :class:`UncertaintyMonitor` per new stream; ``None`` disables
+        monitoring.
+    idle_ttl:
+        Evict a stream after this many ticks without a frame (``None``
+        never evicts).  A stream seen at tick ``t`` survives through tick
+        ``t + idle_ttl`` and is dropped at the next sweep after that.
+        Eviction frees *all* per-stream state including the monitor and
+        its remaining risk budget -- see :meth:`StreamState.begin_series`.
+    """
+
+    def __init__(
+        self,
+        max_buffer_length: int | None = None,
+        monitor_factory: Callable[[], UncertaintyMonitor] | None = None,
+        idle_ttl: int | None = None,
+    ) -> None:
+        if idle_ttl is not None and idle_ttl < 1:
+            raise ValidationError(f"idle_ttl must be >= 1 or None, got {idle_ttl}")
+        self.max_buffer_length = max_buffer_length
+        self.monitor_factory = monitor_factory
+        self.idle_ttl = idle_ttl
+        self.statistics = RegistryStatistics()
+        self._streams: dict[object, StreamState] = {}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, stream_id: object) -> bool:
+        return stream_id in self._streams
+
+    @property
+    def stream_ids(self) -> list:
+        """Identifiers of the currently tracked streams."""
+        return list(self._streams)
+
+    def get(self, stream_id: object) -> StreamState:
+        """Look up an existing stream; raises when unknown."""
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise ValidationError(f"unknown stream {stream_id!r}") from None
+
+    def get_or_create(self, stream_id: object, tick: int) -> StreamState:
+        """Return the stream's state, creating fresh state on first sight."""
+        return self.get_or_create_many([stream_id], tick)[0]
+
+    def get_or_create_many(self, stream_ids, tick: int) -> list[StreamState]:
+        """Bulk :meth:`get_or_create`, atomic over the whole id list.
+
+        All new states (including their monitors, whose factory may
+        raise) are built *before* any of them is registered: a failure
+        for one id leaves the registry exactly as it was, with no
+        phantom streams and unchanged statistics.  Ids must be unique
+        within one call (enforced).  Existing streams are touched: their
+        ``last_tick`` is refreshed so lookups count against idle
+        eviction.
+        """
+        states = []
+        created = []
+        pending = {}
+        for stream_id in stream_ids:
+            if stream_id in pending:
+                raise ValidationError(
+                    f"duplicate stream {stream_id!r} in one get_or_create_many call"
+                )
+            pending[stream_id] = True
+            state = self._streams.get(stream_id)
+            if state is None:
+                monitor = self.monitor_factory() if self.monitor_factory else None
+                state = StreamState(
+                    stream_id=stream_id,
+                    buffer=TimeseriesBuffer(max_length=self.max_buffer_length),
+                    monitor=monitor,
+                    last_tick=tick,
+                )
+                created.append(state)
+            states.append(state)
+        # Commit only after every state was built: register the new ones,
+        # then touch the existing ones.
+        for state in created:
+            self._streams[state.stream_id] = state
+        for state in states:
+            state.last_tick = tick
+        self.statistics.created += len(created)
+        self.statistics.series_started += len(created)
+        return states
+
+    def discard(self, stream_id: object) -> bool:
+        """Drop a stream's state; returns whether it existed."""
+        return self._streams.pop(stream_id, None) is not None
+
+    def evict_idle(self, tick: int) -> list:
+        """Drop streams idle for more than ``idle_ttl`` ticks.
+
+        Returns the evicted stream ids (empty without a TTL).
+        """
+        if self.idle_ttl is None:
+            return []
+        expired = [
+            stream_id
+            for stream_id, state in self._streams.items()
+            if tick - state.last_tick > self.idle_ttl
+        ]
+        for stream_id in expired:
+            del self._streams[stream_id]
+        self.statistics.evicted += len(expired)
+        return expired
+
+    def reset(self) -> None:
+        """Forget every stream (statistics survive)."""
+        self._streams.clear()

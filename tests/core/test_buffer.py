@@ -79,3 +79,58 @@ class TestBuffer:
     def test_invalid_max_length_rejected(self):
         with pytest.raises(ValidationError):
             TimeseriesBuffer(max_length=0)
+
+
+class TestArrayViews:
+    def test_views_are_zero_copy_slices(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.25)
+        buffer.append(2, 0.75)
+        out = buffer.outcomes_view()
+        unc = buffer.uncertainties_view()
+        assert out.tolist() == [1, 2]
+        assert unc.tolist() == [0.25, 0.75]
+        assert out.base is not None  # slice of the backing storage, no copy
+        assert out.dtype == np.int64
+
+    def test_views_track_sliding_window(self):
+        buffer = TimeseriesBuffer(max_length=3)
+        for i in range(7):
+            buffer.append(i, 0.1)
+        assert buffer.outcomes_view().tolist() == [4, 5, 6]
+        assert len(buffer) == 3
+
+    def test_unbounded_growth_beyond_initial_capacity(self):
+        buffer = TimeseriesBuffer()
+        for i in range(1000):
+            buffer.append(i, 0.5)
+        assert len(buffer) == 1000
+        assert buffer.outcomes_view().tolist() == list(range(1000))
+        assert buffer.last_outcome() == 999
+
+    def test_long_sliding_window_stays_correct(self):
+        buffer = TimeseriesBuffer(max_length=5)
+        for i in range(503):
+            buffer.append(i, 0.5)
+        assert buffer.outcomes_view().tolist() == list(range(498, 503))
+
+    def test_large_window_cap_does_not_preallocate(self):
+        # Registries hold thousands of mostly-short buffers: storage must
+        # track the actual fill, not the window cap.
+        buffer = TimeseriesBuffer(max_length=100_000)
+        assert buffer._out.size <= 32
+        for i in range(100):
+            buffer.append(i, 0.5)
+        assert len(buffer) == 100
+        assert buffer._out.size < 1000
+        assert buffer.outcomes_view().tolist() == list(range(100))
+
+    def test_list_properties_cached_between_appends(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        assert buffer._lists() is buffer._lists()  # same cache object
+        first = buffer.outcomes
+        second = buffer.outcomes
+        assert first == second and first is not second  # independent copies
+        buffer.append(2, 0.5)
+        assert buffer.outcomes == [1, 2]  # cache invalidated by append

@@ -73,6 +73,53 @@ class TestRiskBudget:
         # A cheaper acceptance still fits.
         assert monitor.judge(0.03).accepted
 
+    def test_exact_budget_boundary_accepts(self):
+        # Spending the budget to exactly 0 is allowed: exhaustion means
+        # strictly exceeding it, not reaching it.
+        # Dyadic values so the float sums are exact: 0.0625 + 0.0625 == 0.125.
+        monitor = UncertaintyMonitor(threshold=0.5, risk_budget=0.125)
+        assert monitor.judge(0.0625).accepted
+        assert monitor.judge(0.0625).accepted  # spends the budget to exactly 0
+        assert monitor.statistics.accepted_risk == 0.125
+        # Any further risk, however small, exceeds the budget.
+        assert not monitor.judge(0.0625).accepted
+
+    def test_zero_uncertainty_accepted_on_exhausted_budget(self):
+        # A perfectly certain outcome costs no budget and stays acceptable.
+        monitor = UncertaintyMonitor(threshold=0.5, risk_budget=0.05)
+        assert monitor.judge(0.05).accepted
+        assert not monitor.judge(0.05).accepted
+        assert monitor.judge(0.0).accepted
+
+    def test_hysteresis_reentry_after_budget_fallback(self):
+        # A budget-driven fallback arms hysteresis like a threshold-driven
+        # one: acceptance afterwards needs the stricter re-entry level
+        # (and remaining budget).
+        monitor = UncertaintyMonitor(
+            threshold=0.5, reentry_threshold=0.01, risk_budget=0.1
+        )
+        assert monitor.judge(0.09).accepted
+        verdict = monitor.judge(0.09)  # budget would reach 0.18 > 0.1
+        assert not verdict.accepted
+        assert not verdict.in_hysteresis  # hysteresis armed by this fallback
+        # 0.02 passes the base threshold and fits the remaining budget but
+        # fails the re-entry threshold.
+        blocked = monitor.judge(0.02)
+        assert not blocked.accepted
+        assert blocked.in_hysteresis
+        assert blocked.threshold == 0.01
+        # Dropping to the re-entry level (and within budget) re-arms.
+        assert monitor.judge(0.005).accepted
+
+    def test_reset_restores_budget(self):
+        monitor = UncertaintyMonitor(threshold=0.5, risk_budget=0.1)
+        assert monitor.judge(0.08).accepted
+        assert not monitor.judge(0.08).accepted  # budget nearly spent
+        monitor.reset()
+        assert monitor.statistics.accepted_risk == 0.0
+        assert monitor.judge(0.08).accepted  # full budget available again
+        assert monitor.risk_budget == 0.1  # the configured cap is untouched
+
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValidationError):
             UncertaintyMonitor(threshold=0.1, risk_budget=0.0)

@@ -1,0 +1,183 @@
+"""Tests for the ragged segment batch container and its kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_factors import TAQF_NAMES, compute_taqf_matrix
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.ragged import RaggedBatch, segment_class_counts
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_from_segments_layout(self):
+        batch = RaggedBatch.from_segments(
+            [([1, 2], [0.1, 0.2]), ([3], [0.3]), ([4, 4, 4], [0.4] * 3)]
+        )
+        assert batch.n_segments == 3
+        assert batch.total == 6
+        assert batch.outcomes.tolist() == [1, 2, 3, 4, 4, 4]
+        assert batch.offsets.tolist() == [0, 2, 3]
+        assert batch.lengths.tolist() == [2, 1, 3]
+        assert batch.segment_ids().tolist() == [0, 0, 1, 2, 2, 2]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            RaggedBatch.from_segments([])
+        with pytest.raises(ValidationError):
+            RaggedBatch.from_segments([([], [])])
+        with pytest.raises(ValidationError):
+            RaggedBatch.from_segments([([1], [0.1, 0.2])])
+
+    def test_from_buffers(self):
+        a, b = TimeseriesBuffer(), TimeseriesBuffer()
+        a.append(1, 0.1)
+        a.append(2, 0.2)
+        b.append(9, 0.9)
+        batch = RaggedBatch.from_buffers([a, b])
+        assert batch.outcomes.tolist() == [1, 2, 9]
+        assert batch.lengths.tolist() == [2, 1]
+
+    def test_prefixes(self):
+        batch = RaggedBatch.prefixes([1, 2, 3], [0.1, 0.2, 0.3])
+        assert batch.n_segments == 3
+        assert batch.outcomes.tolist() == [1, 1, 2, 1, 2, 3]
+        assert np.allclose(batch.uncertainties, [0.1, 0.1, 0.2, 0.1, 0.2, 0.3])
+        assert batch.lengths.tolist() == [1, 2, 3]
+
+    def test_prefixes_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            RaggedBatch.prefixes([], [])
+
+    def test_prefixes_row_range(self):
+        batch = RaggedBatch.prefixes([1, 2, 3, 4], [0.1] * 4, start=1, stop=3)
+        assert batch.n_segments == 2
+        assert batch.outcomes.tolist() == [1, 2, 1, 2, 3]
+        assert batch.lengths.tolist() == [2, 3]
+
+    def test_prefixes_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            RaggedBatch.prefixes([1, 2], [0.1, 0.1], start=1, stop=1)
+        with pytest.raises(ValidationError):
+            RaggedBatch.prefixes([1, 2], [0.1, 0.1], start=0, stop=3)
+
+    def test_expand_and_certainties(self):
+        batch = RaggedBatch.from_segments([([1, 1], [0.25, 0.5]), ([2], [0.0])])
+        assert batch.expand(np.array([7, 8])).tolist() == [7, 7, 8]
+        assert batch.certainties().tolist() == [0.75, 0.5, 1.0]
+
+
+class TestSegmentClassCounts:
+    def test_counts(self):
+        batch = RaggedBatch.from_segments(
+            [([3, 1, 3], [0.1] * 3), ([1], [0.1])]
+        )
+        codes, counts = segment_class_counts(batch)
+        assert codes.tolist() == [1, 3]
+        assert counts.tolist() == [[1, 2], [1, 0]]
+
+
+class TestTaqfMatrix:
+    def test_matches_worked_example(self):
+        # Mirror of the scalar taQF example in test_timeseries_wrapper:
+        # series [1, 1, 2] with u = [0.2, 0.1, 0.3], fused prefix-wise
+        # [1, 1, 1].
+        batch = RaggedBatch.prefixes([1, 1, 2], [0.2, 0.1, 0.3])
+        values = compute_taqf_matrix(batch, np.array([1, 1, 1]), TAQF_NAMES)
+        assert values[2].tolist() == pytest.approx([2 / 3, 3.0, 2.0, 1.7])
+
+    def test_fused_not_in_segment_gets_zero_ratio(self):
+        batch = RaggedBatch.from_segments([([1, 2], [0.1, 0.1])])
+        values = compute_taqf_matrix(batch, np.array([99]), ("ratio",))
+        assert values[0, 0] == 0.0
+
+    def test_misaligned_fused_rejected(self):
+        batch = RaggedBatch.from_segments([([1], [0.1])])
+        with pytest.raises(ValidationError):
+            compute_taqf_matrix(batch, np.array([1, 2]))
+
+    def test_unknown_name_rejected(self):
+        batch = RaggedBatch.from_segments([([1], [0.1])])
+        with pytest.raises(ValidationError):
+            compute_taqf_matrix(batch, np.array([1]), ("bogus",))
+
+    def test_custom_registry_factor_rejected_by_kernel_served_by_scalar(self):
+        # Factors registered beyond the built-ins dispatch through the
+        # scalar registry path; the batched kernel refuses them loudly
+        # instead of silently computing the wrong column.
+        from repro.core.quality_factors import TAQF_REGISTRY, compute_taqf_vector
+
+        TAQF_REGISTRY["last_outcome"] = lambda buffer, fused: float(
+            buffer.last_outcome()
+        )
+        try:
+            buffer = TimeseriesBuffer()
+            buffer.append(7, 0.25)
+            values = compute_taqf_vector(buffer, 7, ("ratio", "last_outcome"))
+            assert values.tolist() == [1.0, 7.0]
+            batch = RaggedBatch.from_buffers([buffer])
+            with pytest.raises(ValidationError):
+                compute_taqf_matrix(batch, np.array([7]), ("last_outcome",))
+        finally:
+            del TAQF_REGISTRY["last_outcome"]
+
+    def test_overridden_builtin_factor_dispatches_through_registry(self):
+        # Replacing a built-in registry entry must take effect everywhere,
+        # not be silently shadowed by the batched kernel fast path.
+        from repro.core.quality_factors import (
+            QualityFactorLayout,
+            TAQF_REGISTRY,
+            compute_taqf_vector,
+        )
+        from repro.core.timeseries_wrapper import trace_series
+
+        original = TAQF_REGISTRY["certainty"]
+        TAQF_REGISTRY["certainty"] = lambda buffer, fused: 42.0
+        try:
+            buffer = TimeseriesBuffer()
+            buffer.append(1, 0.25)
+            assert compute_taqf_vector(buffer, 1, ("certainty",)).tolist() == [42.0]
+            layout = QualityFactorLayout(["qf"], ("certainty",))
+            trace = trace_series([1, 2], [0.1, 0.2], np.zeros((2, 1)), 1, layout)
+            assert trace.features[:, 1].tolist() == [42.0, 42.0]
+        finally:
+            TAQF_REGISTRY["certainty"] = original
+        # Restored: the kernel fast path applies again.
+        assert compute_taqf_vector(buffer, 1, ("certainty",)).tolist() == [0.75]
+
+    def test_custom_factor_layout_assembles_via_registry_fallback(self):
+        # Layouts carrying custom-registered factors stay fully usable:
+        # assemble_batch (and through it trace_series / the wrapper / the
+        # engine) falls back to per-segment scalar assembly.
+        from repro.core.quality_factors import QualityFactorLayout, TAQF_REGISTRY
+        from repro.core.timeseries_wrapper import trace_series
+
+        TAQF_REGISTRY["last_outcome"] = lambda buffer, fused: float(
+            buffer.last_outcome()
+        )
+        try:
+            layout = QualityFactorLayout(["qf"], ("ratio", "last_outcome"))
+            trace = trace_series(
+                [1, 1, 2], [0.1, 0.2, 0.3], np.full((3, 1), 0.5), 1, layout
+            )
+            assert trace.features.shape == (3, 3)
+            assert trace.features[:, 2].tolist() == [1.0, 1.0, 2.0]
+            assert trace.features[2, 1] == pytest.approx(2 / 3)  # ratio
+        finally:
+            del TAQF_REGISTRY["last_outcome"]
+
+    def test_matches_scalar_path_per_buffer(self, rng):
+        from repro.core.quality_factors import compute_taqf_vector
+
+        buffers = []
+        for _ in range(20):
+            buffer = TimeseriesBuffer()
+            for _ in range(int(rng.integers(1, 15))):
+                buffer.append(int(rng.integers(0, 4)), float(rng.uniform()))
+            buffers.append(buffer)
+        batch = RaggedBatch.from_buffers(buffers)
+        fused = np.array([b.last_outcome() for b in buffers])
+        matrix = compute_taqf_matrix(batch, fused, TAQF_NAMES)
+        for i, buffer in enumerate(buffers):
+            scalar = compute_taqf_vector(buffer, int(fused[i]), TAQF_NAMES)
+            assert matrix[i] == pytest.approx(scalar)

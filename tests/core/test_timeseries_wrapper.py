@@ -12,39 +12,7 @@ from repro.core.timeseries_wrapper import (
 )
 from repro.exceptions import NotCalibratedError, ValidationError
 from repro.fusion.information import MajorityVote
-from repro.models.ddm import SyntheticDDM
-
-
-def make_series(rng, n_series=120, length=10, correlation=0.6):
-    """Synthetic series for the correlated SyntheticDDM.
-
-    Per series: one truth, one error probability (the quality factor), and
-    per-frame noise draws that share a Gaussian-copula factor -- so errors
-    within a series are strongly but not perfectly correlated, the
-    dependence structure the taUW addresses.  (Perfect correlation would
-    make the fused outcome identical to the isolated one, leaving the
-    timeseries-aware factors nothing to explain.)
-    """
-    from scipy.stats import norm
-
-    series = []
-    rho = np.sqrt(correlation)
-    for _ in range(n_series):
-        truth = int(rng.integers(0, 10))
-        base = float(np.where(rng.uniform() < 0.5, 0.08, 0.45))
-        # Per-frame variation (as real deficits vary within a series):
-        # frames with lower error probability get lower stateless u, which
-        # is what makes the cumulative-certainty factor informative.
-        p_err = np.clip(base + rng.uniform(-0.25, 0.25, size=length), 0.01, 0.95)
-        z_series = rng.normal()
-        z_frames = rng.normal(size=length)
-        noise = norm.cdf(rho * z_series + np.sqrt(1 - rho * rho) * z_frames)
-        X_model = np.column_stack(
-            [np.full(length, truth), p_err, noise]
-        ).astype(float)
-        quality = p_err[:, None]
-        series.append((X_model, quality, truth))
-    return series
+from repro.models.ddm import SyntheticDDM, synthetic_correlated_series as make_series
 
 
 def build_stack(rng, taqf_names=TAQF_NAMES, n_series=400):
@@ -136,6 +104,13 @@ class TestTraceSeries:
         with pytest.raises(ValidationError):
             trace_series([1, 2], [0.1, 0.1], np.zeros((3, 1)), 0, layout)
 
+    def test_out_of_range_and_nan_uncertainties_rejected(self):
+        layout = QualityFactorLayout(["qf"], ())
+        with pytest.raises(ValidationError):
+            trace_series([1, 2], [0.1, 1.5], np.zeros((2, 1)), 0, layout)
+        with pytest.raises(ValidationError):
+            trace_series([1, 2], [0.1, np.nan], np.zeros((2, 1)), 0, layout)
+
     def test_stack_traces_alignment(self):
         layout = QualityFactorLayout(["qf"], ("ratio",))
         t1 = trace_series([1, 1], [0.1, 0.1], np.zeros((2, 1)), 1, layout)
@@ -147,6 +122,28 @@ class TestTraceSeries:
     def test_stack_empty_rejected(self):
         with pytest.raises(ValidationError):
             stack_traces([])
+
+    def test_long_series_chunked_tracing_matches_single_batch(self, rng):
+        # Series longer than one prefix chunk must produce the same trace
+        # as the unchunked path (kernels are segment-independent).
+        import repro.core.timeseries_wrapper as tw
+
+        layout = QualityFactorLayout(["qf"], TAQF_NAMES)
+        n = 64
+        outcomes = rng.integers(0, 4, size=n)
+        uncertainties = rng.uniform(0.0, 1.0, size=n)
+        stateless = rng.uniform(size=(n, 1))
+        whole = trace_series(outcomes, uncertainties, stateless, 1, layout)
+
+        original = tw._PREFIX_CHUNK_ELEMENTS
+        tw._PREFIX_CHUNK_ELEMENTS = 100  # forces ~1-2 rows per chunk
+        try:
+            chunked = trace_series(outcomes, uncertainties, stateless, 1, layout)
+        finally:
+            tw._PREFIX_CHUNK_ELEMENTS = original
+
+        assert np.array_equal(whole.fused_outcomes, chunked.fused_outcomes)
+        assert np.array_equal(whole.features, chunked.features)
 
 
 class TestOnlineWrapper:
@@ -198,6 +195,38 @@ class TestOnlineWrapper:
         with pytest.raises(ValidationError):
             wrapper.step(X_model[0], np.zeros(3))
 
+    def test_missing_scope_factors_rejected_before_state_changes(self, rng):
+        # The scope check is part of input validation: failing it must not
+        # commit the frame (or wipe the series via new_series).
+        class HalfScope:
+            def incompliance_probability(self, factors):
+                return 0.5
+
+        wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
+        scoped = TimeseriesAwareUncertaintyWrapper(
+            ddm, stateless, ta_qim, layout,
+            information_fusion=fusion, scope_model=HalfScope(),
+        )
+        X_model, quality, _ = make_series(rng, n_series=1)[0]
+        result = scoped.step(X_model[0], quality[0], scope_factors={})
+        assert result.scope_incompliance == 0.5
+        with pytest.raises(ValidationError):
+            scoped.step(X_model[1], quality[1], new_series=True)
+        assert scoped.timestep == 1  # frame not committed, series kept
+        assert len(scoped.buffer) == 1
+
+    def test_rejected_new_series_frame_keeps_current_series(self, rng):
+        # A malformed frame must not wipe the running series even when it
+        # carries new_series=True (parity with the engine's atomic ticks).
+        wrapper, *_ = build_stack(rng)
+        X_model, quality, _ = make_series(rng, n_series=1)[0]
+        for t in range(3):
+            wrapper.step(X_model[t], quality[t])
+        with pytest.raises(ValidationError):
+            wrapper.step(X_model[3], np.zeros(3), new_series=True)
+        assert wrapper.timestep == 3
+        assert len(wrapper.buffer) == 3
+
     def test_max_buffer_length_slides(self, rng):
         wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
         bounded = TimeseriesAwareUncertaintyWrapper(
@@ -208,6 +237,24 @@ class TestOnlineWrapper:
         for t in range(10):
             bounded.step(X_model[t], quality[t])
         assert len(bounded.buffer) == 4
+
+    def test_timestep_keeps_counting_under_sliding_window(self, rng):
+        # The reported timestep is the absolute series position, not the
+        # buffer fill level: it must not freeze at max_buffer_length - 1.
+        wrapper, ddm, stateless, ta_qim, layout, fusion = build_stack(rng)
+        bounded = TimeseriesAwareUncertaintyWrapper(
+            ddm, stateless, ta_qim, layout,
+            information_fusion=fusion, max_buffer_length=4,
+        )
+        X_model, quality, _ = make_series(rng, n_series=1, length=10)[0]
+        timesteps = [
+            bounded.step(X_model[t], quality[t]).timestep for t in range(10)
+        ]
+        assert timesteps == list(range(10))
+        assert bounded.timestep == 10
+        # A new series restarts the absolute counter.
+        result = bounded.step(X_model[0], quality[0], new_series=True)
+        assert result.timestep == 0
 
     def test_taUW_improves_on_stateless_for_fused_outcomes(self, rng):
         # On the synthetic process the taUW's Brier on fused outcomes

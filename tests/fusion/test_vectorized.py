@@ -1,0 +1,91 @@
+"""Tests for the vectorized (batched) information fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.ragged import RaggedBatch
+from repro.fusion.information import (
+    ExponentialDecayVote,
+    LatestOutcome,
+    MajorityVote,
+    WeightedMajorityVote,
+)
+from repro.fusion.vectorized import fuse_segments, majority_vote_batch
+
+
+def random_batch(rng, n_segments=40, max_length=12, n_classes=5):
+    segments = []
+    for _ in range(n_segments):
+        length = int(rng.integers(1, max_length + 1))
+        outcomes = rng.integers(0, n_classes, size=length)
+        uncertainties = rng.uniform(0.0, 1.0, size=length)
+        segments.append((outcomes, uncertainties))
+    return segments, RaggedBatch.from_segments(segments)
+
+
+class TestMajorityVoteBatch:
+    def test_matches_scalar_rule_on_random_segments(self, rng):
+        scalar = MajorityVote()
+        for _ in range(10):
+            segments, batch = random_batch(rng)
+            result = majority_vote_batch(batch)
+            for i, (outcomes, certs) in enumerate(segments):
+                assert result.fused[i] == scalar.fuse(list(outcomes))
+
+    def test_tie_breaks_to_most_recent(self):
+        batch = RaggedBatch.from_segments(
+            [
+                ([1, 2], [0.1, 0.1]),        # tie -> most recent: 2
+                ([2, 1], [0.1, 0.1]),        # tie -> most recent: 1
+                ([3, 1, 3, 1], [0.1] * 4),   # tie -> most recent: 1
+                ([5], [0.1]),                # singleton
+            ]
+        )
+        assert majority_vote_batch(batch).fused.tolist() == [2, 1, 1, 5]
+
+    def test_counts_and_unique(self):
+        batch = RaggedBatch.from_segments(
+            [([4, 4, 2, 4], [0.2] * 4), ([1, 2, 3], [0.2] * 3)]
+        )
+        result = majority_vote_batch(batch)
+        assert result.fused.tolist() == [4, 3]
+        assert result.fused_counts.tolist() == [3, 1]
+        assert result.unique_counts.tolist() == [2, 3]
+
+    def test_segment_isolation(self, rng):
+        # A segment's vote must not depend on its batch neighbours.
+        segments, batch = random_batch(rng, n_segments=25)
+        whole = majority_vote_batch(batch).fused
+        for i, segment in enumerate(segments):
+            alone = majority_vote_batch(RaggedBatch.from_segments([segment]))
+            assert alone.fused[0] == whole[i]
+
+
+class TestFuseSegments:
+    @pytest.mark.parametrize(
+        "fusion",
+        [
+            MajorityVote(),
+            LatestOutcome(),
+            WeightedMajorityVote(),
+            ExponentialDecayVote(decay=0.8),
+        ],
+        ids=lambda f: type(f).__name__,
+    )
+    def test_matches_per_segment_fuse(self, rng, fusion):
+        segments, batch = random_batch(rng)
+        fused, vote = fuse_segments(fusion, batch)
+        for i, (outcomes, uncertainties) in enumerate(segments):
+            expected = fusion.fuse(
+                list(outcomes), [1.0 - u for u in uncertainties]
+            )
+            assert fused[i] == expected
+
+    def test_returns_vote_stats_only_for_majority(self, rng):
+        segments, batch = random_batch(rng)
+        _, vote = fuse_segments(MajorityVote(), batch)
+        assert vote is not None
+        codes, counts = vote.class_counts
+        assert counts.shape == (batch.n_segments, codes.size)
+        _, no_vote = fuse_segments(LatestOutcome(), batch)
+        assert no_vote is None

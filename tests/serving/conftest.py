@@ -1,0 +1,62 @@
+"""Shared fixtures for the serving tests: a small calibrated taUW stack.
+
+Built on the :class:`SyntheticDDM` so every component is exactly
+deterministic and elementwise -- batching the DDM cannot change a single
+bit, which is what the engine-vs-wrapper equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quality_factors import QualityFactorLayout, TAQF_NAMES
+from repro.core.quality_impact import QualityImpactModel
+from repro.core.timeseries_wrapper import stack_traces, trace_series
+from repro.fusion.information import MajorityVote
+from repro.models.ddm import SyntheticDDM, synthetic_correlated_series as make_series
+
+
+@pytest.fixture(scope="session")
+def series_maker():
+    """The series generator, exposed as a fixture for the test modules."""
+    return make_series
+
+
+@pytest.fixture(scope="session")
+def synthetic_stack():
+    """A calibrated (ddm, stateless_qim, ta_qim, layout, fusion) bundle."""
+    rng = np.random.default_rng(4242)
+    ddm = SyntheticDDM(correlated=True)
+    layout = QualityFactorLayout(["p_err"], TAQF_NAMES)
+    fusion = MajorityVote()
+
+    train = make_series(rng, n_series=300)
+    cal = make_series(rng, n_series=300)
+
+    def frames(dataset):
+        X = np.vstack([s[0] for s in dataset])
+        q = np.vstack([s[1] for s in dataset])
+        y = np.concatenate([np.full(len(s[0]), s[2]) for s in dataset])
+        return X, q, y
+
+    X_train, q_train, y_train = frames(train)
+    X_cal, q_cal, y_cal = frames(cal)
+
+    stateless = QualityImpactModel(max_depth=3, min_calibration_samples=200)
+    stateless.fit(q_train, (ddm.predict(X_train) != y_train).astype(int))
+    stateless.calibrate(q_cal, (ddm.predict(X_cal) != y_cal).astype(int))
+
+    def traces(dataset):
+        out = []
+        for X_model, quality, truth in dataset:
+            outcomes = ddm.predict(X_model)
+            u = stateless.estimate_uncertainty(quality)
+            out.append(trace_series(outcomes, u, quality, truth, layout, fusion))
+        return out
+
+    ta_qim = QualityImpactModel(max_depth=4, min_calibration_samples=200)
+    ta_qim.fit(*stack_traces(traces(train)))
+    ta_qim.calibrate(*stack_traces(traces(cal)))
+
+    return ddm, stateless, ta_qim, layout, fusion

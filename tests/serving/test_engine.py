@@ -1,0 +1,295 @@
+"""Tests for the batched streaming engine.
+
+The central property is the ISSUE's equivalence requirement: replaying the
+same frames through ``StreamingEngine.step_batch`` (interleaved, all
+streams at once) and through one per-stream
+``TimeseriesAwareUncertaintyWrapper.step`` loop must produce
+bitwise-identical outcomes and uncertainties.  ``TimeseriesWrappedOutcome``
+is a frozen dataclass, so ``==`` compares every float exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import UncertaintyMonitor
+from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
+from repro.exceptions import NotCalibratedError, ValidationError
+from repro.core.quality_impact import QualityImpactModel
+from repro.serving import StreamFrame, StreamingEngine
+
+
+def build_engine(synthetic_stack, **kwargs):
+    ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+    return StreamingEngine(
+        ddm=ddm,
+        stateless_qim=stateless,
+        timeseries_qim=ta_qim,
+        layout=layout,
+        information_fusion=fusion,
+        **kwargs,
+    )
+
+
+def build_wrapper(synthetic_stack, **kwargs):
+    ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+    return TimeseriesAwareUncertaintyWrapper(
+        ddm=ddm,
+        stateless_qim=stateless,
+        timeseries_qim=ta_qim,
+        layout=layout,
+        information_fusion=fusion,
+        **kwargs,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("max_buffer_length", [None, 4])
+    def test_bitwise_identical_to_per_stream_step_replay(
+        self, synthetic_stack, series_maker, max_buffer_length
+    ):
+        rng = np.random.default_rng(7)
+        n_streams, length = 48, 10
+        series = series_maker(rng, n_series=n_streams, length=length)
+
+        naive = {}
+        for sid, (X, q, _) in enumerate(series):
+            wrapper = build_wrapper(
+                synthetic_stack, max_buffer_length=max_buffer_length
+            )
+            naive[sid] = [wrapper.step(X[t], q[t]) for t in range(length)]
+
+        engine = build_engine(
+            synthetic_stack, max_buffer_length=max_buffer_length
+        )
+        batched = {sid: [] for sid in range(n_streams)}
+        for t in range(length):
+            frames = [
+                StreamFrame(sid, series[sid][0][t], series[sid][1][t])
+                for sid in range(n_streams)
+            ]
+            for result in engine.step_batch(frames):
+                batched[result.stream_id].append(result.outcome)
+
+        assert batched == naive  # frozen dataclasses: exact float equality
+
+    def test_new_series_matches_wrapper_reset(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(11)
+        (X1, q1, _), (X2, q2, _) = series_maker(rng, n_series=2, length=6)
+
+        wrapper = build_wrapper(synthetic_stack)
+        expected = [wrapper.step(X1[t], q1[t]) for t in range(6)]
+        expected += [wrapper.step(X2[t], q2[t], new_series=(t == 0)) for t in range(6)]
+
+        engine = build_engine(synthetic_stack)
+        got = []
+        for t in range(6):
+            got.append(engine.step_stream("obj", X1[t], q1[t]).outcome)
+        for t in range(6):
+            got.append(
+                engine.step_stream("obj", X2[t], q2[t], new_series=(t == 0)).outcome
+            )
+
+        assert got == expected
+        assert got[6].timestep == 0  # counter restarted with the new object
+
+    def test_ragged_stream_lengths(self, synthetic_stack, series_maker):
+        # Streams joining at different ticks (different buffer lengths per
+        # batch) must still match their isolated replays.
+        rng = np.random.default_rng(13)
+        series = series_maker(rng, n_series=3, length=8)
+        joins = {0: 0, 1: 3, 2: 5}
+
+        naive = {}
+        for sid, (X, q, _) in enumerate(series):
+            wrapper = build_wrapper(synthetic_stack)
+            naive[sid] = [
+                wrapper.step(X[t], q[t]) for t in range(8 - joins[sid])
+            ]
+
+        engine = build_engine(synthetic_stack)
+        batched = {sid: [] for sid in joins}
+        for tick in range(8):
+            frames = []
+            for sid, (X, q, _) in enumerate(series):
+                t = tick - joins[sid]
+                if t >= 0:
+                    frames.append(StreamFrame(sid, X[t], q[t]))
+            for result in engine.step_batch(frames):
+                batched[result.stream_id].append(result.outcome)
+
+        assert batched == naive
+
+
+class TestValidation:
+    def test_requires_calibrated_models(self, synthetic_stack):
+        ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+        raw = QualityImpactModel()
+        with pytest.raises(NotCalibratedError):
+            StreamingEngine(ddm, raw, ta_qim, layout)
+        with pytest.raises(NotCalibratedError):
+            StreamingEngine(ddm, stateless, raw, layout)
+
+    def test_requires_predict(self, synthetic_stack):
+        _, stateless, ta_qim, layout, _ = synthetic_stack
+        with pytest.raises(ValidationError):
+            StreamingEngine(object(), stateless, ta_qim, layout)
+
+    def test_duplicate_stream_in_tick_rejected(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(3)
+        (X, q, _), = series_maker(rng, n_series=1, length=2)
+        engine = build_engine(synthetic_stack)
+        frames = [StreamFrame("s", X[0], q[0]), StreamFrame("s", X[1], q[1])]
+        with pytest.raises(ValidationError):
+            engine.step_batch(frames)
+
+    def test_wrong_quality_width_rejected(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(3)
+        (X, q, _), = series_maker(rng, n_series=1, length=1)
+        engine = build_engine(synthetic_stack)
+        with pytest.raises(ValidationError):
+            engine.step_batch([StreamFrame("s", X[0], np.zeros(3))])
+
+    def test_empty_batch_advances_tick(self, synthetic_stack):
+        engine = build_engine(synthetic_stack)
+        assert engine.step_batch([]) == []
+        assert engine.tick == 1
+
+    def test_failed_tick_commits_no_frames(self, synthetic_stack, series_maker):
+        # A batch that fails validation must not leave a subset of
+        # streams with half-applied frames (retrying would double-append
+        # and silently break equivalence).
+        rng = np.random.default_rng(29)
+        (X, q, _), (X2, q2, _) = series_maker(rng, n_series=2, length=3)
+        engine = build_engine(synthetic_stack)
+        engine.step_batch(
+            [StreamFrame("a", X[0], q[0]), StreamFrame("b", X2[0], q2[0])]
+        )
+        # Second tick: stream "b" carries a malformed quality row.
+        with pytest.raises(ValidationError):
+            engine.step_batch(
+                [StreamFrame("a", X[1], q[1]), StreamFrame("b", X2[1], np.zeros(3))]
+            )
+        assert len(engine.registry.get("a").buffer) == 1  # nothing committed
+        assert len(engine.registry.get("b").buffer) == 1
+        assert engine.tick == 1  # rejected batches are not ticks either
+
+        # A failing monitor factory on a NEW stream must also leave the
+        # existing streams' buffers untouched.
+        def bad_factory():
+            raise RuntimeError("monitor backend down")
+
+        engine.registry.monitor_factory = bad_factory
+        with pytest.raises(RuntimeError):
+            engine.step_batch(
+                [StreamFrame("a", X[1], q[1]), StreamFrame("new", X2[1], q2[1])]
+            )
+        assert len(engine.registry.get("a").buffer) == 1
+        assert "new" not in engine.registry  # no phantom stream entries
+        assert engine.registry.statistics.created == 2  # only "a" and "b"
+
+    def test_nan_stateless_uncertainty_rejected_before_commit(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(31)
+        (X, q, _), (X2, q2, _) = series_maker(rng, n_series=2, length=2)
+        ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+
+        class NaNLastRow:  # a buggy stateless QIM emitting one NaN
+            is_calibrated = True
+
+            def estimate_uncertainty(self, quality):
+                u = np.array(stateless.estimate_uncertainty(quality), dtype=float)
+                u[-1] = np.nan
+                return u
+
+        engine = StreamingEngine(ddm, NaNLastRow(), ta_qim, layout, fusion)
+        with pytest.raises(ValidationError):
+            engine.step_batch(
+                [StreamFrame("a", X[0], q[0]), StreamFrame("b", X2[0], q2[0])]
+            )
+        assert "a" not in engine.registry  # rejected before any state exists
+
+    def test_broken_taqim_reports_recorded_tick(self, synthetic_stack, series_maker):
+        # A taQIM failing AFTER the frames were committed must say so, and
+        # the tick must advance (the frames exist; resubmitting them would
+        # double-append).  Monitors must not be half-judged either.
+        rng = np.random.default_rng(37)
+        (X, q, _), = series_maker(rng, n_series=1, length=2)
+        ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+
+        class NaNTaQIM:
+            is_calibrated = True
+
+            def estimate_uncertainty(self, features):
+                u = np.array(ta_qim.estimate_uncertainty(features), dtype=float)
+                u[-1] = np.nan
+                return u
+
+        engine = StreamingEngine(
+            ddm, stateless, NaNTaQIM(), layout, fusion,
+            monitor_factory=lambda: UncertaintyMonitor(threshold=0.5),
+        )
+        with pytest.raises(ValidationError, match="tick already recorded"):
+            engine.step_stream("s", X[0], q[0])
+        state = engine.registry.get("s")
+        assert len(state.buffer) == 1  # the frame IS committed
+        assert engine.tick == 1  # and the tick advanced past it
+        assert state.monitor.statistics.steps == 0  # no partial verdicts
+
+
+class TestMonitoringAndEviction:
+    def test_per_stream_monitor_verdicts(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(17)
+        series = series_maker(rng, n_series=8, length=10)
+        engine = build_engine(
+            synthetic_stack,
+            monitor_factory=lambda: UncertaintyMonitor(threshold=0.3),
+        )
+        # Reference: judge the naive wrapper replay with private monitors.
+        monitors = {sid: UncertaintyMonitor(threshold=0.3) for sid in range(8)}
+        expected = {}
+        for sid, (X, q, _) in enumerate(series):
+            wrapper = build_wrapper(synthetic_stack)
+            expected[sid] = [
+                monitors[sid].judge(wrapper.step(X[t], q[t]).fused_uncertainty)
+                for t in range(10)
+            ]
+
+        got = {sid: [] for sid in range(8)}
+        for t in range(10):
+            frames = [
+                StreamFrame(sid, series[sid][0][t], series[sid][1][t])
+                for sid in range(8)
+            ]
+            for result in engine.step_batch(frames):
+                assert result.verdict is not None
+                assert result.accepted == result.verdict.accepted
+                got[result.stream_id].append(result.verdict)
+
+        assert got == expected
+
+    def test_unmonitored_results_count_as_accepted(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(19)
+        (X, q, _), = series_maker(rng, n_series=1, length=1)
+        engine = build_engine(synthetic_stack)
+        result = engine.step_stream("s", X[0], q[0])
+        assert result.verdict is None
+        assert result.accepted
+
+    def test_idle_streams_evicted_and_state_restarts(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(23)
+        (X, q, _), = series_maker(rng, n_series=1, length=10)
+        engine = build_engine(synthetic_stack, idle_ttl=2)
+
+        engine.step_stream("s", X[0], q[0])
+        assert engine.n_streams == 1
+        engine.step_batch([])  # tick 1
+        engine.step_batch([])  # tick 2
+        assert engine.n_streams == 1  # within TTL
+        engine.step_batch([])  # tick 3 -> idle for 3 > ttl
+        assert engine.n_streams == 0
+        assert engine.registry.statistics.evicted == 1
+
+        # A returning stream starts a fresh series (buffer was dropped).
+        result = engine.step_stream("s", X[1], q[1])
+        assert result.outcome.timestep == 0

@@ -1,0 +1,131 @@
+"""Tests for the per-stream state registry."""
+
+import pytest
+
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ValidationError
+from repro.serving.registry import StreamRegistry
+
+
+class TestLifecycle:
+    def test_lazy_creation(self):
+        registry = StreamRegistry()
+        assert len(registry) == 0
+        state = registry.get_or_create("car-1", tick=0)
+        assert state.stream_id == "car-1"
+        assert state.step_count == 0
+        assert len(registry) == 1
+        assert "car-1" in registry
+        assert registry.statistics.created == 1
+
+    def test_get_or_create_is_idempotent(self):
+        registry = StreamRegistry()
+        first = registry.get_or_create("s", tick=0)
+        first.step_count = 5
+        again = registry.get_or_create("s", tick=3)
+        assert again is first
+        assert registry.statistics.created == 1
+
+    def test_get_unknown_raises(self):
+        registry = StreamRegistry()
+        with pytest.raises(ValidationError):
+            registry.get("ghost")
+
+    def test_duplicate_ids_in_bulk_create_rejected(self):
+        registry = StreamRegistry()
+        with pytest.raises(ValidationError):
+            registry.get_or_create_many(["a", "a"], tick=0)
+        assert len(registry) == 0
+        assert registry.statistics.created == 0
+
+    def test_discard(self):
+        registry = StreamRegistry()
+        registry.get_or_create("s", tick=0)
+        assert registry.discard("s")
+        assert not registry.discard("s")
+        assert len(registry) == 0
+
+    def test_reset_forgets_streams_keeps_statistics(self):
+        registry = StreamRegistry()
+        registry.get_or_create("a", tick=0)
+        registry.get_or_create("b", tick=0)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.statistics.created == 2
+
+    def test_begin_series_clears_buffer_not_monitor(self):
+        registry = StreamRegistry(monitor_factory=lambda: UncertaintyMonitor(0.1))
+        state = registry.get_or_create("s", tick=0)
+        state.buffer.append(3, 0.2)
+        state.step_count = 1
+        state.monitor.judge(0.05)
+        state.begin_series()
+        assert state.buffer.is_empty
+        assert state.step_count == 0
+        assert state.monitor.statistics.steps == 1  # monitor survives
+
+
+class TestMonitors:
+    def test_monitor_factory_builds_independent_monitors(self):
+        registry = StreamRegistry(monitor_factory=lambda: UncertaintyMonitor(0.1))
+        a = registry.get_or_create("a", tick=0)
+        b = registry.get_or_create("b", tick=0)
+        assert a.monitor is not b.monitor
+        a.monitor.judge(0.05)
+        assert b.monitor.statistics.steps == 0
+
+    def test_no_factory_no_monitor(self):
+        registry = StreamRegistry()
+        assert registry.get_or_create("a", tick=0).monitor is None
+
+
+class TestEviction:
+    def test_idle_streams_evicted_after_ttl(self):
+        registry = StreamRegistry(idle_ttl=2)
+        registry.get_or_create("old", tick=0)
+        registry.get_or_create("fresh", tick=2)
+        # old last seen at 0: survives through tick 2, expires at tick 3.
+        assert registry.evict_idle(2) == []
+        assert registry.evict_idle(3) == ["old"]
+        assert registry.stream_ids == ["fresh"]
+        assert registry.statistics.evicted == 1
+
+    def test_touch_postpones_eviction(self):
+        registry = StreamRegistry(idle_ttl=1)
+        state = registry.get_or_create("s", tick=0)
+        state.last_tick = 5
+        assert registry.evict_idle(6) == []
+        assert registry.evict_idle(7) == ["s"]
+
+    def test_get_or_create_touches_existing_streams(self):
+        # Looking a live stream up counts as activity: last_tick refreshes
+        # so actively-served streams never age toward eviction.
+        registry = StreamRegistry(idle_ttl=1)
+        registry.get_or_create("s", tick=0)
+        for tick in range(1, 5):
+            registry.get_or_create("s", tick=tick)
+            assert registry.evict_idle(tick) == []
+        assert registry.get("s").last_tick == 4
+
+    def test_eviction_drops_monitor_and_budget(self):
+        # Eviction ends the stream's lifetime: a returning id gets a
+        # fresh monitor (documented; budgets must otherwise live outside).
+        registry = StreamRegistry(
+            idle_ttl=1,
+            monitor_factory=lambda: UncertaintyMonitor(0.5, risk_budget=0.1),
+        )
+        old = registry.get_or_create("s", tick=0)
+        old.monitor.judge(0.09)  # spends most of the budget
+        registry.evict_idle(2)
+        fresh = registry.get_or_create("s", tick=2)
+        assert fresh is not old
+        assert fresh.monitor.statistics.accepted_risk == 0.0
+
+    def test_no_ttl_never_evicts(self):
+        registry = StreamRegistry()
+        registry.get_or_create("s", tick=0)
+        assert registry.evict_idle(10_000) == []
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamRegistry(idle_ttl=0)

@@ -87,6 +87,42 @@ class TestStudyCommand:
             main(["study", "--smoke", "--paper-scale"])
 
 
+class TestSimulateStreamsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate-streams", "--smoke"])
+        assert args.command == "simulate-streams"
+        assert args.streams == 256
+        assert args.ticks == 50
+        assert args.threshold is None
+
+    def test_smoke_replay_with_comparison_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "serving.json"
+        code = main(
+            [
+                "simulate-streams",
+                "--smoke",
+                "--streams", "16",
+                "--ticks", "8",
+                "--threshold", "0.5",
+                "--compare-naive",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert "outputs identical: True" in out
+
+        import json
+
+        report = json.loads(json_path.read_text())
+        assert report["streams"] == 16
+        assert report["frames"] == 16 * 8
+        assert report["outputs_identical"] is True
+        assert report["speedup"] > 1.0
+        assert 0.0 <= report["acceptance_rate"] <= 1.0
+
+
 class TestImportanceCommand:
     def test_smoke_importance_with_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "fig7.csv"
