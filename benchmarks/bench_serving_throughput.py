@@ -74,7 +74,9 @@ def test_naive_throughput(benchmark, study_data, workload):
     benchmark.extra_info["frames_per_round"] = workload.n_frames
 
 
-def test_speedup_and_equivalence_at_256_streams(study_data, workload, write_output):
+def test_speedup_and_equivalence_at_256_streams(
+    study_data, workload, write_output, write_bench_json
+):
     start = time.perf_counter()
     engine_outcomes = replay_engine(_make_engine(study_data), workload)
     engine_seconds = time.perf_counter() - start
@@ -96,6 +98,20 @@ def test_speedup_and_equivalence_at_256_streams(study_data, workload, write_outp
         f"naive   frames/sec:   {naive_fps:,.0f}\n"
         f"speedup:              {speedup:.1f}x\n"
         f"outputs identical:    {identical}\n",
+    )
+    write_bench_json(
+        "serving",
+        {
+            "streams": N_STREAMS,
+            "ticks": N_TICKS,
+            "frames": workload.n_frames,
+            "engine_seconds": engine_seconds,
+            "engine_frames_per_sec": engine_fps,
+            "naive_seconds": naive_seconds,
+            "naive_frames_per_sec": naive_fps,
+            "speedup": speedup,
+            "outputs_identical": identical,
+        },
     )
 
     assert identical, "engine outcomes must be bitwise identical to step replay"

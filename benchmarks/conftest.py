@@ -8,13 +8,31 @@ to ``benchmarks/output/``.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import time
 
 import pytest
 
 from repro.evaluation import StudyConfig, evaluate_study, prepare_study_data
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def _usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="session")
+def usable_cores() -> int:
+    """The affinity-aware core count, shared with the BENCH_*.json context."""
+    return _usable_cores()
 
 
 @pytest.fixture(scope="session")
@@ -38,5 +56,33 @@ def write_output():
         path = OUTPUT_DIR / name
         path.write_text(text)
         print(f"\n--- {name} ---\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_bench_json():
+    """Writer for machine-readable ``BENCH_<name>.json`` artifacts.
+
+    Every perf benchmark emits one of these so the throughput trajectory
+    is comparable across PRs and machines: the metrics land under a
+    ``metrics`` key next to enough environment context (python, cores)
+    to interpret them.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, metrics: dict) -> pathlib.Path:
+        payload = {
+            "benchmark": name,
+            "unix_time": time.time(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "usable_cores": _usable_cores(),
+            "metrics": metrics,
+        }
+        path = OUTPUT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {path}")
+        return path
 
     return _write

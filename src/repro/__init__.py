@@ -51,6 +51,8 @@ from repro.fusion import (
     WorstCaseFusion,
 )
 from repro.serving import (
+    RegistrySnapshot,
+    ShardedEngine,
     StreamFrame,
     StreamRegistry,
     StreamStepResult,
@@ -85,6 +87,8 @@ __all__ = [
     "NaiveProductFusion",
     "OpportuneFusion",
     "WorstCaseFusion",
+    "RegistrySnapshot",
+    "ShardedEngine",
     "StreamFrame",
     "StreamRegistry",
     "StreamStepResult",

@@ -16,6 +16,14 @@ Commands
     Replay interleaved GTSRB situation streams through the batched
     :class:`~repro.serving.StreamingEngine` and report the serving
     throughput (optionally against the naive per-stream ``step`` loop).
+    ``--shards N`` routes the replay through the multi-process
+    :class:`~repro.serving.ShardedEngine`; ``--snapshot-every K`` writes
+    periodic registry snapshots.
+``serve-cluster``
+    Run the sharded serving cluster on a simulated workload: consistent-
+    hash placement over N worker processes, optional periodic snapshots,
+    restore-from-snapshot, and an equivalence check against the
+    single-process engine.
 """
 
 from __future__ import annotations
@@ -93,11 +101,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sliding-window cap per stream buffer")
     serve.add_argument("--ttl", type=int, default=None,
                        help="evict streams idle for this many ticks")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="worker processes; > 1 serves through the "
+                            "sharded cluster engine")
+    serve.add_argument("--snapshot-every", type=int, default=0, metavar="K",
+                       help="write a registry snapshot every K ticks")
+    serve.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
+                       help="directory for --snapshot-every artifacts")
     serve.add_argument("--compare-naive", action="store_true",
                        help="also time the per-stream step loop and "
                             "verify identical outputs")
     serve.add_argument("--json", metavar="PATH",
                        help="write the throughput report JSON to PATH")
+
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="serve interleaved object streams on the sharded multi-process cluster",
+    )
+    cluster.add_argument("--streams", type=int, default=1024,
+                         help="number of concurrent object streams")
+    cluster.add_argument("--ticks", type=int, default=25,
+                         help="number of cluster ticks (frames per stream)")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="number of shard worker processes")
+    cluster.add_argument("--paper-scale", action="store_true")
+    cluster.add_argument("--smoke", action="store_true",
+                         help="tiny study configuration for a quick look")
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--threshold", type=float, default=None,
+                         help="per-stream monitor acceptance threshold")
+    cluster.add_argument("--max-buffer-length", type=int, default=None,
+                         help="sliding-window cap per stream buffer")
+    cluster.add_argument("--ttl", type=int, default=None,
+                         help="evict streams idle for this many ticks")
+    cluster.add_argument("--snapshot-every", type=int, default=0, metavar="K",
+                         help="write a cluster snapshot every K ticks")
+    cluster.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
+                         help="directory for snapshot artifacts")
+    cluster.add_argument("--restore", metavar="STEM",
+                         help="restore registry state from a snapshot stem "
+                              "(as written by --snapshot-every) before serving")
+    cluster.add_argument("--compare-single", action="store_true",
+                         help="also run the single-process engine and "
+                              "verify bitwise-identical outputs")
+    cluster.add_argument("--json", metavar="PATH",
+                         help="write the cluster report JSON to PATH")
 
     return parser
 
@@ -215,11 +263,18 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
+def _snapshot_stem(directory, tick: int):
+    import pathlib
+
+    return pathlib.Path(directory) / f"tick_{tick:06d}"
+
+
 def _cmd_simulate_streams(args) -> int:
     from repro.core.monitor import UncertaintyMonitor
     from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
     from repro.evaluation import prepare_study_data
     from repro.serving import (
+        ShardedEngine,
         StreamingEngine,
         build_stream_workload,
         replay_engine,
@@ -240,15 +295,20 @@ def _cmd_simulate_streams(args) -> int:
     workload = build_stream_workload(
         data.feature_model, args.streams, args.ticks, rng
     )
-    engine = StreamingEngine(
-        ddm=data.ddm,
-        stateless_qim=data.stateless_qim,
-        timeseries_qim=data.ta_qim,
-        layout=data.layout,
-        max_buffer_length=args.max_buffer_length,
-        monitor_factory=monitor_factory,
-        idle_ttl=args.ttl,
-    )
+
+    def engine_factory():
+        return StreamingEngine(
+            ddm=data.ddm,
+            stateless_qim=data.stateless_qim,
+            timeseries_qim=data.ta_qim,
+            layout=data.layout,
+            max_buffer_length=args.max_buffer_length,
+            monitor_factory=monitor_factory,
+            idle_ttl=args.ttl,
+        )
+
+    sharded = args.shards > 1
+    engine = ShardedEngine(engine_factory, args.shards) if sharded else engine_factory()
 
     start = time.perf_counter()
     accepted = 0
@@ -260,20 +320,29 @@ def _cmd_simulate_streams(args) -> int:
                 monitored += 1
                 accepted += result.verdict.accepted
             engine_outcomes.setdefault(result.stream_id, []).append(result.outcome)
+        if args.snapshot_every and engine.tick % args.snapshot_every == 0:
+            stem = _snapshot_stem(args.snapshot_dir, engine.tick)
+            engine.snapshot().save(stem)
+            print(f"wrote snapshot {stem}.json/.npz")
     engine_seconds = time.perf_counter() - start
     engine_fps = workload.n_frames / engine_seconds
+    statistics = engine.statistics() if sharded else engine.registry.statistics
+    if sharded:
+        engine.close()
 
     report = {
         "streams": workload.n_streams,
         "ticks": workload.n_ticks,
         "frames": workload.n_frames,
+        "shards": args.shards,
         "engine_seconds": engine_seconds,
         "engine_frames_per_sec": engine_fps,
-        "series_started": engine.registry.statistics.series_started,
-        "streams_evicted": engine.registry.statistics.evicted,
+        "series_started": statistics.series_started,
+        "streams_evicted": statistics.evicted,
     }
     print(
-        f"engine: {workload.n_frames} frames over {workload.n_ticks} ticks x "
+        f"engine ({args.shards} shard{'s' if args.shards != 1 else ''}): "
+        f"{workload.n_frames} frames over {workload.n_ticks} ticks x "
         f"{workload.n_streams} streams in {engine_seconds:.2f}s "
         f"({engine_fps:,.0f} frames/s)"
     )
@@ -285,9 +354,12 @@ def _cmd_simulate_streams(args) -> int:
     if args.compare_naive:
         # The speedup figure compares UNMONITORED engine vs naive loop
         # (the naive wrapper loop has no monitors either).  Without a
-        # threshold the run above already qualifies; with one, time a
-        # fresh unmonitored replay.
-        if monitor_factory is None:
+        # threshold the single-process run above already qualifies; with
+        # one, or when the run above was sharded, time a fresh
+        # unmonitored single-process replay.  The identity check always
+        # judges the MAIN run's outcomes (sharded/monitored included), so
+        # a cluster divergence cannot hide behind the timing replay.
+        if monitor_factory is None and not sharded:
             compare_seconds = engine_seconds
         else:
             fresh = StreamingEngine(
@@ -298,8 +370,15 @@ def _cmd_simulate_streams(args) -> int:
                 max_buffer_length=args.max_buffer_length,
             )
             start = time.perf_counter()
-            engine_outcomes = replay_engine(fresh, workload)
+            fresh_outcomes = replay_engine(fresh, workload)
             compare_seconds = time.perf_counter() - start
+            if fresh_outcomes != engine_outcomes:
+                print(
+                    "error: outputs of the main run diverge from the "
+                    "unmonitored single-process replay",
+                    file=sys.stderr,
+                )
+                return 1
 
         def make_wrapper():
             return TimeseriesAwareUncertaintyWrapper(
@@ -347,12 +426,141 @@ def _cmd_simulate_streams(args) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args) -> int:
+    from repro.core.monitor import UncertaintyMonitor
+    from repro.evaluation import prepare_study_data
+    from repro.serving import (
+        RegistrySnapshot,
+        ShardedEngine,
+        StreamingEngine,
+        build_stream_workload,
+    )
+
+    config = _config_from_args(args)
+    monitor_factory = None
+    if args.threshold is not None:
+        threshold = args.threshold
+        monitor_factory = lambda: UncertaintyMonitor(threshold=threshold)  # noqa: E731
+        monitor_factory()  # fail fast on a bad threshold, before the prep
+
+    restored = None
+    if args.restore:  # fail fast on a bad snapshot too
+        restored = RegistrySnapshot.load(args.restore)
+
+    print("preparing study pipeline (DDM + calibrated wrappers)...")
+    data = prepare_study_data(config)
+    rng = np.random.default_rng(args.seed + 1)
+    workload = build_stream_workload(
+        data.feature_model, args.streams, args.ticks, rng
+    )
+
+    def engine_factory():
+        return StreamingEngine(
+            ddm=data.ddm,
+            stateless_qim=data.stateless_qim,
+            timeseries_qim=data.ta_qim,
+            layout=data.layout,
+            max_buffer_length=args.max_buffer_length,
+            monitor_factory=monitor_factory,
+            idle_ttl=args.ttl,
+        )
+
+    print(f"starting {args.shards} shard worker(s)...")
+    cluster = ShardedEngine(engine_factory, args.shards)
+    try:
+        if restored is not None:
+            cluster.restore(restored)
+            print(
+                f"restored {restored.n_streams} streams at tick {restored.tick} "
+                f"from {args.restore}"
+            )
+
+        snapshots_written = []
+        cluster_outcomes = {}
+        start = time.perf_counter()
+        for frames in workload.ticks:
+            for result in cluster.step_batch(frames):
+                cluster_outcomes.setdefault(result.stream_id, []).append(
+                    result.outcome
+                )
+            if args.snapshot_every and cluster.tick % args.snapshot_every == 0:
+                stem = _snapshot_stem(args.snapshot_dir, cluster.tick)
+                cluster.snapshot().save(stem)
+                snapshots_written.append(str(stem))
+        cluster_seconds = time.perf_counter() - start
+        cluster_fps = workload.n_frames / cluster_seconds
+        statistics = cluster.statistics()
+    finally:
+        cluster.close()
+
+    report = {
+        "streams": workload.n_streams,
+        "ticks": workload.n_ticks,
+        "frames": workload.n_frames,
+        "shards": args.shards,
+        "cluster_seconds": cluster_seconds,
+        "cluster_frames_per_sec": cluster_fps,
+        "series_started": statistics.series_started,
+        "streams_evicted": statistics.evicted,
+        "snapshots_written": snapshots_written,
+    }
+    print(
+        f"cluster ({args.shards} shards): {workload.n_frames} frames over "
+        f"{workload.n_ticks} ticks x {workload.n_streams} streams in "
+        f"{cluster_seconds:.2f}s ({cluster_fps:,.0f} frames/s)"
+    )
+    for stem in snapshots_written:
+        print(f"wrote snapshot {stem}.json/.npz")
+
+    if args.compare_single:
+        single = engine_factory()
+        if restored is not None:
+            single.restore(restored)
+        start = time.perf_counter()
+        single_outcomes = {}
+        for frames in workload.ticks:
+            for result in single.step_batch(frames):
+                single_outcomes.setdefault(result.stream_id, []).append(
+                    result.outcome
+                )
+        single_seconds = time.perf_counter() - start
+        identical = single_outcomes == cluster_outcomes
+        report.update(
+            single_seconds=single_seconds,
+            single_frames_per_sec=workload.n_frames / single_seconds,
+            cluster_speedup=single_seconds / cluster_seconds,
+            outputs_identical=identical,
+        )
+        print(
+            f"single-process engine: {single_seconds:.2f}s "
+            f"({workload.n_frames / single_seconds:,.0f} frames/s); cluster "
+            f"speedup {single_seconds / cluster_seconds:.2f}x; "
+            f"outputs identical: {identical}"
+        )
+
+    if args.json:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(report, indent=2))
+        print(f"wrote {path}")
+    if args.compare_single and not report["outputs_identical"]:
+        print(
+            "error: cluster outputs diverge from the single-process engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "importance": _cmd_importance,
     "dataset": _cmd_dataset,
     "bounds": _cmd_bounds,
     "simulate-streams": _cmd_simulate_streams,
+    "serve-cluster": _cmd_serve_cluster,
 }
 
 

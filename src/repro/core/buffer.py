@@ -168,6 +168,60 @@ class TimeseriesBuffer:
         self._require_non_empty()
         return int(self._out[self._end - 1])
 
+    # ------------------------------------------------------------------
+    # State export / restore (serving snapshots and shard migration).
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Portable buffer state: live-window copies plus the window cap.
+
+        The returned arrays are detached from the buffer's backing storage
+        and stay valid after further appends.  Feed the dict back through
+        :meth:`from_state` to reconstruct an exactly equivalent buffer.
+        """
+        return {
+            "outcomes": self.outcomes_view().copy(),
+            "uncertainties": self.uncertainties_view().copy(),
+            "max_length": self.max_length,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        outcomes,
+        uncertainties,
+        max_length: int | None = None,
+    ) -> "TimeseriesBuffer":
+        """Rebuild a buffer from exported state.
+
+        The restored buffer's views are value-identical to the source
+        buffer's at export time, and subsequent appends behave exactly as
+        they would have on the uninterrupted original (the live window is
+        re-anchored at the front of fresh storage, which the sliding-window
+        logic never observes).
+        """
+        out = np.asarray(outcomes, dtype=np.int64).ravel()
+        unc = np.asarray(uncertainties, dtype=float).ravel()
+        if out.size != unc.size:
+            raise ValidationError(
+                f"outcomes and uncertainties must align, got {out.size} vs {unc.size}"
+            )
+        if unc.size and not np.all((unc >= 0.0) & (unc <= 1.0)):  # NaN-rejecting
+            raise ValidationError("restored uncertainties must lie in [0, 1]")
+        if max_length is not None and out.size > max_length:
+            raise ValidationError(
+                f"restored window of {out.size} entries exceeds max_length={max_length}"
+            )
+        buffer = cls(max_length=max_length)
+        n = out.size
+        if n:
+            if n > buffer._out.size:
+                buffer._out = np.empty(n, dtype=np.int64)
+                buffer._unc = np.empty(n, dtype=float)
+            buffer._out[:n] = out
+            buffer._unc[:n] = unc
+            buffer._end = n
+        return buffer
+
     def _require_non_empty(self) -> None:
         if self.is_empty:
             raise EmptyBufferError(

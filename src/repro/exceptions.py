@@ -14,6 +14,7 @@ __all__ = [
     "ValidationError",
     "EmptyBufferError",
     "ScopeError",
+    "ClusterError",
 ]
 
 
@@ -45,3 +46,11 @@ class EmptyBufferError(ReproError):
 
 class ScopeError(ReproError):
     """A scope-compliance model could not evaluate the given scope factors."""
+
+
+class ClusterError(ReproError):
+    """A sharded serving cluster failed at the process/transport layer.
+
+    Raised when a shard worker dies, answers out of protocol, or reports
+    an error that does not map back onto a library exception type.
+    """

@@ -1,13 +1,20 @@
 """Serving: batched taUW inference over many concurrent object streams.
 
-The runtime-facing layer above the core wrapper: a
-:class:`~repro.serving.registry.StreamRegistry` owning per-stream buffers,
-monitors, and TTL-based eviction, and a
-:class:`~repro.serving.engine.StreamingEngine` whose ``step_batch`` runs a
-whole tick of N streams as one vectorized pass -- bitwise identical to N
-single-stream wrapper ``step`` calls, at a fraction of the cost.
+The runtime-facing layer above the core wrapper, in three tiers:
+
+* a :class:`~repro.serving.registry.StreamRegistry` owning per-stream
+  buffers, monitors, and TTL-based eviction;
+* a :class:`~repro.serving.engine.StreamingEngine` whose ``step_batch``
+  runs a whole tick of N streams as one vectorized pass -- bitwise
+  identical to N single-stream wrapper ``step`` calls, at a fraction of
+  the cost;
+* a :class:`~repro.serving.cluster.ShardedEngine` that partitions streams
+  across worker processes by consistent hashing and merges each tick back
+  in input order, with :mod:`repro.serving.state` snapshot/restore making
+  the whole registry durable across restarts and shard rebalances.
 """
 
+from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
 from repro.serving.simulate import (
@@ -15,6 +22,11 @@ from repro.serving.simulate import (
     build_stream_workload,
     replay_engine,
     replay_naive,
+)
+from repro.serving.state import (
+    SNAPSHOT_VERSION,
+    RegistrySnapshot,
+    StreamStateSnapshot,
 )
 
 __all__ = [
@@ -28,4 +40,10 @@ __all__ = [
     "build_stream_workload",
     "replay_engine",
     "replay_naive",
+    "HashRing",
+    "ShardedEngine",
+    "stable_stream_hash",
+    "SNAPSHOT_VERSION",
+    "RegistrySnapshot",
+    "StreamStateSnapshot",
 ]

@@ -1,0 +1,743 @@
+"""Sharded multi-worker serving: N processes, one logical engine.
+
+PR 1's :class:`~repro.serving.engine.StreamingEngine` made a tick of N
+streams one vectorized pass, but a single Python process still caps
+throughput at one core.  The per-tick pass is embarrassingly parallel
+across streams -- each stream's buffer, fusion prefix, taQF row, and
+monitor are independent -- so this module scales it out:
+
+* :func:`stable_stream_hash` / :class:`HashRing` -- consistent hashing of
+  stream ids onto shards.  Stable across processes and runs (unlike
+  Python's salted ``hash``), and moving from N to N+1 shards remaps only
+  ~1/(N+1) of the streams, which keeps rebalances cheap;
+* :class:`ShardedEngine` -- the cluster front end.  Each shard is a child
+  process owning a full :class:`StreamingEngine`; a tick's frames fan out
+  to their shards as stacked numpy payloads (one pickle per shard, not
+  per frame), the workers step concurrently, and the replies -- struct-of-
+  arrays, again numpy -- merge back in input order.  Because every stream
+  lives on exactly one shard and each shard runs the very same
+  ``step_batch``, the merged results are bitwise-identical to a single
+  :class:`StreamingEngine` fed the same frames;
+* snapshot/restore and live rebalance, built on
+  :mod:`repro.serving.state`: workers serialize their registries, the
+  parent merges/splits them, and streams migrate between shards with
+  buffers, monitor budgets, and TTL clocks intact.
+
+Consistency notes.  Ticks are cluster-wide: every worker's engine ticks on
+every ``step_batch`` (shards without frames tick on an empty batch), so
+idle-TTL eviction fires on the same tick it would in the single-process
+engine.  Input validation the parent can do (duplicate ids, malformed
+model-input rows) rejects the whole tick with no state change anywhere;
+failures that a worker detects mid-tick (e.g. a failing monitor factory)
+reject that shard's tick only -- the affected tick is atomic per shard,
+not across shards -- so after a raising clustered tick the recommended
+recovery is :meth:`ShardedEngine.restore` from the latest snapshot.
+
+The default transport uses the ``fork`` start method (the engine factory
+and its captured models need not be picklable); pass ``start_method=
+"spawn"`` with a module-level factory on platforms without fork.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import multiprocessing
+import struct
+from typing import Callable, Sequence
+
+import numpy as np
+
+import repro.exceptions as _exceptions
+from repro.core.monitor import MonitorDecision, MonitorVerdict
+from repro.core.timeseries_wrapper import TimeseriesWrappedOutcome
+from repro.exceptions import ClusterError, ValidationError
+from repro.serving.engine import (
+    StreamFrame,
+    StreamingEngine,
+    StreamStepResult,
+    validate_tick_frames,
+)
+from repro.serving.registry import RegistryStatistics
+from repro.serving.state import RegistrySnapshot
+
+__all__ = ["stable_stream_hash", "HashRing", "ShardedEngine"]
+
+
+# ---------------------------------------------------------------------------
+# Consistent hashing
+# ---------------------------------------------------------------------------
+
+def _encode_for_hash(stream_id) -> bytes:
+    """Canonical byte encoding of a stream id, stable across processes.
+
+    Type-tagged so ``1``, ``1.0``, ``True``, and ``"1"`` hash apart.
+    Unknown types fall back to ``repr`` -- deterministic within one
+    process tree (all placement happens in the parent), but such ids
+    should be avoided for snapshots, which require JSON scalars anyway.
+    """
+    if isinstance(stream_id, bool):  # before int: bool is an int subtype
+        return b"b:1" if stream_id else b"b:0"
+    if isinstance(stream_id, str):
+        return b"s:" + stream_id.encode("utf-8")
+    if isinstance(stream_id, int):
+        return b"i:" + str(stream_id).encode("ascii")
+    if isinstance(stream_id, float):
+        return b"f:" + struct.pack(">d", stream_id)
+    if isinstance(stream_id, bytes):
+        return b"y:" + stream_id
+    if stream_id is None:
+        return b"n:"
+    if isinstance(stream_id, tuple):
+        return b"t:" + b"|".join(_encode_for_hash(item) for item in stream_id)
+    return b"r:" + repr(stream_id).encode("utf-8", "backslashreplace")
+
+
+def stable_stream_hash(stream_id) -> int:
+    """64-bit placement hash of a stream id.
+
+    Unlike builtin ``hash`` this is independent of ``PYTHONHASHSEED``, so
+    a restarted cluster restoring a snapshot recomputes the identical
+    shard placement.
+    """
+    digest = hashlib.blake2b(_encode_for_hash(stream_id), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping stream ids to shard indices.
+
+    Each shard owns ``replicas`` virtual nodes on a 64-bit ring; a stream
+    belongs to the first virtual node at or after its own hash.  Changing
+    the shard count only moves the streams whose arc gains a new owner:
+    ~1/N of them on grow, exactly the retired shard's share on shrink.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (>= 1).
+    replicas:
+        Virtual nodes per shard; more replicas mean a smoother split.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append(
+                    (stable_stream_hash(f"shard:{shard}:vnode:{replica}"), shard)
+                )
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, stream_id) -> int:
+        """The shard index owning this stream id."""
+        position = bisect.bisect_right(self._hashes, stable_stream_hash(stream_id))
+        if position == len(self._hashes):  # wrap around the ring
+            position = 0
+        return self._owners[position]
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _encode_step_results(results: list[StreamStepResult]) -> dict:
+    """Struct-of-arrays wire encoding of a shard's tick results."""
+    n = len(results)
+    encoded = {
+        "fused": np.fromiter(
+            (r.outcome.fused_outcome for r in results), np.int64, n
+        ),
+        "fused_u": np.fromiter(
+            (r.outcome.fused_uncertainty for r in results), float, n
+        ),
+        "isolated": np.fromiter(
+            (r.outcome.isolated_outcome for r in results), np.int64, n
+        ),
+        "isolated_u": np.fromiter(
+            (r.outcome.isolated_uncertainty for r in results), float, n
+        ),
+        "timestep": np.fromiter((r.outcome.timestep for r in results), np.int64, n),
+        "scope_u": np.fromiter(
+            (r.outcome.scope_incompliance for r in results), float, n
+        ),
+    }
+    if any(r.verdict is not None for r in results):
+        verdicts = [r.verdict for r in results]
+        encoded["v_mask"] = np.fromiter((v is not None for v in verdicts), bool, n)
+        encoded["v_accepted"] = np.fromiter(
+            (v is not None and v.accepted for v in verdicts), bool, n
+        )
+        encoded["v_u"] = np.fromiter(
+            (v.uncertainty if v is not None else 0.0 for v in verdicts), float, n
+        )
+        encoded["v_threshold"] = np.fromiter(
+            (v.threshold if v is not None else 0.0 for v in verdicts), float, n
+        )
+        encoded["v_hysteresis"] = np.fromiter(
+            (v is not None and v.in_hysteresis for v in verdicts), bool, n
+        )
+    return encoded
+
+
+def _worker_step(engine: StreamingEngine, payload: dict | None):
+    if payload is None:  # frameless tick: time still passes on this shard
+        engine.step_batch([])
+        return None
+    ids = payload["ids"]
+    X = payload["X"]
+    Q = payload["Q"]
+    new_series = payload["new_series"].tolist()
+    scope = payload["scope"]
+    frames = [
+        StreamFrame(
+            stream_id=ids[i],
+            model_input=X[i],
+            stateless_quality_values=Q[i],
+            new_series=new_series[i],
+            scope_factors=scope[i] if scope is not None else None,
+        )
+        for i in range(len(ids))
+    ]
+    return _encode_step_results(engine.step_batch(frames))
+
+
+def _shard_worker_main(conn, engine_factory, initial_tick: int) -> None:
+    """Entry point of one shard process: build the engine, serve requests."""
+    try:
+        engine = engine_factory()
+        engine._tick = initial_tick  # join mid-run at the cluster's tick
+    except Exception as error:  # surfaced by the parent's ready handshake
+        conn.send(("error", type(error).__name__, str(error)))
+        conn.close()
+        return
+    # Ready handshake carries the engine shape so the parent can mirror
+    # the single engine's whole-tick atomic input validation.
+    conn.send(
+        (
+            "ok",
+            {
+                "n_stateless": len(engine.layout.stateless_names),
+                "has_scope_model": engine.scope_model is not None,
+            },
+        )
+    )
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):  # parent went away; shut down quietly
+            break
+        command, payload = request
+        try:
+            if command == "step":
+                reply = _worker_step(engine, payload)
+            elif command == "snapshot":
+                # A subset request captures only the named streams --
+                # rebalance migration cost is O(moved state), not O(all).
+                reply = RegistrySnapshot.capture(
+                    engine.registry, tick=engine.tick, stream_ids=payload
+                )
+            elif command == "restore":
+                engine.restore(payload)
+                reply = None
+            elif command == "inject":
+                payload.inject_into(engine.registry)
+                reply = None
+            elif command == "discard":
+                for stream_id in payload:
+                    engine.registry.discard(stream_id)
+                reply = None
+            elif command == "ids":
+                reply = engine.registry.stream_ids
+            elif command == "stats":
+                statistics = engine.registry.statistics
+                reply = {
+                    "created": statistics.created,
+                    "evicted": statistics.evicted,
+                    "series_started": statistics.series_started,
+                    "n_streams": len(engine.registry),
+                    "tick": engine.tick,
+                }
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ClusterError(f"unknown worker command {command!r}")
+        except Exception as error:
+            conn.send(("error", type(error).__name__, str(error)))
+        else:
+            conn.send(("ok", reply))
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side handle of one shard process."""
+
+    def __init__(self, shard: int, process, conn) -> None:
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+
+    def send(self, command: str, payload=None) -> None:
+        try:
+            self.conn.send((command, payload))
+        except (BrokenPipeError, OSError) as error:
+            raise ClusterError(
+                f"shard {self.shard} worker is gone ({error})"
+            ) from None
+
+    def recv(self):
+        """Raw protocol reply; ``("error", name, message)`` on failure."""
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError):
+            return ("error", "ClusterError", "worker process died mid-request")
+
+    def recv_value(self):
+        reply = self.recv()
+        if reply[0] != "ok":
+            _raise_worker_error(self.shard, reply[1], reply[2])
+        return reply[1]
+
+    def request(self, command: str, payload=None):
+        self.send(command, payload)
+        return self.recv_value()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            self.send("close")
+            self.recv()
+        except ClusterError:
+            pass
+        self.conn.close()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+def _raise_worker_error(shard: int, name: str, message: str):
+    """Re-raise a worker-reported error as its original exception type.
+
+    Library exceptions and builtins round-trip by name (so a worker's
+    ``ValidationError`` or a monitor factory's ``RuntimeError`` surface
+    exactly as the single-process engine would raise them); anything else
+    degrades to :class:`ClusterError`.
+    """
+    import builtins
+
+    exc_type = getattr(_exceptions, name, None) or getattr(builtins, name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+        raise exc_type(f"[shard {shard}] {message}")
+    raise ClusterError(f"shard {shard} failed with {name}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# The cluster front end
+# ---------------------------------------------------------------------------
+
+class ShardedEngine:
+    """Multi-process serving cluster with the single-engine interface.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building one fresh, fully configured
+        :class:`StreamingEngine`; called once inside every shard process.
+        All shards must be configured identically (same models, window
+        cap, monitor factory, TTL) -- the equivalence guarantee is with
+        one engine built by this same factory.
+    n_shards:
+        Number of worker processes (>= 1).
+    replicas:
+        Virtual nodes per shard on the placement ring.
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` when the
+        platform has it (no factory pickling), else ``spawn``.
+
+    Use as a context manager (or call :meth:`close`) to reap the workers.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], StreamingEngine],
+        n_shards: int,
+        replicas: int = 64,
+        start_method: str | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.engine_factory = engine_factory
+        self.replicas = replicas
+        self._context = multiprocessing.get_context(start_method)
+        self._ring = HashRing(n_shards, replicas)
+        self._tick = 0
+        self._base_statistics = {"created": 0, "evicted": 0, "series_started": 0}
+        self._closed = False
+        self._workers: list[_WorkerHandle] = []
+        try:
+            for shard in range(n_shards):
+                self._workers.append(self._spawn_worker(shard))
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, shard: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.engine_factory, self._tick),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(shard, process, parent_conn)
+        # Ready handshake: re-raises factory failures and reports the
+        # engine shape for parent-side input validation.
+        self._engine_shape = handle.recv_value()
+        return handle
+
+    def close(self) -> None:
+        """Shut down every worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown()
+        self._workers = []
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort reaping
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ClusterError("this ShardedEngine has been closed")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Number of completed cluster ticks."""
+        return self._tick
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    @property
+    def n_streams(self) -> int:
+        """Streams currently tracked across all shards."""
+        return sum(s["n_streams"] for s in self._worker_stats())
+
+    def shard_for(self, stream_id) -> int:
+        """The shard currently responsible for a stream id."""
+        return self._ring.shard_for(stream_id)
+
+    def _send_all(self, pairs) -> None:
+        """Send to many workers; on a failed send, drain the replies of the
+        workers already messaged so their pipes stay in protocol (without
+        this, the next command would read a stale reply)."""
+        sent = []
+        try:
+            for worker, command, payload in pairs:
+                worker.send(command, payload)
+                sent.append(worker)
+        except ClusterError:
+            for worker in sent:
+                worker.recv()
+            raise
+
+    def _request_all(self, pairs) -> list:
+        """Broadcast, then drain every reply before raising the first error."""
+        self._send_all(pairs)
+        replies = [(worker, worker.recv()) for worker, _, _ in pairs]
+        failure = None
+        values = []
+        for worker, reply in replies:
+            if reply[0] != "ok":
+                if failure is None:
+                    failure = (worker.shard, reply[1], reply[2])
+            else:
+                values.append(reply[1])
+        if failure is not None:
+            _raise_worker_error(*failure)
+        return values
+
+    def _worker_stats(self) -> list[dict]:
+        self._require_open()
+        return self._request_all(
+            [(worker, "stats", None) for worker in self._workers]
+        )
+
+    def statistics(self) -> RegistryStatistics:
+        """Cluster-wide lifecycle counters (restored base + all shards)."""
+        totals = dict(self._base_statistics)
+        for stats in self._worker_stats():
+            totals["created"] += stats["created"]
+            totals["evicted"] += stats["evicted"]
+            totals["series_started"] += stats["series_started"]
+        return RegistryStatistics(**totals)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def step_batch(self, frames: Sequence[StreamFrame]) -> list[StreamStepResult]:
+        """One cluster tick; same contract and results as the single engine.
+
+        Frames fan out to their shards, every worker steps concurrently
+        (shards without frames tick on an empty batch so TTL clocks stay
+        cluster-wide), and the merged results come back in input order.
+        """
+        self._require_open()
+        frames = list(frames)
+        if not frames:
+            self._request_all([(worker, "step", None) for worker in self._workers])
+            self._tick += 1
+            return []
+
+        # Parent-side validation is the single engine's whole-tick atomic
+        # reject, byte-identical by construction (shared helper): every
+        # input error checkable without the models rejects here with no
+        # state change on any shard.  Only failures a worker detects
+        # mid-tick -- a raising monitor factory, a broken taQIM -- remain
+        # atomic per shard rather than per cluster.
+        rows, quality = validate_tick_frames(
+            frames,
+            n_stateless=self._engine_shape["n_stateless"],
+            has_scope_model=self._engine_shape["has_scope_model"],
+        )
+
+        per_shard: list[list[int]] = [[] for _ in self._workers]
+        for index, frame in enumerate(frames):
+            per_shard[self._ring.shard_for(frame.stream_id)].append(index)
+
+        pairs = []
+        for worker, indices in zip(self._workers, per_shard):
+            if not indices:
+                pairs.append((worker, "step", None))
+                continue
+            scope = [frames[i].scope_factors for i in indices]
+            pairs.append(
+                (
+                    worker,
+                    "step",
+                    {
+                        "ids": [frames[i].stream_id for i in indices],
+                        "X": np.vstack([rows[i] for i in indices]),
+                        "Q": np.vstack([quality[i] for i in indices]),
+                        "new_series": np.fromiter(
+                            (frames[i].new_series for i in indices),
+                            bool,
+                            len(indices),
+                        ),
+                        "scope": scope
+                        if any(s is not None for s in scope)
+                        else None,
+                    },
+                )
+            )
+        self._send_all(pairs)
+
+        # Drain every reply before raising so the pipes stay in protocol.
+        replies = [worker.recv() for worker in self._workers]
+        failure = None
+        for worker, reply in zip(self._workers, replies):
+            if reply[0] != "ok" and failure is None:
+                failure = (worker.shard, reply[1], reply[2])
+        if failure is not None:
+            _raise_worker_error(*failure)
+
+        results: list[StreamStepResult | None] = [None] * len(frames)
+        for reply, indices in zip(replies, per_shard):
+            if indices:
+                self._merge_shard_results(frames, indices, reply[1], results)
+        self._tick += 1
+        return results
+
+    @staticmethod
+    def _merge_shard_results(frames, indices, encoded, results) -> None:
+        """Decode one shard's struct-of-arrays reply into the result list."""
+        fused = encoded["fused"].tolist()
+        fused_u = encoded["fused_u"].tolist()
+        isolated = encoded["isolated"].tolist()
+        isolated_u = encoded["isolated_u"].tolist()
+        timestep = encoded["timestep"].tolist()
+        scope_u = encoded["scope_u"].tolist()
+        v_mask = encoded["v_mask"].tolist() if "v_mask" in encoded else None
+        if v_mask is not None:
+            v_accepted = encoded["v_accepted"].tolist()
+            v_u = encoded["v_u"].tolist()
+            v_threshold = encoded["v_threshold"].tolist()
+            v_hysteresis = encoded["v_hysteresis"].tolist()
+        for j, i in enumerate(indices):
+            verdict = None
+            if v_mask is not None and v_mask[j]:
+                verdict = MonitorVerdict(
+                    decision=(
+                        MonitorDecision.ACCEPT
+                        if v_accepted[j]
+                        else MonitorDecision.FALLBACK
+                    ),
+                    uncertainty=v_u[j],
+                    threshold=v_threshold[j],
+                    in_hysteresis=v_hysteresis[j],
+                )
+            results[i] = StreamStepResult(
+                stream_id=frames[i].stream_id,
+                outcome=TimeseriesWrappedOutcome(
+                    fused_outcome=fused[j],
+                    fused_uncertainty=fused_u[j],
+                    isolated_outcome=isolated[j],
+                    isolated_uncertainty=isolated_u[j],
+                    timestep=timestep[j],
+                    scope_incompliance=scope_u[j],
+                ),
+                verdict=verdict,
+            )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore / rebalance
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RegistrySnapshot:
+        """One cluster-wide snapshot: all shards' streams, merged."""
+        self._require_open()
+        parts = self._request_all(
+            [(worker, "snapshot", None) for worker in self._workers]
+        )
+        for worker, part in zip(self._workers, parts):
+            if part.tick != self._tick:
+                raise ClusterError(
+                    f"shard {worker.shard} is at tick {part.tick}, cluster at "
+                    f"{self._tick}; state diverged (restore from a snapshot)"
+                )
+        merged = RegistrySnapshot(
+            tick=self._tick,
+            max_buffer_length=parts[0].max_buffer_length,
+            idle_ttl=parts[0].idle_ttl,
+            statistics=dict(self._base_statistics),
+            streams=[stream for part in parts for stream in part.streams],
+        )
+        for part in parts:
+            for key in merged.statistics:
+                merged.statistics[key] += part.statistics.get(key, 0)
+        return merged
+
+    def restore(self, snapshot: RegistrySnapshot) -> None:
+        """Load a snapshot, splitting the streams across the shards.
+
+        Works with snapshots taken from any topology -- a single
+        :class:`StreamingEngine` or a cluster with a different shard
+        count -- because placement is recomputed from the stable hash
+        ring at restore time.
+        """
+        self._require_open()
+        split: list[list] = [[] for _ in self._workers]
+        for stream in snapshot.streams:
+            split[self._ring.shard_for(stream.stream_id)].append(stream)
+        self._request_all(
+            [
+                (
+                    worker,
+                    "restore",
+                    RegistrySnapshot(
+                        tick=snapshot.tick,
+                        max_buffer_length=snapshot.max_buffer_length,
+                        idle_ttl=snapshot.idle_ttl,
+                        statistics={},  # lifecycle counters live in the base
+                        streams=streams,
+                    ),
+                )
+                for worker, streams in zip(self._workers, split)
+            ]
+        )
+        self._tick = snapshot.tick
+        self._base_statistics = {
+            "created": int(snapshot.statistics.get("created", 0)),
+            "evicted": int(snapshot.statistics.get("evicted", 0)),
+            "series_started": int(snapshot.statistics.get("series_started", 0)),
+        }
+
+    def rebalance(self, n_shards: int) -> dict:
+        """Grow or shrink the cluster to ``n_shards`` workers, live.
+
+        Consistent hashing keeps the churn minimal: only streams whose
+        ring arc changes owner migrate, carrying their full serving state
+        (buffer, step counter, monitor budget, TTL clock) via per-stream
+        snapshots.  Returns a summary ``{"moved": ..., "from": ...,
+        "to": ...}``.
+        """
+        self._require_open()
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        old_n = len(self._workers)
+        if n_shards == old_n:
+            return {"moved": 0, "from": old_n, "to": n_shards}
+        new_ring = HashRing(n_shards, self.replicas)
+        for shard in range(old_n, n_shards):  # grow first: targets must exist
+            self._workers.append(self._spawn_worker(shard))
+
+        template: RegistrySnapshot | None = None
+        arrivals: list[list] = [[] for _ in range(max(n_shards, old_n))]
+        moved = 0
+        for shard in range(old_n):
+            worker = self._workers[shard]
+            ids = worker.request("ids")
+            if shard < n_shards:
+                moving = [i for i in ids if new_ring.shard_for(i) != shard]
+            else:  # retiring shard: drain everything
+                moving = ids
+            if not moving:
+                continue
+            part = worker.request("snapshot", moving)
+            worker.request("discard", moving)
+            template = template or part
+            moved += len(part.streams)
+            for stream in part.streams:
+                arrivals[new_ring.shard_for(stream.stream_id)].append(stream)
+
+        for shard, streams in enumerate(arrivals[:n_shards]):
+            if streams:
+                self._workers[shard].request(
+                    "inject",
+                    RegistrySnapshot(
+                        tick=self._tick,
+                        max_buffer_length=template.max_buffer_length,
+                        idle_ttl=template.idle_ttl,
+                        statistics={},
+                        streams=streams,
+                    ),
+                )
+
+        for worker in self._workers[n_shards:]:  # shrink last: already drained
+            stats = worker.request("stats")  # counters outlive the worker
+            for key in self._base_statistics:
+                self._base_statistics[key] += stats[key]
+            worker.shutdown()
+        del self._workers[n_shards:]
+        self._ring = new_ring
+        return {"moved": moved, "from": old_n, "to": n_shards}

@@ -121,6 +121,11 @@ class StreamRegistry:
         """Identifiers of the currently tracked streams."""
         return list(self._streams)
 
+    @property
+    def states(self) -> list[StreamState]:
+        """The tracked streams' states, in insertion order."""
+        return list(self._streams.values())
+
     def get(self, stream_id: object) -> StreamState:
         """Look up an existing stream; raises when unknown."""
         try:
@@ -172,6 +177,21 @@ class StreamRegistry:
         self.statistics.created += len(created)
         self.statistics.series_started += len(created)
         return states
+
+    def adopt(self, state: StreamState) -> None:
+        """Insert externally built stream state (snapshot restore, shard
+        migration).
+
+        Unlike :meth:`get_or_create_many` this neither consults the
+        monitor factory nor bumps the ``created``/``series_started``
+        statistics: the stream's lifecycle already happened elsewhere and
+        its counters travelled with the snapshot.
+        """
+        if state.stream_id in self._streams:
+            raise ValidationError(
+                f"cannot adopt stream {state.stream_id!r}: id already tracked"
+            )
+        self._streams[state.stream_id] = state
 
     def discard(self, stream_id: object) -> bool:
         """Drop a stream's state; returns whether it existed."""

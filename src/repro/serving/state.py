@@ -1,0 +1,344 @@
+"""Versioned snapshot/restore of serving state (``.npz`` + JSON).
+
+The timeseries-aware wrapper is *stateful*: per-stream ring buffers,
+absolute timestep counters, monitor risk budgets and hysteresis latches,
+and the TTL clocks that drive idle eviction.  Losing that state on a
+worker restart silently degrades every in-flight stream to a cold start --
+the fused outcome and its dependable uncertainty both change.  This module
+makes the whole :class:`~repro.serving.registry.StreamRegistry` durable:
+
+* :class:`RegistrySnapshot` captures every stream's state plus the engine
+  tick into plain numpy arrays and JSON-serializable metadata;
+* :meth:`RegistrySnapshot.save` persists it as a ``<stem>.json`` sidecar
+  (format version, tick, registry configuration, per-stream metadata,
+  monitor states) next to a ``<stem>.npz`` holding the concatenated buffer
+  arrays;
+* :meth:`RegistrySnapshot.restore_into` rebuilds a registry so that
+  restore-then-step is bitwise-identical to never having stopped;
+* :meth:`RegistrySnapshot.subset` / :meth:`RegistrySnapshot.inject_into`
+  carve out and graft individual streams -- the migration primitive the
+  sharded cluster uses when streams move between workers on rebalance.
+
+Snapshots are versioned (:data:`SNAPSHOT_VERSION`); loading a snapshot
+written by an incompatible future format fails loudly instead of silently
+misreading state.  Stream ids must be JSON-serializable scalars (str, int,
+float, bool, None) so they survive the sidecar round trip; richer id
+types are rejected at capture time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ValidationError
+from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "StreamStateSnapshot",
+    "RegistrySnapshot",
+]
+
+#: Format version written into every snapshot sidecar and checked on load.
+SNAPSHOT_VERSION = 1
+
+_FORMAT_NAME = "repro-registry-snapshot"
+_JSON_ID_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class StreamStateSnapshot:
+    """Frozen copy of one stream's full serving state.
+
+    Attributes
+    ----------
+    stream_id:
+        The stream's identifier (JSON-serializable scalar).
+    outcomes / uncertainties:
+        The buffer's live window at capture time, oldest first.
+    step_count:
+        Absolute frames since the current series' onset.
+    last_tick:
+        Engine tick of the stream's most recent frame (TTL clock).
+    monitor:
+        The monitor's :meth:`~repro.core.monitor.UncertaintyMonitor.state_dict`,
+        or ``None`` for unmonitored streams.
+    """
+
+    stream_id: object
+    outcomes: np.ndarray
+    uncertainties: np.ndarray
+    step_count: int
+    last_tick: int
+    monitor: dict | None
+
+    @classmethod
+    def capture(cls, state: StreamState) -> "StreamStateSnapshot":
+        """Copy one live :class:`StreamState` into a detached snapshot."""
+        if not isinstance(state.stream_id, _JSON_ID_TYPES):
+            raise ValidationError(
+                f"stream id {state.stream_id!r} is not JSON-serializable; "
+                "snapshots support str/int/float/bool/None ids"
+            )
+        buffer_state = state.buffer.export_state()
+        return cls(
+            stream_id=state.stream_id,
+            outcomes=buffer_state["outcomes"],
+            uncertainties=buffer_state["uncertainties"],
+            step_count=int(state.step_count),
+            last_tick=int(state.last_tick),
+            monitor=state.monitor.state_dict() if state.monitor else None,
+        )
+
+    def to_state(self, max_buffer_length: int | None) -> StreamState:
+        """Rebuild a live :class:`StreamState` from this snapshot."""
+        return StreamState(
+            stream_id=self.stream_id,
+            buffer=TimeseriesBuffer.from_state(
+                self.outcomes, self.uncertainties, max_length=max_buffer_length
+            ),
+            monitor=(
+                UncertaintyMonitor.from_state_dict(self.monitor)
+                if self.monitor is not None
+                else None
+            ),
+            step_count=self.step_count,
+            last_tick=self.last_tick,
+        )
+
+
+@dataclass
+class RegistrySnapshot:
+    """A whole registry (plus the engine tick) at one point in time.
+
+    Attributes
+    ----------
+    tick:
+        The engine's tick counter when the snapshot was taken.
+    max_buffer_length / idle_ttl:
+        The registry configuration in force; restoring applies these (the
+        snapshot is authoritative over however the restored-into registry
+        was constructed).
+    statistics:
+        Lifecycle counters (``created`` / ``evicted`` / ``series_started``).
+    streams:
+        One :class:`StreamStateSnapshot` per tracked stream.
+    version:
+        Snapshot format version (:data:`SNAPSHOT_VERSION`).
+    """
+
+    tick: int
+    max_buffer_length: int | None
+    idle_ttl: int | None
+    statistics: dict = field(default_factory=dict)
+    streams: list[StreamStateSnapshot] = field(default_factory=list)
+    version: int = SNAPSHOT_VERSION
+
+    # ------------------------------------------------------------------
+    # Capture / restore
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        registry: StreamRegistry,
+        tick: int,
+        stream_ids=None,
+    ) -> "RegistrySnapshot":
+        """Snapshot a registry (or the subset named by ``stream_ids``)."""
+        if stream_ids is None:
+            states = registry.states
+        else:
+            states = [registry.get(stream_id) for stream_id in stream_ids]
+        return cls(
+            tick=int(tick),
+            max_buffer_length=registry.max_buffer_length,
+            idle_ttl=registry.idle_ttl,
+            statistics={
+                "created": registry.statistics.created,
+                "evicted": registry.statistics.evicted,
+                "series_started": registry.statistics.series_started,
+            },
+            streams=[StreamStateSnapshot.capture(state) for state in states],
+        )
+
+    def restore_into(self, registry: StreamRegistry) -> None:
+        """Replace a registry's entire state with this snapshot's.
+
+        Configuration (window cap, TTL), statistics, and every stream are
+        taken from the snapshot; whatever the registry held before is
+        dropped.  The monitor factory is left untouched -- it only shapes
+        streams created *after* the restore.
+        """
+        states = [s.to_state(self.max_buffer_length) for s in self.streams]
+        registry.reset()
+        registry.max_buffer_length = self.max_buffer_length
+        registry.idle_ttl = self.idle_ttl
+        registry.statistics = RegistryStatistics(
+            created=int(self.statistics.get("created", 0)),
+            evicted=int(self.statistics.get("evicted", 0)),
+            series_started=int(self.statistics.get("series_started", 0)),
+        )
+        for state in states:
+            registry.adopt(state)
+
+    def inject_into(self, registry: StreamRegistry) -> None:
+        """Graft this snapshot's streams into a registry (migration).
+
+        Unlike :meth:`restore_into` the registry's configuration,
+        statistics, and existing streams are preserved; only the
+        snapshot's streams are added (duplicate ids raise, leaving the
+        already-adopted subset in place -- callers migrate between
+        registries they control, so collisions are programming errors).
+        """
+        for snapshot in self.streams:
+            registry.adopt(snapshot.to_state(self.max_buffer_length))
+
+    def subset(self, stream_ids) -> "RegistrySnapshot":
+        """A snapshot containing only the named streams (for migration)."""
+        wanted = set(stream_ids)
+        return RegistrySnapshot(
+            tick=self.tick,
+            max_buffer_length=self.max_buffer_length,
+            idle_ttl=self.idle_ttl,
+            statistics=dict(self.statistics),
+            streams=[s for s in self.streams if s.stream_id in wanted],
+            version=self.version,
+        )
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.streams)
+
+    # ------------------------------------------------------------------
+    # Persistence: <stem>.json sidecar + <stem>.npz arrays
+    # ------------------------------------------------------------------
+    def save(self, stem) -> tuple[pathlib.Path, pathlib.Path]:
+        """Write ``<stem>.json`` + ``<stem>.npz``; returns both paths.
+
+        The sidecar holds everything human-auditable (version, tick,
+        configuration, per-stream metadata, monitor states); the ``.npz``
+        holds the concatenated buffer arrays plus per-stream lengths, so a
+        million short buffers cost three arrays rather than a million
+        archive members.
+        """
+        json_path, npz_path = _snapshot_paths(stem)
+        lengths = np.array([s.outcomes.size for s in self.streams], dtype=np.int64)
+        outcomes = (
+            np.concatenate([s.outcomes for s in self.streams])
+            if self.streams
+            else np.empty(0, dtype=np.int64)
+        )
+        uncertainties = (
+            np.concatenate([s.uncertainties for s in self.streams])
+            if self.streams
+            else np.empty(0, dtype=float)
+        )
+        sidecar = {
+            "format": _FORMAT_NAME,
+            "version": self.version,
+            "tick": self.tick,
+            "max_buffer_length": self.max_buffer_length,
+            "idle_ttl": self.idle_ttl,
+            "statistics": self.statistics,
+            "streams": [
+                {
+                    "id": s.stream_id,
+                    "step_count": s.step_count,
+                    "last_tick": s.last_tick,
+                    "monitor": s.monitor,
+                }
+                for s in self.streams
+            ],
+        }
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(sidecar, indent=2))
+        np.savez_compressed(
+            npz_path,
+            lengths=lengths,
+            outcomes=outcomes,
+            uncertainties=uncertainties,
+        )
+        return json_path, npz_path
+
+    @classmethod
+    def load(cls, stem) -> "RegistrySnapshot":
+        """Read a snapshot written by :meth:`save`; checks the version."""
+        json_path, npz_path = _snapshot_paths(stem)
+        try:
+            sidecar = json.loads(json_path.read_text())
+        except FileNotFoundError:
+            raise ValidationError(f"snapshot sidecar {json_path} not found") from None
+        if sidecar.get("format") != _FORMAT_NAME:
+            raise ValidationError(
+                f"{json_path} is not a {_FORMAT_NAME} sidecar"
+            )
+        version = sidecar.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"snapshot {json_path} has format version {version}; "
+                f"this build reads version {SNAPSHOT_VERSION}"
+            )
+        try:
+            with np.load(npz_path) as arrays:
+                lengths = arrays["lengths"]
+                outcomes = arrays["outcomes"]
+                uncertainties = arrays["uncertainties"]
+        except FileNotFoundError:
+            raise ValidationError(f"snapshot arrays {npz_path} not found") from None
+        meta = sidecar["streams"]
+        if lengths.size != len(meta):
+            raise ValidationError(
+                f"snapshot corrupt: {len(meta)} streams in the sidecar but "
+                f"{lengths.size} buffer lengths in {npz_path}"
+            )
+        if int(lengths.sum()) != outcomes.size or outcomes.size != uncertainties.size:
+            raise ValidationError(
+                f"snapshot corrupt: buffer lengths do not add up in {npz_path}"
+            )
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        streams = [
+            StreamStateSnapshot(
+                stream_id=entry["id"],
+                outcomes=outcomes[offsets[i] : offsets[i + 1]].astype(
+                    np.int64, copy=True
+                ),
+                uncertainties=uncertainties[offsets[i] : offsets[i + 1]].astype(
+                    float, copy=True
+                ),
+                step_count=int(entry["step_count"]),
+                last_tick=int(entry["last_tick"]),
+                monitor=entry["monitor"],
+            )
+            for i, entry in enumerate(meta)
+        ]
+        return cls(
+            tick=int(sidecar["tick"]),
+            max_buffer_length=sidecar["max_buffer_length"],
+            idle_ttl=sidecar["idle_ttl"],
+            statistics=dict(sidecar.get("statistics", {})),
+            streams=streams,
+            version=int(version),
+        )
+
+
+def _snapshot_paths(stem) -> tuple[pathlib.Path, pathlib.Path]:
+    """Map a path stem (a literal ``.json``/``.npz`` suffix tolerated) to
+    both files.
+
+    The suffixes are *appended*, never substituted via ``with_suffix``:
+    a dotted stem like ``run.2026-07-29T10:30:00.123`` must not lose its
+    tail and silently collide with a sibling snapshot's files.
+    """
+    stem = pathlib.Path(stem)
+    if stem.suffix in (".json", ".npz"):
+        stem = stem.with_suffix("")
+    return (
+        stem.parent / (stem.name + ".json"),
+        stem.parent / (stem.name + ".npz"),
+    )

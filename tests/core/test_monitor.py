@@ -150,3 +150,68 @@ class TestStatistics:
         assert monitor.statistics.steps == 0
         # Hysteresis state cleared: base threshold applies again.
         assert monitor.judge(0.08).accepted
+
+
+class TestJudgeMany:
+    """judge_many must be indistinguishable from sequential judge calls."""
+
+    @staticmethod
+    def _mixed_monitors(n):
+        monitors = []
+        for i in range(n):
+            monitors.append(
+                UncertaintyMonitor(
+                    threshold=0.2 + 0.05 * (i % 7),
+                    reentry_threshold=0.1 + 0.02 * (i % 5),
+                    risk_budget=None if i % 3 == 0 else 1.5 + 0.5 * (i % 4),
+                )
+            )
+        return monitors
+
+    def test_matches_sequential_judge_over_random_sequences(self):
+        import numpy as np
+
+        from repro.core.monitor import judge_many
+
+        rng = np.random.default_rng(71)
+        n = 40
+        batched = self._mixed_monitors(n)
+        sequential = self._mixed_monitors(n)
+        for _ in range(25):  # enough rounds to exercise budgets + hysteresis
+            u = rng.uniform(0.0, 1.0, size=n)
+            expected = [m.judge(float(x)) for m, x in zip(sequential, u)]
+            got = judge_many(batched, u)
+            assert got == expected  # frozen dataclasses: exact equality
+        for a, b in zip(batched, sequential):
+            assert a.state_dict() == b.state_dict()
+
+    def test_empty_batch(self):
+        from repro.core.monitor import judge_many
+
+        assert judge_many([], []) == []
+
+    def test_shared_monitor_object_rejected(self):
+        from repro.core.monitor import judge_many
+
+        shared = UncertaintyMonitor(threshold=0.5, risk_budget=0.5)
+        # Vectorized decisions all read the pre-call budget, so a shared
+        # monitor would hand out ACCEPTs its budget no longer covers --
+        # refuse loudly instead.
+        with pytest.raises(ValidationError, match="distinct"):
+            judge_many([shared, shared], [0.4, 0.4])
+        assert shared.statistics.steps == 0
+
+    def test_validation_is_all_or_nothing(self):
+        import numpy as np
+
+        from repro.core.monitor import judge_many
+
+        monitors = self._mixed_monitors(3)
+        with pytest.raises(ValidationError):
+            judge_many(monitors, [0.1, 1.5, 0.2])  # one bad value
+        with pytest.raises(ValidationError):
+            judge_many(monitors, [0.1, np.nan, 0.2])
+        with pytest.raises(ValidationError):
+            judge_many(monitors, [0.1, 0.2])  # length mismatch
+        for monitor in monitors:  # nothing was judged
+            assert monitor.statistics.steps == 0

@@ -1,0 +1,369 @@
+"""Tests for the sharded multi-process serving cluster.
+
+The central property mirrors the engine suite one layer up: partitioning
+streams across worker processes by consistent hashing and merging each
+tick in input order must be bitwise-identical to the single-process
+``StreamingEngine`` -- outcomes, uncertainties, monitor verdicts, TTL
+evictions, and lifecycle statistics alike.  On top of that: placement
+stability (the whole point of *consistent* hashing), cluster-wide
+snapshot/restore across topologies, and live rebalances that migrate
+stream state without changing a single bit of the output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ClusterError, ValidationError
+from repro.serving import (
+    HashRing,
+    ShardedEngine,
+    StreamFrame,
+    StreamingEngine,
+    stable_stream_hash,
+)
+
+
+def make_factory(synthetic_stack, **kwargs):
+    ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+
+    def factory():
+        return StreamingEngine(
+            ddm=ddm,
+            stateless_qim=stateless,
+            timeseries_qim=ta_qim,
+            layout=layout,
+            information_fusion=fusion,
+            **kwargs,
+        )
+
+    return factory
+
+
+def monitored_factory_kwargs():
+    return dict(
+        max_buffer_length=4,
+        monitor_factory=lambda: UncertaintyMonitor(
+            threshold=0.35, reentry_threshold=0.25, risk_budget=3.0
+        ),
+        idle_ttl=3,
+    )
+
+
+def tick_frames(series, stream_ids, t, new_series=False):
+    return [
+        StreamFrame(
+            stream_ids[sid],
+            series[sid][0][t],
+            series[sid][1][t],
+            new_series=new_series,
+        )
+        for sid in range(len(stream_ids))
+    ]
+
+
+class TestHashRing:
+    def test_stable_hash_is_process_independent(self):
+        # Hard-coded expectation: must never change across runs/processes,
+        # or restored clusters would place streams differently.
+        assert stable_stream_hash("car-1") == stable_stream_hash("car-1")
+        assert stable_stream_hash(1) != stable_stream_hash("1")
+        assert stable_stream_hash(True) != stable_stream_hash(1)
+
+    def test_ring_covers_all_shards_reasonably(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for i in range(4000):
+            counts[ring.shard_for(f"stream-{i}")] += 1
+        assert min(counts) > 0.5 * (4000 / 4)  # no starved shard
+
+    def test_growth_moves_only_a_fraction(self):
+        before = HashRing(4)
+        after = HashRing(5)
+        ids = [f"stream-{i}" for i in range(2000)]
+        moved = sum(1 for i in ids if before.shard_for(i) != after.shard_for(i))
+        # Consistent hashing: ~1/5 of the keys move; plain modulo would
+        # move ~4/5.  Allow slack for vnode unevenness.
+        assert moved < 0.4 * len(ids)
+        # Every moved key lands on the new shard (pure-growth rings only
+        # hand arcs to the added vnodes).
+        for i in ids:
+            if before.shard_for(i) != after.shard_for(i):
+                assert after.shard_for(i) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HashRing(0)
+        with pytest.raises(ValidationError):
+            HashRing(2, replicas=0)
+
+
+class TestClusterEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_bitwise_identical_to_single_process(
+        self, synthetic_stack, series_maker, n_shards
+    ):
+        rng = np.random.default_rng(211)
+        n_streams, length = 24, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_factory_kwargs())
+
+        single = factory()
+        with ShardedEngine(factory, n_shards) as cluster:
+            for t in range(length):
+                frames = tick_frames(series, ids, t, new_series=(t == 5))
+                expected = single.step_batch(frames)
+                got = cluster.step_batch(frames)
+                assert got == expected  # results incl. verdicts, in order
+            assert cluster.tick == single.tick
+            assert cluster.n_streams == single.n_streams
+            stats = cluster.statistics()
+        assert stats.created == single.registry.statistics.created
+        assert stats.series_started == single.registry.statistics.series_started
+
+    def test_ragged_join_leave_and_ttl_eviction(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(223)
+        series = series_maker(rng, n_series=6, length=10)
+        ids = [f"obj{sid}" for sid in range(6)]
+        factory = make_factory(synthetic_stack, idle_ttl=2)
+
+        single = factory()
+        with ShardedEngine(factory, 3) as cluster:
+            for t in range(10):
+                # Streams 0-2 always; 3-5 only on early ticks, so the TTL
+                # evicts them mid-run on both engines.
+                live = ids[:3] if t >= 3 else ids
+                frames = [
+                    StreamFrame(ids[sid], series[sid][0][t], series[sid][1][t])
+                    for sid in range(len(live))
+                ]
+                assert cluster.step_batch(frames) == single.step_batch(frames)
+                assert cluster.n_streams == single.n_streams
+            assert cluster.statistics().evicted == single.registry.statistics.evicted
+            assert single.registry.statistics.evicted == 3
+
+    def test_scope_factors_flow_through_shards(self, synthetic_stack, series_maker):
+        from repro.core.scope import BoundaryCheck, ScopeComplianceModel
+
+        rng = np.random.default_rng(243)
+        n_streams, length = 8, 4
+        series = series_maker(rng, n_series=n_streams, length=length)
+        factory = make_factory(
+            synthetic_stack,
+            scope_model=ScopeComplianceModel(
+                checks=[BoundaryCheck("lat", low=-60.0, high=60.0)]
+            ),
+        )
+        single = factory()
+        with ShardedEngine(factory, 3) as cluster:
+            for t in range(length):
+                frames = [
+                    StreamFrame(
+                        f"s{sid}",
+                        series[sid][0][t],
+                        series[sid][1][t],
+                        scope_factors={"lat": 70.0 if sid == 2 else 10.0},
+                    )
+                    for sid in range(n_streams)
+                ]
+                expected = single.step_batch(frames)
+                got = cluster.step_batch(frames)
+                assert got == expected
+                assert got[2].outcome.scope_incompliance == 1.0
+
+    def test_empty_tick_advances_cluster_time(self, synthetic_stack):
+        factory = make_factory(synthetic_stack)
+        with ShardedEngine(factory, 2) as cluster:
+            assert cluster.step_batch([]) == []
+            assert cluster.tick == 1
+
+
+class TestClusterValidation:
+    def test_duplicate_stream_rejected_before_fanout(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(227)
+        (X, q, _), = series_maker(rng, n_series=1, length=2)
+        factory = make_factory(synthetic_stack)
+        with ShardedEngine(factory, 2) as cluster:
+            with pytest.raises(ValidationError, match="duplicate"):
+                cluster.step_batch(
+                    [StreamFrame("s", X[0], q[0]), StreamFrame("s", X[1], q[1])]
+                )
+            assert cluster.tick == 0  # rejected ticks advance nothing
+
+    def test_quality_width_rejected_before_fanout(
+        self, synthetic_stack, series_maker
+    ):
+        # Checkable without the models, so the parent rejects the whole
+        # tick atomically -- no shard advances, no tick skew.
+        rng = np.random.default_rng(229)
+        (X, q, _), (X2, q2, _) = series_maker(rng, n_series=2, length=1)
+        factory = make_factory(synthetic_stack)
+        with ShardedEngine(factory, 2) as cluster:
+            with pytest.raises(ValidationError, match="quality"):
+                cluster.step_batch(
+                    [
+                        StreamFrame("a", X[0], q[0]),
+                        StreamFrame("b", X2[0], np.zeros(3)),
+                    ]
+                )
+            assert cluster.tick == 0
+            assert cluster.n_streams == 0
+            cluster.snapshot()  # shard ticks still aligned
+
+    def test_worker_side_error_propagates_type(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(231)
+        (X, q, _), = series_maker(rng, n_series=1, length=1)
+        ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+
+        class NaNTaQIM:  # fails only inside the worker, mid-tick
+            is_calibrated = True
+
+            def estimate_uncertainty(self, features):
+                u = np.array(ta_qim.estimate_uncertainty(features), dtype=float)
+                u[-1] = np.nan
+                return u
+
+        def factory():
+            return StreamingEngine(ddm, stateless, NaNTaQIM(), layout, fusion)
+
+        with ShardedEngine(factory, 2) as cluster:
+            with pytest.raises(ValidationError, match="tick already recorded"):
+                cluster.step_batch([StreamFrame("s", X[0], q[0])])
+
+    def test_missing_scope_factors_rejected_before_fanout(
+        self, synthetic_stack, series_maker
+    ):
+        from repro.core.scope import BoundaryCheck, ScopeComplianceModel
+
+        rng = np.random.default_rng(237)
+        (X, q, _), = series_maker(rng, n_series=1, length=1)
+        factory = make_factory(
+            synthetic_stack,
+            scope_model=ScopeComplianceModel(checks=[BoundaryCheck("lat")]),
+        )
+        with ShardedEngine(factory, 2) as cluster:
+            with pytest.raises(ValidationError, match="scope_factors"):
+                cluster.step_batch([StreamFrame("s", X[0], q[0])])
+            assert cluster.tick == 0
+            cluster.snapshot()  # shard ticks still aligned
+
+    def test_factory_failure_surfaces_at_spawn(self):
+        def broken():
+            raise RuntimeError("no models on this host")
+
+        with pytest.raises(RuntimeError, match="no models"):
+            ShardedEngine(broken, 2)
+
+    def test_closed_cluster_refuses_work(self, synthetic_stack):
+        cluster = ShardedEngine(make_factory(synthetic_stack), 1)
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(ClusterError):
+            cluster.step_batch([])
+
+
+class TestClusterSnapshotRestore:
+    def test_snapshot_restore_across_topologies(
+        self, synthetic_stack, series_maker, tmp_path
+    ):
+        rng = np.random.default_rng(233)
+        n_streams, length = 16, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_factory_kwargs())
+
+        with ShardedEngine(factory, 3) as cluster:
+            for t in range(4):
+                cluster.step_batch(tick_frames(series, ids, t))
+            cluster.snapshot().save(tmp_path / "snap")
+            baseline = [
+                cluster.step_batch(tick_frames(series, ids, t))
+                for t in range(4, length)
+            ]
+            stats = cluster.statistics()
+
+        from repro.serving import RegistrySnapshot
+
+        loaded = RegistrySnapshot.load(tmp_path / "snap")
+        assert loaded.tick == 4
+        # Restore into a DIFFERENT topology: 2 shards, and also into the
+        # plain single-process engine; both must continue identically.
+        with ShardedEngine(factory, 2) as resumed:
+            resumed.restore(loaded)
+            assert resumed.tick == 4
+            assert resumed.n_streams == n_streams
+            got = [
+                resumed.step_batch(tick_frames(series, ids, t))
+                for t in range(4, length)
+            ]
+            assert got == baseline
+            resumed_stats = resumed.statistics()
+        assert (resumed_stats.created, resumed_stats.series_started) == (
+            stats.created,
+            stats.series_started,
+        )
+
+        single = factory()
+        single.restore(loaded)
+        got_single = [
+            single.step_batch(tick_frames(series, ids, t)) for t in range(4, length)
+        ]
+        assert got_single == baseline
+
+
+class TestRebalance:
+    @pytest.mark.parametrize("target_shards", [4, 1])
+    def test_live_rebalance_preserves_results(
+        self, synthetic_stack, series_maker, target_shards
+    ):
+        rng = np.random.default_rng(239)
+        n_streams, length = 20, 9
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_factory_kwargs())
+
+        single = factory()
+        with ShardedEngine(factory, 2) as cluster:
+            for t in range(4):
+                frames = tick_frames(series, ids, t)
+                assert cluster.step_batch(frames) == single.step_batch(frames)
+
+            summary = cluster.rebalance(target_shards)
+            assert summary["from"] == 2 and summary["to"] == target_shards
+            assert cluster.n_shards == target_shards
+            assert cluster.n_streams == n_streams  # nobody lost in the move
+
+            for t in range(4, length):
+                frames = tick_frames(series, ids, t, new_series=(t == 6))
+                assert cluster.step_batch(frames) == single.step_batch(frames)
+            stats = cluster.statistics()
+        assert stats.created == single.registry.statistics.created
+        assert stats.series_started == single.registry.statistics.series_started
+
+    def test_rebalance_moves_minimal_set_on_growth(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(241)
+        n_streams = 30
+        series = series_maker(rng, n_series=n_streams, length=1)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack)
+        before = HashRing(3)
+        after = HashRing(4)
+        expected_moves = sum(
+            1 for i in ids if before.shard_for(i) != after.shard_for(i)
+        )
+        with ShardedEngine(factory, 3) as cluster:
+            cluster.step_batch(tick_frames(series, ids, 0))
+            summary = cluster.rebalance(4)
+            assert summary["moved"] == expected_moves
+            assert cluster.n_streams == n_streams
+
+    def test_noop_rebalance(self, synthetic_stack):
+        with ShardedEngine(make_factory(synthetic_stack), 2) as cluster:
+            assert cluster.rebalance(2) == {"moved": 0, "from": 2, "to": 2}

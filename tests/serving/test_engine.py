@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.monitor import UncertaintyMonitor
+from repro.core.scope import BoundaryCheck, ScopeComplianceModel
 from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
 from repro.exceptions import NotCalibratedError, ValidationError
 from repro.core.quality_impact import QualityImpactModel
@@ -118,6 +119,87 @@ class TestEquivalence:
                 batched[result.stream_id].append(result.outcome)
 
         assert batched == naive
+
+
+class TestScopeCompliance:
+    """The batch path serves the wrapper's *combined* estimate, not
+    quality-only: u = 1 - (1 - u_quality)(1 - u_scope)."""
+
+    @staticmethod
+    def scope_model():
+        return ScopeComplianceModel(
+            checks=[BoundaryCheck("latitude", low=-60.0, high=60.0)]
+        )
+
+    @staticmethod
+    def scope_factors_for(sid, t):
+        # Stream 1 drifts out of scope from t >= 3; everyone else stays in.
+        return {"latitude": 75.0 if (sid == 1 and t >= 3) else 10.0 * sid}
+
+    def test_bitwise_identical_to_wrapper_with_scope(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(41)
+        n_streams, length = 6, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+
+        naive = {}
+        for sid, (X, q, _) in enumerate(series):
+            wrapper = build_wrapper(synthetic_stack, scope_model=self.scope_model())
+            naive[sid] = [
+                wrapper.step(
+                    X[t], q[t], scope_factors=self.scope_factors_for(sid, t)
+                )
+                for t in range(length)
+            ]
+
+        engine = build_engine(synthetic_stack, scope_model=self.scope_model())
+        batched = {sid: [] for sid in range(n_streams)}
+        for t in range(length):
+            frames = [
+                StreamFrame(
+                    sid,
+                    series[sid][0][t],
+                    series[sid][1][t],
+                    scope_factors=self.scope_factors_for(sid, t),
+                )
+                for sid in range(n_streams)
+            ]
+            for result in engine.step_batch(frames):
+                batched[result.stream_id].append(result.outcome)
+
+        assert batched == naive  # frozen dataclasses: exact float equality
+        # The out-of-scope stream really saturates (boundary check fails).
+        assert batched[1][3].scope_incompliance == 1.0
+        assert batched[1][3].fused_uncertainty == 1.0
+        assert batched[0][3].scope_incompliance == 0.0
+
+    def test_missing_scope_factors_reject_whole_tick(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(43)
+        (X, q, _), (X2, q2, _) = series_maker(rng, n_series=2, length=1)
+        engine = build_engine(synthetic_stack, scope_model=self.scope_model())
+        with pytest.raises(ValidationError, match="scope_factors"):
+            engine.step_batch(
+                [
+                    StreamFrame("a", X[0], q[0], scope_factors={"latitude": 0.0}),
+                    StreamFrame("b", X2[0], q2[0]),  # missing
+                ]
+            )
+        assert engine.tick == 0
+        assert "a" not in engine.registry  # nothing committed
+
+    def test_scope_factors_ignored_without_model(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(47)
+        (X, q, _), = series_maker(rng, n_series=1, length=1)
+        engine = build_engine(synthetic_stack)
+        result = engine.step_stream(
+            "s", X[0], q[0], scope_factors={"latitude": 999.0}
+        )
+        assert result.outcome.scope_incompliance == 0.0
 
 
 class TestValidation:

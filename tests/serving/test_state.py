@@ -1,0 +1,276 @@
+"""Tests for registry snapshot/restore (``repro.serving.state``).
+
+The contract under test is *exactness*: a snapshot captures every bit of
+serving state (ring buffers, absolute step counters, monitor budgets and
+hysteresis latches, TTL clocks, lifecycle statistics), survives the
+``.npz``+JSON file round trip unchanged, and a restored engine continues
+bitwise-identically to one that never stopped -- including the tick at
+which idle streams get evicted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import TimeseriesBuffer
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ValidationError
+from repro.serving import (
+    SNAPSHOT_VERSION,
+    RegistrySnapshot,
+    StreamFrame,
+    StreamingEngine,
+    StreamRegistry,
+)
+
+
+def build_engine(synthetic_stack, **kwargs):
+    ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+    return StreamingEngine(
+        ddm=ddm,
+        stateless_qim=stateless,
+        timeseries_qim=ta_qim,
+        layout=layout,
+        information_fusion=fusion,
+        **kwargs,
+    )
+
+
+def make_monitor():
+    return UncertaintyMonitor(threshold=0.4, reentry_threshold=0.3, risk_budget=2.5)
+
+
+def populated_registry() -> StreamRegistry:
+    registry = StreamRegistry(
+        max_buffer_length=5, monitor_factory=make_monitor, idle_ttl=7
+    )
+    for tick, stream_id in enumerate(["car-1", 17, "ped-3"]):
+        state = registry.get_or_create(stream_id, tick=tick)
+        for step in range(tick + 2):
+            state.buffer.append(step, 0.1 * (step + 1))
+            state.step_count += 1
+        state.monitor.judge(0.2)
+        state.monitor.judge(0.9)  # enters hysteresis
+    return registry
+
+
+def assert_registries_equal(a: StreamRegistry, b: StreamRegistry) -> None:
+    assert a.stream_ids == b.stream_ids
+    assert a.max_buffer_length == b.max_buffer_length
+    assert a.idle_ttl == b.idle_ttl
+    assert (
+        a.statistics.created,
+        a.statistics.evicted,
+        a.statistics.series_started,
+    ) == (
+        b.statistics.created,
+        b.statistics.evicted,
+        b.statistics.series_started,
+    )
+    for sa, sb in zip(a.states, b.states):
+        assert sa.stream_id == sb.stream_id
+        assert sa.step_count == sb.step_count
+        assert sa.last_tick == sb.last_tick
+        assert np.array_equal(sa.buffer.outcomes_view(), sb.buffer.outcomes_view())
+        assert np.array_equal(
+            sa.buffer.uncertainties_view(), sb.buffer.uncertainties_view()
+        )
+        assert sa.buffer.max_length == sb.buffer.max_length
+        if sa.monitor is None:
+            assert sb.monitor is None
+        else:
+            assert sa.monitor.state_dict() == sb.monitor.state_dict()
+
+
+class TestBufferState:
+    def test_export_is_detached_from_live_buffer(self):
+        buffer = TimeseriesBuffer()
+        buffer.append(1, 0.5)
+        state = buffer.export_state()
+        buffer.append(2, 0.75)
+        assert state["outcomes"].tolist() == [1]
+        assert state["uncertainties"].tolist() == [0.5]
+
+    def test_round_trip_preserves_window_and_sliding(self):
+        buffer = TimeseriesBuffer(max_length=3)
+        for step in range(5):  # slides: window is [2, 3, 4]
+            buffer.append(step, step / 10)
+        restored = TimeseriesBuffer.from_state(
+            **buffer.export_state()
+        )
+        assert restored.outcomes == buffer.outcomes
+        assert restored.uncertainties == buffer.uncertainties
+        # appends keep sliding exactly as the original would
+        buffer.append(9, 0.9)
+        restored.append(9, 0.9)
+        assert restored.outcomes == buffer.outcomes == [3, 4, 9]
+
+    def test_from_state_validates(self):
+        with pytest.raises(ValidationError):
+            TimeseriesBuffer.from_state([1, 2], [0.5])  # misaligned
+        with pytest.raises(ValidationError):
+            TimeseriesBuffer.from_state([1], [1.5])  # out of range
+        with pytest.raises(ValidationError):
+            TimeseriesBuffer.from_state([1, 2, 3], [0.1, 0.2, 0.3], max_length=2)
+
+
+class TestMonitorState:
+    def test_round_trip_preserves_budget_and_hysteresis(self):
+        monitor = make_monitor()
+        monitor.judge(0.2)
+        monitor.judge(0.9)  # fallback -> hysteresis
+        clone = UncertaintyMonitor.from_state_dict(monitor.state_dict())
+        assert clone.state_dict() == monitor.state_dict()
+        # both continue identically: re-entry threshold applies to both
+        assert clone.judge(0.35).accepted == monitor.judge(0.35).accepted
+        assert clone.state_dict() == monitor.state_dict()
+
+    def test_missing_key_rejected(self):
+        state = make_monitor().state_dict()
+        del state["in_hysteresis"]
+        with pytest.raises(ValidationError):
+            UncertaintyMonitor.from_state_dict(state)
+
+
+class TestRegistrySnapshotRoundTrip:
+    def test_in_memory_round_trip_is_exact(self):
+        registry = populated_registry()
+        snapshot = RegistrySnapshot.capture(registry, tick=11)
+        target = StreamRegistry()  # config comes from the snapshot
+        snapshot.restore_into(target)
+        assert_registries_equal(registry, target)
+
+    def test_file_round_trip_is_exact(self, tmp_path):
+        registry = populated_registry()
+        snapshot = RegistrySnapshot.capture(registry, tick=11)
+        json_path, npz_path = snapshot.save(tmp_path / "snap")
+        assert json_path.exists() and npz_path.exists()
+        loaded = RegistrySnapshot.load(tmp_path / "snap")
+        assert loaded.tick == 11
+        assert loaded.version == SNAPSHOT_VERSION
+        target = StreamRegistry()
+        loaded.restore_into(target)
+        assert_registries_equal(registry, target)
+
+    def test_subset_and_inject_migrate_streams(self):
+        registry = populated_registry()
+        snapshot = RegistrySnapshot.capture(registry, tick=4)
+        part = snapshot.subset(["car-1", "ped-3"])
+        assert [s.stream_id for s in part.streams] == ["car-1", "ped-3"]
+        target = StreamRegistry(max_buffer_length=5, idle_ttl=7)
+        part.inject_into(target)
+        assert target.stream_ids == ["car-1", "ped-3"]
+        assert target.statistics.created == 0  # migration, not creation
+        with pytest.raises(ValidationError):  # duplicate adoption rejected
+            part.inject_into(target)
+
+    def test_unsupported_stream_id_rejected_at_capture(self):
+        registry = StreamRegistry()
+        registry.get_or_create(("tuple", "id"), tick=0)
+        with pytest.raises(ValidationError, match="JSON"):
+            RegistrySnapshot.capture(registry, tick=0)
+
+    def test_future_version_rejected_on_load(self, tmp_path):
+        registry = populated_registry()
+        snapshot = RegistrySnapshot.capture(registry, tick=1)
+        json_path, _ = snapshot.save(tmp_path / "snap")
+        sidecar = json_path.read_text().replace(
+            f'"version": {SNAPSHOT_VERSION}', '"version": 999'
+        )
+        json_path.write_text(sidecar)
+        with pytest.raises(ValidationError, match="version"):
+            RegistrySnapshot.load(tmp_path / "snap")
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            RegistrySnapshot.load(tmp_path / "nothing")
+
+    def test_dotted_stems_do_not_collide(self, tmp_path):
+        # Suffixes are appended, not substituted: 'run.1' and 'run.2'
+        # must produce distinct files, each loadable by its own stem.
+        registry = populated_registry()
+        RegistrySnapshot.capture(registry, tick=1).save(tmp_path / "run.1")
+        RegistrySnapshot.capture(registry, tick=2).save(tmp_path / "run.2")
+        assert (tmp_path / "run.1.json").exists()
+        assert (tmp_path / "run.2.npz").exists()
+        assert RegistrySnapshot.load(tmp_path / "run.1").tick == 1
+        assert RegistrySnapshot.load(tmp_path / "run.2").tick == 2
+
+
+class TestEngineRestore:
+    def test_restore_then_step_equals_uninterrupted_replay(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(101)
+        n_streams, length = 12, 10
+        series = series_maker(rng, n_series=n_streams, length=length)
+
+        def tick_frames(t):
+            return [
+                StreamFrame(
+                    f"s{sid}",
+                    series[sid][0][t],
+                    series[sid][1][t],
+                    new_series=(t == 6),
+                )
+                for sid in range(n_streams)
+            ]
+
+        kwargs = dict(
+            max_buffer_length=4, monitor_factory=make_monitor, idle_ttl=5
+        )
+        uninterrupted = build_engine(synthetic_stack, **kwargs)
+        for t in range(5):
+            uninterrupted.step_batch(tick_frames(t))
+        snapshot = uninterrupted.snapshot()
+        baseline = [uninterrupted.step_batch(tick_frames(t)) for t in range(5, length)]
+
+        resumed_engine = build_engine(synthetic_stack, **kwargs)
+        resumed_engine.restore(snapshot)
+        assert resumed_engine.tick == 5
+        resumed = [resumed_engine.step_batch(tick_frames(t)) for t in range(5, length)]
+
+        assert resumed == baseline  # frozen dataclasses: exact equality
+
+    def test_restore_survives_file_round_trip(
+        self, synthetic_stack, series_maker, tmp_path
+    ):
+        rng = np.random.default_rng(103)
+        (X, q, _), = series_maker(rng, n_series=1, length=8)
+        engine = build_engine(synthetic_stack, monitor_factory=make_monitor)
+        for t in range(4):
+            engine.step_stream("obj", X[t], q[t])
+        engine.snapshot().save(tmp_path / "mid")
+        baseline = [engine.step_stream("obj", X[t], q[t]) for t in range(4, 8)]
+
+        resumed = build_engine(synthetic_stack, monitor_factory=make_monitor)
+        resumed.restore(RegistrySnapshot.load(tmp_path / "mid"))
+        got = [resumed.step_stream("obj", X[t], q[t]) for t in range(4, 8)]
+        assert got == baseline
+
+    def test_idle_ttl_clock_survives_restore(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(107)
+        (X, q, _), = series_maker(rng, n_series=1, length=4)
+
+        # Uninterrupted reference: stream seen at tick 0, ttl=2 -> evicted
+        # at the end of tick 3.
+        reference = build_engine(synthetic_stack, idle_ttl=2)
+        reference.step_stream("s", X[0], q[0])
+        for _ in range(2):
+            reference.step_batch([])
+        assert reference.n_streams == 1
+        reference.step_batch([])
+        assert reference.n_streams == 0
+
+        # Interrupted run: snapshot after one idle tick, restore, continue.
+        engine = build_engine(synthetic_stack, idle_ttl=2)
+        engine.step_stream("s", X[0], q[0])
+        engine.step_batch([])  # tick 1 (idle)
+        snapshot = engine.snapshot()
+
+        resumed = build_engine(synthetic_stack, idle_ttl=2)
+        resumed.restore(snapshot)
+        resumed.step_batch([])  # tick 2 (idle, still within TTL)
+        assert resumed.n_streams == 1
+        resumed.step_batch([])  # tick 3 -> idle for 3 > ttl, evicted
+        assert resumed.n_streams == 0
+        assert resumed.registry.statistics.evicted == 1

@@ -123,6 +123,80 @@ class TestSimulateStreamsCommand:
         assert 0.0 <= report["acceptance_rate"] <= 1.0
 
 
+class TestServeClusterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-cluster", "--smoke"])
+        assert args.command == "serve-cluster"
+        assert args.shards == 4
+        assert args.streams == 1024
+        assert args.snapshot_every == 0
+        assert args.restore is None
+
+    def test_sharded_replay_with_snapshots_and_equivalence(self, tmp_path, capsys):
+        json_path = tmp_path / "cluster.json"
+        code = main(
+            [
+                "serve-cluster",
+                "--smoke",
+                "--streams", "12",
+                "--ticks", "6",
+                "--shards", "2",
+                "--threshold", "0.5",
+                "--snapshot-every", "3",
+                "--snapshot-dir", str(tmp_path / "snaps"),
+                "--compare-single",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outputs identical: True" in out
+
+        import json
+
+        report = json.loads(json_path.read_text())
+        assert report["shards"] == 2
+        assert report["frames"] == 12 * 6
+        assert report["outputs_identical"] is True
+        assert len(report["snapshots_written"]) == 2
+        assert (tmp_path / "snaps" / "tick_000006.json").exists()
+        assert (tmp_path / "snaps" / "tick_000006.npz").exists()
+
+        # Resume from the final snapshot in a different topology.
+        code = main(
+            [
+                "serve-cluster",
+                "--smoke",
+                "--streams", "12",
+                "--ticks", "3",
+                "--shards", "3",
+                "--threshold", "0.5",
+                "--restore", str(tmp_path / "snaps" / "tick_000006"),
+                "--compare-single",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "restored 12 streams at tick 6" in out
+        assert "outputs identical: True" in out
+
+    def test_simulate_streams_sharded_path(self, tmp_path, capsys):
+        args = build_parser().parse_args(["simulate-streams", "--smoke"])
+        assert args.shards == 1  # default stays single-process
+        code = main(
+            [
+                "simulate-streams",
+                "--smoke",
+                "--streams", "8",
+                "--ticks", "4",
+                "--shards", "2",
+                "--compare-naive",
+            ]
+        )
+        assert code == 0
+        assert "outputs identical: True" in capsys.readouterr().out
+
+
 class TestImportanceCommand:
     def test_smoke_importance_with_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "fig7.csv"
