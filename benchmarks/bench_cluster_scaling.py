@@ -1,19 +1,26 @@
-"""Cluster scaling: sharded multi-process serving vs shard count.
+"""Cluster scaling: sharded serving vs shard count, on every transport.
 
-The sharded cluster's claim is twofold.  *Correctness*: partitioning 1024
-concurrent streams across worker processes by consistent hashing and
+The sharded cluster's claim is threefold.  *Correctness*: partitioning
+1024 concurrent streams across shard workers by consistent hashing and
 merging each tick in input order is bitwise-identical to one
 single-process ``StreamingEngine`` -- asserted here unconditionally, for
-every shard count.  *Scaling*: because a tick's per-stream work is
-embarrassingly parallel, 4 shards should deliver >= 2x the frames/sec of
-1 shard at 1024+ streams.
+every transport (inproc, pipe, TCP loopback) at every shard count.
+*Scaling*: because a tick's per-stream work is embarrassingly parallel,
+4 pipe shards should deliver >= 2x the frames/sec of 1 shard at 1024+
+streams.  *Overlap*: the parent encodes shard k+1's payload while shard k
+is already computing, so fan-out serialization is no longer a serial
+prefix of the tick -- the overlap window is measured and asserted > 0,
+and recorded in ``BENCH_cluster.json`` so the perf trajectory stays
+comparable across PRs.
 
 The scaling gate is hardware-gated: it measures real multi-core
 parallelism, so it only asserts when the machine grants this process at
 least 4 usable cores (CI runners do; a 1-core sandbox physically cannot
 run 4 workers concurrently).  The measurement itself always runs and is
-recorded in ``BENCH_cluster.json`` either way, with the gate's status
-spelled out, so the perf trajectory stays comparable across PRs.
+recorded either way, with the gate's status spelled out.  The in-proc
+transport doubles as the single-shard no-regression check: one inproc
+shard is the single-process engine plus pure dispatch overhead, so its
+throughput must stay within a small factor of the plain engine's.
 """
 
 import time
@@ -22,13 +29,31 @@ import numpy as np
 import pytest
 
 from repro.core.monitor import UncertaintyMonitor
-from repro.serving import ShardedEngine, StreamingEngine, build_stream_workload
+from repro.serving import (
+    ShardedEngine,
+    StreamingEngine,
+    TcpTransport,
+    build_stream_workload,
+    launch_local_workers,
+    replay_results,
+    stop_local_workers,
+)
 
 N_STREAMS = 1024
 N_TICKS = 6
 SHARD_COUNTS = (1, 2, 4)
+TRANSPORTS = ("inproc", "pipe", "tcp")
 MIN_SPEEDUP_4_VS_1 = 2.0
 MIN_CORES_FOR_GATE = 4
+# One inproc shard = the single engine + dispatch; anything below this
+# would mean the transport layer regressed the single-shard fast path.
+MIN_INPROC_1SHARD_RELATIVE = 0.5
+# With 4 evenly loaded shards, ~3/4 of the parent's encode work happens
+# after the first shard's payload is already in flight.  A serial
+# build-everything-then-send design scores near 0 here (only the send
+# syscalls land between first and last send), so this floor is what
+# actually enforces the overlap claim.
+MIN_OVERLAP_FRACTION_OF_ENCODE = 0.3
 
 
 @pytest.fixture(scope="module")
@@ -51,34 +76,50 @@ def engine_factory(study_data):
     return factory
 
 
-def _replay(engine, workload):
-    """Run the workload, returning per-stream result lists (incl. verdicts)."""
-    per_stream = {}
-    for frames in workload.ticks:
-        for result in engine.step_batch(frames):
-            per_stream.setdefault(result.stream_id, []).append(result)
-    return per_stream
+def _cluster_run(engine_factory, transport_name, n_shards, workload, addresses):
+    """One timed replay on the given transport; returns results + stats."""
+    transport = (
+        TcpTransport(addresses) if transport_name == "tcp" else transport_name
+    )
+    with ShardedEngine(engine_factory, n_shards, transport=transport) as cluster:
+        start = time.perf_counter()
+        results = replay_results(cluster, workload)
+        seconds = time.perf_counter() - start
+        fanout = cluster.fanout_stats()
+    return results, seconds, fanout
 
 
 def test_cluster_equivalence_and_scaling(
     study_data, engine_factory, workload, write_output, write_bench_json, usable_cores
 ):
     start = time.perf_counter()
-    single_results = _replay(engine_factory(), workload)
+    single_results = replay_results(engine_factory(), workload)
     single_seconds = time.perf_counter() - start
 
-    shard_seconds = {}
-    for n_shards in SHARD_COUNTS:
-        with ShardedEngine(engine_factory, n_shards) as cluster:
-            start = time.perf_counter()
-            cluster_results = _replay(cluster, workload)
-            shard_seconds[n_shards] = time.perf_counter() - start
-        assert cluster_results == single_results, (
-            f"{n_shards}-shard cluster results diverge from the "
-            "single-process engine (outcomes, uncertainties, or verdicts)"
-        )
+    addresses, worker_processes = launch_local_workers(
+        engine_factory, max(SHARD_COUNTS)
+    )
+    seconds = {}
+    fanouts = {}
+    try:
+        for transport_name in TRANSPORTS:
+            for n_shards in SHARD_COUNTS:
+                results, elapsed, fanout = _cluster_run(
+                    engine_factory, transport_name, n_shards, workload, addresses
+                )
+                seconds[transport_name, n_shards] = elapsed
+                fanouts[transport_name, n_shards] = fanout
+                assert results == single_results, (
+                    f"{n_shards}-shard {transport_name} cluster results "
+                    "diverge from the single-process engine (outcomes, "
+                    "uncertainties, or verdicts)"
+                )
+    finally:
+        stop_local_workers(worker_processes)
 
-    scaling = shard_seconds[1] / shard_seconds[4]
+    scaling = seconds["pipe", 1] / seconds["pipe", 4]
+    inproc_relative = single_seconds / seconds["inproc", 1]
+    overlap = fanouts["pipe", 4]
     cores = usable_cores
     gate_active = cores >= MIN_CORES_FOR_GATE
 
@@ -88,17 +129,21 @@ def test_cluster_equivalence_and_scaling(
         f"usable cores:          {cores}",
         f"single-process:        {workload.n_frames / single_seconds:,.0f} frames/s",
     ]
-    for n_shards in SHARD_COUNTS:
-        lines.append(
-            f"{n_shards} shard(s):            "
-            f"{workload.n_frames / shard_seconds[n_shards]:,.0f} frames/s"
-        )
-    lines.append(f"4-shard vs 1-shard:    {scaling:.2f}x")
-    lines.append(f"outputs identical:     True (all shard counts)")
-    lines.append(
+    for transport_name in TRANSPORTS:
+        for n_shards in SHARD_COUNTS:
+            fps = workload.n_frames / seconds[transport_name, n_shards]
+            lines.append(
+                f"{transport_name:>6} x {n_shards} shard(s):   {fps:>10,.0f} frames/s"
+            )
+    lines += [
+        f"pipe 4 vs 1 shard:     {scaling:.2f}x",
+        f"inproc 1-shard vs single-process: {inproc_relative:.2f}x",
+        f"pipe-4 fan-out encode: {overlap['encode_seconds'] * 1e3:.1f} ms total, "
+        f"{overlap['overlap_seconds'] * 1e3:.1f} ms overlapped with compute",
+        "outputs identical:     True (all transports, all shard counts)",
         f"scaling gate (>= {MIN_SPEEDUP_4_VS_1}x): "
-        + ("ASSERTED" if gate_active else f"RECORDED ONLY ({cores} core(s))")
-    )
+        + ("ASSERTED" if gate_active else f"RECORDED ONLY ({cores} core(s))"),
+    ]
     write_output("cluster_scaling.txt", "\n".join(lines) + "\n")
 
     write_bench_json(
@@ -109,20 +154,52 @@ def test_cluster_equivalence_and_scaling(
             "frames": workload.n_frames,
             "single_process_seconds": single_seconds,
             "single_process_frames_per_sec": workload.n_frames / single_seconds,
-            "shard_seconds": {str(n): shard_seconds[n] for n in SHARD_COUNTS},
-            "shard_frames_per_sec": {
-                str(n): workload.n_frames / shard_seconds[n] for n in SHARD_COUNTS
+            "seconds": {
+                f"{t}x{n}": seconds[t, n] for t in TRANSPORTS for n in SHARD_COUNTS
             },
-            "speedup_4_shards_vs_1": scaling,
+            "frames_per_sec": {
+                f"{t}x{n}": workload.n_frames / seconds[t, n]
+                for t in TRANSPORTS
+                for n in SHARD_COUNTS
+            },
+            "fanout": {
+                f"{t}x{n}": fanouts[t, n] for t in TRANSPORTS for n in SHARD_COUNTS
+            },
+            "speedup_pipe_4_vs_1": scaling,
+            "inproc_1shard_vs_single_process": inproc_relative,
             "outputs_identical": True,
             "scaling_gate_min": MIN_SPEEDUP_4_VS_1,
             "scaling_gate_asserted": gate_active,
         },
+        transport=list(TRANSPORTS),
+        shards=list(SHARD_COUNTS),
+    )
+
+    # Fan-out encode/compute overlap: with 4 busy shards, the encode
+    # work performed between the first and last send (i.e. while shard 0
+    # is already computing) must be a substantial fraction of the total
+    # encode cost.  A serial build-all-then-send-all regression would
+    # collapse this window to just the send syscalls and fail the floor.
+    # This holds on 1 core too -- it measures pipelining of parent
+    # encode vs worker compute, not parallel cores.
+    assert overlap["ticks"] == N_TICKS
+    overlap_fraction = overlap["overlap_seconds"] / overlap["encode_seconds"]
+    assert overlap_fraction >= MIN_OVERLAP_FRACTION_OF_ENCODE, (
+        f"only {overlap_fraction:.0%} of fan-out encode ran while workers "
+        f"were computing (floor {MIN_OVERLAP_FRACTION_OF_ENCODE:.0%}); "
+        "parent serialization has regressed toward a serial prefix"
+    )
+
+    # Single-shard no-regression: one inproc shard is the plain engine
+    # plus dispatch; the transport refactor must not tax that fast path.
+    assert inproc_relative >= MIN_INPROC_1SHARD_RELATIVE, (
+        f"1-shard inproc cluster fell to {inproc_relative:.2f}x of the "
+        f"single-process engine (floor {MIN_INPROC_1SHARD_RELATIVE}x)"
     )
 
     if gate_active:
         assert scaling >= MIN_SPEEDUP_4_VS_1, (
-            f"4 shards must be >= {MIN_SPEEDUP_4_VS_1}x over 1 shard at "
+            f"4 pipe shards must be >= {MIN_SPEEDUP_4_VS_1}x over 1 shard at "
             f"{N_STREAMS} streams on {cores} cores, measured {scaling:.2f}x"
         )
     else:
@@ -137,8 +214,9 @@ def test_snapshot_restore_roundtrip_overhead(
     study_data, engine_factory, workload, tmp_path, write_bench_json
 ):
     """Snapshot + save + load + restore cost at 1024 streams, and the
-    restored cluster's bitwise fidelity on the following ticks."""
-    with ShardedEngine(engine_factory, 2) as cluster:
+    restored cluster's bitwise fidelity on the following ticks -- across
+    a transport change (pipe snapshot -> TCP cluster)."""
+    with ShardedEngine(engine_factory, 2) as cluster:  # pipe (default)
         warm = workload.ticks[: N_TICKS // 2]
         rest = workload.ticks[N_TICKS // 2 :]
         for frames in warm:
@@ -158,14 +236,22 @@ def test_snapshot_restore_roundtrip_overhead(
     start = time.perf_counter()
     loaded = RegistrySnapshot.load(tmp_path / "bench_snap")
     load_seconds = time.perf_counter() - start
-    with ShardedEngine(engine_factory, 4) as cluster2:  # different topology
-        start = time.perf_counter()
-        cluster2.restore(loaded)
-        restore_seconds = time.perf_counter() - start
-        resumed = [cluster2.step_batch(frames) for frames in rest]
+    addresses, worker_processes = launch_local_workers(engine_factory, 4)
+    try:
+        # Different topology AND different transport than the source.
+        with ShardedEngine(
+            engine_factory, 4, transport=TcpTransport(addresses)
+        ) as cluster2:
+            start = time.perf_counter()
+            cluster2.restore(loaded)
+            restore_seconds = time.perf_counter() - start
+            resumed = [cluster2.step_batch(frames) for frames in rest]
+    finally:
+        stop_local_workers(worker_processes)
 
     assert resumed == baseline, (
-        "restore-then-step must be bitwise-identical to the uninterrupted run"
+        "restore-then-step must be bitwise-identical to the uninterrupted "
+        "run, even across a pipe -> TCP transport change"
     )
     write_bench_json(
         "cluster_snapshot",
@@ -176,4 +262,6 @@ def test_snapshot_restore_roundtrip_overhead(
             "load_seconds": load_seconds,
             "restore_seconds": restore_seconds,
         },
+        transport="pipe->tcp",
+        shards="2->4",
     )

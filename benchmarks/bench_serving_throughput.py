@@ -112,6 +112,8 @@ def test_speedup_and_equivalence_at_256_streams(
             "speedup": speedup,
             "outputs_identical": identical,
         },
+        transport="single",
+        shards=1,
     )
 
     assert identical, "engine outcomes must be bitwise identical to step replay"

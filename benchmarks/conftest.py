@@ -66,18 +66,29 @@ def write_bench_json():
 
     Every perf benchmark emits one of these so the throughput trajectory
     is comparable across PRs and machines: the metrics land under a
-    ``metrics`` key next to enough environment context (python, cores)
-    to interpret them.
+    ``metrics`` key next to enough environment context to interpret them
+    -- python version, host core count (total and affinity-aware), plus
+    the serving topology (``transport`` and ``shards``) the numbers were
+    measured on, so a pipe-on-1-core figure is never confused with a
+    tcp-on-16-core one.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
 
-    def _write(name: str, metrics: dict) -> pathlib.Path:
+    def _write(
+        name: str,
+        metrics: dict,
+        *,
+        transport=None,
+        shards=None,
+    ) -> pathlib.Path:
         payload = {
             "benchmark": name,
             "unix_time": time.time(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
             "usable_cores": _usable_cores(),
+            "transport": transport,
+            "shards": shards,
             "metrics": metrics,
         }
         path = OUTPUT_DIR / f"BENCH_{name}.json"

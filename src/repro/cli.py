@@ -21,9 +21,15 @@ Commands
     periodic registry snapshots.
 ``serve-cluster``
     Run the sharded serving cluster on a simulated workload: consistent-
-    hash placement over N worker processes, optional periodic snapshots,
-    restore-from-snapshot, and an equivalence check against the
-    single-process engine.
+    hash placement over N shard workers (``--transport`` picks in-proc,
+    forked pipe workers, or TCP to remote ``serve-worker`` processes),
+    optional periodic snapshots, restore-from-snapshot, and an
+    equivalence check against the single-process engine.
+``serve-worker``
+    Run one TCP shard worker: listens on ``--listen HOST:PORT``, builds
+    a fresh engine per cluster connection, and serves the wire protocol
+    until the cluster disconnects.  Point ``serve-cluster --transport
+    tcp --workers ...`` at any number of these, on any machines.
 """
 
 from __future__ import annotations
@@ -104,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help="worker processes; > 1 serves through the "
                             "sharded cluster engine")
+    serve.add_argument("--transport", choices=["pipe", "inproc"],
+                       default="pipe",
+                       help="cluster transport when --shards > 1 "
+                            "(forked pipe workers or in-process loopback)")
     serve.add_argument("--snapshot-every", type=int, default=0, metavar="K",
                        help="write a registry snapshot every K ticks")
     serve.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
@@ -123,7 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--ticks", type=int, default=25,
                          help="number of cluster ticks (frames per stream)")
     cluster.add_argument("--shards", type=int, default=4,
-                         help="number of shard worker processes")
+                         help="number of shard workers")
+    cluster.add_argument("--transport", choices=["pipe", "inproc", "tcp"],
+                         default="pipe",
+                         help="worker transport: forked pipe workers "
+                              "(default), in-process loopback, or TCP to "
+                              "remote serve-worker processes (--workers)")
+    cluster.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
+                         help="worker addresses for --transport tcp, one "
+                              "per shard in shard order")
+    cluster.add_argument("--connect-timeout", type=float, default=120.0,
+                         help="seconds to keep retrying TCP worker "
+                              "connections (covers worker warm-up)")
     cluster.add_argument("--paper-scale", action="store_true")
     cluster.add_argument("--smoke", action="store_true",
                          help="tiny study configuration for a quick look")
@@ -146,6 +167,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "verify bitwise-identical outputs")
     cluster.add_argument("--json", metavar="PATH",
                          help="write the cluster report JSON to PATH")
+
+    worker = sub.add_parser(
+        "serve-worker",
+        help="run one TCP shard worker for serve-cluster --transport tcp",
+    )
+    worker.add_argument("--listen", required=True, metavar="HOST:PORT",
+                        help="address to listen on (port 0 = ephemeral)")
+    worker.add_argument("--paper-scale", action="store_true")
+    worker.add_argument("--smoke", action="store_true",
+                        help="tiny study configuration for a quick look")
+    worker.add_argument("--seed", type=int, default=42)
+    worker.add_argument("--threshold", type=float, default=None,
+                        help="per-stream monitor acceptance threshold "
+                             "(must match the cluster's)")
+    worker.add_argument("--max-buffer-length", type=int, default=None,
+                        help="sliding-window cap per stream buffer")
+    worker.add_argument("--ttl", type=int, default=None,
+                        help="evict streams idle for this many ticks")
+    worker.add_argument("--max-connections", type=int, default=0, metavar="N",
+                        help="exit after serving N cluster connections "
+                             "(0 = serve forever)")
 
     return parser
 
@@ -269,32 +311,23 @@ def _snapshot_stem(directory, tick: int):
     return pathlib.Path(directory) / f"tick_{tick:06d}"
 
 
-def _cmd_simulate_streams(args) -> int:
+def _monitor_factory_from_args(args):
+    """The per-stream monitor factory implied by ``--threshold`` (or None)."""
+    if args.threshold is None:
+        return None
     from repro.core.monitor import UncertaintyMonitor
-    from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
-    from repro.evaluation import prepare_study_data
-    from repro.serving import (
-        ShardedEngine,
-        StreamingEngine,
-        build_stream_workload,
-        replay_engine,
-        replay_naive,
-    )
 
-    config = _config_from_args(args)
-    monitor_factory = None
-    if args.threshold is not None:
-        threshold = args.threshold
-        monitor_factory = lambda: UncertaintyMonitor(threshold=threshold)  # noqa: E731
-        monitor_factory()  # fail fast on a bad threshold, before the prep
+    threshold = args.threshold
+    factory = lambda: UncertaintyMonitor(threshold=threshold)  # noqa: E731
+    factory()  # fail fast on a bad threshold, before the prep
+    return factory
 
-    print("preparing study pipeline (DDM + calibrated wrappers)...")
-    data = prepare_study_data(config)
 
-    rng = np.random.default_rng(args.seed + 1)
-    workload = build_stream_workload(
-        data.feature_model, args.streams, args.ticks, rng
-    )
+def _engine_factory_from_args(args, data, monitor_factory):
+    """One engine factory shared by serve-cluster, serve-worker, and the
+    simulate-streams cluster path -- identical flags build identical
+    engines, which is what the TCP equivalence guarantee rests on."""
+    from repro.serving import StreamingEngine
 
     def engine_factory():
         return StreamingEngine(
@@ -307,8 +340,59 @@ def _cmd_simulate_streams(args) -> int:
             idle_ttl=args.ttl,
         )
 
+    return engine_factory
+
+
+def _transport_from_args(args):
+    """Resolve serve-cluster's --transport/--workers into a transport spec."""
+    if getattr(args, "transport", "pipe") != "tcp":
+        return args.transport
+    from repro.serving import TcpTransport
+
+    if not args.workers:
+        raise SystemExit(
+            "--transport tcp requires --workers HOST:PORT[,HOST:PORT...]"
+        )
+    transport = TcpTransport(
+        args.workers.split(","), connect_timeout=args.connect_timeout
+    )
+    if len(transport.addresses) < args.shards:
+        raise SystemExit(
+            f"--shards {args.shards} needs at least that many --workers "
+            f"addresses, got {len(transport.addresses)}"
+        )
+    return transport
+
+
+def _cmd_simulate_streams(args) -> int:
+    from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
+    from repro.evaluation import prepare_study_data
+    from repro.serving import (
+        ShardedEngine,
+        StreamingEngine,
+        build_stream_workload,
+        replay_engine,
+        replay_naive,
+    )
+
+    config = _config_from_args(args)
+    monitor_factory = _monitor_factory_from_args(args)
+
+    print("preparing study pipeline (DDM + calibrated wrappers)...")
+    data = prepare_study_data(config)
+
+    rng = np.random.default_rng(args.seed + 1)
+    workload = build_stream_workload(
+        data.feature_model, args.streams, args.ticks, rng
+    )
+
+    engine_factory = _engine_factory_from_args(args, data, monitor_factory)
     sharded = args.shards > 1
-    engine = ShardedEngine(engine_factory, args.shards) if sharded else engine_factory()
+    engine = (
+        ShardedEngine(engine_factory, args.shards, transport=args.transport)
+        if sharded
+        else engine_factory()
+    )
 
     start = time.perf_counter()
     accepted = 0
@@ -335,6 +419,7 @@ def _cmd_simulate_streams(args) -> int:
         "ticks": workload.n_ticks,
         "frames": workload.n_frames,
         "shards": args.shards,
+        "transport": args.transport if sharded else "single",
         "engine_seconds": engine_seconds,
         "engine_frames_per_sec": engine_fps,
         "series_started": statistics.series_started,
@@ -427,21 +512,16 @@ def _cmd_simulate_streams(args) -> int:
 
 
 def _cmd_serve_cluster(args) -> int:
-    from repro.core.monitor import UncertaintyMonitor
     from repro.evaluation import prepare_study_data
     from repro.serving import (
         RegistrySnapshot,
         ShardedEngine,
-        StreamingEngine,
         build_stream_workload,
     )
 
     config = _config_from_args(args)
-    monitor_factory = None
-    if args.threshold is not None:
-        threshold = args.threshold
-        monitor_factory = lambda: UncertaintyMonitor(threshold=threshold)  # noqa: E731
-        monitor_factory()  # fail fast on a bad threshold, before the prep
+    monitor_factory = _monitor_factory_from_args(args)
+    transport = _transport_from_args(args)
 
     restored = None
     if args.restore:  # fail fast on a bad snapshot too
@@ -454,19 +534,10 @@ def _cmd_serve_cluster(args) -> int:
         data.feature_model, args.streams, args.ticks, rng
     )
 
-    def engine_factory():
-        return StreamingEngine(
-            ddm=data.ddm,
-            stateless_qim=data.stateless_qim,
-            timeseries_qim=data.ta_qim,
-            layout=data.layout,
-            max_buffer_length=args.max_buffer_length,
-            monitor_factory=monitor_factory,
-            idle_ttl=args.ttl,
-        )
+    engine_factory = _engine_factory_from_args(args, data, monitor_factory)
 
-    print(f"starting {args.shards} shard worker(s)...")
-    cluster = ShardedEngine(engine_factory, args.shards)
+    print(f"starting {args.shards} {args.transport} shard worker(s)...")
+    cluster = ShardedEngine(engine_factory, args.shards, transport=transport)
     try:
         if restored is not None:
             cluster.restore(restored)
@@ -490,6 +561,7 @@ def _cmd_serve_cluster(args) -> int:
         cluster_seconds = time.perf_counter() - start
         cluster_fps = workload.n_frames / cluster_seconds
         statistics = cluster.statistics()
+        fanout = cluster.fanout_stats()
     finally:
         cluster.close()
 
@@ -498,16 +570,22 @@ def _cmd_serve_cluster(args) -> int:
         "ticks": workload.n_ticks,
         "frames": workload.n_frames,
         "shards": args.shards,
+        "transport": args.transport,
         "cluster_seconds": cluster_seconds,
         "cluster_frames_per_sec": cluster_fps,
+        "fanout_encode_seconds": fanout["encode_seconds"],
+        "fanout_overlap_seconds": fanout["overlap_seconds"],
         "series_started": statistics.series_started,
         "streams_evicted": statistics.evicted,
         "snapshots_written": snapshots_written,
     }
     print(
-        f"cluster ({args.shards} shards): {workload.n_frames} frames over "
+        f"cluster ({args.shards} {args.transport} shards): "
+        f"{workload.n_frames} frames over "
         f"{workload.n_ticks} ticks x {workload.n_streams} streams in "
-        f"{cluster_seconds:.2f}s ({cluster_fps:,.0f} frames/s)"
+        f"{cluster_seconds:.2f}s ({cluster_fps:,.0f} frames/s; fan-out "
+        f"encode {fanout['encode_seconds']:.3f}s, "
+        f"{fanout['overlap_seconds']:.3f}s overlapped with worker compute)"
     )
     for stem in snapshots_written:
         print(f"wrote snapshot {stem}.json/.npz")
@@ -554,6 +632,35 @@ def _cmd_serve_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve_worker(args) -> int:
+    from repro.evaluation import prepare_study_data
+    from repro.serving import serve_worker
+    from repro.serving.transport import parse_address
+
+    config = _config_from_args(args)
+    monitor_factory = _monitor_factory_from_args(args)
+    host, port = parse_address(args.listen)
+
+    print("preparing study pipeline (DDM + calibrated wrappers)...")
+    data = prepare_study_data(config)
+    engine_factory = _engine_factory_from_args(args, data, monitor_factory)
+
+    def announce(bound_port: int) -> None:
+        # Flushed before the first accept so launcher scripts can wait
+        # for this line instead of sleeping.
+        print(f"worker listening on {host}:{bound_port}", flush=True)
+
+    served = serve_worker(
+        engine_factory,
+        host,
+        port,
+        max_connections=args.max_connections,
+        ready_callback=announce,
+    )
+    print(f"served {served} cluster connection(s)")
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "importance": _cmd_importance,
@@ -561,6 +668,7 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "simulate-streams": _cmd_simulate_streams,
     "serve-cluster": _cmd_serve_cluster,
+    "serve-worker": _cmd_serve_worker,
 }
 
 

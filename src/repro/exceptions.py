@@ -15,6 +15,8 @@ __all__ = [
     "EmptyBufferError",
     "ScopeError",
     "ClusterError",
+    "ClusterWorkerError",
+    "ProtocolError",
 ]
 
 
@@ -53,4 +55,29 @@ class ClusterError(ReproError):
 
     Raised when a shard worker dies, answers out of protocol, or reports
     an error that does not map back onto a library exception type.
+    """
+
+
+class ClusterWorkerError(ClusterError):
+    """One specific shard worker died or fell out of protocol.
+
+    Carries the shard index (``None`` when unknown) so callers can tell a
+    transport-level worker loss apart from a cluster-wide failure and know
+    which shard to exclude or respawn.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ProtocolError(ClusterError):
+    """A received wire frame could not be decoded.
+
+    Raised on malformed, truncated, or version-incompatible cluster
+    protocol frames, and on unknown command vocabulary -- never on
+    well-formed frames reporting an application error (those re-raise
+    the reported exception type).  Unserializable *outgoing* payloads
+    raise :class:`ValidationError` instead: they are caller input
+    errors, rejected before anything crosses the wire.
     """

@@ -9,24 +9,40 @@ The runtime-facing layer above the core wrapper, in three tiers:
   identical to N single-stream wrapper ``step`` calls, at a fraction of
   the cost;
 * a :class:`~repro.serving.cluster.ShardedEngine` that partitions streams
-  across worker processes by consistent hashing and merges each tick back
-  in input order, with :mod:`repro.serving.state` snapshot/restore making
-  the whole registry durable across restarts and shard rebalances.
+  across shard workers by consistent hashing and merges each tick back in
+  input order.  Workers are reached through a pluggable transport
+  (:mod:`repro.serving.transport`: in-proc loopback, forked pipe workers,
+  or TCP to ``repro serve-worker`` processes on other machines), all
+  speaking the versioned pickle-free wire codec of
+  :mod:`repro.serving.protocol`; :mod:`repro.serving.state`
+  snapshot/restore makes the whole registry durable across restarts,
+  shard rebalances, and transport changes.
 """
 
 from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
+from repro.serving.protocol import PROTOCOL_VERSION
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
 from repro.serving.simulate import (
     StreamWorkload,
     build_stream_workload,
     replay_engine,
     replay_naive,
+    replay_results,
 )
 from repro.serving.state import (
     SNAPSHOT_VERSION,
     RegistrySnapshot,
     StreamStateSnapshot,
+)
+from repro.serving.transport import (
+    InprocTransport,
+    PipeTransport,
+    TcpTransport,
+    Transport,
+    launch_local_workers,
+    serve_worker,
+    stop_local_workers,
 )
 
 __all__ = [
@@ -40,10 +56,19 @@ __all__ = [
     "build_stream_workload",
     "replay_engine",
     "replay_naive",
+    "replay_results",
     "HashRing",
     "ShardedEngine",
     "stable_stream_hash",
+    "PROTOCOL_VERSION",
     "SNAPSHOT_VERSION",
     "RegistrySnapshot",
     "StreamStateSnapshot",
+    "Transport",
+    "InprocTransport",
+    "PipeTransport",
+    "TcpTransport",
+    "serve_worker",
+    "launch_local_workers",
+    "stop_local_workers",
 ]

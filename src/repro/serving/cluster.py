@@ -1,27 +1,33 @@
-"""Sharded multi-worker serving: N processes, one logical engine.
+"""Sharded serving: placement + fan-out/merge over pluggable transports.
 
 PR 1's :class:`~repro.serving.engine.StreamingEngine` made a tick of N
 streams one vectorized pass, but a single Python process still caps
 throughput at one core.  The per-tick pass is embarrassingly parallel
 across streams -- each stream's buffer, fusion prefix, taQF row, and
-monitor are independent -- so this module scales it out:
+monitor are independent -- so this module scales it out.  It is the top
+of a three-layer stack:
 
-* :func:`stable_stream_hash` / :class:`HashRing` -- consistent hashing of
-  stream ids onto shards.  Stable across processes and runs (unlike
-  Python's salted ``hash``), and moving from N to N+1 shards remaps only
-  ~1/(N+1) of the streams, which keeps rebalances cheap;
-* :class:`ShardedEngine` -- the cluster front end.  Each shard is a child
-  process owning a full :class:`StreamingEngine`; a tick's frames fan out
-  to their shards as stacked numpy payloads (one pickle per shard, not
-  per frame), the workers step concurrently, and the replies -- struct-of-
+* :mod:`repro.serving.protocol` -- the versioned, pickle-free wire codec
+  every worker message travels through (length-prefixed JSON headers +
+  raw numpy buffers);
+* :mod:`repro.serving.transport` -- worker endpoints: in-proc loopback,
+  forked pipe workers, or TCP connections to ``repro serve-worker``
+  processes on other machines;
+* this module -- :func:`stable_stream_hash` / :class:`HashRing`
+  consistent-hash placement, and :class:`ShardedEngine`, the cluster
+  front end: a tick's frames fan out to their shards as stacked numpy
+  payloads, the workers step concurrently, and the replies -- struct-of-
   arrays, again numpy -- merge back in input order.  Because every stream
   lives on exactly one shard and each shard runs the very same
   ``step_batch``, the merged results are bitwise-identical to a single
-  :class:`StreamingEngine` fed the same frames;
-* snapshot/restore and live rebalance, built on
-  :mod:`repro.serving.state`: workers serialize their registries, the
-  parent merges/splits them, and streams migrate between shards with
-  buffers, monitor budgets, and TTL clocks intact.
+  :class:`StreamingEngine` fed the same frames, on every transport.
+
+Fan-out is *overlapped*: each shard's payload is encoded and sent before
+the next shard's is built, so shard k computes while the parent encodes
+shard k+1 -- the parent's serialization cost hides behind worker compute
+instead of serializing the tick (:meth:`ShardedEngine.fanout_stats`
+reports the overlap).  Placement is memoized per stream id, so steady-
+state ticks do one dict lookup per frame instead of one blake2b digest.
 
 Consistency notes.  Ticks are cluster-wide: every worker's engine ticks on
 every ``step_batch`` (shards without frames tick on an empty batch), so
@@ -31,37 +37,49 @@ model-input rows) rejects the whole tick with no state change anywhere;
 failures that a worker detects mid-tick (e.g. a failing monitor factory)
 reject that shard's tick only -- the affected tick is atomic per shard,
 not across shards -- so after a raising clustered tick the recommended
-recovery is :meth:`ShardedEngine.restore` from the latest snapshot.
-
-The default transport uses the ``fork`` start method (the engine factory
-and its captured models need not be picklable); pass ``start_method=
-"spawn"`` with a module-level factory on platforms without fork.
+recovery is :meth:`ShardedEngine.restore` from the latest snapshot.  A
+worker that dies mid-run surfaces as
+:class:`~repro.exceptions.ClusterWorkerError` naming the shard; the dead
+shard lands in :attr:`ShardedEngine.dead_shards`, surviving shards stay
+in protocol, and further serving calls fail fast until a restore into a
+fresh cluster.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-import multiprocessing
 import struct
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
-import repro.exceptions as _exceptions
 from repro.core.monitor import MonitorDecision, MonitorVerdict
 from repro.core.timeseries_wrapper import TimeseriesWrappedOutcome
-from repro.exceptions import ClusterError, ValidationError
+from repro.exceptions import ClusterError, ClusterWorkerError, ValidationError
 from repro.serving.engine import (
     StreamFrame,
     StreamingEngine,
     StreamStepResult,
     validate_tick_frames,
 )
+from repro.serving.protocol import require_wire_id, sanitize_wire_scope
 from repro.serving.registry import RegistryStatistics
 from repro.serving.state import RegistrySnapshot
+from repro.serving.transport import (
+    Transport,
+    WorkerEndpoint,
+    raise_worker_error,
+    resolve_transport,
+)
 
-__all__ = ["stable_stream_hash", "HashRing", "ShardedEngine"]
+__all__ = [
+    "stable_stream_hash",
+    "HashRing",
+    "ShardedEngine",
+    "encode_step_results",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -74,7 +92,8 @@ def _encode_for_hash(stream_id) -> bytes:
     Type-tagged so ``1``, ``1.0``, ``True``, and ``"1"`` hash apart.
     Unknown types fall back to ``repr`` -- deterministic within one
     process tree (all placement happens in the parent), but such ids
-    should be avoided for snapshots, which require JSON scalars anyway.
+    should be avoided for snapshots and wire transports, which require
+    JSON scalars anyway.
     """
     if isinstance(stream_id, bool):  # before int: bool is an int subtype
         return b"b:1" if stream_id else b"b:0"
@@ -137,20 +156,29 @@ class HashRing:
         self._hashes = [h for h, _ in points]
         self._owners = [s for _, s in points]
 
-    def shard_for(self, stream_id) -> int:
-        """The shard index owning this stream id."""
-        position = bisect.bisect_right(self._hashes, stable_stream_hash(stream_id))
+    def shard_for_hash(self, stream_hash: int) -> int:
+        """The shard owning a precomputed :func:`stable_stream_hash`."""
+        position = bisect.bisect_right(self._hashes, stream_hash)
         if position == len(self._hashes):  # wrap around the ring
             position = 0
         return self._owners[position]
 
+    def shard_for(self, stream_id) -> int:
+        """The shard index owning this stream id."""
+        return self.shard_for_hash(stable_stream_hash(stream_id))
+
 
 # ---------------------------------------------------------------------------
-# Worker process
+# Step-result wire shape (struct-of-arrays, shared by every transport)
 # ---------------------------------------------------------------------------
 
-def _encode_step_results(results: list[StreamStepResult]) -> dict:
-    """Struct-of-arrays wire encoding of a shard's tick results."""
+def encode_step_results(results: list[StreamStepResult]) -> dict:
+    """Struct-of-arrays encoding of a shard's tick results.
+
+    The worker-side half of the merge contract: plain numpy arrays (never
+    JSON floats), so the parent's decoded results are bitwise-identical
+    to the worker's on any transport.
+    """
     n = len(results)
     encoded = {
         "fused": np.fromiter(
@@ -188,180 +216,43 @@ def _encode_step_results(results: list[StreamStepResult]) -> dict:
     return encoded
 
 
-def _worker_step(engine: StreamingEngine, payload: dict | None):
-    if payload is None:  # frameless tick: time still passes on this shard
-        engine.step_batch([])
-        return None
-    ids = payload["ids"]
-    X = payload["X"]
-    Q = payload["Q"]
-    new_series = payload["new_series"].tolist()
-    scope = payload["scope"]
-    frames = [
-        StreamFrame(
-            stream_id=ids[i],
-            model_input=X[i],
-            stateless_quality_values=Q[i],
-            new_series=new_series[i],
-            scope_factors=scope[i] if scope is not None else None,
-        )
-        for i in range(len(ids))
-    ]
-    return _encode_step_results(engine.step_batch(frames))
-
-
-def _shard_worker_main(conn, engine_factory, initial_tick: int) -> None:
-    """Entry point of one shard process: build the engine, serve requests."""
-    try:
-        engine = engine_factory()
-        engine._tick = initial_tick  # join mid-run at the cluster's tick
-    except Exception as error:  # surfaced by the parent's ready handshake
-        conn.send(("error", type(error).__name__, str(error)))
-        conn.close()
-        return
-    # Ready handshake carries the engine shape so the parent can mirror
-    # the single engine's whole-tick atomic input validation.
-    conn.send(
-        (
-            "ok",
-            {
-                "n_stateless": len(engine.layout.stateless_names),
-                "has_scope_model": engine.scope_model is not None,
-            },
-        )
-    )
-    while True:
-        try:
-            request = conn.recv()
-        except (EOFError, OSError):  # parent went away; shut down quietly
-            break
-        command, payload = request
-        try:
-            if command == "step":
-                reply = _worker_step(engine, payload)
-            elif command == "snapshot":
-                # A subset request captures only the named streams --
-                # rebalance migration cost is O(moved state), not O(all).
-                reply = RegistrySnapshot.capture(
-                    engine.registry, tick=engine.tick, stream_ids=payload
-                )
-            elif command == "restore":
-                engine.restore(payload)
-                reply = None
-            elif command == "inject":
-                payload.inject_into(engine.registry)
-                reply = None
-            elif command == "discard":
-                for stream_id in payload:
-                    engine.registry.discard(stream_id)
-                reply = None
-            elif command == "ids":
-                reply = engine.registry.stream_ids
-            elif command == "stats":
-                statistics = engine.registry.statistics
-                reply = {
-                    "created": statistics.created,
-                    "evicted": statistics.evicted,
-                    "series_started": statistics.series_started,
-                    "n_streams": len(engine.registry),
-                    "tick": engine.tick,
-                }
-            elif command == "close":
-                conn.send(("ok", None))
-                break
-            else:
-                raise ClusterError(f"unknown worker command {command!r}")
-        except Exception as error:
-            conn.send(("error", type(error).__name__, str(error)))
-        else:
-            conn.send(("ok", reply))
-    conn.close()
-
-
-class _WorkerHandle:
-    """Parent-side handle of one shard process."""
-
-    def __init__(self, shard: int, process, conn) -> None:
-        self.shard = shard
-        self.process = process
-        self.conn = conn
-
-    def send(self, command: str, payload=None) -> None:
-        try:
-            self.conn.send((command, payload))
-        except (BrokenPipeError, OSError) as error:
-            raise ClusterError(
-                f"shard {self.shard} worker is gone ({error})"
-            ) from None
-
-    def recv(self):
-        """Raw protocol reply; ``("error", name, message)`` on failure."""
-        try:
-            return self.conn.recv()
-        except (EOFError, OSError):
-            return ("error", "ClusterError", "worker process died mid-request")
-
-    def recv_value(self):
-        reply = self.recv()
-        if reply[0] != "ok":
-            _raise_worker_error(self.shard, reply[1], reply[2])
-        return reply[1]
-
-    def request(self, command: str, payload=None):
-        self.send(command, payload)
-        return self.recv_value()
-
-    def shutdown(self, timeout: float = 5.0) -> None:
-        try:
-            self.send("close")
-            self.recv()
-        except ClusterError:
-            pass
-        self.conn.close()
-        self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - stuck worker
-            self.process.terminate()
-            self.process.join(timeout)
-
-
-def _raise_worker_error(shard: int, name: str, message: str):
-    """Re-raise a worker-reported error as its original exception type.
-
-    Library exceptions and builtins round-trip by name (so a worker's
-    ``ValidationError`` or a monitor factory's ``RuntimeError`` surface
-    exactly as the single-process engine would raise them); anything else
-    degrades to :class:`ClusterError`.
-    """
-    import builtins
-
-    exc_type = getattr(_exceptions, name, None) or getattr(builtins, name, None)
-    if isinstance(exc_type, type) and issubclass(exc_type, Exception):
-        raise exc_type(f"[shard {shard}] {message}")
-    raise ClusterError(f"shard {shard} failed with {name}: {message}")
-
-
 # ---------------------------------------------------------------------------
 # The cluster front end
 # ---------------------------------------------------------------------------
 
+#: Safety valve for the placement memo: ids seen since the last clear.
+#: Far above any realistic live-stream count; on overflow the memo is
+#: dropped wholesale (it is a pure cache -- correctness is unaffected).
+_PLACEMENT_CACHE_LIMIT = 1 << 20
+
+
 class ShardedEngine:
-    """Multi-process serving cluster with the single-engine interface.
+    """Multi-worker serving cluster with the single-engine interface.
 
     Parameters
     ----------
     engine_factory:
         Zero-argument callable building one fresh, fully configured
-        :class:`StreamingEngine`; called once inside every shard process.
-        All shards must be configured identically (same models, window
-        cap, monitor factory, TTL) -- the equivalence guarantee is with
-        one engine built by this same factory.
+        :class:`StreamingEngine`; called once per shard (inside the
+        worker process for pipe, in-process for inproc).  TCP workers
+        build their own engines from their ``serve-worker`` flags, but
+        the factory is still required and must be configured identically:
+        the cluster probes it once for a config fingerprint and rejects
+        remote workers that differ.  All shards must be configured
+        identically (same models, window cap, monitor factory, TTL) --
+        the equivalence guarantee is with one engine built by this same
+        factory.
     n_shards:
-        Number of worker processes (>= 1).
+        Number of shard workers (>= 1).
     replicas:
         Virtual nodes per shard on the placement ring.
     start_method:
-        Multiprocessing start method; defaults to ``fork`` when the
-        platform has it (no factory pickling), else ``spawn``.
+        Multiprocessing start method for the default pipe transport;
+        ``fork`` when the platform has it (no factory pickling), else
+        ``spawn``.  Ignored for an explicit ``transport``.
+    transport:
+        A :class:`~repro.serving.transport.Transport` instance, or one of
+        ``"pipe"`` (default), ``"inproc"``, ``"tcp:HOST:PORT,..."``.
 
     Use as a context manager (or call :meth:`close`) to reap the workers.
     """
@@ -372,21 +263,42 @@ class ShardedEngine:
         n_shards: int,
         replicas: int = 64,
         start_method: str | None = None,
+        transport: Transport | str | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
         self.engine_factory = engine_factory
         self.replicas = replicas
-        self._context = multiprocessing.get_context(start_method)
+        self.transport = resolve_transport(transport, start_method=start_method)
+        limit = self.transport.max_shards()
+        if limit is not None and n_shards > limit:
+            raise ValidationError(
+                f"transport {self.transport.name!r} can place at most {limit} "
+                f"shard(s), got n_shards={n_shards}"
+            )
         self._ring = HashRing(n_shards, replicas)
+        self._hash_cache: dict = {}
+        self._shard_cache: dict = {}
         self._tick = 0
         self._base_statistics = {"created": 0, "evicted": 0, "series_started": 0}
         self._closed = False
-        self._workers: list[_WorkerHandle] = []
+        self._dead_shards: set[int] = set()
+        self._fanout_ticks = 0
+        self._fanout_encode_seconds = 0.0
+        self._fanout_overlap_seconds = 0.0
+        self._engine_shape: dict | None = None
+        self._workers: list[WorkerEndpoint] = []
         try:
+            if self.transport.workers_self_configured:
+                # TCP workers build engines from their own flags; probe
+                # the cluster's factory once so a worker started with
+                # different flags is rejected at the hello handshake
+                # instead of silently serving non-equivalent results.
+                from repro.serving.transport import WorkerServicer
+
+                self._engine_shape = WorkerServicer(
+                    engine_factory()
+                ).engine_shape()
             for shard in range(n_shards):
                 self._workers.append(self._spawn_worker(shard))
         except Exception:
@@ -396,24 +308,39 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _spawn_worker(self, shard: int) -> _WorkerHandle:
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(
-            target=_shard_worker_main,
-            args=(child_conn, self.engine_factory, self._tick),
-            daemon=True,
-            name=f"repro-shard-{shard}",
-        )
-        process.start()
-        child_conn.close()
-        handle = _WorkerHandle(shard, process, parent_conn)
-        # Ready handshake: re-raises factory failures and reports the
-        # engine shape for parent-side input validation.
-        self._engine_shape = handle.recv_value()
-        return handle
+    def _spawn_worker(self, shard: int) -> WorkerEndpoint:
+        endpoint = self.transport.connect(shard, self.engine_factory)
+        try:
+            # Hello handshake: joins the worker at the cluster tick,
+            # re-raises factory failures, and reports the engine shape +
+            # config fingerprint.  Bounded by the transport's handshake
+            # timeout so a silent TCP peer fails fast, not forever.
+            endpoint.set_timeout(self.transport.handshake_timeout)
+            shape = endpoint.request(
+                "hello", {"initial_tick": self._tick, "shard": shard}
+            )
+            endpoint.set_timeout(None)
+            # Every worker must run an identically configured engine.
+            # For self-configuring (TCP) workers the reference is the
+            # cluster's own factory fingerprint; otherwise shard 0's --
+            # a mismatched flag must fail here, not silently break the
+            # equivalence guarantee.
+            if self._engine_shape is None:
+                self._engine_shape = shape
+            elif shape != self._engine_shape:
+                raise ClusterError(
+                    f"shard {shard} worker reports engine configuration "
+                    f"{shape}, but the cluster expects "
+                    f"{self._engine_shape}; all workers must be started "
+                    "with engine flags identical to the cluster's"
+                )
+        except Exception:
+            endpoint.shutdown()
+            raise
+        return endpoint
 
     def close(self) -> None:
-        """Shut down every worker process (idempotent)."""
+        """Shut down every worker endpoint (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -437,6 +364,20 @@ class ShardedEngine:
         if self._closed:
             raise ClusterError("this ShardedEngine has been closed")
 
+    def _require_healthy(self) -> None:
+        self._require_open()
+        if self._dead_shards:
+            dead = sorted(self._dead_shards)
+            raise ClusterWorkerError(
+                f"shard(s) {dead} have died; close this cluster and restore "
+                "the latest snapshot into a fresh one",
+                shard=dead[0],
+            )
+
+    def _note_dead(self, shard: int | None) -> None:
+        if shard is not None:
+            self._dead_shards.add(shard)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -450,26 +391,91 @@ class ShardedEngine:
         return len(self._workers)
 
     @property
+    def transport_name(self) -> str:
+        """The active transport's short name ("inproc"/"pipe"/"tcp")."""
+        return self.transport.name
+
+    @property
+    def dead_shards(self) -> list[int]:
+        """Shards observed dead or out of protocol (excluded from serving)."""
+        return sorted(self._dead_shards)
+
+    @property
     def n_streams(self) -> int:
         """Streams currently tracked across all shards."""
         return sum(s["n_streams"] for s in self._worker_stats())
 
+    def _hash_for(self, stream_id) -> int:
+        stream_hash = self._hash_cache.get(stream_id)
+        if stream_hash is None:
+            if len(self._hash_cache) >= _PLACEMENT_CACHE_LIMIT:
+                self._hash_cache.clear()
+                self._shard_cache.clear()
+            stream_hash = self._hash_cache[stream_id] = stable_stream_hash(stream_id)
+        return stream_hash
+
     def shard_for(self, stream_id) -> int:
-        """The shard currently responsible for a stream id."""
-        return self._ring.shard_for(stream_id)
+        """The shard currently responsible for a stream id (memoized).
+
+        The blake2b digest of each id is computed once and cached, so
+        steady-state fan-out costs one dict lookup per frame; a ring
+        change (rebalance) remaps the cached digests without re-hashing.
+        """
+        shard = self._shard_cache.get(stream_id)
+        if shard is None:
+            shard = self._ring.shard_for_hash(self._hash_for(stream_id))
+            self._shard_cache[stream_id] = shard
+        return shard
+
+    def _single_inproc_engine(self):
+        """The worker engine when exactly one in-proc shard is serving.
+
+        Recomputed per tick (rebalance changes the worker list); any
+        other topology returns None and takes the fan-out path.
+        """
+        if len(self._workers) != 1:
+            return None
+        return getattr(self._workers[0], "engine", None)
+
+    def fanout_stats(self) -> dict:
+        """Cumulative fan-out timing since construction.
+
+        ``encode_seconds`` is the parent time spent building + encoding +
+        handing off shard payloads; ``overlap_seconds`` is the part of
+        each tick's encode window that ran after the first shard was
+        already computing (first send to last send) -- the serialization
+        cost hidden behind worker compute rather than serializing the
+        tick.  ``ticks`` counts non-empty fan-outs.
+        """
+        return {
+            "ticks": self._fanout_ticks,
+            "encode_seconds": self._fanout_encode_seconds,
+            "overlap_seconds": self._fanout_overlap_seconds,
+        }
 
     def _send_all(self, pairs) -> None:
-        """Send to many workers; on a failed send, drain the replies of the
-        workers already messaged so their pipes stay in protocol (without
-        this, the next command would read a stale reply)."""
+        """Broadcast to many workers, all-or-nothing on encoding.
+
+        Every message is *prepared* (encoded, size-checked) before any is
+        transmitted, so an unencodable payload rejects the whole
+        broadcast with no state change anywhere -- a restore can never be
+        half-applied.  A transport failure mid-transmit drains the
+        replies of the workers already messaged so their channels stay in
+        protocol (without this, the next command would read a stale
+        reply)."""
+        prepared = [
+            (worker, worker.prepare(command, payload))
+            for worker, command, payload in pairs
+        ]
         sent = []
         try:
-            for worker, command, payload in pairs:
-                worker.send(command, payload)
+            for worker, token in prepared:
+                worker.send_prepared(token)
                 sent.append(worker)
-        except ClusterError:
+        except ClusterWorkerError as error:
             for worker in sent:
                 worker.recv()
+            self._note_dead(error.shard)
             raise
 
     def _request_all(self, pairs) -> list:
@@ -480,16 +486,18 @@ class ShardedEngine:
         values = []
         for worker, reply in replies:
             if reply[0] != "ok":
+                if not worker.alive:
+                    self._note_dead(worker.shard)
                 if failure is None:
                     failure = (worker.shard, reply[1], reply[2])
             else:
                 values.append(reply[1])
         if failure is not None:
-            _raise_worker_error(*failure)
+            raise_worker_error(*failure)
         return values
 
     def _worker_stats(self) -> list[dict]:
-        self._require_open()
+        self._require_healthy()
         return self._request_all(
             [(worker, "stats", None) for worker in self._workers]
         )
@@ -512,9 +520,22 @@ class ShardedEngine:
         Frames fan out to their shards, every worker steps concurrently
         (shards without frames tick on an empty batch so TTL clocks stay
         cluster-wide), and the merged results come back in input order.
+        Fan-out is overlapped: a shard's payload is on the wire before
+        the next shard's is encoded.
+
+        A 1-shard in-proc cluster takes the fast path: frames delegate
+        straight to the worker engine with no payload packing or result
+        re-assembly -- the full single-process throughput behind the
+        cluster interface (errors then surface exactly as the single
+        engine raises them, without the ``[shard N]`` diagnostic prefix).
         """
-        self._require_open()
+        self._require_healthy()
         frames = list(frames)
+        engine = self._single_inproc_engine()
+        if engine is not None:
+            results = engine.step_batch(frames)
+            self._tick += 1
+            return results
         if not frames:
             self._request_all([(worker, "step", None) for worker in self._workers])
             self._tick += 1
@@ -531,53 +552,98 @@ class ShardedEngine:
             n_stateless=self._engine_shape["n_stateless"],
             has_scope_model=self._engine_shape["has_scope_model"],
         )
+        if self.transport.requires_wire_ids:
+            # Reject before fan-out, like every other input error:
+            # payloads that cannot cross the codec (exotic ids, non-JSON
+            # scope values) must not half-execute a tick.  Numpy-scalar
+            # scope values are unwrapped to exact Python equivalents.
+            for frame in frames:
+                require_wire_id(frame.stream_id)
+            scope_rows = [
+                sanitize_wire_scope(frame.scope_factors, frame.stream_id)
+                for frame in frames
+            ]
+        else:
+            scope_rows = [frame.scope_factors for frame in frames]
 
         per_shard: list[list[int]] = [[] for _ in self._workers]
         for index, frame in enumerate(frames):
-            per_shard[self._ring.shard_for(frame.stream_id)].append(index)
+            per_shard[self.shard_for(frame.stream_id)].append(index)
 
-        pairs = []
-        for worker, indices in zip(self._workers, per_shard):
-            if not indices:
-                pairs.append((worker, "step", None))
-                continue
-            scope = [frames[i].scope_factors for i in indices]
-            pairs.append(
-                (
-                    worker,
-                    "step",
-                    {
-                        "ids": [frames[i].stream_id for i in indices],
-                        "X": np.vstack([rows[i] for i in indices]),
-                        "Q": np.vstack([quality[i] for i in indices]),
-                        "new_series": np.fromiter(
-                            (frames[i].new_series for i in indices),
-                            bool,
-                            len(indices),
-                        ),
-                        "scope": scope
-                        if any(s is not None for s in scope)
-                        else None,
-                    },
+        # Overlapped fan-out: encode + send one shard at a time, busy
+        # shards first, so shard k is computing while the parent encodes
+        # shard k+1; frameless shards get their (trivial) empty tick last.
+        order = [s for s, indices in enumerate(per_shard) if indices]
+        order += [s for s, indices in enumerate(per_shard) if not indices]
+        sent = []
+        first_send = last_send = None
+        encode_seconds = 0.0
+        try:
+            for shard in order:
+                worker = self._workers[shard]
+                indices = per_shard[shard]
+                t_start = time.perf_counter()
+                payload = (
+                    self._shard_payload(frames, rows, quality, scope_rows, indices)
+                    if indices
+                    else None
                 )
-            )
-        self._send_all(pairs)
+                worker.send("step", payload)
+                t_sent = time.perf_counter()
+                encode_seconds += t_sent - t_start
+                if first_send is None:
+                    first_send = t_sent
+                last_send = t_sent
+                sent.append(worker)
+        except Exception as error:
+            # Whatever failed mid-fan-out (a dead worker, an encode
+            # error), drain the shards already stepping so their
+            # channels stay in protocol.
+            for worker in sent:
+                worker.recv()
+            if isinstance(error, ClusterWorkerError):
+                self._note_dead(error.shard)
+            raise
+        self._fanout_ticks += 1
+        self._fanout_encode_seconds += encode_seconds
+        if len(sent) > 1:
+            self._fanout_overlap_seconds += last_send - first_send
 
-        # Drain every reply before raising so the pipes stay in protocol.
-        replies = [worker.recv() for worker in self._workers]
+        # Drain every reply before raising so the channels stay in
+        # protocol; failures report the lowest-numbered failing shard.
+        replies = {shard: self._workers[shard].recv() for shard in order}
         failure = None
-        for worker, reply in zip(self._workers, replies):
-            if reply[0] != "ok" and failure is None:
-                failure = (worker.shard, reply[1], reply[2])
+        for shard in sorted(order):
+            reply = replies[shard]
+            if reply[0] != "ok":
+                if not self._workers[shard].alive:
+                    self._note_dead(shard)
+                if failure is None:
+                    failure = (shard, reply[1], reply[2])
         if failure is not None:
-            _raise_worker_error(*failure)
+            raise_worker_error(*failure)
 
         results: list[StreamStepResult | None] = [None] * len(frames)
-        for reply, indices in zip(replies, per_shard):
+        for shard in order:
+            indices = per_shard[shard]
             if indices:
-                self._merge_shard_results(frames, indices, reply[1], results)
+                self._merge_shard_results(frames, indices, replies[shard][1], results)
         self._tick += 1
         return results
+
+    @staticmethod
+    def _shard_payload(frames, rows, quality, scope_rows, indices) -> dict:
+        """One shard's stacked-numpy step payload for this tick."""
+        scope = [scope_rows[i] for i in indices]
+        return {
+            "ids": [frames[i].stream_id for i in indices],
+            "X": np.vstack([rows[i] for i in indices]),
+            "Q": np.vstack([quality[i] for i in indices]),
+            "new_series": np.fromiter(
+                (frames[i].new_series for i in indices), bool, len(indices)
+            ),
+            "scope": scope if any(s is not None for s in scope) else None,
+        }
 
     @staticmethod
     def _merge_shard_results(frames, indices, encoded, results) -> None:
@@ -625,7 +691,7 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     def snapshot(self) -> RegistrySnapshot:
         """One cluster-wide snapshot: all shards' streams, merged."""
-        self._require_open()
+        self._require_healthy()
         parts = self._request_all(
             [(worker, "snapshot", None) for worker in self._workers]
         )
@@ -650,15 +716,16 @@ class ShardedEngine:
     def restore(self, snapshot: RegistrySnapshot) -> None:
         """Load a snapshot, splitting the streams across the shards.
 
-        Works with snapshots taken from any topology -- a single
-        :class:`StreamingEngine` or a cluster with a different shard
-        count -- because placement is recomputed from the stable hash
-        ring at restore time.
+        Works with snapshots taken from any topology or transport -- a
+        single :class:`StreamingEngine`, a pipe cluster restoring into a
+        TCP cluster, any shard count -- because the wire format is shared
+        and placement is recomputed from the stable hash ring at restore
+        time.
         """
-        self._require_open()
+        self._require_healthy()
         split: list[list] = [[] for _ in self._workers]
         for stream in snapshot.streams:
-            split[self._ring.shard_for(stream.stream_id)].append(stream)
+            split[self.shard_for(stream.stream_id)].append(stream)
         self._request_all(
             [
                 (
@@ -691,9 +758,15 @@ class ShardedEngine:
         snapshots.  Returns a summary ``{"moved": ..., "from": ...,
         "to": ...}``.
         """
-        self._require_open()
+        self._require_healthy()
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        limit = self.transport.max_shards()
+        if limit is not None and n_shards > limit:
+            raise ValidationError(
+                f"transport {self.transport.name!r} can place at most {limit} "
+                f"shard(s), got n_shards={n_shards}"
+            )
         old_n = len(self._workers)
         if n_shards == old_n:
             return {"moved": 0, "from": old_n, "to": n_shards}
@@ -708,7 +781,11 @@ class ShardedEngine:
             worker = self._workers[shard]
             ids = worker.request("ids")
             if shard < n_shards:
-                moving = [i for i in ids if new_ring.shard_for(i) != shard]
+                moving = [
+                    i
+                    for i in ids
+                    if new_ring.shard_for_hash(self._hash_for(i)) != shard
+                ]
             else:  # retiring shard: drain everything
                 moving = ids
             if not moving:
@@ -718,7 +795,9 @@ class ShardedEngine:
             template = template or part
             moved += len(part.streams)
             for stream in part.streams:
-                arrivals[new_ring.shard_for(stream.stream_id)].append(stream)
+                arrivals[
+                    new_ring.shard_for_hash(self._hash_for(stream.stream_id))
+                ].append(stream)
 
         for shard, streams in enumerate(arrivals[:n_shards]):
             if streams:
@@ -740,4 +819,9 @@ class ShardedEngine:
             worker.shutdown()
         del self._workers[n_shards:]
         self._ring = new_ring
+        # Remap the placement memo from the cached digests -- no re-hash.
+        self._shard_cache = {
+            stream_id: new_ring.shard_for_hash(stream_hash)
+            for stream_id, stream_hash in self._hash_cache.items()
+        }
         return {"moved": moved, "from": old_n, "to": n_shards}

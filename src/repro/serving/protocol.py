@@ -1,0 +1,378 @@
+"""Versioned, pickle-free wire codec for the cluster worker protocol.
+
+Every message between a :class:`~repro.serving.cluster.ShardedEngine`
+parent and a shard worker -- step payloads, step results, snapshot /
+restore / inject / discard, lifecycle handshakes, and error frames -- is
+one self-describing binary *frame*, identical on every transport (pipe,
+TCP, or the in-proc loopback when it opts into encoding):
+
+```
++-------+---------+------------+----------------+------------------------+
+| magic | version | header len |  JSON header   |  raw array segments    |
+| RPWC  |  u16 BE |   u32 BE   |  (utf-8 JSON)  |  (C-order little/big   |
+|  (4)  |   (2)   |    (4)     |                |   per declared dtype)  |
++-------+---------+------------+----------------+------------------------+
+```
+
+The JSON header carries the frame ``kind`` (request / reply tag), a
+``meta`` object of JSON scalars (stream ids, ticks, monitor states, scope
+factors), and an ``arrays`` manifest -- name, dtype string, and shape per
+numpy payload -- in segment order.  Numeric payloads never round-trip
+through JSON: they are appended as raw C-contiguous bytes with an
+explicit-endianness dtype, so a decoded array is bitwise-identical to the
+encoded one and results merged by the parent are bitwise-identical across
+transports (and to the single-process engine).
+
+Why not pickle?  Pickle couples both endpoints to identical class layouts,
+executes arbitrary callables on load (unacceptable for a TCP listener),
+and hides payload cost.  This codec is a closed vocabulary: JSON scalars
+plus typed arrays, versioned (:data:`PROTOCOL_VERSION`) so incompatible
+peers fail loudly at the first frame instead of corrupting registry state.
+
+Layering: :func:`encode_frame` / :func:`decode_frame` know only the frame
+format; :func:`encode_request` / :func:`decode_request` and
+:func:`encode_reply` / :func:`decode_reply` map each worker command's
+payload onto (meta, arrays) and back.  Transports move opaque ``bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProtocolError, ValidationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "WIRE_MAGIC",
+    "Frame",
+    "encode_frame",
+    "decode_frame",
+    "encode_request",
+    "decode_request",
+    "encode_reply",
+    "decode_reply",
+    "require_wire_id",
+    "sanitize_wire_scope",
+]
+
+#: Wire protocol version; bumped on any frame-format or vocabulary change.
+PROTOCOL_VERSION = 1
+
+#: Leading magic of every frame ("RePro Wire Codec").
+WIRE_MAGIC = b"RPWC"
+
+_PREFIX = struct.Struct(">4sHI")  # magic, version, header length
+
+#: Stream ids (and all other meta values) must survive a JSON round trip.
+WIRE_ID_TYPES = (str, int, float, bool, type(None))
+
+
+def require_wire_id(stream_id) -> None:
+    """Reject stream ids that cannot cross a wire transport.
+
+    Pipe and TCP workers receive ids through the JSON frame header, so
+    they must be JSON scalars -- the same restriction snapshots already
+    impose.  (The in-proc transport never serializes and tolerates any
+    hashable id, but such ids forfeit snapshots and wire transports.)
+    """
+    if not isinstance(stream_id, WIRE_ID_TYPES):
+        raise ValidationError(
+            f"stream id {stream_id!r} is not wire-serializable; pipe/TCP "
+            "transports and snapshots support str/int/float/bool/None ids"
+        )
+
+
+def sanitize_wire_scope(scope_factors, stream_id) -> dict | None:
+    """Make one frame's scope-factor dict safe for the JSON frame header.
+
+    Numpy scalars are unwrapped to their exact Python equivalents (the
+    single-process engine accepts them, so the wire must too); anything
+    else non-JSON is rejected here -- *before* fan-out -- so a bad frame
+    can never half-execute a tick across shards.
+    """
+    if scope_factors is None:
+        return None
+    sanitized = {}
+    for name, value in scope_factors.items():
+        if isinstance(value, np.generic):
+            value = value.item()
+        if not isinstance(value, WIRE_ID_TYPES):
+            raise ValidationError(
+                f"stream {stream_id!r}: scope factor {name!r} value "
+                f"{value!r} is not wire-serializable; pipe/TCP transports "
+                "support str/int/float/bool/None scope values"
+            )
+        sanitized[str(name)] = value
+    return sanitized
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame: kind tag, JSON meta, named numpy arrays."""
+
+    kind: str
+    meta: dict
+    arrays: dict
+
+
+# ---------------------------------------------------------------------------
+# Frame layer
+# ---------------------------------------------------------------------------
+
+def encode_frame(kind: str, meta: dict | None = None, arrays: dict | None = None) -> bytes:
+    """Serialize one frame to bytes.
+
+    ``meta`` must be JSON-serializable; ``arrays`` maps names to numpy
+    arrays (any dtype/shape; forced C-contiguous with explicit byte
+    order on the wire).
+    """
+    arrays = arrays or {}
+    manifest = []
+    segments = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        manifest.append(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)}
+        )
+        segments.append(array.tobytes())
+    header = {"kind": kind, "meta": meta or {}, "arrays": manifest}
+    try:
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ValidationError(
+            f"frame meta for {kind!r} is not wire-serializable ({error}); "
+            "wire transports require JSON-serializable payloads "
+            "(e.g. str/int/float/bool/None stream ids)"
+        ) from None
+    return b"".join(
+        [_PREFIX.pack(WIRE_MAGIC, PROTOCOL_VERSION, len(header_bytes)), header_bytes]
+        + segments
+    )
+
+
+def decode_frame(data) -> Frame:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input."""
+    view = memoryview(data)
+    if len(view) < _PREFIX.size:
+        raise ProtocolError(
+            f"truncated frame: {len(view)} bytes, need at least {_PREFIX.size}"
+        )
+    magic, version, header_len = _PREFIX.unpack_from(view, 0)
+    if magic != WIRE_MAGIC:
+        raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}; this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    offset = _PREFIX.size
+    if len(view) < offset + header_len:
+        raise ProtocolError("truncated frame: header extends past the payload")
+    try:
+        header = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame header ({error})") from None
+    offset += header_len
+    if (
+        not isinstance(header, dict)
+        or not isinstance(header.get("kind"), str)
+        or not isinstance(header.get("meta"), dict)
+        or not isinstance(header.get("arrays"), list)
+    ):
+        raise ProtocolError("malformed frame header")
+    arrays = {}
+    for entry in header["arrays"]:
+        try:
+            name, dtype, shape = entry["name"], np.dtype(entry["dtype"]), entry["shape"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed array manifest entry ({error})") from None
+        # Dimensions must be non-negative ints: a negative or non-int dim
+        # would rewind the read offset (or escape as a raw ValueError),
+        # letting a crafted frame decode header bytes as array payload.
+        if not isinstance(shape, list) or not all(
+            isinstance(dim, int) and not isinstance(dim, bool) and dim >= 0
+            for dim in shape
+        ):
+            raise ProtocolError(
+                f"malformed array manifest: shape {shape!r} of {name!r} is "
+                "not a list of non-negative ints"
+            )
+        if dtype.hasobject or dtype.itemsize == 0:
+            # Object dtypes would mean pickle-on-load (the exact thing
+            # this codec exists to avoid); zero-itemsize dtypes crash
+            # frombuffer with a raw ValueError.
+            raise ProtocolError(
+                f"malformed array manifest: dtype {entry['dtype']!r} of "
+                f"{name!r} is not a fixed-size scalar dtype"
+            )
+        # math.prod on Python ints cannot overflow (np.prod in int64
+        # silently wraps on huge crafted dims, which would bypass the
+        # non-negative guard above via a wrapped-negative product).
+        nbytes = int(dtype.itemsize) * math.prod(shape)
+        if len(view) < offset + nbytes:
+            raise ProtocolError(f"truncated frame: array {name!r} cut short")
+        # Copy out of the receive buffer: decoded arrays are handed to
+        # engine/registry state and must own their memory.
+        arrays[name] = (
+            np.frombuffer(view[offset : offset + nbytes], dtype=dtype)
+            .reshape(shape)
+            .copy()
+        )
+        offset += nbytes
+    if offset != len(view):
+        raise ProtocolError(
+            f"frame has {len(view) - offset} trailing bytes past the manifest"
+        )
+    return Frame(kind=header["kind"], meta=header["meta"], arrays=arrays)
+
+
+# ---------------------------------------------------------------------------
+# Command vocabulary: payload <-> (meta, arrays) per worker command
+# ---------------------------------------------------------------------------
+#
+# Requests travel as kind "req:<command>"; successful replies as
+# "ok:<command>" (the command disambiguates the payload mapping); errors
+# as the command-independent kind "err" carrying {name, message}.
+
+def _snapshot_to_wire(snapshot):
+    meta, arrays = snapshot.to_wire()
+    return {"snapshot": meta}, arrays
+
+
+def _snapshot_from_wire(meta, arrays):
+    from repro.serving.state import RegistrySnapshot
+
+    return RegistrySnapshot.from_wire(meta["snapshot"], arrays)
+
+
+def _encode_step_request(payload):
+    if payload is None:  # frameless tick: time still passes on this shard
+        return {"empty": True}, {}
+    for stream_id in payload["ids"]:
+        require_wire_id(stream_id)
+    meta = {"ids": payload["ids"], "scope": payload["scope"]}
+    arrays = {
+        "X": payload["X"],
+        "Q": payload["Q"],
+        "new_series": payload["new_series"],
+    }
+    return meta, arrays
+
+
+def _decode_step_request(meta, arrays):
+    if meta.get("empty"):
+        return None
+    return {
+        "ids": meta["ids"],
+        "X": arrays["X"],
+        "Q": arrays["Q"],
+        "new_series": arrays["new_series"],
+        "scope": meta["scope"],
+    }
+
+
+def _encode_step_reply(payload):
+    if payload is None:
+        return {"empty": True}, {}
+    return {"empty": False}, payload  # the struct-of-arrays tick results
+
+
+def _decode_step_reply(meta, arrays):
+    return None if meta.get("empty") else arrays
+
+
+def _encode_ids(ids):
+    for stream_id in ids:
+        require_wire_id(stream_id)
+    return {"ids": list(ids)}, {}
+
+
+_REQUEST_CODECS = {
+    "hello": (lambda p: (p, {}), lambda m, a: m),
+    "step": (_encode_step_request, _decode_step_request),
+    "snapshot": (
+        lambda p: ({"stream_ids": None if p is None else list(p)}, {}),
+        lambda m, a: m["stream_ids"],
+    ),
+    "restore": (_snapshot_to_wire, _snapshot_from_wire),
+    "inject": (_snapshot_to_wire, _snapshot_from_wire),
+    "discard": (_encode_ids, lambda m, a: m["ids"]),
+    "ids": (lambda p: ({}, {}), lambda m, a: None),
+    "stats": (lambda p: ({}, {}), lambda m, a: None),
+    "close": (lambda p: ({}, {}), lambda m, a: None),
+}
+
+_REPLY_CODECS = {
+    "hello": (lambda p: (p, {}), lambda m, a: m),
+    "step": (_encode_step_reply, _decode_step_reply),
+    "snapshot": (_snapshot_to_wire, _snapshot_from_wire),
+    "restore": (lambda p: ({}, {}), lambda m, a: None),
+    "inject": (lambda p: ({}, {}), lambda m, a: None),
+    "discard": (lambda p: ({}, {}), lambda m, a: None),
+    "ids": (_encode_ids, lambda m, a: m["ids"]),
+    "stats": (lambda p: (p, {}), lambda m, a: m),
+    "close": (lambda p: ({}, {}), lambda m, a: None),
+}
+
+
+def encode_request(command: str, payload=None) -> bytes:
+    """Encode one ``(command, payload)`` request into a wire frame."""
+    try:
+        encoder, _ = _REQUEST_CODECS[command]
+    except KeyError:
+        raise ProtocolError(f"unknown request command {command!r}") from None
+    meta, arrays = encoder(payload)
+    return encode_frame(f"req:{command}", meta, arrays)
+
+
+def decode_request(data) -> tuple:
+    """Decode a request frame back into ``(command, payload)``."""
+    frame = decode_frame(data)
+    if not frame.kind.startswith("req:"):
+        raise ProtocolError(f"expected a request frame, got kind {frame.kind!r}")
+    command = frame.kind[4:]
+    try:
+        _, decoder = _REQUEST_CODECS[command]
+    except KeyError:
+        raise ProtocolError(f"unknown request command {command!r}") from None
+    return command, decoder(frame.meta, frame.arrays)
+
+
+def encode_reply(command: str, reply: tuple) -> bytes:
+    """Encode a worker's protocol reply tuple for ``command``.
+
+    ``reply`` is ``("ok", payload)`` or ``("error", name, message)``;
+    error frames encode identically for every command.
+    """
+    if reply[0] == "error":
+        return encode_frame("err", {"name": reply[1], "message": reply[2]})
+    try:
+        encoder, _ = _REPLY_CODECS[command]
+    except KeyError:
+        raise ProtocolError(f"unknown reply command {command!r}") from None
+    meta, arrays = encoder(reply[1])
+    return encode_frame(f"ok:{command}", meta, arrays)
+
+
+def decode_reply(data, command: str) -> tuple:
+    """Decode a reply frame for the in-flight ``command``.
+
+    Returns the protocol tuple the cluster front end consumes:
+    ``("ok", payload)`` or ``("error", name, message)``.
+    """
+    frame = decode_frame(data)
+    if frame.kind == "err":
+        return ("error", str(frame.meta.get("name", "ClusterError")),
+                str(frame.meta.get("message", "")))
+    if frame.kind != f"ok:{command}":
+        raise ProtocolError(
+            f"reply kind {frame.kind!r} does not match in-flight command "
+            f"{command!r}"
+        )
+    _, decoder = _REPLY_CODECS[command]
+    return ("ok", decoder(frame.meta, frame.arrays))

@@ -24,7 +24,13 @@ from repro.exceptions import ValidationError
 from repro.models.features import PrototypeFeatureModel
 from repro.serving.engine import StreamFrame, StreamingEngine
 
-__all__ = ["StreamWorkload", "build_stream_workload", "replay_engine", "replay_naive"]
+__all__ = [
+    "StreamWorkload",
+    "build_stream_workload",
+    "replay_engine",
+    "replay_naive",
+    "replay_results",
+]
 
 
 @dataclass
@@ -135,6 +141,22 @@ def replay_engine(
         for result in engine.step_batch(frames):
             outcomes.setdefault(result.stream_id, []).append(result.outcome)
     return outcomes
+
+
+def replay_results(engine, workload: StreamWorkload) -> dict[object, list]:
+    """Run the workload, keeping the *full* results per stream.
+
+    Like :func:`replay_engine` but retains each :class:`StreamStepResult`
+    (monitor verdicts included) instead of just the outcome -- the shape
+    the cluster equivalence checks compare, and transport-agnostic: any
+    object with ``step_batch`` (a :class:`StreamingEngine` or a
+    :class:`~repro.serving.cluster.ShardedEngine` on any transport) fits.
+    """
+    per_stream: dict[object, list] = {}
+    for frames in workload.ticks:
+        for result in engine.step_batch(frames):
+            per_stream.setdefault(result.stream_id, []).append(result)
+    return per_stream
 
 
 def replay_naive(

@@ -216,30 +216,25 @@ class RegistrySnapshot:
         return len(self.streams)
 
     # ------------------------------------------------------------------
-    # Persistence: <stem>.json sidecar + <stem>.npz arrays
+    # Wire framing: JSON-safe metadata + named numpy arrays
     # ------------------------------------------------------------------
-    def save(self, stem) -> tuple[pathlib.Path, pathlib.Path]:
-        """Write ``<stem>.json`` + ``<stem>.npz``; returns both paths.
+    #
+    # One canonical split of a snapshot into (meta, arrays), shared by the
+    # on-disk format (meta -> .json sidecar, arrays -> .npz) and by the
+    # cluster wire codec (meta -> frame header, arrays -> raw segments).
+    # Buffers never round-trip through JSON either way, so a transferred
+    # snapshot is bitwise-identical to the captured one.
 
-        The sidecar holds everything human-auditable (version, tick,
-        configuration, per-stream metadata, monitor states); the ``.npz``
-        holds the concatenated buffer arrays plus per-stream lengths, so a
-        million short buffers cost three arrays rather than a million
-        archive members.
+    def to_wire(self) -> tuple[dict, dict]:
+        """Split this snapshot into JSON-safe metadata + numpy arrays.
+
+        Returns ``(meta, arrays)`` where ``meta`` is the sidecar dict
+        (format name, version, tick, configuration, per-stream metadata,
+        monitor states) and ``arrays`` holds the concatenated buffer
+        arrays plus per-stream lengths, so a million short buffers cost
+        three arrays rather than a million segments.
         """
-        json_path, npz_path = _snapshot_paths(stem)
-        lengths = np.array([s.outcomes.size for s in self.streams], dtype=np.int64)
-        outcomes = (
-            np.concatenate([s.outcomes for s in self.streams])
-            if self.streams
-            else np.empty(0, dtype=np.int64)
-        )
-        uncertainties = (
-            np.concatenate([s.uncertainties for s in self.streams])
-            if self.streams
-            else np.empty(0, dtype=float)
-        )
-        sidecar = {
+        meta = {
             "format": _FORMAT_NAME,
             "version": self.version,
             "tick": self.tick,
@@ -256,50 +251,51 @@ class RegistrySnapshot:
                 for s in self.streams
             ],
         }
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-        json_path.write_text(json.dumps(sidecar, indent=2))
-        np.savez_compressed(
-            npz_path,
-            lengths=lengths,
-            outcomes=outcomes,
-            uncertainties=uncertainties,
-        )
-        return json_path, npz_path
+        arrays = {
+            "lengths": np.array(
+                [s.outcomes.size for s in self.streams], dtype=np.int64
+            ),
+            "outcomes": (
+                np.concatenate([s.outcomes for s in self.streams])
+                if self.streams
+                else np.empty(0, dtype=np.int64)
+            ),
+            "uncertainties": (
+                np.concatenate([s.uncertainties for s in self.streams])
+                if self.streams
+                else np.empty(0, dtype=float)
+            ),
+        }
+        return meta, arrays
 
     @classmethod
-    def load(cls, stem) -> "RegistrySnapshot":
-        """Read a snapshot written by :meth:`save`; checks the version."""
-        json_path, npz_path = _snapshot_paths(stem)
-        try:
-            sidecar = json.loads(json_path.read_text())
-        except FileNotFoundError:
-            raise ValidationError(f"snapshot sidecar {json_path} not found") from None
-        if sidecar.get("format") != _FORMAT_NAME:
-            raise ValidationError(
-                f"{json_path} is not a {_FORMAT_NAME} sidecar"
-            )
-        version = sidecar.get("version")
+    def from_wire(cls, meta: dict, arrays: dict, source="wire frame") -> "RegistrySnapshot":
+        """Rebuild a snapshot from :meth:`to_wire` output, with validation.
+
+        Checks the format name, version, and buffer-length bookkeeping;
+        ``source`` names the origin (a file path or "wire frame") in
+        error messages.
+        """
+        if meta.get("format") != _FORMAT_NAME:
+            raise ValidationError(f"{source} is not a {_FORMAT_NAME} snapshot")
+        version = meta.get("version")
         if version != SNAPSHOT_VERSION:
             raise ValidationError(
-                f"snapshot {json_path} has format version {version}; "
+                f"snapshot {source} has format version {version}; "
                 f"this build reads version {SNAPSHOT_VERSION}"
             )
-        try:
-            with np.load(npz_path) as arrays:
-                lengths = arrays["lengths"]
-                outcomes = arrays["outcomes"]
-                uncertainties = arrays["uncertainties"]
-        except FileNotFoundError:
-            raise ValidationError(f"snapshot arrays {npz_path} not found") from None
-        meta = sidecar["streams"]
-        if lengths.size != len(meta):
+        lengths = np.asarray(arrays["lengths"], dtype=np.int64)
+        outcomes = np.asarray(arrays["outcomes"])
+        uncertainties = np.asarray(arrays["uncertainties"])
+        entries = meta["streams"]
+        if lengths.size != len(entries):
             raise ValidationError(
-                f"snapshot corrupt: {len(meta)} streams in the sidecar but "
-                f"{lengths.size} buffer lengths in {npz_path}"
+                f"snapshot corrupt: {len(entries)} streams in the metadata "
+                f"but {lengths.size} buffer lengths in {source}"
             )
         if int(lengths.sum()) != outcomes.size or outcomes.size != uncertainties.size:
             raise ValidationError(
-                f"snapshot corrupt: buffer lengths do not add up in {npz_path}"
+                f"snapshot corrupt: buffer lengths do not add up in {source}"
             )
         offsets = np.concatenate([[0], np.cumsum(lengths)])
         streams = [
@@ -315,16 +311,56 @@ class RegistrySnapshot:
                 last_tick=int(entry["last_tick"]),
                 monitor=entry["monitor"],
             )
-            for i, entry in enumerate(meta)
+            for i, entry in enumerate(entries)
         ]
         return cls(
-            tick=int(sidecar["tick"]),
-            max_buffer_length=sidecar["max_buffer_length"],
-            idle_ttl=sidecar["idle_ttl"],
-            statistics=dict(sidecar.get("statistics", {})),
+            tick=int(meta["tick"]),
+            max_buffer_length=meta["max_buffer_length"],
+            idle_ttl=meta["idle_ttl"],
+            statistics=dict(meta.get("statistics", {})),
             streams=streams,
             version=int(version),
         )
+
+    # ------------------------------------------------------------------
+    # Persistence: <stem>.json sidecar + <stem>.npz arrays
+    # ------------------------------------------------------------------
+    def save(self, stem) -> tuple[pathlib.Path, pathlib.Path]:
+        """Write ``<stem>.json`` + ``<stem>.npz``; returns both paths.
+
+        The sidecar holds everything human-auditable (version, tick,
+        configuration, per-stream metadata, monitor states); the ``.npz``
+        holds the wire arrays (:meth:`to_wire`).
+        """
+        json_path, npz_path = _snapshot_paths(stem)
+        meta, arrays = self.to_wire()
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(meta, indent=2))
+        np.savez_compressed(npz_path, **arrays)
+        return json_path, npz_path
+
+    @classmethod
+    def load(cls, stem) -> "RegistrySnapshot":
+        """Read a snapshot written by :meth:`save`; checks the version."""
+        json_path, npz_path = _snapshot_paths(stem)
+        try:
+            sidecar = json.loads(json_path.read_text())
+        except FileNotFoundError:
+            raise ValidationError(f"snapshot sidecar {json_path} not found") from None
+        if not isinstance(sidecar, dict) or sidecar.get("format") != _FORMAT_NAME:
+            raise ValidationError(
+                f"{json_path} is not a {_FORMAT_NAME} sidecar"
+            )
+        try:
+            with np.load(npz_path) as archive:
+                arrays = {
+                    "lengths": archive["lengths"],
+                    "outcomes": archive["outcomes"],
+                    "uncertainties": archive["uncertainties"],
+                }
+        except FileNotFoundError:
+            raise ValidationError(f"snapshot arrays {npz_path} not found") from None
+        return cls.from_wire(sidecar, arrays, source=str(json_path))
 
 
 def _snapshot_paths(stem) -> tuple[pathlib.Path, pathlib.Path]:

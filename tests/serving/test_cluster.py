@@ -98,6 +98,86 @@ class TestHashRing:
             HashRing(2, replicas=0)
 
 
+class TestHashRingProperties:
+    """Property-style checks of the placement ring across shard counts."""
+
+    IDS = [f"stream-{i}" for i in range(4096)]
+
+    def test_vnode_load_balance_within_bounds_1_to_16_shards(self):
+        # With 64 vnodes per shard the split must stay reasonably even at
+        # every cluster size we serve: no shard starves, none hoards.
+        for n_shards in range(1, 17):
+            ring = HashRing(n_shards)
+            counts = [0] * n_shards
+            for stream_id in self.IDS:
+                counts[ring.shard_for(stream_id)] += 1
+            expected = len(self.IDS) / n_shards
+            assert min(counts) > 0.4 * expected, (
+                f"{n_shards} shards: starved shard ({min(counts)} of "
+                f"~{expected:.0f} streams)"
+            )
+            assert max(counts) < 2.0 * expected, (
+                f"{n_shards} shards: overloaded shard ({max(counts)} of "
+                f"~{expected:.0f} streams)"
+            )
+
+    @pytest.mark.parametrize(
+        "before_n,after_n", [(2, 3), (3, 4), (4, 8), (8, 5), (5, 2), (7, 1)]
+    )
+    def test_resize_moves_only_streams_whose_arc_changed_owner(
+        self, before_n, after_n
+    ):
+        # Minimal-movement invariant.  Ring(n)'s vnode set is a prefix of
+        # Ring(m)'s for n < m, so growth may only move streams onto the
+        # added shards, and shrink may only move streams off the retired
+        # ones -- every stream whose arc kept its owner must stay put.
+        before, after = HashRing(before_n), HashRing(after_n)
+        moved = [
+            stream_id
+            for stream_id in self.IDS
+            if before.shard_for(stream_id) != after.shard_for(stream_id)
+        ]
+        if after_n > before_n:
+            for stream_id in moved:
+                assert after.shard_for(stream_id) >= before_n
+            # ~ (m - n)/m of the keys move; generous slack for vnode noise.
+            expected_fraction = (after_n - before_n) / after_n
+            assert len(moved) / len(self.IDS) < 1.6 * expected_fraction + 0.05
+        else:
+            for stream_id in moved:
+                assert before.shard_for(stream_id) >= after_n
+            expected_fraction = (before_n - after_n) / before_n
+            assert len(moved) / len(self.IDS) < 1.6 * expected_fraction + 0.05
+
+    def test_shard_for_hash_matches_shard_for(self):
+        ring = HashRing(5)
+        for stream_id in self.IDS[:256]:
+            assert ring.shard_for(stream_id) == ring.shard_for_hash(
+                stable_stream_hash(stream_id)
+            )
+
+    def test_live_rebalance_matches_ring_prediction_on_shrink(
+        self, synthetic_stack, series_maker
+    ):
+        # The live counterpart of the minimal-movement invariant, shrink
+        # direction (growth is covered below); the cluster must move
+        # exactly the streams the rings disagree on, via cached hashes.
+        rng = np.random.default_rng(251)
+        n_streams = 24
+        series = series_maker(rng, n_series=n_streams, length=1)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        before, after = HashRing(4), HashRing(2)
+        expected_moves = sum(
+            1 for i in ids if before.shard_for(i) != after.shard_for(i)
+        )
+        factory = make_factory(synthetic_stack)
+        with ShardedEngine(factory, 4) as cluster:
+            cluster.step_batch(tick_frames(series, ids, 0))
+            summary = cluster.rebalance(2)
+            assert summary["moved"] == expected_moves
+            assert cluster.n_streams == n_streams
+
+
 class TestClusterEquivalence:
     @pytest.mark.parametrize("n_shards", [1, 3])
     def test_bitwise_identical_to_single_process(

@@ -1,0 +1,293 @@
+"""Tests for the cluster wire codec.
+
+The codec is the contract every transport shares: frames must round-trip
+bitwise (numpy payloads never touch JSON), malformed or version-skewed
+frames must fail loudly as :class:`ProtocolError`, and every worker
+command's payload must survive encode/decode unchanged -- including whole
+registry snapshots, whose wire framing backs cross-transport restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.serving import RegistrySnapshot, StreamingEngine, StreamFrame
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    decode_reply,
+    decode_request,
+    encode_frame,
+    encode_reply,
+    encode_request,
+    require_wire_id,
+)
+
+
+class TestFrameLayer:
+    def test_roundtrip_meta_and_arrays(self):
+        arrays = {
+            "X": np.arange(12, dtype=float).reshape(3, 4) * np.pi,
+            "labels": np.array([1, -5, 2**40], dtype=np.int64),
+            "flags": np.array([True, False, True]),
+            "empty": np.empty(0, dtype=float),
+        }
+        meta = {"ids": ["a", 1, 2.5, None, True], "nested": {"k": [1, 2]}}
+        frame = decode_frame(encode_frame("req:step", meta, arrays))
+        assert frame.kind == "req:step"
+        assert frame.meta == meta
+        assert set(frame.arrays) == set(arrays)
+        for name, array in arrays.items():
+            decoded = frame.arrays[name]
+            assert decoded.dtype == array.dtype
+            assert decoded.shape == array.shape
+            # Bitwise, not approximate: raw buffer bytes round-trip.
+            assert decoded.tobytes() == np.ascontiguousarray(array).tobytes()
+
+    def test_decoded_arrays_own_their_memory(self):
+        data = bytearray(encode_frame("k", {}, {"a": np.array([1.0, 2.0])}))
+        frame = decode_frame(data)
+        copy = frame.arrays["a"].copy()
+        data[-16:] = b"\x00" * 16  # scribble over the receive buffer
+        assert np.array_equal(frame.arrays["a"], copy)
+        frame.arrays["a"][0] = 9.0  # writable, not a frozen view
+
+    def test_noncontiguous_input_is_encoded_correctly(self):
+        base = np.arange(24, dtype=np.int64).reshape(4, 6)
+        frame = decode_frame(encode_frame("k", {}, {"a": base[:, ::2]}))
+        assert np.array_equal(frame.arrays["a"], base[:, ::2])
+
+    def test_bad_magic_and_truncation(self):
+        good = encode_frame("k", {"x": 1}, {"a": np.ones(3)})
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(b"NOPE" + good[4:])
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame(good[:3])
+        with pytest.raises(ProtocolError, match="cut short"):
+            decode_frame(good[:-8])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(good + b"junk")
+
+    def test_version_mismatch_fails_loudly(self):
+        import struct
+
+        good = bytearray(encode_frame("k", {}))
+        struct.pack_into(">H", good, 4, PROTOCOL_VERSION + 1)
+        with pytest.raises(ProtocolError, match="protocol version"):
+            decode_frame(bytes(good))
+
+    def test_undecodable_header(self):
+        import struct
+
+        header = b"not json"
+        raw = b"RPWC" + struct.pack(">HI", PROTOCOL_VERSION, len(header)) + header
+        with pytest.raises(ProtocolError, match="header"):
+            decode_frame(raw)
+
+    def test_malformed_manifest_shapes_rejected(self):
+        # A hostile peer must not be able to rewind the read offset with
+        # negative dims or smuggle non-int shapes past the decoder.
+        import json as json_module
+        import struct
+
+        def frame_with_shape(shape):
+            header = json_module.dumps(
+                {
+                    "kind": "k",
+                    "meta": {},
+                    "arrays": [{"name": "a", "dtype": "<f8", "shape": shape}],
+                }
+            ).encode("utf-8")
+            return (
+                b"RPWC"
+                + struct.pack(">HI", PROTOCOL_VERSION, len(header))
+                + header
+            )
+
+        for shape in (["x"], [-1], [1, -8], 3, [2.5], [True]):
+            with pytest.raises(ProtocolError, match="non-negative ints"):
+                decode_frame(frame_with_shape(shape))
+        # Huge dims must not wrap to a small/negative product (int64
+        # overflow) -- they are simply larger than the payload.
+        for shape in ([2**32, 2**32], [2**63, 2]):
+            with pytest.raises(ProtocolError, match="cut short"):
+                decode_frame(frame_with_shape(shape))
+
+    def test_non_json_meta_rejected_at_encode(self):
+        with pytest.raises(ValidationError, match="wire-serializable"):
+            encode_frame("k", {"id": object()})
+
+
+class TestWireIds:
+    def test_scalars_pass_and_objects_fail(self):
+        for stream_id in ("car-1", 7, 2.5, True, None):
+            require_wire_id(stream_id)
+        with pytest.raises(ValidationError, match="wire-serializable"):
+            require_wire_id(("tuple", "id"))
+
+    def test_step_request_rejects_exotic_ids(self):
+        payload = {
+            "ids": [("a", 1)],
+            "X": np.ones((1, 2)),
+            "Q": np.ones((1, 1)),
+            "new_series": np.array([False]),
+            "scope": None,
+        }
+        with pytest.raises(ValidationError, match="wire-serializable"):
+            encode_request("step", payload)
+
+
+class TestRequestReplyVocabulary:
+    def test_step_request_roundtrip(self):
+        payload = {
+            "ids": ["a", "b", 3],
+            "X": np.random.default_rng(0).normal(size=(3, 5)),
+            "Q": np.random.default_rng(1).random((3, 2)),
+            "new_series": np.array([True, False, True]),
+            "scope": [{"lat": 1.25}, None, {"lat": -3.5}],
+        }
+        command, decoded = decode_request(encode_request("step", payload))
+        assert command == "step"
+        assert decoded["ids"] == payload["ids"]
+        assert decoded["scope"] == payload["scope"]
+        assert decoded["X"].tobytes() == payload["X"].tobytes()
+        assert decoded["Q"].tobytes() == payload["Q"].tobytes()
+        assert decoded["new_series"].tolist() == [True, False, True]
+
+    def test_frameless_step_roundtrip(self):
+        command, decoded = decode_request(encode_request("step", None))
+        assert command == "step"
+        assert decoded is None
+        assert decode_reply(encode_reply("step", ("ok", None)), "step") == ("ok", None)
+
+    def test_step_reply_roundtrip_bitwise(self):
+        encoded = {
+            "fused": np.array([3, 1], dtype=np.int64),
+            "fused_u": np.array([0.1, 0.9999999999999999]),
+            "isolated": np.array([3, 2], dtype=np.int64),
+            "isolated_u": np.array([0.25, 0.5]),
+            "timestep": np.array([0, 7], dtype=np.int64),
+            "scope_u": np.array([0.0, 1.0]),
+            "v_mask": np.array([True, False]),
+            "v_accepted": np.array([True, False]),
+            "v_u": np.array([0.1, 0.0]),
+            "v_threshold": np.array([0.35, 0.0]),
+            "v_hysteresis": np.array([False, False]),
+        }
+        status, decoded = decode_reply(encode_reply("step", ("ok", encoded)), "step")
+        assert status == "ok"
+        assert set(decoded) == set(encoded)
+        for key in encoded:
+            assert decoded[key].tobytes() == encoded[key].tobytes()
+
+    def test_simple_commands_roundtrip(self):
+        for command, payload in [
+            ("hello", {"initial_tick": 5, "shard": 2}),
+            ("snapshot", ["a", "b"]),
+            ("snapshot", None),
+            ("discard", ["a", 2, None]),
+            ("ids", None),
+            ("stats", None),
+            ("close", None),
+        ]:
+            assert decode_request(encode_request(command, payload)) == (
+                command,
+                payload,
+            )
+        stats = {"created": 3, "evicted": 1, "series_started": 2,
+                 "n_streams": 2, "tick": 9}
+        assert decode_reply(encode_reply("stats", ("ok", stats)), "stats") == (
+            "ok",
+            stats,
+        )
+        assert decode_reply(encode_reply("ids", ("ok", ["x", 1])), "ids") == (
+            "ok",
+            ["x", 1],
+        )
+
+    def test_error_reply_is_command_independent(self):
+        data = encode_reply("step", ("error", "ValidationError", "boom"))
+        for command in ("step", "snapshot", "stats"):
+            assert decode_reply(data, command) == (
+                "error",
+                "ValidationError",
+                "boom",
+            )
+
+    def test_mismatched_reply_kind_rejected(self):
+        data = encode_reply("stats", ("ok", {"tick": 1}))
+        with pytest.raises(ProtocolError, match="does not match"):
+            decode_reply(data, "step")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request"):
+            encode_request("format-disk", None)
+
+
+class TestSnapshotWireFraming:
+    def make_snapshot(self, synthetic_stack, series_maker):
+        from repro.core.monitor import UncertaintyMonitor
+
+        ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+        engine = StreamingEngine(
+            ddm=ddm,
+            stateless_qim=stateless,
+            timeseries_qim=ta_qim,
+            layout=layout,
+            information_fusion=fusion,
+            max_buffer_length=4,
+            monitor_factory=lambda: UncertaintyMonitor(threshold=0.35),
+            idle_ttl=5,
+        )
+        series = series_maker(np.random.default_rng(5), n_series=6, length=5)
+        for t in range(5):
+            engine.step_batch(
+                [
+                    StreamFrame(f"s{i}", series[i][0][t], series[i][1][t])
+                    for i in range(6)
+                ]
+            )
+        return engine.snapshot()
+
+    def test_to_wire_from_wire_roundtrip(self, synthetic_stack, series_maker):
+        snapshot = self.make_snapshot(synthetic_stack, series_maker)
+        rebuilt = RegistrySnapshot.from_wire(*snapshot.to_wire())
+        assert rebuilt.tick == snapshot.tick
+        assert rebuilt.max_buffer_length == snapshot.max_buffer_length
+        assert rebuilt.idle_ttl == snapshot.idle_ttl
+        assert rebuilt.statistics == snapshot.statistics
+        assert len(rebuilt.streams) == len(snapshot.streams)
+        for got, expected in zip(rebuilt.streams, snapshot.streams):
+            assert got.stream_id == expected.stream_id
+            assert got.step_count == expected.step_count
+            assert got.last_tick == expected.last_tick
+            assert got.monitor == expected.monitor
+            assert got.outcomes.tobytes() == expected.outcomes.tobytes()
+            assert got.uncertainties.tobytes() == expected.uncertainties.tobytes()
+
+    def test_snapshot_travels_through_reply_codec(
+        self, synthetic_stack, series_maker
+    ):
+        snapshot = self.make_snapshot(synthetic_stack, series_maker)
+        status, rebuilt = decode_reply(
+            encode_reply("snapshot", ("ok", snapshot)), "snapshot"
+        )
+        assert status == "ok"
+        assert rebuilt.n_streams == snapshot.n_streams
+        assert [s.stream_id for s in rebuilt.streams] == [
+            s.stream_id for s in snapshot.streams
+        ]
+
+    def test_from_wire_validates_version_and_lengths(
+        self, synthetic_stack, series_maker
+    ):
+        snapshot = self.make_snapshot(synthetic_stack, series_maker)
+        meta, arrays = snapshot.to_wire()
+        bad_meta = dict(meta, version=meta["version"] + 1)
+        with pytest.raises(ValidationError, match="format version"):
+            RegistrySnapshot.from_wire(bad_meta, arrays)
+        bad_arrays = dict(arrays, lengths=arrays["lengths"][:-1])
+        with pytest.raises(ValidationError, match="buffer lengths"):
+            RegistrySnapshot.from_wire(meta, bad_arrays)
+        with pytest.raises(ValidationError, match="snapshot"):
+            RegistrySnapshot.from_wire({"format": "something-else"}, arrays)
