@@ -30,6 +30,7 @@ import pytest
 
 from repro.core.monitor import UncertaintyMonitor
 from repro.serving import (
+    ServingController,
     ShardedEngine,
     StreamingEngine,
     TcpTransport,
@@ -219,17 +220,17 @@ def test_snapshot_restore_roundtrip_overhead(
     with ShardedEngine(engine_factory, 2) as cluster:  # pipe (default)
         warm = workload.ticks[: N_TICKS // 2]
         rest = workload.ticks[N_TICKS // 2 :]
-        for frames in warm:
-            cluster.step_batch(frames)
+        controller = ServingController(cluster)  # the shared tick driver
+        controller.run(warm)
 
         start = time.perf_counter()
-        snapshot = cluster.snapshot()
+        snapshot = controller.snapshot()
         capture_seconds = time.perf_counter() - start
         start = time.perf_counter()
         snapshot.save(tmp_path / "bench_snap")
         save_seconds = time.perf_counter() - start
 
-        baseline = [cluster.step_batch(frames) for frames in rest]
+        baseline = controller.run(rest)
 
     from repro.serving import RegistrySnapshot
 
@@ -242,10 +243,11 @@ def test_snapshot_restore_roundtrip_overhead(
         with ShardedEngine(
             engine_factory, 4, transport=TcpTransport(addresses)
         ) as cluster2:
+            controller2 = ServingController(cluster2)
             start = time.perf_counter()
-            cluster2.restore(loaded)
+            controller2.restore(loaded)
             restore_seconds = time.perf_counter() - start
-            resumed = [cluster2.step_batch(frames) for frames in rest]
+            resumed = controller2.run(rest)
     finally:
         stop_local_workers(worker_processes)
 

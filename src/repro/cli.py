@@ -25,6 +25,14 @@ Commands
     forked pipe workers, or TCP to remote ``serve-worker`` processes),
     optional periodic snapshots, restore-from-snapshot, and an
     equivalence check against the single-process engine.
+
+Both serving commands are driven by the
+:class:`~repro.serving.ServingController` control plane (workers are
+reaped even on mid-run exceptions) and accept its policy flags:
+``--latency-budget-ms`` enables QoS admission control,
+``--autoscale MIN:MAX`` enables latency-driven shard autoscaling,
+``--priority-field``/``--priority-classes`` shape the QoS classes, and
+``--stats-every N`` prints per-tick telemetry.
 ``serve-worker``
     Run one TCP shard worker: listens on ``--listen HOST:PORT``, builds
     a fresh engine per cluster connection, and serves the wire protocol
@@ -123,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "verify identical outputs")
     serve.add_argument("--json", metavar="PATH",
                        help="write the throughput report JSON to PATH")
+    _add_controller_flags(serve)
 
     cluster = sub.add_parser(
         "serve-cluster",
@@ -167,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "verify bitwise-identical outputs")
     cluster.add_argument("--json", metavar="PATH",
                          help="write the cluster report JSON to PATH")
+    _add_controller_flags(cluster)
 
     worker = sub.add_parser(
         "serve-worker",
@@ -190,6 +200,127 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = serve forever)")
 
     return parser
+
+
+def _add_controller_flags(parser) -> None:
+    """Control-plane flags shared by simulate-streams and serve-cluster."""
+    group = parser.add_argument_group("control plane (QoS + autoscaling)")
+    group.add_argument("--latency-budget-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-tick latency budget; enables QoS "
+                            "admission control (priority-ordered intake, "
+                            "deferred overflow frames) and is the budget "
+                            "--autoscale decides against")
+    group.add_argument("--autoscale", metavar="MIN:MAX", default=None,
+                       help="enable latency-driven autoscaling between "
+                            "MIN and MAX shards (requires "
+                            "--latency-budget-ms; grows on sustained "
+                            "budget misses, shrinks on sustained idle)")
+    group.add_argument("--priority-field", default="priority",
+                       metavar="NAME",
+                       help="StreamFrame attribute holding the QoS "
+                            "priority class (smaller = served first; "
+                            "default: priority)")
+    group.add_argument("--priority-classes", type=int, default=1,
+                       metavar="N",
+                       help="deal N priority classes round-robin over the "
+                            "simulated streams (class = stream %% N)")
+    group.add_argument("--stats-every", type=int, default=0, metavar="N",
+                       help="print per-tick controller telemetry every N "
+                            "ticks (latency EWMA, admitted/deferred "
+                            "counts, shard count, fan-out overlap)")
+
+
+def _parse_autoscale(spec: str):
+    """Parse ``MIN:MAX`` into an inclusive shard-count range."""
+    try:
+        low, _, high = spec.partition(":")
+        bounds = int(low), int(high)
+    except ValueError:
+        raise SystemExit(
+            f"--autoscale expects MIN:MAX shard counts, got {spec!r}"
+        ) from None
+    if bounds[0] < 1 or bounds[1] < bounds[0]:
+        raise SystemExit(
+            f"--autoscale needs 1 <= MIN <= MAX, got {spec!r}"
+        )
+    return bounds
+
+
+def _policies_from_args(args):
+    """Resolve the control-plane flags into (autoscale, admission)."""
+    from repro.serving import AdmissionPolicy, AutoscalePolicy
+
+    budget = None
+    if args.latency_budget_ms is not None:
+        if args.latency_budget_ms <= 0:
+            raise SystemExit("--latency-budget-ms must be > 0")
+        budget = args.latency_budget_ms / 1000.0
+    autoscale = None
+    if args.autoscale is not None:
+        if budget is None:
+            raise SystemExit("--autoscale requires --latency-budget-ms")
+        min_shards, max_shards = _parse_autoscale(args.autoscale)
+        autoscale = AutoscalePolicy(
+            latency_budget=budget,
+            min_shards=min_shards,
+            max_shards=max_shards,
+        )
+    admission = None
+    if budget is not None:
+        admission = AdmissionPolicy(
+            latency_budget=budget, priority_field=args.priority_field
+        )
+    return autoscale, admission
+
+
+def _telemetry_printer(args, cluster=None):
+    """The --stats-every N callback: one telemetry line every N ticks."""
+    if not args.stats_every:
+        return None
+    every = args.stats_every
+    last_overlap = [0.0]
+
+    def on_tick(t):
+        if t.tick % every != 0:
+            return
+        line = (
+            f"tick {t.tick}: latency {t.latency_seconds * 1e3:.1f}ms "
+            f"(ewma {t.latency_ewma * 1e3:.1f}ms), "
+            f"admitted {t.admitted}/{t.submitted}"
+        )
+        if t.frame_budget is not None or t.backlog or t.dropped:
+            line += (
+                f", deferred {t.deferred} (backlog {t.backlog}, "
+                f"dropped {t.dropped})"
+            )
+        line += f", shards {t.n_shards}"
+        if t.rebalanced_to is not None:
+            line += f" (rebalanced to {t.rebalanced_to})"
+        if cluster is not None:
+            overlap = cluster.fanout_stats()["overlap_seconds"]
+            line += (
+                f", fan-out overlap +{(overlap - last_overlap[0]) * 1e3:.1f}ms"
+            )
+            last_overlap[0] = overlap
+        print(line)
+
+    return on_tick
+
+
+def _prefix_identical(controlled: dict, uncontrolled: dict) -> bool:
+    """Compare a controlled run against an uncontrolled replay.
+
+    With admission enabled the controlled run may end with frames still
+    deferred, so each stream's outcome sequence must equal a *prefix* of
+    the uncontrolled one; without backlog the sequences (and the check)
+    collapse to full equality.
+    """
+    for stream_id, outcomes in controlled.items():
+        reference = uncontrolled.get(stream_id, [])
+        if outcomes != reference[: len(outcomes)]:
+            return False
+    return True
 
 
 def _config_from_args(args):
@@ -305,12 +436,6 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
-def _snapshot_stem(directory, tick: int):
-    import pathlib
-
-    return pathlib.Path(directory) / f"tick_{tick:06d}"
-
-
 def _monitor_factory_from_args(args):
     """The per-stream monitor factory implied by ``--threshold`` (or None)."""
     if args.threshold is None:
@@ -368,6 +493,7 @@ def _cmd_simulate_streams(args) -> int:
     from repro.core.timeseries_wrapper import TimeseriesAwareUncertaintyWrapper
     from repro.evaluation import prepare_study_data
     from repro.serving import (
+        ServingController,
         ShardedEngine,
         StreamingEngine,
         build_stream_workload,
@@ -377,42 +503,76 @@ def _cmd_simulate_streams(args) -> int:
 
     config = _config_from_args(args)
     monitor_factory = _monitor_factory_from_args(args)
+    autoscale, admission = _policies_from_args(args)
 
     print("preparing study pipeline (DDM + calibrated wrappers)...")
     data = prepare_study_data(config)
 
     rng = np.random.default_rng(args.seed + 1)
     workload = build_stream_workload(
-        data.feature_model, args.streams, args.ticks, rng
+        data.feature_model,
+        args.streams,
+        args.ticks,
+        rng,
+        priority_classes=args.priority_classes,
     )
 
     engine_factory = _engine_factory_from_args(args, data, monitor_factory)
-    sharded = args.shards > 1
-    engine = (
-        ShardedEngine(engine_factory, args.shards, transport=args.transport)
-        if sharded
-        else engine_factory()
-    )
+    sharded = args.shards > 1 or autoscale is not None
+    if sharded:
+        initial_shards = args.shards
+        if autoscale is not None:
+            initial_shards = min(
+                max(initial_shards, autoscale.min_shards), autoscale.max_shards
+            )
+        engine = ShardedEngine(
+            engine_factory, initial_shards, transport=args.transport
+        )
+    else:
+        engine = engine_factory()
 
-    start = time.perf_counter()
-    accepted = 0
-    monitored = 0
-    engine_outcomes = {}
-    for frames in workload.ticks:
-        for result in engine.step_batch(frames):
+    # The controller owns the tick loop AND the engine lifecycle: a
+    # mid-run exception tears the shard workers down instead of leaking
+    # them (the context manager closes the engine on every exit path;
+    # a failing controller constructor must not leak them either).
+    try:
+        controller = ServingController(
+            engine,
+            autoscale=autoscale,
+            admission=admission,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+            owns_engine=sharded,
+            on_tick=_telemetry_printer(
+                args, cluster=engine if sharded else None
+            ),
+        )
+    except Exception:
+        if sharded:
+            engine.close()
+        raise
+    with controller:
+        start = time.perf_counter()
+        per_stream = controller.run(workload.ticks)
+        engine_seconds = time.perf_counter() - start
+        statistics = (
+            engine.statistics() if sharded else engine.registry.statistics
+        )
+        final_shards = controller.n_shards
+    engine_fps = workload.n_frames / engine_seconds
+    for stem in controller.snapshots_written:
+        print(f"wrote snapshot {stem}.json/.npz")
+
+    engine_outcomes = {
+        stream_id: [result.outcome for result in results]
+        for stream_id, results in per_stream.items()
+    }
+    monitored = accepted = 0
+    for results in per_stream.values():
+        for result in results:
             if result.verdict is not None:
                 monitored += 1
                 accepted += result.verdict.accepted
-            engine_outcomes.setdefault(result.stream_id, []).append(result.outcome)
-        if args.snapshot_every and engine.tick % args.snapshot_every == 0:
-            stem = _snapshot_stem(args.snapshot_dir, engine.tick)
-            engine.snapshot().save(stem)
-            print(f"wrote snapshot {stem}.json/.npz")
-    engine_seconds = time.perf_counter() - start
-    engine_fps = workload.n_frames / engine_seconds
-    statistics = engine.statistics() if sharded else engine.registry.statistics
-    if sharded:
-        engine.close()
 
     report = {
         "streams": workload.n_streams,
@@ -425,12 +585,20 @@ def _cmd_simulate_streams(args) -> int:
         "series_started": statistics.series_started,
         "streams_evicted": statistics.evicted,
     }
+    report.update(_controller_report(controller, autoscale, admission, final_shards))
+    if sharded and autoscale is not None:
+        shards_label = f"{initial_shards}->{final_shards} shards"
+    else:
+        shards_label = (
+            f"{args.shards} shard{'s' if args.shards != 1 else ''}"
+        )
     print(
-        f"engine ({args.shards} shard{'s' if args.shards != 1 else ''}): "
+        f"engine ({shards_label}): "
         f"{workload.n_frames} frames over {workload.n_ticks} ticks x "
         f"{workload.n_streams} streams in {engine_seconds:.2f}s "
         f"({engine_fps:,.0f} frames/s)"
     )
+    _print_controller_summary(controller, autoscale, admission, final_shards)
     if monitored:
         report["acceptance_rate"] = accepted / monitored
         print(f"monitor: accepted {accepted}/{monitored} frames "
@@ -439,12 +607,15 @@ def _cmd_simulate_streams(args) -> int:
     if args.compare_naive:
         # The speedup figure compares UNMONITORED engine vs naive loop
         # (the naive wrapper loop has no monitors either).  Without a
-        # threshold the single-process run above already qualifies; with
-        # one, or when the run above was sharded, time a fresh
-        # unmonitored single-process replay.  The identity check always
-        # judges the MAIN run's outcomes (sharded/monitored included), so
-        # a cluster divergence cannot hide behind the timing replay.
-        if monitor_factory is None and not sharded:
+        # threshold/policies the single-process run above already
+        # qualifies; otherwise time a fresh unmonitored single-process
+        # replay.  The identity check always judges the MAIN run's
+        # outcomes (sharded/monitored/admission-controlled included), so
+        # a cluster or controller divergence cannot hide behind the
+        # timing replay; with admission the controlled run may end with
+        # a deferred backlog, so the check is prefix-wise per stream.
+        controlled = admission is not None or autoscale is not None
+        if monitor_factory is None and not sharded and not controlled:
             compare_seconds = engine_seconds
         else:
             fresh = StreamingEngine(
@@ -457,7 +628,12 @@ def _cmd_simulate_streams(args) -> int:
             start = time.perf_counter()
             fresh_outcomes = replay_engine(fresh, workload)
             compare_seconds = time.perf_counter() - start
-            if fresh_outcomes != engine_outcomes:
+            matches = (
+                _prefix_identical(engine_outcomes, fresh_outcomes)
+                if admission is not None
+                else fresh_outcomes == engine_outcomes
+            )
+            if not matches:
                 print(
                     "error: outputs of the main run diverge from the "
                     "unmonitored single-process replay",
@@ -478,7 +654,11 @@ def _cmd_simulate_streams(args) -> int:
         naive_outcomes = replay_naive(make_wrapper, workload)
         naive_seconds = time.perf_counter() - start
         naive_fps = workload.n_frames / naive_seconds
-        identical = naive_outcomes == engine_outcomes
+        identical = (
+            _prefix_identical(engine_outcomes, naive_outcomes)
+            if admission is not None
+            else naive_outcomes == engine_outcomes
+        )
         report.update(
             naive_seconds=naive_seconds,
             naive_frames_per_sec=naive_fps,
@@ -511,17 +691,52 @@ def _cmd_simulate_streams(args) -> int:
     return 0
 
 
+def _controller_report(controller, autoscale, admission, final_shards) -> dict:
+    """Control-plane fields of a CLI report (empty without policies)."""
+    if autoscale is None and admission is None:
+        return {}
+    stats = controller.stats
+    report = {"controller": stats.as_dict()}
+    if autoscale is not None:
+        report["final_shards"] = final_shards
+        report["rebalances"] = stats.rebalances
+    if admission is not None:
+        report["frames_deferred"] = stats.frames_deferred
+        report["admission_overflow"] = stats.admission_overflow
+        report["deferred_backlog"] = controller.backlog
+    return report
+
+
+def _print_controller_summary(controller, autoscale, admission, final_shards):
+    stats = controller.stats
+    if autoscale is not None:
+        print(
+            f"autoscale: {stats.rebalances} rebalance(s), "
+            f"final shard count {final_shards}"
+        )
+    if admission is not None:
+        print(
+            f"admission: {stats.frames_admitted}/{stats.frames_submitted} "
+            f"frames admitted, {stats.frames_deferred} deferred "
+            f"({controller.backlog} still queued), "
+            f"{stats.admission_overflow} dropped (AdmissionOverflow)"
+        )
+
+
 def _cmd_serve_cluster(args) -> int:
     from repro.evaluation import prepare_study_data
     from repro.serving import (
         RegistrySnapshot,
+        ServingController,
         ShardedEngine,
         build_stream_workload,
+        replay_engine,
     )
 
     config = _config_from_args(args)
     monitor_factory = _monitor_factory_from_args(args)
     transport = _transport_from_args(args)
+    autoscale, admission = _policies_from_args(args)
 
     restored = None
     if args.restore:  # fail fast on a bad snapshot too
@@ -531,45 +746,66 @@ def _cmd_serve_cluster(args) -> int:
     data = prepare_study_data(config)
     rng = np.random.default_rng(args.seed + 1)
     workload = build_stream_workload(
-        data.feature_model, args.streams, args.ticks, rng
+        data.feature_model,
+        args.streams,
+        args.ticks,
+        rng,
+        priority_classes=args.priority_classes,
     )
 
     engine_factory = _engine_factory_from_args(args, data, monitor_factory)
 
-    print(f"starting {args.shards} {args.transport} shard worker(s)...")
-    cluster = ShardedEngine(engine_factory, args.shards, transport=transport)
+    initial_shards = args.shards
+    if autoscale is not None:
+        # Start inside the policy's range (simulate-streams does the
+        # same): the policy only grows on misses and shrinks above the
+        # minimum, so an out-of-range start would never be corrected.
+        initial_shards = min(
+            max(initial_shards, autoscale.min_shards), autoscale.max_shards
+        )
+    print(f"starting {initial_shards} {args.transport} shard worker(s)...")
+    cluster = ShardedEngine(engine_factory, initial_shards, transport=transport)
+    # The controller owns both the tick loop and the cluster lifecycle:
+    # any exception from here on (restore included) reaps the workers --
+    # a failing controller constructor included.
     try:
+        controller = ServingController(
+            cluster,
+            autoscale=autoscale,
+            admission=admission,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+            owns_engine=True,
+            on_tick=_telemetry_printer(args, cluster=cluster),
+        )
+    except Exception:
+        cluster.close()
+        raise
+    with controller:
         if restored is not None:
-            cluster.restore(restored)
+            controller.restore(restored)
             print(
                 f"restored {restored.n_streams} streams at tick {restored.tick} "
                 f"from {args.restore}"
             )
 
-        snapshots_written = []
-        cluster_outcomes = {}
         start = time.perf_counter()
-        for frames in workload.ticks:
-            for result in cluster.step_batch(frames):
-                cluster_outcomes.setdefault(result.stream_id, []).append(
-                    result.outcome
-                )
-            if args.snapshot_every and cluster.tick % args.snapshot_every == 0:
-                stem = _snapshot_stem(args.snapshot_dir, cluster.tick)
-                cluster.snapshot().save(stem)
-                snapshots_written.append(str(stem))
+        per_stream = controller.run(workload.ticks)
         cluster_seconds = time.perf_counter() - start
         cluster_fps = workload.n_frames / cluster_seconds
         statistics = cluster.statistics()
         fanout = cluster.fanout_stats()
-    finally:
-        cluster.close()
+        final_shards = controller.n_shards
 
+    cluster_outcomes = {
+        stream_id: [result.outcome for result in results]
+        for stream_id, results in per_stream.items()
+    }
     report = {
         "streams": workload.n_streams,
         "ticks": workload.n_ticks,
         "frames": workload.n_frames,
-        "shards": args.shards,
+        "shards": initial_shards,
         "transport": args.transport,
         "cluster_seconds": cluster_seconds,
         "cluster_frames_per_sec": cluster_fps,
@@ -577,17 +813,24 @@ def _cmd_serve_cluster(args) -> int:
         "fanout_overlap_seconds": fanout["overlap_seconds"],
         "series_started": statistics.series_started,
         "streams_evicted": statistics.evicted,
-        "snapshots_written": snapshots_written,
+        "snapshots_written": list(controller.snapshots_written),
     }
+    report.update(_controller_report(controller, autoscale, admission, final_shards))
+    shards_label = (
+        f"{initial_shards}->{final_shards}"
+        if autoscale is not None
+        else f"{initial_shards}"
+    )
     print(
-        f"cluster ({args.shards} {args.transport} shards): "
+        f"cluster ({shards_label} {args.transport} shards): "
         f"{workload.n_frames} frames over "
         f"{workload.n_ticks} ticks x {workload.n_streams} streams in "
         f"{cluster_seconds:.2f}s ({cluster_fps:,.0f} frames/s; fan-out "
         f"encode {fanout['encode_seconds']:.3f}s, "
         f"{fanout['overlap_seconds']:.3f}s overlapped with worker compute)"
     )
-    for stem in snapshots_written:
+    _print_controller_summary(controller, autoscale, admission, final_shards)
+    for stem in controller.snapshots_written:
         print(f"wrote snapshot {stem}.json/.npz")
 
     if args.compare_single:
@@ -595,14 +838,17 @@ def _cmd_serve_cluster(args) -> int:
         if restored is not None:
             single.restore(restored)
         start = time.perf_counter()
-        single_outcomes = {}
-        for frames in workload.ticks:
-            for result in single.step_batch(frames):
-                single_outcomes.setdefault(result.stream_id, []).append(
-                    result.outcome
-                )
+        single_outcomes = replay_engine(single, workload)
         single_seconds = time.perf_counter() - start
-        identical = single_outcomes == cluster_outcomes
+        # With admission the controlled run may end with a deferred
+        # backlog, so each stream's outcomes must be a prefix of the
+        # uncontrolled single-process run; without it this is full
+        # bitwise equality, exactly as before.
+        identical = (
+            _prefix_identical(cluster_outcomes, single_outcomes)
+            if admission is not None
+            else single_outcomes == cluster_outcomes
+        )
         report.update(
             single_seconds=single_seconds,
             single_frames_per_sec=workload.n_frames / single_seconds,

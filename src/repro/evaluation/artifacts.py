@@ -11,8 +11,6 @@ from __future__ import annotations
 import json
 import pathlib
 
-import numpy as np
-
 from repro.evaluation.importance import ImportanceRow
 from repro.evaluation.study import StudyResults
 from repro.exceptions import ValidationError

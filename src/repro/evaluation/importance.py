@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
-import numpy as np
-
 from repro.core.quality_impact import QualityImpactModel
 from repro.core.timeseries_wrapper import stack_traces
 from repro.evaluation.metrics import pool_traces

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from io import StringIO
 
-import numpy as np
-
 from repro.evaluation.importance import ImportanceRow
 from repro.evaluation.metrics import MisclassificationByTimestep
 from repro.evaluation.study import StudyResults

@@ -17,7 +17,7 @@ end); ``StudyConfig.paper_scale()`` reproduces the paper's series counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.exceptions import ValidationError
 from repro.fusion.information import InformationFusion
 

@@ -13,8 +13,6 @@ from abc import ABC, abstractmethod
 from collections import Counter
 from typing import Sequence
 
-import numpy as np
-
 from repro.exceptions import ValidationError
 
 __all__ = [
@@ -142,7 +140,6 @@ class ExponentialDecayVote(InformationFusion):
 
     def fuse(self, outcomes: Sequence[int], certainties: Sequence[float] | None = None) -> int:
         outcomes = self._check(outcomes)
-        n = len(outcomes)
         weights: dict[int, float] = {}
         for age, outcome in enumerate(reversed(outcomes)):
             weights[outcome] = weights.get(outcome, 0.0) + self.decay**age

@@ -16,10 +16,27 @@ The runtime-facing layer above the core wrapper, in three tiers:
   speaking the versioned pickle-free wire codec of
   :mod:`repro.serving.protocol`; :mod:`repro.serving.state`
   snapshot/restore makes the whole registry durable across restarts,
-  shard rebalances, and transport changes.
+  shard rebalances, and transport changes;
+* a :class:`~repro.serving.controller.ServingController` control plane
+  that owns the tick loop for either engine -- frame intake, admission,
+  ``step_batch``, telemetry, policy hooks, snapshot cadence -- with two
+  pluggable policies: latency-driven
+  :class:`~repro.serving.controller.AutoscalePolicy` (EWMA vs. budget
+  with hysteresis, driving ``rebalance``) and QoS
+  :class:`~repro.serving.controller.AdmissionPolicy` (priority classes,
+  per-tick frame budget, bounded deferred queues).  With both policies
+  disabled a controlled run is bitwise-identical to driving the engine
+  directly.
 """
 
 from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
+from repro.serving.controller import (
+    AdmissionPolicy,
+    AutoscalePolicy,
+    ControllerStats,
+    ServingController,
+    TickTelemetry,
+)
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
 from repro.serving.protocol import PROTOCOL_VERSION
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
@@ -60,6 +77,11 @@ __all__ = [
     "HashRing",
     "ShardedEngine",
     "stable_stream_hash",
+    "ServingController",
+    "AutoscalePolicy",
+    "AdmissionPolicy",
+    "ControllerStats",
+    "TickTelemetry",
     "PROTOCOL_VERSION",
     "SNAPSHOT_VERSION",
     "RegistrySnapshot",

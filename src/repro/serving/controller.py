@@ -1,0 +1,857 @@
+"""Control plane: the one tick loop that drives every serving engine.
+
+Before this module, the per-tick serving loop -- feed one tick of frames
+to ``step_batch``, collect results, write periodic snapshots -- was
+re-implemented independently by :func:`repro.serving.simulate.replay_engine`,
+both serving CLI commands, and the benchmarks.  None of those loops could
+host the ROADMAP's two promoted runtime policies (latency-driven
+autoscaling and QoS admission control) without copying the logic a fifth
+time.  :class:`ServingController` extracts that loop once, for *both*
+:class:`~repro.serving.engine.StreamingEngine` and
+:class:`~repro.serving.cluster.ShardedEngine`:
+
+    frame intake -> admission -> ``step_batch`` -> telemetry
+                 -> policy hooks (autoscale) -> snapshot cadence
+
+and layers two pluggable policies on top:
+
+* :class:`AutoscalePolicy` -- derives the shard count from an EWMA of the
+  measured tick latency against a budget, with hysteresis: grow one shard
+  after ``grow_after`` consecutive budget misses, shrink one after
+  ``shrink_after`` consecutive idle ticks, clamped to
+  ``[min_shards, max_shards]``, with a cooldown between actions.  Each
+  decision calls ``engine.rebalance(n)``, which migrates only the streams
+  whose ring arc changed owner (cheap by construction since PR 2/3).
+* :class:`AdmissionPolicy` -- per-stream priority classes with a per-tick
+  frame budget.  When a tick's batch would exceed the latency budget,
+  frames are admitted in deterministic *priority-then-arrival* order up
+  to the budget; overflow frames are deferred to a bounded per-stream
+  FIFO queue and resubmitted on later ticks.  A frame that would overflow
+  its stream's queue is dropped and counted in the loud
+  ``admission_overflow`` statistic.
+
+**The disabled-policy invariant.**  A controller with both policies
+disabled runs ``engine.step_batch(frames)`` on the unmodified frame list
+-- no reordering, no queues, no extra engine calls -- so its results,
+TTL evictions, and statistics are bitwise-identical to the hand-rolled
+loops it replaced.  Policies change *scheduling* only; every admitted
+frame's outcome is still produced by the same engines.
+
+**Determinism and durability.**  All policy decisions are pure functions
+of (policy config, measured latencies, frame arrival order).  Latencies
+come from an injectable ``clock`` (default ``time.perf_counter``), so
+tests script them exactly.  The controller's full mutable state -- the
+latency EWMAs, autoscale streaks and cooldown, the admission sequence
+counter, and the deferred frame queues (payloads included) -- rides
+inside :class:`~repro.serving.state.RegistrySnapshot` via
+:meth:`ServingController.snapshot`, so restore-then-step reproduces a
+controlled run exactly, mid-autoscale included.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.serving.engine import (
+    StreamFrame,
+    StreamStepResult,
+    validate_tick_frames,
+)
+from repro.serving.protocol import sanitize_wire_scope
+from repro.serving.state import RegistrySnapshot
+
+__all__ = [
+    "AutoscalePolicy",
+    "AdmissionPolicy",
+    "TickTelemetry",
+    "ControllerStats",
+    "ServingController",
+]
+
+
+#: Version tag of the controller-state dict embedded in snapshots.
+CONTROLLER_STATE_VERSION = 1
+
+#: Per-tick telemetry records retained by a controller.  Cumulative
+#: counters live in :class:`ControllerStats` forever; the per-tick
+#: window is bounded so a long-lived serving loop cannot grow without
+#: limit (benchmarks and tests consume far fewer ticks than this).
+TELEMETRY_WINDOW = 4096
+
+
+# ---------------------------------------------------------------------------
+# Policies (configuration is frozen; mutable state lives in the controller)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Latency-driven shard-count policy with hysteresis.
+
+    Parameters
+    ----------
+    latency_budget:
+        Per-tick latency budget in seconds; the EWMA of measured tick
+        latencies is compared against it.
+    min_shards / max_shards:
+        Inclusive shard-count clamp for scaling decisions.
+    ewma_alpha:
+        Smoothing factor of the latency EWMA (1.0 = raw latest tick).
+    grow_after:
+        Grow one shard after this many *consecutive* ticks whose EWMA
+        exceeds the budget.
+    shrink_after:
+        Shrink one shard after this many consecutive idle ticks (EWMA
+        below ``shrink_fraction * latency_budget``).
+    shrink_fraction:
+        Idle threshold as a fraction of the budget; keeping it well below
+        1.0 gives the grow/shrink thresholds a hysteresis band so the
+        policy cannot oscillate around the budget.
+    cooldown_ticks:
+        Ticks to wait after a rebalance before acting again, so each
+        decision is judged on latencies measured at the new shard count.
+    """
+
+    latency_budget: float
+    min_shards: int = 1
+    max_shards: int = 4
+    ewma_alpha: float = 0.3
+    grow_after: int = 3
+    shrink_after: int = 8
+    shrink_fraction: float = 0.5
+    cooldown_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.latency_budget > 0.0:
+            raise ValidationError(
+                f"latency_budget must be > 0, got {self.latency_budget}"
+            )
+        if self.min_shards < 1:
+            raise ValidationError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ValidationError(
+                f"max_shards ({self.max_shards}) must be >= min_shards "
+                f"({self.min_shards})"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValidationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.grow_after < 1 or self.shrink_after < 1:
+            raise ValidationError(
+                "grow_after and shrink_after must be >= 1, got "
+                f"{self.grow_after}/{self.shrink_after}"
+            )
+        if not 0.0 < self.shrink_fraction < 1.0:
+            raise ValidationError(
+                f"shrink_fraction must be in (0, 1), got {self.shrink_fraction}"
+            )
+        if self.cooldown_ticks < 0:
+            raise ValidationError(
+                f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Priority-class admission control with a per-tick frame budget.
+
+    The frame budget is the minimum of a static cap
+    (``max_frames_per_tick``) and a dynamic one derived from the latency
+    budget: ``latency_budget / EWMA(per-admitted-frame seconds)``.  Until
+    a per-frame estimate exists (the first non-empty tick), the dynamic
+    bound admits everything -- the policy has measured nothing yet.
+
+    Parameters
+    ----------
+    latency_budget:
+        Per-tick latency budget in seconds driving the dynamic frame
+        budget; ``None`` disables the dynamic bound.
+    max_frames_per_tick:
+        Static per-tick frame cap; ``None`` disables the static bound.
+        At least one of the two bounds must be set.
+    priority_field:
+        Name of the :class:`~repro.serving.engine.StreamFrame` attribute
+        holding the frame's priority class (smaller = more important;
+        missing attribute = class 0).
+    max_deferred_per_stream:
+        Bound of each stream's deferred-frame FIFO; a frame arriving at a
+        full queue is dropped and counted as ``admission_overflow``.
+    ewma_alpha:
+        Smoothing factor of the per-frame latency EWMA.
+    """
+
+    latency_budget: float | None = None
+    max_frames_per_tick: int | None = None
+    priority_field: str = "priority"
+    max_deferred_per_stream: int = 16
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.latency_budget is None and self.max_frames_per_tick is None:
+            raise ValidationError(
+                "AdmissionPolicy needs latency_budget and/or max_frames_per_tick"
+            )
+        if self.latency_budget is not None and not self.latency_budget > 0.0:
+            raise ValidationError(
+                f"latency_budget must be > 0, got {self.latency_budget}"
+            )
+        if self.max_frames_per_tick is not None and self.max_frames_per_tick < 1:
+            raise ValidationError(
+                f"max_frames_per_tick must be >= 1, got {self.max_frames_per_tick}"
+            )
+        if self.max_deferred_per_stream < 1:
+            raise ValidationError(
+                "max_deferred_per_stream must be >= 1, got "
+                f"{self.max_deferred_per_stream}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValidationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TickTelemetry:
+    """One tick's controller-level measurements (results are separate)."""
+
+    tick: int                       # engine tick the measurements belong to
+    submitted: int                  # frames handed to the controller
+    admitted: int                   # frames the engine actually stepped
+    resumed: int                    # admitted frames that came from queues
+    deferred: int                   # frames (re)queued this tick
+    dropped: int                    # frames lost to queue overflow this tick
+    backlog: int                    # total queued frames after the tick
+    frame_budget: int | None        # admission budget in force (None = all)
+    latency_seconds: float          # measured step_batch wall time
+    latency_ewma: float             # controller-level latency EWMA
+    n_shards: int                   # shard count after any rebalance
+    rebalanced_to: int | None       # autoscale action this tick, if any
+
+
+@dataclass
+class ControllerStats:
+    """Cumulative counters over a controller's lifetime."""
+
+    ticks: int = 0
+    frames_submitted: int = 0
+    frames_admitted: int = 0
+    frames_resumed: int = 0
+    frames_deferred: int = 0
+    admission_overflow: int = 0
+    rebalances: int = 0
+    snapshots_written: int = 0
+    deferred_by_priority: dict = field(default_factory=dict)
+    dropped_by_priority: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "frames_submitted": self.frames_submitted,
+            "frames_admitted": self.frames_admitted,
+            "frames_resumed": self.frames_resumed,
+            "frames_deferred": self.frames_deferred,
+            "admission_overflow": self.admission_overflow,
+            "rebalances": self.rebalances,
+            "snapshots_written": self.snapshots_written,
+            "deferred_by_priority": dict(self.deferred_by_priority),
+            "dropped_by_priority": dict(self.dropped_by_priority),
+        }
+
+
+class _QueuedFrame:
+    """A deferred frame plus the admission metadata frozen at intake."""
+
+    __slots__ = ("seq", "priority", "frame")
+
+    def __init__(self, seq: int, priority: int, frame: StreamFrame) -> None:
+        self.seq = seq
+        self.priority = priority
+        self.frame = frame
+
+
+# ---------------------------------------------------------------------------
+# The controller
+# ---------------------------------------------------------------------------
+
+class ServingController:
+    """Owns the serving tick loop for one engine (single or sharded).
+
+    Parameters
+    ----------
+    engine:
+        Any object with the ``step_batch`` contract -- a
+        :class:`~repro.serving.engine.StreamingEngine` or a
+        :class:`~repro.serving.cluster.ShardedEngine` on any transport.
+        Autoscaling additionally requires ``rebalance``.
+    autoscale / admission:
+        The two pluggable policies; ``None`` disables each.  With both
+        disabled a controller tick is bitwise-identical to calling
+        ``engine.step_batch`` directly.
+    snapshot_every / snapshot_dir:
+        Write ``engine`` + controller state to
+        ``snapshot_dir/tick_NNNNNN`` every K completed ticks (0 = never).
+    owns_engine:
+        When True, leaving the controller's context (or calling
+        :meth:`close`) also closes the engine -- the lifecycle guarantee
+        the CLI paths rely on so worker processes cannot leak on a
+        mid-run exception.
+    clock:
+        Monotonic time source for latency measurement (injectable so
+        policy tests are deterministic).
+    on_tick:
+        Optional callback receiving each tick's :class:`TickTelemetry`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        autoscale: AutoscalePolicy | None = None,
+        admission: AdmissionPolicy | None = None,
+        snapshot_every: int = 0,
+        snapshot_dir=None,
+        owns_engine: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+        on_tick: Callable[[TickTelemetry], None] | None = None,
+    ) -> None:
+        if not hasattr(engine, "step_batch"):
+            raise ValidationError("engine must expose a step_batch() method")
+        if autoscale is not None and not hasattr(engine, "rebalance"):
+            raise ValidationError(
+                "AutoscalePolicy requires an engine with rebalance() "
+                "(a ShardedEngine); the single-process engine cannot scale"
+            )
+        if snapshot_every < 0:
+            raise ValidationError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        if snapshot_every and snapshot_dir is None:
+            raise ValidationError("snapshot_every > 0 requires snapshot_dir")
+        self.engine = engine
+        self.autoscale = autoscale
+        self.admission = admission
+        self.snapshot_every = snapshot_every
+        self.snapshot_dir = snapshot_dir
+        self.owns_engine = owns_engine
+        self.clock = clock
+        self.on_tick = on_tick
+        self.stats = ControllerStats()
+        #: The last :data:`TELEMETRY_WINDOW` ticks' telemetry records.
+        self.telemetry: deque[TickTelemetry] = deque(maxlen=TELEMETRY_WINDOW)
+        self.snapshots_written: list[str] = []
+        self._closed = False
+        # Controller-level latency EWMA (telemetry + autoscale input).
+        self._latency_ewma: float | None = None
+        # Autoscale state.
+        self._miss_streak = 0
+        self._idle_streak = 0
+        self._cooldown = 0
+        # Admission state.
+        self._seq = 0
+        self._frame_seconds_ewma: float | None = None
+        self._queues: dict[object, deque[_QueuedFrame]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotently release the controller (and the engine if owned)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.owns_engine and hasattr(self.engine, "close"):
+            self.engine.close()
+
+    def __enter__(self) -> "ServingController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Current shard count (1 for a single-process engine)."""
+        return getattr(self.engine, "n_shards", 1)
+
+    @property
+    def backlog(self) -> int:
+        """Total deferred frames across all stream queues."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def latency_ewma(self) -> float | None:
+        """Controller-level EWMA of tick latency (None before any tick)."""
+        return self._latency_ewma
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+    def tick(self, frames: Sequence[StreamFrame]) -> list[StreamStepResult]:
+        """Run one controlled tick; returns the admitted frames' results.
+
+        With admission disabled the input frames pass through unmodified
+        (bitwise-identical to ``engine.step_batch(frames)``).  With it
+        enabled the engine receives the admitted subset in deterministic
+        priority-then-arrival order, and results cover only those frames
+        -- deferred frames surface on the tick that admits them.
+
+        A tick the engine *rejects* (validation error) propagates with no
+        controller state change: nothing was admitted, no telemetry is
+        recorded, and with admission enabled the rejected tick's frames
+        are not queued (they were never accepted into the control plane).
+        """
+        frames = list(frames)
+        submitted = len(frames)
+        if self.admission is not None:
+            admitted_q, deferral = self._admit(frames)
+            batch = [queued.frame for queued in admitted_q]
+        else:
+            admitted_q, deferral = None, None
+            batch = frames
+
+        before = self.clock()
+        try:
+            results = self.engine.step_batch(batch)
+        except Exception:
+            if deferral is not None:
+                deferral.rollback()
+                # The engine rejected the tick atomically; the sequence
+                # counter must match a run where it never happened, or a
+                # later snapshot would diverge from the uninterrupted run.
+                self._seq = deferral.seq_before
+            raise
+        latency = self.clock() - before
+        if deferral is not None:
+            deferral.commit(self.admission.max_deferred_per_stream)
+            self.stats.frames_resumed += deferral.resumed
+            for queued in deferral.deferred_frames:
+                self._note_deferred(queued)
+            for queued in deferral.dropped_frames:
+                self._note_dropped(queued)
+
+        alpha = self.autoscale.ewma_alpha if self.autoscale is not None else 0.3
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+        else:
+            self._latency_ewma += alpha * (latency - self._latency_ewma)
+        if self.admission is not None and batch:
+            per_frame = latency / len(batch)
+            if self._frame_seconds_ewma is None:
+                self._frame_seconds_ewma = per_frame
+            else:
+                self._frame_seconds_ewma += self.admission.ewma_alpha * (
+                    per_frame - self._frame_seconds_ewma
+                )
+
+        rebalanced_to = self._autoscale_step()
+
+        self.stats.ticks += 1
+        self.stats.frames_submitted += submitted
+        self.stats.frames_admitted += len(batch)
+        record = TickTelemetry(
+            tick=self.engine.tick,
+            submitted=submitted,
+            admitted=len(batch),
+            resumed=deferral.resumed if deferral is not None else 0,
+            deferred=(
+                len(deferral.deferred_frames) if deferral is not None else 0
+            ),
+            dropped=(
+                len(deferral.dropped_frames) if deferral is not None else 0
+            ),
+            backlog=self.backlog,
+            frame_budget=deferral.budget if deferral is not None else None,
+            latency_seconds=latency,
+            latency_ewma=self._latency_ewma,
+            n_shards=self.n_shards,
+            rebalanced_to=rebalanced_to,
+        )
+        self.telemetry.append(record)
+        if self.on_tick is not None:
+            self.on_tick(record)
+
+        if self.snapshot_every and self.engine.tick % self.snapshot_every == 0:
+            self._write_snapshot()
+        return results
+
+    def run(self, ticks) -> dict[object, list[StreamStepResult]]:
+        """Drive one :meth:`tick` per element of ``ticks``; results are
+        grouped per stream (the shape every replay/CLI/bench consumer
+        wants).  Frames still deferred when the schedule ends stay queued
+        -- :attr:`backlog` reports them."""
+        per_stream: dict[object, list[StreamStepResult]] = {}
+        for frames in ticks:
+            for result in self.tick(frames):
+                per_stream.setdefault(result.stream_id, []).append(result)
+        return per_stream
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _frame_budget(self) -> int | None:
+        """The per-tick frame budget in force (None = unlimited)."""
+        policy = self.admission
+        budget = policy.max_frames_per_tick
+        if policy.latency_budget is not None and self._frame_seconds_ewma:
+            dynamic = max(
+                1, int(policy.latency_budget / self._frame_seconds_ewma)
+            )
+            budget = dynamic if budget is None else min(budget, dynamic)
+        return budget
+
+    def _intake_shape(self) -> tuple[int, bool] | None:
+        """``(n_stateless, has_scope_model)`` of the served engine, when
+        introspectable (StreamingEngine layout or ShardedEngine's probed
+        worker shape); None disables intake shape validation."""
+        shape = getattr(self.engine, "_engine_shape", None)
+        if shape is not None:
+            return shape["n_stateless"], shape["has_scope_model"]
+        layout = getattr(self.engine, "layout", None)
+        if layout is not None:
+            return (
+                len(layout.stateless_names),
+                getattr(self.engine, "scope_model", None) is not None,
+            )
+        return None
+
+    def _priority_of(self, frame: StreamFrame) -> int:
+        value = getattr(frame, self.admission.priority_field, 0)
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"stream {frame.stream_id!r}: priority field "
+                f"{self.admission.priority_field!r} value {value!r} is not "
+                "an integer priority class"
+            ) from None
+
+    def _admit(self, frames: list[StreamFrame]):
+        """Pick this tick's batch: one candidate per stream, sorted by
+        (priority class, arrival sequence), admitted up to the budget.
+
+        Queue mutations are staged in a :class:`_AdmissionOutcome` and
+        applied only after the engine accepted the tick (``commit``); a
+        rejected tick rolls back to the pre-tick queues, so controller
+        state matches the engine's nothing-happened semantics.
+        """
+        # Intake validation: a deferred frame skips the engine's
+        # whole-tick validation until the tick that admits it, so a
+        # malformed frame must be rejected *here* -- with the engine's
+        # canonical checks and messages -- before it can hide in a
+        # queue.  Nothing (seq counter included) changes on reject.
+        shape = self._intake_shape()
+        if shape is not None:
+            validate_tick_frames(
+                frames, n_stateless=shape[0], has_scope_model=shape[1]
+            )
+        else:  # engines without introspectable shape: duplicates only
+            seen_ids = set()
+            for frame in frames:
+                if frame.stream_id in seen_ids:
+                    raise ValidationError(
+                        f"duplicate stream {frame.stream_id!r} within one "
+                        "tick; submit at most one frame per stream per "
+                        "step_batch call"
+                    )
+                seen_ids.add(frame.stream_id)
+
+        outcome = _AdmissionOutcome(self._queues, seq_before=self._seq)
+        candidates: list[_QueuedFrame] = []
+        backed_up: set = set()
+        # Existing backlog goes first: each backed-up stream's oldest
+        # queued frame is its candidate (per-stream FIFO order).
+        for stream_id, queue in self._queues.items():
+            candidates.append(queue[0])
+            backed_up.add(stream_id)
+        for frame in frames:
+            queued = _QueuedFrame(self._seq, self._priority_of(frame), frame)
+            self._seq += 1
+            if frame.stream_id in backed_up:
+                # The stream already has older work pending; this frame
+                # joins the back of its queue (FIFO per stream).
+                outcome.enqueue(frame.stream_id, queued)
+            else:
+                candidates.append(queued)
+
+        candidates.sort(key=lambda q: (q.priority, q.seq))
+        budget = self._frame_budget()
+        outcome.budget = budget
+        if budget is None or len(candidates) <= budget:
+            admitted, overflow = candidates, []
+        else:
+            admitted, overflow = candidates[:budget], candidates[budget:]
+
+        for queued in admitted:
+            if queued.frame.stream_id in backed_up:
+                outcome.pop_front(queued.frame.stream_id)
+                outcome.resumed += 1
+        for queued in overflow:
+            if queued.frame.stream_id in backed_up:
+                continue  # already queued; stays at its stream's front
+            outcome.enqueue(queued.frame.stream_id, queued)
+        return admitted, outcome
+
+    def _note_deferred(self, queued: _QueuedFrame) -> None:
+        self.stats.frames_deferred += 1
+        by = self.stats.deferred_by_priority
+        by[queued.priority] = by.get(queued.priority, 0) + 1
+
+    def _note_dropped(self, queued: _QueuedFrame) -> None:
+        self.stats.admission_overflow += 1
+        by = self.stats.dropped_by_priority
+        by[queued.priority] = by.get(queued.priority, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Autoscale
+    # ------------------------------------------------------------------
+    def _autoscale_step(self) -> int | None:
+        """Update streaks from the latency EWMA; rebalance when due."""
+        policy = self.autoscale
+        if policy is None:
+            return None
+        ewma = self._latency_ewma
+        if ewma > policy.latency_budget:
+            self._miss_streak += 1
+            self._idle_streak = 0
+        elif ewma < policy.shrink_fraction * policy.latency_budget:
+            self._idle_streak += 1
+            self._miss_streak = 0
+        else:
+            self._miss_streak = 0
+            self._idle_streak = 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        current = self.n_shards
+        target = None
+        if self._miss_streak >= policy.grow_after and current < policy.max_shards:
+            target = current + 1
+        elif (
+            self._idle_streak >= policy.shrink_after
+            and current > policy.min_shards
+        ):
+            target = current - 1
+        if target is None:
+            return None
+        self.engine.rebalance(target)
+        self.stats.rebalances += 1
+        self._miss_streak = 0
+        self._idle_streak = 0
+        self._cooldown = policy.cooldown_ticks
+        return target
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (controller state rides inside the registry
+    # snapshot so restore-then-step reproduces the controlled run)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RegistrySnapshot:
+        """The engine's snapshot with the controller's state attached."""
+        snapshot = self.engine.snapshot()
+        snapshot.controller = self.state_dict()
+        return snapshot
+
+    def restore(self, snapshot: RegistrySnapshot) -> None:
+        """Restore engine *and* controller state from a snapshot.
+
+        A snapshot without controller state (pre-controller, or taken
+        straight off the engine) resets the policies to a cold start.
+        When this controller autoscales and the snapshot records a
+        different shard count than the engine currently runs
+        (mid-autoscale capture), the topology is restored too, so the
+        continuation is identical to the uninterrupted controlled run;
+        without an autoscale policy the caller's chosen topology is
+        respected (results do not depend on it).
+        """
+        self._check_state_compatible(snapshot.controller)
+        self.engine.restore(snapshot)
+        self.load_state_dict(snapshot.controller)
+        if self.autoscale is not None and snapshot.controller is not None:
+            recorded = snapshot.controller.get("n_shards")
+            if recorded is not None and recorded != self.n_shards:
+                self.engine.rebalance(int(recorded))
+
+    def state_dict(self) -> dict:
+        """JSON-safe controller state (policy EWMAs, streaks, queues).
+
+        Deferred frame payloads are stored as plain float lists; JSON
+        round-trips Python floats exactly (shortest-repr), so restored
+        frames step to bitwise-identical results.
+        """
+        deferred = []
+        for stream_id, queue in self._queues.items():
+            for queued in queue:
+                frame = queued.frame
+                deferred.append(
+                    {
+                        "stream_id": stream_id,
+                        "seq": queued.seq,
+                        "priority": queued.priority,
+                        "new_series": bool(frame.new_series),
+                        "scope": sanitize_wire_scope(
+                            frame.scope_factors, stream_id
+                        ),
+                        "x": np.asarray(frame.model_input, dtype=float)
+                        .ravel()
+                        .tolist(),
+                        "q": np.asarray(
+                            frame.stateless_quality_values, dtype=float
+                        )
+                        .ravel()
+                        .tolist(),
+                    }
+                )
+        return {
+            "version": CONTROLLER_STATE_VERSION,
+            "n_shards": self.n_shards,
+            "seq": self._seq,
+            "latency_ewma": self._latency_ewma,
+            "autoscale": (
+                {
+                    "miss_streak": self._miss_streak,
+                    "idle_streak": self._idle_streak,
+                    "cooldown": self._cooldown,
+                }
+                if self.autoscale is not None
+                else None
+            ),
+            "admission": (
+                {"frame_seconds_ewma": self._frame_seconds_ewma}
+                if self.admission is not None
+                else None
+            ),
+            "deferred": deferred,
+        }
+
+    def _check_state_compatible(self, state: dict | None) -> None:
+        """Everything that can make :meth:`load_state_dict` refuse,
+        checked up front so a restore never half-applies."""
+        if state is None:
+            return
+        version = state.get("version")
+        if version != CONTROLLER_STATE_VERSION:
+            raise ValidationError(
+                f"snapshot carries controller state version {version}; this "
+                f"build reads version {CONTROLLER_STATE_VERSION}"
+            )
+        deferred = state.get("deferred") or []
+        if deferred and self.admission is None:
+            # Without an admission policy the tick loop never drains the
+            # queues; silently adopting them would lose the frames.
+            raise ValidationError(
+                f"snapshot carries {len(deferred)} deferred frame(s) but "
+                "this controller has no AdmissionPolicy to serve them; "
+                "restore with admission enabled (e.g. --latency-budget-ms) "
+                "or take a drained snapshot"
+            )
+
+    def load_state_dict(self, state: dict | None) -> None:
+        """Adopt controller state captured by :meth:`state_dict`.
+
+        ``None`` resets to a cold start (policies keep their config but
+        forget all measurements and queues).
+        """
+        self._check_state_compatible(state)
+        self._latency_ewma = None
+        self._miss_streak = self._idle_streak = self._cooldown = 0
+        self._seq = 0
+        self._frame_seconds_ewma = None
+        self._queues = {}
+        if state is None:
+            return
+        self._seq = int(state.get("seq", 0))
+        self._latency_ewma = state.get("latency_ewma")
+        autoscale = state.get("autoscale")
+        if autoscale is not None and self.autoscale is not None:
+            self._miss_streak = int(autoscale.get("miss_streak", 0))
+            self._idle_streak = int(autoscale.get("idle_streak", 0))
+            self._cooldown = int(autoscale.get("cooldown", 0))
+        admission = state.get("admission")
+        if admission is not None and self.admission is not None:
+            self._frame_seconds_ewma = admission.get("frame_seconds_ewma")
+        for entry in state.get("deferred") or []:
+            frame = StreamFrame(
+                stream_id=entry["stream_id"],
+                model_input=np.asarray(entry["x"], dtype=float),
+                stateless_quality_values=np.asarray(entry["q"], dtype=float),
+                new_series=bool(entry["new_series"]),
+                scope_factors=entry["scope"],
+                priority=int(entry["priority"]),
+            )
+            queue = self._queues.setdefault(entry["stream_id"], deque())
+            queue.append(
+                _QueuedFrame(int(entry["seq"]), int(entry["priority"]), frame)
+            )
+
+    def _write_snapshot(self) -> None:
+        import pathlib
+
+        stem = pathlib.Path(self.snapshot_dir) / f"tick_{self.engine.tick:06d}"
+        self.snapshot().save(stem)
+        self.stats.snapshots_written += 1
+        self.snapshots_written.append(str(stem))
+
+
+class _AdmissionOutcome:
+    """Staged queue mutations of one tick's admission decision.
+
+    The engine may reject the admitted batch (validation error); the
+    controller's queues must then look exactly as before the tick, so
+    every mutation is recorded here and applied on :meth:`commit` (or
+    discarded on :meth:`rollback`).
+    """
+
+    def __init__(self, queues: dict, seq_before: int = 0) -> None:
+        self._queues = queues
+        self._pops: list = []            # stream ids whose front was admitted
+        self._pushes: list[tuple[object, _QueuedFrame]] = []
+        self.seq_before = seq_before
+        self.resumed = 0
+        self.deferred_frames: list[_QueuedFrame] = []
+        self.dropped_frames: list[_QueuedFrame] = []
+        self.budget: int | None = None
+
+    def pop_front(self, stream_id) -> None:
+        self._pops.append(stream_id)
+
+    def enqueue(self, stream_id, queued: _QueuedFrame) -> None:
+        self._pushes.append((stream_id, queued))
+
+    def rollback(self) -> None:
+        """Forget everything staged; the queues were never touched."""
+        self._pops.clear()
+        self._pushes.clear()
+        self.resumed = 0
+
+    def commit(self, max_deferred_per_stream: int) -> None:
+        """Apply the staged mutations to the live queues.
+
+        The per-stream bound is enforced here: a push that would grow a
+        queue past ``max_deferred_per_stream`` drops the frame instead
+        (the loud ``admission_overflow`` statistic).
+        """
+        for stream_id in self._pops:
+            queue = self._queues[stream_id]
+            queue.popleft()
+            if not queue:
+                del self._queues[stream_id]
+        for stream_id, queued in self._pushes:
+            queue = self._queues.setdefault(stream_id, deque())
+            if len(queue) >= max_deferred_per_stream:
+                self.dropped_frames.append(queued)
+                continue
+            queue.append(queued)
+            self.deferred_frames.append(queued)

@@ -76,6 +76,12 @@ class StreamFrame:
     scope_factors:
         Named scope-factor values for this frame; required (per frame)
         when the engine was built with a scope model, ignored otherwise.
+    priority:
+        QoS priority class of this frame (smaller = more important).
+        The engine itself ignores it -- outcomes never depend on
+        priority -- but the control plane's
+        :class:`~repro.serving.controller.AdmissionPolicy` admits
+        lower-numbered classes first when a tick exceeds its budget.
     """
 
     stream_id: object
@@ -83,6 +89,7 @@ class StreamFrame:
     stateless_quality_values: object
     new_series: bool = False
     scope_factors: dict | None = None
+    priority: int = 0
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ wrapper's explicit ``reset`` when objects simply disappear from view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.buffer import TimeseriesBuffer

@@ -22,6 +22,7 @@ from repro.core.timeseries_wrapper import (
 from repro.datasets.gtsrb import GTSRBLikeGenerator
 from repro.exceptions import ValidationError
 from repro.models.features import PrototypeFeatureModel
+from repro.serving.controller import ServingController
 from repro.serving.engine import StreamFrame, StreamingEngine
 
 __all__ = [
@@ -66,6 +67,7 @@ def build_stream_workload(
     rng: np.random.Generator,
     generator: GTSRBLikeGenerator | None = None,
     settings_per_series: int = 1,
+    priority_classes: int = 1,
 ) -> StreamWorkload:
     """Build an interleaved replay of situation-augmented GTSRB streams.
 
@@ -86,11 +88,21 @@ def build_stream_workload(
         Series source; a default :class:`GTSRBLikeGenerator` when omitted.
     settings_per_series:
         Situation augmentations per base series.
+    priority_classes:
+        QoS priority classes dealt round-robin over the streams
+        (stream ``s`` gets class ``s % priority_classes``); class 0 is
+        the most important.  1 (the default) leaves every frame at the
+        engine-default priority, which admission-free runs ignore
+        entirely.
     """
     if n_streams < 1:
         raise ValidationError(f"n_streams must be >= 1, got {n_streams}")
     if n_ticks < 1:
         raise ValidationError(f"n_ticks must be >= 1, got {n_ticks}")
+    if priority_classes < 1:
+        raise ValidationError(
+            f"priority_classes must be >= 1, got {priority_classes}"
+        )
     generator = generator or GTSRBLikeGenerator()
 
     # Generate enough augmented series to cover n_streams * n_ticks frames,
@@ -122,6 +134,7 @@ def build_stream_workload(
                         model_input=embeddings[t],
                         stateless_quality_values=series.sensed[t],
                         new_series=(t == 0),
+                        priority=stream_id % priority_classes,
                     )
                 )
         per_stream.append(frames[:n_ticks])
@@ -135,12 +148,16 @@ def build_stream_workload(
 def replay_engine(
     engine: StreamingEngine, workload: StreamWorkload
 ) -> dict[object, list[TimeseriesWrappedOutcome]]:
-    """Run the workload through ``step_batch``, outcomes grouped per stream."""
-    outcomes: dict[object, list[TimeseriesWrappedOutcome]] = {}
-    for frames in workload.ticks:
-        for result in engine.step_batch(frames):
-            outcomes.setdefault(result.stream_id, []).append(result.outcome)
-    return outcomes
+    """Run the workload through ``step_batch``, outcomes grouped per stream.
+
+    Driven by a policy-free :class:`ServingController` -- the single tick
+    loop every serving path shares -- which is bitwise-identical to
+    calling ``engine.step_batch`` tick by tick.
+    """
+    return {
+        stream_id: [result.outcome for result in results]
+        for stream_id, results in replay_results(engine, workload).items()
+    }
 
 
 def replay_results(engine, workload: StreamWorkload) -> dict[object, list]:
@@ -151,12 +168,12 @@ def replay_results(engine, workload: StreamWorkload) -> dict[object, list]:
     the cluster equivalence checks compare, and transport-agnostic: any
     object with ``step_batch`` (a :class:`StreamingEngine` or a
     :class:`~repro.serving.cluster.ShardedEngine` on any transport) fits.
+    The tick loop is the control plane's (policy-free), so every replay
+    exercises the same driver the CLI and benchmarks use; the engine is
+    left open (the caller owns its lifecycle).
     """
-    per_stream: dict[object, list] = {}
-    for frames in workload.ticks:
-        for result in engine.step_batch(frames):
-            per_stream.setdefault(result.stream_id, []).append(result)
-    return per_stream
+    with ServingController(engine, owns_engine=False) as controller:
+        return controller.run(workload.ticks)
 
 
 def replay_naive(

@@ -131,6 +131,13 @@ class RegistrySnapshot:
         One :class:`StreamStateSnapshot` per tracked stream.
     version:
         Snapshot format version (:data:`SNAPSHOT_VERSION`).
+    controller:
+        Optional control-plane state
+        (:meth:`~repro.serving.controller.ServingController.state_dict`:
+        policy EWMAs, autoscale streaks, deferred frame queues), attached
+        by :meth:`ServingController.snapshot` so a restored controller
+        continues the controlled run exactly.  ``None`` for snapshots
+        taken straight off an engine; engines ignore it on restore.
     """
 
     tick: int
@@ -139,6 +146,7 @@ class RegistrySnapshot:
     statistics: dict = field(default_factory=dict)
     streams: list[StreamStateSnapshot] = field(default_factory=list)
     version: int = SNAPSHOT_VERSION
+    controller: dict | None = None
 
     # ------------------------------------------------------------------
     # Capture / restore
@@ -241,6 +249,7 @@ class RegistrySnapshot:
             "max_buffer_length": self.max_buffer_length,
             "idle_ttl": self.idle_ttl,
             "statistics": self.statistics,
+            "controller": self.controller,
             "streams": [
                 {
                     "id": s.stream_id,
@@ -320,6 +329,7 @@ class RegistrySnapshot:
             statistics=dict(meta.get("statistics", {})),
             streams=streams,
             version=int(version),
+            controller=meta.get("controller"),
         )
 
     # ------------------------------------------------------------------

@@ -520,6 +520,7 @@ class ChannelEndpoint(WorkerEndpoint):
         super().__init__(shard)
         self._channel = channel
         self._pending: str | None = None
+        self._shut_down = False
 
     def send(self, command: str, payload=None) -> None:
         self.send_prepared(self.prepare(command, payload))
@@ -566,6 +567,12 @@ class ChannelEndpoint(WorkerEndpoint):
         self._channel.set_timeout(timeout)
 
     def shutdown(self, timeout: float = 5.0) -> None:
+        # Idempotent: the controller's context manager, ShardedEngine's
+        # close(), and __del__ may all race to tear a worker down; only
+        # the first call does the goodbye + close work.
+        if self._shut_down:
+            return
+        self._shut_down = True
         if self.alive:
             try:
                 # Bound the goodbye: a wedged peer must not turn close()

@@ -33,7 +33,7 @@ per-leaf uncertainty values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -156,6 +156,36 @@ class TestHashRingProperties:
                 stable_stream_hash(stream_id)
             )
 
+    def test_shard_for_hash_after_shrink_to_one(self):
+        # Shrunk to a single shard, every hash -- including ones past the
+        # last vnode, which wrap around the ring -- must map to shard 0.
+        ring = HashRing(1)
+        assert ring.shard_for_hash(0) == 0
+        assert ring.shard_for_hash((1 << 64) - 1) == 0  # wrap-around arc
+        for stream_id in self.IDS[:512]:
+            assert ring.shard_for(stream_id) == 0
+        # And a live shrink-to-1 agrees with the ring's prediction.
+        assert all(
+            HashRing(1).shard_for(i) == 0 for i in self.IDS[:64]
+        )
+
+    def test_single_vnode_rings_are_total_and_consistent(self):
+        # replicas=1 is the degenerate ring: one point per shard.  Balance
+        # is not guaranteed, but placement must stay total (every hash
+        # owned), deterministic, and minimally moving on resize.
+        for n_shards in (1, 2, 5):
+            ring = HashRing(n_shards, replicas=1)
+            owners = {ring.shard_for(i) for i in self.IDS}
+            assert owners <= set(range(n_shards))
+            for stream_id in self.IDS[:128]:
+                assert ring.shard_for(stream_id) == ring.shard_for_hash(
+                    stable_stream_hash(stream_id)
+                )
+        before, after = HashRing(3, replicas=1), HashRing(4, replicas=1)
+        for stream_id in self.IDS:
+            if before.shard_for(stream_id) != after.shard_for(stream_id):
+                assert after.shard_for(stream_id) == 3  # only onto the new shard
+
     def test_live_rebalance_matches_ring_prediction_on_shrink(
         self, synthetic_stack, series_maker
     ):

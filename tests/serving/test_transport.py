@@ -140,6 +140,36 @@ class TestTransportEquivalence:
                 cluster.statistics().evicted == single.registry.statistics.evicted
             )
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_all_frameless_ticks_advance_cluster_time(
+        self, synthetic_stack, series_maker, transport
+    ):
+        # Empty-batch ticks cross every transport as the dedicated
+        # frameless payload; time must pass cluster-wide so TTL eviction
+        # fires on exactly the single-process tick, and an engine that
+        # served nothing but empty ticks must still be at the right time.
+        rng = np.random.default_rng(353)
+        series = series_maker(rng, n_series=3, length=2)
+        ids = [f"s{sid}" for sid in range(3)]
+        factory = make_factory(synthetic_stack, idle_ttl=2)
+
+        single = factory()
+        with cluster_on(transport, factory, 2) as cluster:
+            for _ in range(3):  # frameless from a cold start
+                assert cluster.step_batch([]) == single.step_batch([])
+            frames = tick_frames(series, ids, 0)
+            assert cluster.step_batch(frames) == single.step_batch(frames)
+            for _ in range(3):  # frameless past the TTL: eviction tick
+                assert cluster.step_batch([]) == single.step_batch([])
+                assert cluster.n_streams == single.n_streams
+            assert cluster.tick == single.tick == 7
+            assert cluster.n_streams == 0  # all three evicted by the TTL
+            assert (
+                cluster.statistics().evicted
+                == single.registry.statistics.evicted
+                == 3
+            )
+
     @pytest.mark.parametrize("transport", ["pipe", "tcp"])
     def test_worker_errors_map_to_original_types(
         self, synthetic_stack, series_maker, transport

@@ -197,6 +197,100 @@ class TestServeClusterCommand:
         assert "outputs identical: True" in capsys.readouterr().out
 
 
+class TestControlPlaneFlags:
+    def test_parser_defaults(self):
+        for command in ("simulate-streams", "serve-cluster"):
+            args = build_parser().parse_args([command, "--smoke"])
+            assert args.latency_budget_ms is None
+            assert args.autoscale is None
+            assert args.priority_field == "priority"
+            assert args.priority_classes == 1
+            assert args.stats_every == 0
+
+    def test_autoscale_requires_budget(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate-streams", "--smoke", "--streams", "4",
+                 "--ticks", "2", "--autoscale", "1:2"]
+            )
+
+    def test_bad_autoscale_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate-streams", "--smoke", "--streams", "4",
+                 "--ticks", "2", "--latency-budget-ms", "5",
+                 "--autoscale", "4:2"]
+            )
+
+    def test_admission_and_stats_every_smoke(self, capsys):
+        # A generous budget admits everything: the run must match the
+        # naive replay exactly and print telemetry lines.
+        code = main(
+            [
+                "simulate-streams", "--smoke",
+                "--streams", "8", "--ticks", "6",
+                "--latency-budget-ms", "5000",
+                "--priority-classes", "2",
+                "--stats-every", "2",
+                "--compare-naive",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outputs identical: True" in out
+        assert "admission:" in out
+        assert "tick 2: latency" in out
+
+    def test_autoscale_inproc_smoke(self, capsys):
+        code = main(
+            [
+                "simulate-streams", "--smoke",
+                "--streams", "8", "--ticks", "5",
+                "--latency-budget-ms", "5000",
+                "--autoscale", "1:2",
+                "--transport", "inproc",
+                "--compare-naive",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autoscale:" in out
+        assert "outputs identical: True" in out
+
+    def test_serve_cluster_clamps_shards_into_autoscale_range(self, capsys):
+        # --shards 1 with --autoscale 2:3 must start at the policy
+        # minimum (the policy only shrinks above it, never grows into it).
+        code = main(
+            [
+                "serve-cluster", "--smoke",
+                "--streams", "6", "--ticks", "3",
+                "--shards", "1", "--transport", "inproc",
+                "--latency-budget-ms", "5000",
+                "--autoscale", "2:3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "starting 2 inproc shard worker(s)" in out
+        assert "final shard count 2" in out
+
+    def test_serve_cluster_with_admission(self, capsys):
+        code = main(
+            [
+                "serve-cluster", "--smoke",
+                "--streams", "8", "--ticks", "5",
+                "--shards", "2", "--transport", "inproc",
+                "--latency-budget-ms", "5000",
+                "--priority-classes", "2",
+                "--compare-single",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admission:" in out
+        assert "outputs identical: True" in out
+
+
 class TestImportanceCommand:
     def test_smoke_importance_with_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "fig7.csv"
