@@ -1,0 +1,155 @@
+"""Failover cost: recovery latency and replay depth under a worker kill.
+
+The failover claim has two halves -- *exactness* (a recovered run is
+bitwise-identical to an uninterrupted one) and *boundedness* (recovery
+costs a handful of ticks, not a cold start).  This benchmark measures
+both on a pipe cluster serving the standard interleaved GTSRB workload:
+
+* a *steady* failover-enabled run (no faults) -- per-tick latency p50/p95
+  and the checkpoint overhead of the tick journal;
+* a *kill* run -- one shard worker SIGKILLed mid-run; the controller
+  respawns it, restores the recovery checkpoint, replays the journal,
+  and retries.  Gates: the final per-stream results equal the
+  uninterrupted single-process run bitwise, exactly one failover was
+  needed, the replay depth matches the journal geometry, and the
+  recovery stall stays under ``RECOVERY_BUDGET_TICKS`` x the steady p95
+  tick latency (recovery does a respawn + full restore + replay, so its
+  natural cost is a few tick-equivalents).
+
+Everything lands in ``BENCH_failover.json`` next to the usual
+transport/shards/host-core context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FailoverPolicy,
+    ServingController,
+    ShardedEngine,
+    StreamingEngine,
+    build_stream_workload,
+)
+
+#: Large enough that a tick is real work: recovery carries a fixed
+#: respawn cost (~one fork + handshake), which a toy tick size would
+#: unfairly compare against.
+N_STREAMS = 512
+N_TICKS = 24
+N_SHARDS = 2
+JOURNAL_DEPTH = 4
+#: Kill before this tick; with journal_depth=4 the checkpoints advance
+#: after ticks 3/7/11, so the journal holds ticks 12-13 -> replay depth 2.
+KILL_TICK = 14
+VICTIM = 1
+#: Recovery budget in steady-state p95 tick latencies (the ISSUE gate).
+RECOVERY_BUDGET_TICKS = 5
+
+
+@pytest.fixture(scope="module")
+def workload(study_data):
+    rng = np.random.default_rng(20261)
+    return build_stream_workload(
+        study_data.feature_model, N_STREAMS, N_TICKS, rng
+    )
+
+
+def _engine_factory(study_data):
+    def factory():
+        return StreamingEngine(
+            ddm=study_data.ddm,
+            stateless_qim=study_data.stateless_qim,
+            timeseries_qim=study_data.ta_qim,
+            layout=study_data.layout,
+        )
+
+    return factory
+
+
+def _policy():
+    return FailoverPolicy(max_failovers=2, journal_depth=JOURNAL_DEPTH)
+
+
+def test_failover_recovery_is_exact_and_bounded(
+    study_data, workload, write_bench_json, usable_cores
+):
+    factory = _engine_factory(study_data)
+
+    # Uninterrupted single-process baseline: the bitwise reference.
+    baseline_engine = factory()
+    baseline: dict = {}
+    for frames in workload.ticks:
+        for result in baseline_engine.step_batch(frames):
+            baseline.setdefault(result.stream_id, []).append(result)
+
+    # Steady failover-enabled cluster run: no faults, measures the tick
+    # cost including journal upkeep and checkpoint captures.
+    with ShardedEngine(factory, N_SHARDS, transport="pipe") as cluster:
+        controller = ServingController(cluster, failover=_policy())
+        steady = controller.run(workload.ticks)
+        steady_latencies = [t.latency_seconds for t in controller.telemetry]
+        assert controller.stats.failovers == 0
+    assert steady == baseline, "steady failover-enabled run diverged"
+    steady_p50 = float(np.median(steady_latencies))
+    steady_p95 = float(np.percentile(steady_latencies, 95))
+
+    # Kill run: SIGKILL one worker between ticks; the next fan-out sees
+    # the death and the controller recovers.
+    with ShardedEngine(factory, N_SHARDS, transport="pipe") as cluster:
+        controller = ServingController(cluster, failover=_policy())
+        killed: dict = {}
+        for t, frames in enumerate(workload.ticks):
+            if t == KILL_TICK:
+                victim = cluster._workers[VICTIM].process
+                victim.kill()
+                victim.join(5.0)
+            for result in controller.tick(frames):
+                killed.setdefault(result.stream_id, []).append(result)
+        stats = controller.stats
+        recovery_records = [t for t in controller.telemetry if t.failovers]
+
+    assert len(recovery_records) == 1
+    record = recovery_records[0]
+    recovery_seconds = record.recovery_seconds
+    replay_depth = record.replay_depth
+    recovery_budget = RECOVERY_BUDGET_TICKS * steady_p95
+
+    write_bench_json(
+        "failover",
+        {
+            "streams": N_STREAMS,
+            "ticks": N_TICKS,
+            "journal_depth": JOURNAL_DEPTH,
+            "kill_tick": KILL_TICK,
+            "steady_p50_tick_seconds": steady_p50,
+            "steady_p95_tick_seconds": steady_p95,
+            "failovers": stats.failovers,
+            "shards_respawned": stats.shards_respawned,
+            "replay_depth": replay_depth,
+            "recovery_seconds": recovery_seconds,
+            "recovery_budget_seconds": recovery_budget,
+            "recovery_ticks_equivalent": (
+                recovery_seconds / steady_p50 if steady_p50 else None
+            ),
+            "outputs_identical": killed == baseline,
+        },
+        transport="pipe",
+        shards=N_SHARDS,
+    )
+
+    # Gate 1: exactness -- the kill is invisible in the results.
+    assert killed == baseline, "recovered run diverged from the baseline"
+    assert stats.failovers == 1
+    assert stats.shards_respawned == 1
+
+    # Gate 2: the replay depth matches the journal geometry (checkpoint
+    # after tick 11, kill before tick 14 -> ticks 12-13 replayed).
+    assert replay_depth == KILL_TICK % JOURNAL_DEPTH == 2
+
+    # Gate 3: boundedness -- recovery (respawn + restore + replay +
+    # retry) stays within the budget of steady-state p95 ticks.
+    assert recovery_seconds < recovery_budget, (
+        f"recovery took {recovery_seconds * 1e3:.1f}ms, over the budget of "
+        f"{RECOVERY_BUDGET_TICKS} x p95 = {recovery_budget * 1e3:.1f}ms "
+        f"(steady p95 {steady_p95 * 1e3:.1f}ms)"
+    )

@@ -31,8 +31,11 @@ Both serving commands are driven by the
 reaped even on mid-run exceptions) and accept its policy flags:
 ``--latency-budget-ms`` enables QoS admission control,
 ``--autoscale MIN:MAX`` enables latency-driven shard autoscaling,
-``--priority-field``/``--priority-classes`` shape the QoS classes, and
-``--stats-every N`` prints per-tick telemetry.
+``--priority-field``/``--priority-classes`` shape the QoS classes,
+``--stats-every N`` prints per-tick telemetry, and
+``--max-failovers N``/``--journal-depth K`` enable self-healing worker
+failover (respawn + snapshot restore + tick-journal replay on worker
+death, bitwise-identical to an uninterrupted run).
 ``serve-worker``
     Run one TCP shard worker: listens on ``--listen HOST:PORT``, builds
     a fresh engine per cluster connection, and serves the wire protocol
@@ -196,8 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--ttl", type=int, default=None,
                         help="evict streams idle for this many ticks")
     worker.add_argument("--max-connections", type=int, default=0, metavar="N",
-                        help="exit after serving N cluster connections "
-                             "(0 = serve forever)")
+                        help="exit after N orderly-closed cluster sessions "
+                             "(0 = serve forever; a client that dies "
+                             "mid-session does not consume the budget, so "
+                             "failover reconnects still land)")
 
     return parser
 
@@ -229,6 +234,16 @@ def _add_controller_flags(parser) -> None:
                        help="print per-tick controller telemetry every N "
                             "ticks (latency EWMA, admitted/deferred "
                             "counts, shard count, fan-out overlap)")
+    fault = parser.add_argument_group("fault tolerance (worker failover)")
+    fault.add_argument("--max-failovers", type=int, default=0, metavar="N",
+                       help="recover from up to N worker deaths by "
+                            "respawning the shard, restoring the latest "
+                            "recovery snapshot, and replaying the tick "
+                            "journal (0 = fail fast, the default)")
+    fault.add_argument("--journal-depth", type=int, default=None, metavar="K",
+                       help="ticks buffered between recovery checkpoints "
+                            "(= max replay depth of one recovery; "
+                            "default 16, requires --max-failovers)")
 
 
 def _parse_autoscale(spec: str):
@@ -248,8 +263,8 @@ def _parse_autoscale(spec: str):
 
 
 def _policies_from_args(args):
-    """Resolve the control-plane flags into (autoscale, admission)."""
-    from repro.serving import AdmissionPolicy, AutoscalePolicy
+    """Resolve the control-plane flags into (autoscale, admission, failover)."""
+    from repro.serving import AdmissionPolicy, AutoscalePolicy, FailoverPolicy
 
     budget = None
     if args.latency_budget_ms is not None:
@@ -271,7 +286,21 @@ def _policies_from_args(args):
         admission = AdmissionPolicy(
             latency_budget=budget, priority_field=args.priority_field
         )
-    return autoscale, admission
+    failover = None
+    if args.max_failovers:
+        if args.max_failovers < 0:
+            raise SystemExit("--max-failovers must be >= 0")
+        failover = (
+            FailoverPolicy(max_failovers=args.max_failovers)
+            if args.journal_depth is None
+            else FailoverPolicy(
+                max_failovers=args.max_failovers,
+                journal_depth=args.journal_depth,
+            )
+        )
+    elif args.journal_depth is not None:
+        raise SystemExit("--journal-depth requires --max-failovers")
+    return autoscale, admission, failover
 
 
 def _telemetry_printer(args, cluster=None):
@@ -503,7 +532,7 @@ def _cmd_simulate_streams(args) -> int:
 
     config = _config_from_args(args)
     monitor_factory = _monitor_factory_from_args(args)
-    autoscale, admission = _policies_from_args(args)
+    autoscale, admission, failover = _policies_from_args(args)
 
     print("preparing study pipeline (DDM + calibrated wrappers)...")
     data = prepare_study_data(config)
@@ -518,7 +547,9 @@ def _cmd_simulate_streams(args) -> int:
     )
 
     engine_factory = _engine_factory_from_args(args, data, monitor_factory)
-    sharded = args.shards > 1 or autoscale is not None
+    # Failover needs shard workers to respawn, so it implies the cluster
+    # engine even at --shards 1.
+    sharded = args.shards > 1 or autoscale is not None or failover is not None
     if sharded:
         initial_shards = args.shards
         if autoscale is not None:
@@ -540,6 +571,7 @@ def _cmd_simulate_streams(args) -> int:
             engine,
             autoscale=autoscale,
             admission=admission,
+            failover=failover,
             snapshot_every=args.snapshot_every,
             snapshot_dir=args.snapshot_dir,
             owns_engine=sharded,
@@ -693,7 +725,8 @@ def _cmd_simulate_streams(args) -> int:
 
 def _controller_report(controller, autoscale, admission, final_shards) -> dict:
     """Control-plane fields of a CLI report (empty without policies)."""
-    if autoscale is None and admission is None:
+    failover = controller.failover
+    if autoscale is None and admission is None and failover is None:
         return {}
     stats = controller.stats
     report = {"controller": stats.as_dict()}
@@ -704,6 +737,11 @@ def _controller_report(controller, autoscale, admission, final_shards) -> dict:
         report["frames_deferred"] = stats.frames_deferred
         report["admission_overflow"] = stats.admission_overflow
         report["deferred_backlog"] = controller.backlog
+    if failover is not None:
+        report["failovers"] = stats.failovers
+        report["shards_respawned"] = stats.shards_respawned
+        report["replayed_ticks"] = stats.replayed_ticks
+        report["recovery_seconds"] = stats.recovery_seconds
     return report
 
 
@@ -721,6 +759,15 @@ def _print_controller_summary(controller, autoscale, admission, final_shards):
             f"({controller.backlog} still queued), "
             f"{stats.admission_overflow} dropped (AdmissionOverflow)"
         )
+    if controller.failover is not None:
+        line = (
+            f"failover: {stats.failovers} recover(ies), "
+            f"{stats.shards_respawned} worker(s) respawned, "
+            f"{stats.replayed_ticks} tick(s) replayed"
+        )
+        if stats.failovers:
+            line += f" in {stats.recovery_seconds * 1e3:.1f}ms"
+        print(line)
 
 
 def _cmd_serve_cluster(args) -> int:
@@ -736,7 +783,7 @@ def _cmd_serve_cluster(args) -> int:
     config = _config_from_args(args)
     monitor_factory = _monitor_factory_from_args(args)
     transport = _transport_from_args(args)
-    autoscale, admission = _policies_from_args(args)
+    autoscale, admission, failover = _policies_from_args(args)
 
     restored = None
     if args.restore:  # fail fast on a bad snapshot too
@@ -773,6 +820,7 @@ def _cmd_serve_cluster(args) -> int:
             cluster,
             autoscale=autoscale,
             admission=admission,
+            failover=failover,
             snapshot_every=args.snapshot_every,
             snapshot_dir=args.snapshot_dir,
             owns_engine=True,

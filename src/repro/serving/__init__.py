@@ -24,9 +24,13 @@ The runtime-facing layer above the core wrapper, in three tiers:
   :class:`~repro.serving.controller.AutoscalePolicy` (EWMA vs. budget
   with hysteresis, driving ``rebalance``) and QoS
   :class:`~repro.serving.controller.AdmissionPolicy` (priority classes,
-  per-tick frame budget, bounded deferred queues).  With both policies
-  disabled a controlled run is bitwise-identical to driving the engine
-  directly.
+  per-tick frame budget, bounded deferred queues), plus a
+  :class:`~repro.serving.failover.FailoverPolicy` that makes the cluster
+  self-healing: on worker death the controller respawns the shard,
+  restores its recovery snapshot, replays the buffered tick journal, and
+  retries -- bitwise-identical to an uninterrupted run.  With all
+  policies disabled a controlled run is bitwise-identical to driving the
+  engine directly.
 """
 
 from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
@@ -38,6 +42,7 @@ from repro.serving.controller import (
     TickTelemetry,
 )
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
+from repro.serving.failover import FailoverPolicy
 from repro.serving.protocol import PROTOCOL_VERSION
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
 from repro.serving.simulate import (
@@ -80,6 +85,7 @@ __all__ = [
     "ServingController",
     "AutoscalePolicy",
     "AdmissionPolicy",
+    "FailoverPolicy",
     "ControllerStats",
     "TickTelemetry",
     "PROTOCOL_VERSION",

@@ -41,8 +41,12 @@ recovery is :meth:`ShardedEngine.restore` from the latest snapshot.  A
 worker that dies mid-run surfaces as
 :class:`~repro.exceptions.ClusterWorkerError` naming the shard; the dead
 shard lands in :attr:`ShardedEngine.dead_shards`, surviving shards stay
-in protocol, and further serving calls fail fast until a restore into a
-fresh cluster.
+in protocol, and further serving calls fail fast until the shard is
+revived (:meth:`ShardedEngine.revive_shard` respawns/reconnects the
+worker through the transport -- the control plane's
+:class:`~repro.serving.failover.FailoverPolicy` drives this
+automatically, with snapshot restore + journal replay) or the cluster is
+closed and a snapshot restored into a fresh one.
 """
 
 from __future__ import annotations
@@ -309,7 +313,10 @@ class ShardedEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def _spawn_worker(self, shard: int) -> WorkerEndpoint:
-        endpoint = self.transport.connect(shard, self.engine_factory)
+        return self._handshake(self.transport.connect(shard, self.engine_factory))
+
+    def _handshake(self, endpoint: WorkerEndpoint) -> WorkerEndpoint:
+        shard = endpoint.shard
         try:
             # Hello handshake: joins the worker at the cluster tick,
             # re-raises factory failures, and reports the engine shape +
@@ -369,14 +376,71 @@ class ShardedEngine:
         if self._dead_shards:
             dead = sorted(self._dead_shards)
             raise ClusterWorkerError(
-                f"shard(s) {dead} have died; close this cluster and restore "
-                "the latest snapshot into a fresh one",
+                f"shard(s) {dead} have died; revive_shard() them (and "
+                "restore the latest snapshot) or close this cluster and "
+                "restore into a fresh one",
                 shard=dead[0],
             )
 
     def _note_dead(self, shard: int | None) -> None:
         if shard is not None:
             self._dead_shards.add(shard)
+
+    def revive_shard(self, shard: int, snapshot: RegistrySnapshot | None = None) -> None:
+        """Respawn/reconnect the worker for ``shard``, clearing it from
+        :attr:`dead_shards`.
+
+        The transport tears down the dead endpoint (reaping a killed pipe
+        child, terminating a wedged one, closing a poisoned socket) and
+        brings up a replacement -- a re-forked process for pipe, a
+        reconnect to the same ``serve-worker`` address for TCP -- which
+        then completes the usual hello handshake at the cluster's current
+        tick.  The fresh worker starts with an *empty* registry.
+
+        Two ways to refill it:
+
+        * pass ``snapshot`` (a cluster-wide snapshot): only the streams
+          the current ring places on this shard are restored into the
+          fresh worker, at ``snapshot.tick``.  The caller must then
+          replay that shard forward to the cluster tick before serving
+          resumes -- the contract the control plane's journal replay
+          implements;
+        * leave it ``None`` and restore the whole cluster afterwards
+          (what :class:`~repro.serving.controller.ServingController`'s
+          recovery loop does): simplest, and keeps the cluster-wide
+          statistics exact, since per-worker lifecycle counters died
+          with the old worker.
+
+        Raises if the replacement cannot be reached (e.g. the TCP worker
+        is still down past the transport's connect timeout); the shard
+        then stays in :attr:`dead_shards` and the call can be retried.
+        """
+        self._require_open()
+        if not 0 <= shard < len(self._workers):
+            raise ValidationError(
+                f"shard {shard} is not a current worker "
+                f"(cluster has {len(self._workers)})"
+            )
+        endpoint = self.transport.respawn(
+            self._workers[shard], shard, self.engine_factory
+        )
+        self._workers[shard] = self._handshake(endpoint)
+        self._dead_shards.discard(shard)
+        if snapshot is not None:
+            self._workers[shard].request(
+                "restore",
+                RegistrySnapshot(
+                    tick=snapshot.tick,
+                    max_buffer_length=snapshot.max_buffer_length,
+                    idle_ttl=snapshot.idle_ttl,
+                    statistics={},  # lifecycle counters live in the base
+                    streams=[
+                        stream
+                        for stream in snapshot.streams
+                        if self.shard_for(stream.stream_id) == shard
+                    ],
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -768,7 +832,11 @@ class ShardedEngine:
                 f"shard(s), got n_shards={n_shards}"
             )
         old_n = len(self._workers)
-        if n_shards == old_n:
+        if n_shards == old_n and self._ring.n_shards == n_shards:
+            # Worker count AND ring already match.  (After a rebalance
+            # that failed mid-flight and was recovered, the worker list
+            # may match the target while the ring still doesn't -- the
+            # retry must then run the migration, not early-return.)
             return {"moved": 0, "from": old_n, "to": n_shards}
         new_ring = HashRing(n_shards, self.replicas)
         for shard in range(old_n, n_shards):  # grow first: targets must exist
@@ -818,6 +886,10 @@ class ShardedEngine:
                 self._base_statistics[key] += stats[key]
             worker.shutdown()
         del self._workers[n_shards:]
+        # A dead-shard record pointing past the new worker list refers to
+        # a worker that no longer exists; keeping it would wedge
+        # _require_healthy on a shard nobody can revive.
+        self._dead_shards = {s for s in self._dead_shards if s < n_shards}
         self._ring = new_ring
         # Remap the placement memo from the cached digests -- no re-hash.
         self._shard_cache = {

@@ -46,6 +46,19 @@ counter, and the deferred frame queues (payloads included) -- rides
 inside :class:`~repro.serving.state.RegistrySnapshot` via
 :meth:`ServingController.snapshot`, so restore-then-step reproduces a
 controlled run exactly, mid-autoscale included.
+
+**Self-healing.**  With a
+:class:`~repro.serving.failover.FailoverPolicy` attached, a worker that
+dies mid-run no longer ends the run: the controller keeps an in-memory
+*recovery snapshot* plus a bounded *tick journal* of every admitted
+batch since, and on :class:`~repro.exceptions.ClusterWorkerError` it
+respawns the dead shard(s) (``revive_shard``), restores the cluster from
+the recovery snapshot, replays the journal, and retries the interrupted
+operation -- step, snapshot, or rebalance alike.  Deterministic engines
+make the recovered run bitwise-identical to an uninterrupted one; only
+the ``failovers`` / ``replay_depth`` / ``recovery_seconds`` telemetry
+records that a worker was lost.  Without the policy (the default),
+worker loss fails fast exactly as before.
 """
 
 from __future__ import annotations
@@ -55,20 +68,23 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
-from repro.exceptions import ValidationError
+from repro.exceptions import ClusterWorkerError, ValidationError
 from repro.serving.engine import (
     StreamFrame,
     StreamStepResult,
     validate_tick_frames,
 )
-from repro.serving.protocol import sanitize_wire_scope
-from repro.serving.state import RegistrySnapshot
+from repro.serving.failover import FailoverPolicy
+from repro.serving.state import (
+    RegistrySnapshot,
+    frame_from_state,
+    frame_to_state,
+)
 
 __all__ = [
     "AutoscalePolicy",
     "AdmissionPolicy",
+    "FailoverPolicy",
     "TickTelemetry",
     "ControllerStats",
     "ServingController",
@@ -238,6 +254,9 @@ class TickTelemetry:
     latency_ewma: float             # controller-level latency EWMA
     n_shards: int                   # shard count after any rebalance
     rebalanced_to: int | None       # autoscale action this tick, if any
+    failovers: int = 0              # worker recoveries performed this tick
+    replay_depth: int = 0           # journal ticks replayed recovering
+    recovery_seconds: float = 0.0   # wall time spent in recovery this tick
 
 
 @dataclass
@@ -252,6 +271,10 @@ class ControllerStats:
     admission_overflow: int = 0
     rebalances: int = 0
     snapshots_written: int = 0
+    failovers: int = 0
+    shards_respawned: int = 0
+    replayed_ticks: int = 0
+    recovery_seconds: float = 0.0
     deferred_by_priority: dict = field(default_factory=dict)
     dropped_by_priority: dict = field(default_factory=dict)
 
@@ -265,6 +288,10 @@ class ControllerStats:
             "admission_overflow": self.admission_overflow,
             "rebalances": self.rebalances,
             "snapshots_written": self.snapshots_written,
+            "failovers": self.failovers,
+            "shards_respawned": self.shards_respawned,
+            "replayed_ticks": self.replayed_ticks,
+            "recovery_seconds": self.recovery_seconds,
             "deferred_by_priority": dict(self.deferred_by_priority),
             "dropped_by_priority": dict(self.dropped_by_priority),
         }
@@ -279,6 +306,18 @@ class _QueuedFrame:
         self.seq = seq
         self.priority = priority
         self.frame = frame
+
+
+class _RecoveryLog:
+    """What failover recovery did during one controller operation."""
+
+    __slots__ = ("failovers", "respawned", "replayed", "seconds")
+
+    def __init__(self) -> None:
+        self.failovers = 0
+        self.respawned = 0
+        self.replayed = 0
+        self.seconds = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -296,9 +335,16 @@ class ServingController:
         :class:`~repro.serving.cluster.ShardedEngine` on any transport.
         Autoscaling additionally requires ``rebalance``.
     autoscale / admission:
-        The two pluggable policies; ``None`` disables each.  With both
+        The two scheduling policies; ``None`` disables each.  With both
         disabled a controller tick is bitwise-identical to calling
         ``engine.step_batch`` directly.
+    failover:
+        Optional :class:`~repro.serving.failover.FailoverPolicy`
+        enabling automatic worker respawn + snapshot replay on
+        :class:`~repro.exceptions.ClusterWorkerError`.  Requires an
+        engine with ``revive_shard`` (a
+        :class:`~repro.serving.cluster.ShardedEngine`); ``None`` (the
+        default) keeps the fail-fast behavior.
     snapshot_every / snapshot_dir:
         Write ``engine`` + controller state to
         ``snapshot_dir/tick_NNNNNN`` every K completed ticks (0 = never).
@@ -319,6 +365,7 @@ class ServingController:
         engine,
         autoscale: AutoscalePolicy | None = None,
         admission: AdmissionPolicy | None = None,
+        failover: FailoverPolicy | None = None,
         snapshot_every: int = 0,
         snapshot_dir=None,
         owns_engine: bool = False,
@@ -332,6 +379,12 @@ class ServingController:
                 "AutoscalePolicy requires an engine with rebalance() "
                 "(a ShardedEngine); the single-process engine cannot scale"
             )
+        if failover is not None and not hasattr(engine, "revive_shard"):
+            raise ValidationError(
+                "FailoverPolicy requires an engine with revive_shard() "
+                "(a ShardedEngine); a single-process engine has no workers "
+                "to respawn"
+            )
         if snapshot_every < 0:
             raise ValidationError(
                 f"snapshot_every must be >= 0, got {snapshot_every}"
@@ -341,6 +394,7 @@ class ServingController:
         self.engine = engine
         self.autoscale = autoscale
         self.admission = admission
+        self.failover = failover
         self.snapshot_every = snapshot_every
         self.snapshot_dir = snapshot_dir
         self.owns_engine = owns_engine
@@ -361,6 +415,17 @@ class ServingController:
         self._seq = 0
         self._frame_seconds_ewma: float | None = None
         self._queues: dict[object, deque[_QueuedFrame]] = {}
+        # Failover state: the in-memory recovery snapshot (refreshed
+        # every journal_depth ticks and at every controller snapshot)
+        # plus the journal of admitted batches since it.
+        self._recovery_snapshot: RegistrySnapshot | None = None
+        self._journal: deque[list[StreamFrame]] = deque()
+        if failover is not None:
+            # Captured eagerly so a worker death during the very first
+            # controlled operation has a baseline to restore -- one that
+            # includes any state the engine already held when this
+            # controller attached to it.
+            self._recovery_snapshot = self.engine.snapshot()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -423,9 +488,12 @@ class ServingController:
             admitted_q, deferral = None, None
             batch = frames
 
+        recovery = _RecoveryLog()
         before = self.clock()
         try:
-            results = self.engine.step_batch(batch)
+            results = self._attempt(
+                lambda: self.engine.step_batch(batch), recovery
+            )
         except Exception:
             if deferral is not None:
                 deferral.rollback()
@@ -435,6 +503,13 @@ class ServingController:
                 self._seq = deferral.seq_before
             raise
         latency = self.clock() - before
+        if self.failover is not None:
+            # Journal the admitted batch, then checkpoint once the
+            # journal is full: the recovery snapshot advances to the
+            # current state and the replay window restarts empty.
+            self._journal.append(batch)
+            if len(self._journal) >= self.failover.journal_depth:
+                self._refresh_recovery_point(recovery)
         if deferral is not None:
             deferral.commit(self.admission.max_deferred_per_stream)
             self.stats.frames_resumed += deferral.resumed
@@ -457,7 +532,9 @@ class ServingController:
                     per_frame - self._frame_seconds_ewma
                 )
 
-        rebalanced_to = self._autoscale_step()
+        rebalanced_to = self._autoscale_step(recovery)
+        if self.snapshot_every and self.engine.tick % self.snapshot_every == 0:
+            self._write_snapshot(recovery)
 
         self.stats.ticks += 1
         self.stats.frames_submitted += submitted
@@ -479,13 +556,13 @@ class ServingController:
             latency_ewma=self._latency_ewma,
             n_shards=self.n_shards,
             rebalanced_to=rebalanced_to,
+            failovers=recovery.failovers,
+            replay_depth=recovery.replayed,
+            recovery_seconds=recovery.seconds,
         )
         self.telemetry.append(record)
         if self.on_tick is not None:
             self.on_tick(record)
-
-        if self.snapshot_every and self.engine.tick % self.snapshot_every == 0:
-            self._write_snapshot()
         return results
 
     def run(self, ticks) -> dict[object, list[StreamStepResult]]:
@@ -498,6 +575,141 @@ class ServingController:
             for result in self.tick(frames):
                 per_stream.setdefault(result.stream_id, []).append(result)
         return per_stream
+
+    # ------------------------------------------------------------------
+    # Failover (recovery snapshot + tick journal + respawn/replay loop)
+    # ------------------------------------------------------------------
+    def _attempt(self, operation: Callable, recovery: _RecoveryLog):
+        """Run one engine operation, recovering dead workers per the policy.
+
+        Without a :class:`FailoverPolicy` this is a plain call -- zero
+        extra engine traffic, preserving the disabled-policy invariant.
+        With one, every :class:`ClusterWorkerError` -- from the operation
+        or from a recovery attempt itself -- triggers one budgeted
+        recovery (revive + restore + replay) before the operation is
+        retried.  Exhausting ``max_failovers`` re-raises the latest
+        error, with the failing shard attached, exactly as a
+        failover-free controller would have.
+        """
+        if self.failover is None:
+            return operation()
+        while True:
+            if self._recovery_snapshot is None:
+                # Re-arm the checkpoint (only needed after a bare
+                # ``load_state_dict``; the constructor and ``restore``
+                # both leave one in place).  Deliberately OUTSIDE the
+                # recovery path: with no checkpoint there is nothing to
+                # restore a dead shard's streams from, so a worker death
+                # during this capture must fail fast rather than
+                # blank-revive the shard and silently diverge.
+                self._recovery_snapshot = self.engine.snapshot()
+                self._journal.clear()
+            try:
+                return operation()
+            except ClusterWorkerError as error:
+                # Recovery itself may hit another worker death (the
+                # respawned worker dies again, a TCP replacement is not
+                # up yet, a second shard fails during the replay); each
+                # such failure consumes budget and is retried, with the
+                # backoff growing per attempt -- never aborted while
+                # budget remains.
+                while True:
+                    if self.stats.failovers >= self.failover.max_failovers:
+                        raise error
+                    try:
+                        self._recover(error, recovery)
+                        break
+                    except ClusterWorkerError as again:
+                        error = again
+
+    def _recover(self, error: ClusterWorkerError, recovery: _RecoveryLog) -> None:
+        """One recovery pass: respawn dead shards, restore, replay.
+
+        The caller enforces the ``max_failovers`` budget.  Recovery wall
+        time is measured with ``time.perf_counter`` directly (not the
+        injectable ``clock``) so scripted-latency policy tests are not
+        perturbed; the *tick latency* the caller observes still spans the
+        recovery, by design -- the stall is real and telemetry reports it.
+        """
+        policy = self.failover
+        self.stats.failovers += 1
+        recovery.failovers += 1
+        if recovery.failovers > 1 and policy.respawn_backoff > 0.0:
+            # Linear backoff between consecutive attempts on the same
+            # operation: a TCP worker being restarted by a supervisor
+            # needs a moment beyond the transport's own connect retries.
+            time.sleep(policy.respawn_backoff * (recovery.failovers - 1))
+        started = time.perf_counter()
+        try:
+            dead = set(self.engine.dead_shards)
+            if error.shard is not None:
+                dead.add(error.shard)
+            for shard in sorted(dead):
+                # A shard index past the worker list names a worker that
+                # never finished spawning (mid-grow failure); there is
+                # no endpoint to revive -- retrying the rebalance will
+                # spawn it.
+                if shard < self.engine.n_shards:
+                    self.engine.revive_shard(shard)
+                    self.stats.shards_respawned += 1
+                    recovery.respawned += 1
+            # Roll the WHOLE cluster back to the checkpoint and replay
+            # the journaled batches: survivors that already stepped the
+            # interrupted tick rewind with everyone else, so the retry
+            # cannot double-step them, and the cluster-wide statistics
+            # stay exact (the dead worker's counters died with it; a
+            # shard-local restore could not reconstruct them).  The
+            # checkpoint always exists here -- the constructor captures
+            # one eagerly and _attempt re-arms it outside this path.
+            self.engine.restore(self._recovery_snapshot)
+            for batch in self._journal:
+                self.engine.step_batch(batch)
+            self.stats.replayed_ticks += len(self._journal)
+            recovery.replayed += len(self._journal)
+        finally:
+            seconds = time.perf_counter() - started
+            self.stats.recovery_seconds += seconds
+            recovery.seconds += seconds
+
+    def _refresh_recovery_point(self, recovery: _RecoveryLog) -> None:
+        """Advance the recovery snapshot to the current state and clear
+        the journal (itself failover-protected: a worker lost during the
+        checkpoint capture is recovered from the previous checkpoint)."""
+        self._recovery_snapshot = self._attempt(self.engine.snapshot, recovery)
+        self._journal.clear()
+
+    def _rebalance_engine(self, target: int, recovery: _RecoveryLog) -> dict:
+        """``engine.rebalance`` with failover protection.
+
+        A worker lost mid-migration leaves half-moved state; recovery
+        restores the checkpoint, replays the journal, and retries the
+        rebalance (which is resumable by construction: migration is
+        computed against the *target* ring, wherever streams currently
+        live).  After success the recovery point is refreshed so no
+        journaled batch ever straddles a topology change.
+        """
+        summary = self._attempt(lambda: self.engine.rebalance(target), recovery)
+        if self.failover is not None:
+            self._refresh_recovery_point(recovery)
+        return summary
+
+    def rebalance(self, n_shards: int) -> dict:
+        """Manually rescale a sharded engine through the controller.
+
+        Unlike calling ``engine.rebalance`` directly, this routes through
+        the failover recovery loop (a worker killed mid-rebalance is
+        respawned and the rebalance retried) and keeps the controller's
+        recovery checkpoint consistent with the new topology.  Counts as
+        a rebalance in :attr:`stats`; returns the engine's migration
+        summary.
+        """
+        if not hasattr(self.engine, "rebalance"):
+            raise ValidationError(
+                "engine has no rebalance(); only a sharded engine can rescale"
+            )
+        summary = self._rebalance_engine(n_shards, _RecoveryLog())
+        self.stats.rebalances += 1
+        return summary
 
     # ------------------------------------------------------------------
     # Admission
@@ -618,7 +830,7 @@ class ServingController:
     # ------------------------------------------------------------------
     # Autoscale
     # ------------------------------------------------------------------
-    def _autoscale_step(self) -> int | None:
+    def _autoscale_step(self, recovery: _RecoveryLog) -> int | None:
         """Update streaks from the latency EWMA; rebalance when due."""
         policy = self.autoscale
         if policy is None:
@@ -647,7 +859,7 @@ class ServingController:
             target = current - 1
         if target is None:
             return None
-        self.engine.rebalance(target)
+        self._rebalance_engine(target, recovery)
         self.stats.rebalances += 1
         self._miss_streak = 0
         self._idle_streak = 0
@@ -659,9 +871,23 @@ class ServingController:
     # snapshot so restore-then-step reproduces the controlled run)
     # ------------------------------------------------------------------
     def snapshot(self) -> RegistrySnapshot:
-        """The engine's snapshot with the controller's state attached."""
-        snapshot = self.engine.snapshot()
+        """The engine's snapshot with the controller's state attached.
+
+        With failover enabled the capture doubles as a recovery
+        checkpoint (the freshest possible baseline is free here), and a
+        worker lost *during* the capture is recovered and the capture
+        retried.
+        """
+        return self._snapshot(_RecoveryLog())
+
+    def _snapshot(self, recovery: _RecoveryLog) -> RegistrySnapshot:
+        snapshot = self._attempt(self.engine.snapshot, recovery)
         snapshot.controller = self.state_dict()
+        if self.failover is not None:
+            # Engine restore ignores the attached controller state, so
+            # the returned object can serve directly as the baseline.
+            self._recovery_snapshot = snapshot
+            self._journal.clear()
         return snapshot
 
     def restore(self, snapshot: RegistrySnapshot) -> None:
@@ -679,41 +905,32 @@ class ServingController:
         self._check_state_compatible(snapshot.controller)
         self.engine.restore(snapshot)
         self.load_state_dict(snapshot.controller)
+        if self.failover is not None:
+            # Rebase recovery on the restored state: the snapshot already
+            # contains every journaled tick's effects, so the replay
+            # window restarts empty (any journal the controller state
+            # carried was bookkeeping for the *capturing* run).
+            self._recovery_snapshot = snapshot
+            self._journal.clear()
         if self.autoscale is not None and snapshot.controller is not None:
             recorded = snapshot.controller.get("n_shards")
             if recorded is not None and recorded != self.n_shards:
-                self.engine.rebalance(int(recorded))
+                self._rebalance_engine(int(recorded), _RecoveryLog())
 
     def state_dict(self) -> dict:
         """JSON-safe controller state (policy EWMAs, streaks, queues).
 
-        Deferred frame payloads are stored as plain float lists; JSON
+        Deferred and journaled frame payloads are stored as plain float
+        lists (:func:`~repro.serving.state.frame_to_state`); JSON
         round-trips Python floats exactly (shortest-repr), so restored
         frames step to bitwise-identical results.
         """
         deferred = []
         for stream_id, queue in self._queues.items():
             for queued in queue:
-                frame = queued.frame
-                deferred.append(
-                    {
-                        "stream_id": stream_id,
-                        "seq": queued.seq,
-                        "priority": queued.priority,
-                        "new_series": bool(frame.new_series),
-                        "scope": sanitize_wire_scope(
-                            frame.scope_factors, stream_id
-                        ),
-                        "x": np.asarray(frame.model_input, dtype=float)
-                        .ravel()
-                        .tolist(),
-                        "q": np.asarray(
-                            frame.stateless_quality_values, dtype=float
-                        )
-                        .ravel()
-                        .tolist(),
-                    }
-                )
+                entry = frame_to_state(queued.frame)
+                entry["seq"] = queued.seq
+                deferred.append(entry)
         return {
             "version": CONTROLLER_STATE_VERSION,
             "n_shards": self.n_shards,
@@ -734,6 +951,22 @@ class ServingController:
                 else None
             ),
             "deferred": deferred,
+            # The failover journal: the admitted batches a recovery at
+            # capture time would have replayed.  Serialized so a snapshot
+            # is a complete audit of the control plane; a *restored*
+            # controller rebases recovery on the restored state (which
+            # already includes these ticks' effects), so the window
+            # restarts empty there.
+            "failover": (
+                {
+                    "journal": [
+                        [frame_to_state(frame) for frame in batch]
+                        for batch in self._journal
+                    ]
+                }
+                if self.failover is not None
+                else None
+            ),
         }
 
     def _check_state_compatible(self, state: dict | None) -> None:
@@ -770,6 +1003,11 @@ class ServingController:
         self._seq = 0
         self._frame_seconds_ewma = None
         self._queues = {}
+        self._journal.clear()
+        # Whatever recovery baseline existed belongs to the previous
+        # state; the next protected operation captures a fresh one from
+        # the engine as it then stands.
+        self._recovery_snapshot = None
         if state is None:
             return
         self._seq = int(state.get("seq", 0))
@@ -783,24 +1021,30 @@ class ServingController:
         if admission is not None and self.admission is not None:
             self._frame_seconds_ewma = admission.get("frame_seconds_ewma")
         for entry in state.get("deferred") or []:
-            frame = StreamFrame(
-                stream_id=entry["stream_id"],
-                model_input=np.asarray(entry["x"], dtype=float),
-                stateless_quality_values=np.asarray(entry["q"], dtype=float),
-                new_series=bool(entry["new_series"]),
-                scope_factors=entry["scope"],
-                priority=int(entry["priority"]),
-            )
             queue = self._queues.setdefault(entry["stream_id"], deque())
             queue.append(
-                _QueuedFrame(int(entry["seq"]), int(entry["priority"]), frame)
+                _QueuedFrame(
+                    int(entry["seq"]),
+                    int(entry["priority"]),
+                    frame_from_state(entry),
+                )
             )
+        failover = state.get("failover")
+        if failover is not None and self.failover is not None:
+            # Faithful round trip of the serialized journal; note it is
+            # only usable against the baseline it was journaled from, so
+            # the next checkpoint capture (or ServingController.restore)
+            # supersedes it.
+            for batch in failover.get("journal") or []:
+                self._journal.append(
+                    [frame_from_state(entry) for entry in batch]
+                )
 
-    def _write_snapshot(self) -> None:
+    def _write_snapshot(self, recovery: _RecoveryLog) -> None:
         import pathlib
 
         stem = pathlib.Path(self.snapshot_dir) / f"tick_{self.engine.tick:06d}"
-        self.snapshot().save(stem)
+        self._snapshot(recovery).save(stem)
         self.stats.snapshots_written += 1
         self.snapshots_written.append(str(stem))
 

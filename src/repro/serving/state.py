@@ -43,6 +43,8 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "StreamStateSnapshot",
     "RegistrySnapshot",
+    "frame_to_state",
+    "frame_from_state",
 ]
 
 #: Format version written into every snapshot sidecar and checked on load.
@@ -50,6 +52,48 @@ SNAPSHOT_VERSION = 1
 
 _FORMAT_NAME = "repro-registry-snapshot"
 _JSON_ID_TYPES = (str, int, float, bool, type(None))
+
+
+# ---------------------------------------------------------------------------
+# Frame state: JSON-safe round trip of one submitted StreamFrame
+# ---------------------------------------------------------------------------
+#
+# The control plane needs to persist *unprocessed* frames too -- admission
+# queues full of deferred frames, and the failover tick journal that
+# replays admitted batches after a worker respawn.  One canonical codec
+# keeps both bitwise-exact: JSON round-trips Python floats exactly
+# (shortest repr), so a frame rebuilt from this state steps to the same
+# results as the original.  StreamFrame is imported lazily -- engine.py
+# imports this module at import time.
+
+def frame_to_state(frame) -> dict:
+    """JSON-safe dict capturing one :class:`StreamFrame` exactly."""
+    from repro.serving.protocol import sanitize_wire_scope
+
+    return {
+        "stream_id": frame.stream_id,
+        "priority": int(frame.priority),
+        "new_series": bool(frame.new_series),
+        "scope": sanitize_wire_scope(frame.scope_factors, frame.stream_id),
+        "x": np.asarray(frame.model_input, dtype=float).ravel().tolist(),
+        "q": np.asarray(frame.stateless_quality_values, dtype=float)
+        .ravel()
+        .tolist(),
+    }
+
+
+def frame_from_state(entry: dict):
+    """Rebuild the :class:`StreamFrame` captured by :func:`frame_to_state`."""
+    from repro.serving.engine import StreamFrame
+
+    return StreamFrame(
+        stream_id=entry["stream_id"],
+        model_input=np.asarray(entry["x"], dtype=float),
+        stateless_quality_values=np.asarray(entry["q"], dtype=float),
+        new_series=bool(entry["new_series"]),
+        scope_factors=entry["scope"],
+        priority=int(entry["priority"]),
+    )
 
 
 @dataclass(frozen=True)

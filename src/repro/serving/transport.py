@@ -325,7 +325,7 @@ def _try_send(channel, data: bytes) -> bool:
 
 def serve_connection(
     channel, engine_factory: Callable, handshake_timeout: float | None = None
-) -> bool:
+) -> str:
     """Serve one cluster connection on a byte channel until close/EOF.
 
     Protocol: the parent's first request must be ``hello`` (carrying the
@@ -334,21 +334,33 @@ def serve_connection(
     clusters with clean state each time.  ``handshake_timeout`` bounds
     the wait for that first request -- a connection that never speaks (a
     port scanner, a health probe) is dropped instead of wedging the
-    worker.  Returns whether the handshake completed (a real cluster was
-    served), so callers can ignore stray connections in their counts.
+    worker.
+
+    Returns how the connection ended, so :func:`serve_worker` can count
+    the right thing:
+
+    * ``"stray"`` -- no handshake ever completed (scanner, probe, or a
+      peer that vanished before saying hello);
+    * ``"lost"`` -- a real cluster was being served but its connection
+      died without an orderly ``close`` (client crash, network loss).
+      The abandoned engine state is discarded; a failover reconnect
+      will restore fresh state through the protocol;
+    * ``"served"`` -- the session ended with an orderly ``close`` (or
+      the hello was answered with an error: the cluster asked and got
+      its definitive answer).
     """
     try:
         channel.set_timeout(handshake_timeout)
         command, payload = decode_request(channel.recv_bytes())
         channel.set_timeout(None)
     except _CHANNEL_ERRORS:
-        return False  # peer went away (or stayed silent) before the handshake
+        return "stray"  # peer went away (or stayed silent) pre-handshake
     except Exception as error:
         _try_send(
             channel,
             encode_reply("hello", ("error", type(error).__name__, str(error))),
         )
-        return False
+        return "stray"
     if command != "hello":
         _try_send(
             channel,
@@ -357,7 +369,7 @@ def serve_connection(
                 ("error", "ClusterError", f"expected hello, got {command!r}"),
             ),
         )
-        return False
+        return "stray"
     try:
         servicer = _handle_hello(engine_factory, payload)
     except Exception as error:  # surfaced by the parent's hello reply
@@ -365,15 +377,15 @@ def serve_connection(
             channel,
             encode_reply("hello", ("error", type(error).__name__, str(error))),
         )
-        return True  # a real cluster asked; it got its (error) answer
+        return "served"  # a real cluster asked; it got its (error) answer
     if not _try_send(channel, encode_reply("hello", ("ok", servicer.engine_shape()))):
-        return True
+        return "lost"
 
     while True:
         try:
             data = channel.recv_bytes()
         except _CHANNEL_ERRORS:  # parent went away; shut down quietly
-            return True
+            return "lost"
         try:
             command, payload = decode_request(data)
         except Exception as error:
@@ -384,11 +396,11 @@ def serve_connection(
                     ("error", "ClusterError", f"undecodable request ({error})"),
                 ),
             ):
-                return True
+                return "lost"
             continue
         if command == "close":
             _try_send(channel, encode_reply("close", ("ok", None)))
-            return True
+            return "served"
         try:
             reply = ("ok", servicer.handle(command, payload))
         except Exception as error:
@@ -403,7 +415,7 @@ def serve_connection(
                 encode_reply(command, ("error", "ClusterError", str(error))),
             )
         if not sent:
-            return True
+            return "lost"
 
 
 # ---------------------------------------------------------------------------
@@ -577,10 +589,13 @@ class ChannelEndpoint(WorkerEndpoint):
             try:
                 # Bound the goodbye: a wedged peer must not turn close()
                 # into an indefinite hang (keepalive is far too slow).
+                # Channel errors too: a connection severed behind our
+                # back (fault injection, network loss) must not make
+                # close() raise on the goodbye it can no longer deliver.
                 self._channel.set_timeout(timeout)
                 self.send("close")
                 self.recv()
-            except ClusterError:
+            except (ClusterError, *_CHANNEL_ERRORS):
                 pass
         self._channel.close()
         self.alive = False
@@ -629,6 +644,27 @@ class Transport:
         """Bring up (or reach) the worker for ``shard`` and return its
         endpoint.  The caller performs the hello handshake."""
         raise NotImplementedError
+
+    def respawn(
+        self, endpoint: WorkerEndpoint, shard: int, engine_factory: Callable
+    ) -> WorkerEndpoint:
+        """Replace a dead (or wedged) worker endpoint with a fresh one.
+
+        The failover primitive: tear the old endpoint down -- reaping a
+        corpse must never block its replacement, so shutdown failures
+        are swallowed -- then bring up a new worker exactly as
+        :meth:`connect` would.  For pipe workers that is a re-fork; for
+        TCP it is a reconnect to the same ``serve-worker`` address
+        (``connect`` already retries with backoff until
+        ``connect_timeout``, covering a worker that a supervisor is
+        still restarting).  The caller performs the hello handshake on
+        the returned endpoint, as after any ``connect``.
+        """
+        try:
+            endpoint.shutdown()
+        except Exception:
+            pass
+        return self.connect(shard, engine_factory)
 
     def max_shards(self) -> int | None:
         """Upper bound on shards this transport can place (None = any)."""
@@ -819,9 +855,12 @@ def serve_worker(
     dropped without wedging the worker or counting toward the limit.
     ``port=0`` binds an ephemeral port; ``ready_callback`` receives the
     bound port before the first accept (handy under port 0).
-    ``max_connections > 0`` exits after that many handshaken connections
-    (lets CI scripts ``wait`` instead of killing workers).  Returns the
-    number of connections served.
+    ``max_connections > 0`` exits after that many *orderly-closed*
+    sessions (lets CI scripts ``wait`` instead of killing workers): a
+    session whose client dies mid-run without a ``close`` does not
+    consume the budget, so the worker is still listening when the
+    cluster's failover reconnects.  Returns the number of sessions
+    served to an orderly close.
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -838,14 +877,14 @@ def serve_worker(
                 # A misbehaving connection (crafted frames, surprise
                 # disconnects) must never take the listener down with it:
                 # one client's failure ends one connection, nothing more.
-                handshaken = serve_connection(
+                status = serve_connection(
                     channel, engine_factory, handshake_timeout=handshake_timeout
                 )
             except Exception:
-                handshaken = True  # conservatively count the lost slot
+                status = "served"  # conservatively count the lost slot
             finally:
                 channel.close()
-            if handshaken:
+            if status == "served":
                 served += 1
     finally:
         listener.close()

@@ -1,0 +1,252 @@
+"""Deterministic fault injection for the sharded serving cluster.
+
+Failover correctness cannot be proven with ad-hoc kill scripts: the
+claim is that for *any* kill point the recovered run is bitwise-identical
+to an uninterrupted one, which needs faults injected at exact,
+repeatable protocol positions.  This harness wraps a real transport so
+tests can say "kill shard 2 on its 4th step request", "hang shard 1's
+snapshot reply", or "answer shard 0's next rebalance probe with
+garbage" -- on inproc, pipe, or TCP, without changing cluster code.
+
+* :class:`ChaosFault` -- one scheduled fault: victim shard, the request
+  command it triggers on, the index of that request on that shard
+  (counted across endpoint generations, so a respawned worker continues
+  the count), the failure mode, and whether it strikes on send or on
+  the reply.
+* :class:`ChaosEndpoint` -- a :class:`WorkerEndpoint` proxy that
+  forwards traffic untouched until a fault fires, then fails the way
+  the real world does:
+
+  - ``kill``: the peer actually dies -- a pipe worker process is
+    SIGKILLed, a TCP connection is severed (the ``serve-worker``
+    process survives and accepts the failover reconnect -- the
+    client-loss path), an inproc servicer is dropped.  On the send
+    phase the doomed request is still forwarded so the organic error
+    mapping (BrokenPipe/EOF -> :class:`ClusterWorkerError`) is what the
+    cluster sees; on the recv phase the reply is never read (a reply
+    from a worker killed mid-request must not be trusted), which also
+    keeps the parent deterministic.
+  - ``hang``: models a wedged-but-alive peer *after* detection: the
+    endpoint reports the worker dead without touching the wire, leaving
+    the real peer running for the respawn path to reap (terminate the
+    pipe child, close the socket).  Real deployments detect this via
+    ``SO_KEEPALIVE``/timeouts; simulating the detection keeps the test
+    instant and exact.
+  - ``garbage``: the reply is consumed and replaced by the
+    out-of-protocol verdict :class:`ChannelEndpoint` reaches when a
+    peer answers undecodably -- the poisoned-channel path.
+
+* :class:`ChaosTransport` -- wraps any :class:`Transport`; respawned
+  endpoints (failover!) are wrapped again, with the shared request
+  counters and the not-yet-fired fault list carried over.
+
+Every fault fires exactly once.  A run with an empty (or exhausted)
+fault list is byte-for-byte the wrapped transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ClusterWorkerError, ValidationError
+from repro.serving.transport import Transport, WorkerEndpoint, resolve_transport
+
+__all__ = ["ChaosFault", "ChaosEndpoint", "ChaosTransport"]
+
+_MODES = ("kill", "hang", "garbage")
+_PHASES = ("send", "recv")
+
+
+@dataclass
+class ChaosFault:
+    """One scheduled fault; fires exactly once, then is spent.
+
+    Attributes
+    ----------
+    shard:
+        Victim shard index.
+    command:
+        Protocol request command that triggers the fault ("step",
+        "snapshot", "ids", "restore", ...).
+    index:
+        Which matching request fires it: the ``index``-th ``command``
+        request sent to ``shard`` (0-based, counted across worker
+        respawns).  For a controller-driven run with per-tick fan-out,
+        step-request index == tick index until the first recovery.
+    mode:
+        "kill", "hang", or "garbage" (see module docstring).
+    phase:
+        "send" (the request never reaches a live peer) or "recv" (the
+        request went out; the failure strikes on the reply).  "garbage"
+        is a reply corruption and therefore always "recv".
+    """
+
+    shard: int
+    command: str = "step"
+    index: int = 0
+    mode: str = "kill"
+    phase: str = "send"
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValidationError(f"unknown chaos mode {self.mode!r}")
+        if self.phase not in _PHASES:
+            raise ValidationError(f"unknown chaos phase {self.phase!r}")
+        if self.mode == "garbage" and self.phase != "recv":
+            raise ValidationError("garbage replies only make sense on recv")
+
+
+class ChaosEndpoint(WorkerEndpoint):
+    """Transparent :class:`WorkerEndpoint` proxy that injects faults."""
+
+    def __init__(self, transport: "ChaosTransport", inner: WorkerEndpoint) -> None:
+        # No super().__init__: `alive` is a property here (derived from
+        # the inner endpoint plus our own chaos verdict), not the plain
+        # attribute the base class sets.
+        self.shard = inner.shard
+        self._transport = transport
+        self._inner = inner
+        self._dead = False  # chaos declared the peer gone
+        self._recv_fault: ChaosFault | None = None
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self._inner.alive
+
+    # -- fault machinery -----------------------------------------------
+    def _gone(self) -> ClusterWorkerError:
+        return ClusterWorkerError(
+            f"shard {self.shard} worker is gone (chaos)", shard=self.shard
+        )
+
+    def _kill_peer(self) -> bool:
+        """Really kill the peer where one exists; False = simulate."""
+        process = getattr(self._inner, "process", None)
+        if process is not None:  # pipe worker: SIGKILL the child
+            process.kill()
+            process.join(5.0)
+            return True
+        channel = getattr(self._inner, "_channel", None)
+        if channel is not None:  # tcp: sever the connection
+            channel.close()
+            return True
+        self._inner.shutdown()  # inproc: drop the servicer
+        return False
+
+    def _before_send(self, command: str) -> None:
+        if self._dead:
+            raise self._gone()
+        fault = self._transport._arm(self.shard, command)
+        if fault is None:
+            return
+        if fault.phase == "recv":
+            self._recv_fault = fault
+            return
+        if fault.mode == "kill":
+            if self._kill_peer():
+                return  # forward the send; it fails organically
+            self._dead = True
+            raise self._gone()
+        # hang: the request would never complete; report the detection.
+        self._dead = True
+        raise ClusterWorkerError(
+            f"shard {self.shard} request timed out (chaos hang)",
+            shard=self.shard,
+        )
+
+    # -- WorkerEndpoint surface ----------------------------------------
+    def prepare(self, command: str, payload=None):
+        return (command, self._inner.prepare(command, payload))
+
+    def send_prepared(self, token) -> None:
+        command, inner_token = token
+        self._before_send(command)
+        self._inner.send_prepared(inner_token)
+
+    def send(self, command: str, payload=None) -> None:
+        self._before_send(command)
+        self._inner.send(command, payload)
+
+    def recv(self) -> tuple:
+        fault, self._recv_fault = self._recv_fault, None
+        if self._dead:
+            return ("error", "ClusterWorkerError", "chaos: worker is gone")
+        if fault is not None:
+            if fault.mode == "garbage":
+                self._inner.recv()  # drain the real reply; it is poison
+                self._dead = True
+                return (
+                    "error",
+                    "ClusterWorkerError",
+                    "chaos: out-of-protocol reply",
+                )
+            if fault.mode == "kill":
+                # Killed mid-request: whatever the peer may have buffered
+                # must not be trusted (or raced for) -- the worker is
+                # dead, report it dead.
+                self._kill_peer()
+            self._dead = True
+            return (
+                "error",
+                "ClusterWorkerError",
+                "chaos: worker died mid-request"
+                if fault.mode == "kill"
+                else "chaos: reply timed out (simulated hang)",
+            )
+        return self._inner.recv()
+
+    def set_timeout(self, timeout: float | None) -> None:
+        self._inner.set_timeout(timeout)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        self._dead = True
+        self._inner.shutdown(timeout)
+
+
+class ChaosTransport(Transport):
+    """Wrap a transport so its endpoints inject the scheduled faults.
+
+    The base :meth:`Transport.respawn` (teardown, then ``connect``) is
+    inherited unchanged and does the right thing here: teardown reaches
+    the real endpoint through :meth:`ChaosEndpoint.shutdown`, and the
+    replacement comes from :meth:`connect`, i.e. wrapped again, with the
+    request counters and any not-yet-fired faults carried across worker
+    generations.
+    """
+
+    def __init__(self, inner, faults) -> None:
+        self._inner = resolve_transport(inner)
+        self.faults = list(faults)
+        self._counts: dict[tuple[int, str], int] = {}
+        self.name = self._inner.name
+        self.requires_wire_ids = self._inner.requires_wire_ids
+        self.handshake_timeout = self._inner.handshake_timeout
+        self.workers_self_configured = self._inner.workers_self_configured
+
+    def _arm(self, shard: int, command: str) -> ChaosFault | None:
+        """Count one request on (shard, command); fire a due fault."""
+        key = (shard, command)
+        index = self._counts.get(key, 0)
+        self._counts[key] = index + 1
+        for fault in self.faults:
+            if (
+                not fault.fired
+                and fault.shard == shard
+                and fault.command == command
+                and fault.index == index
+            ):
+                fault.fired = True
+                return fault
+        return None
+
+    @property
+    def pending_faults(self) -> list[ChaosFault]:
+        """Scheduled faults that have not fired yet."""
+        return [fault for fault in self.faults if not fault.fired]
+
+    def connect(self, shard: int, engine_factory) -> WorkerEndpoint:
+        return ChaosEndpoint(self, self._inner.connect(shard, engine_factory))
+
+    def max_shards(self) -> int | None:
+        return self._inner.max_shards()

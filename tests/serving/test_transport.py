@@ -562,6 +562,84 @@ class TestTransportEdges:
                 assert cluster.tick == 2
                 cluster.snapshot()  # shard ticks still aligned
 
+    def test_serve_connection_reports_how_the_session_ended(
+        self, synthetic_stack
+    ):
+        # The connection-accounting contract behind --max-connections:
+        # "served" only for orderly closes, "lost" for a client that
+        # vanishes mid-session, "stray" for peers that never handshake.
+        from repro.serving.protocol import encode_request
+        from repro.serving.transport import serve_connection
+
+        class ScriptedChannel:
+            def __init__(self, frames):
+                self._frames = list(frames)
+                self.sent = []
+
+            def send_bytes(self, data):
+                self.sent.append(data)
+
+            def recv_bytes(self):
+                if not self._frames:
+                    raise EOFError("peer went away")
+                return self._frames.pop(0)
+
+            def set_timeout(self, timeout):
+                pass
+
+        factory = make_factory(synthetic_stack)
+        hello = encode_request("hello", {"initial_tick": 0, "shard": 0})
+        assert (
+            serve_connection(
+                ScriptedChannel([hello, encode_request("close")]), factory
+            )
+            == "served"
+        )
+        assert serve_connection(ScriptedChannel([hello]), factory) == "lost"
+        assert serve_connection(ScriptedChannel([]), factory) == "stray"
+
+    @pytest.mark.tcp
+    def test_client_death_does_not_consume_the_connection_budget(
+        self, synthetic_stack, series_maker
+    ):
+        # Regression for the failover reconnect path: a serve-worker
+        # with --max-connections 1 whose client dies mid-session must
+        # still be listening for the reconnect -- only the later orderly
+        # close may consume the budget and let the worker exit.
+        rng = np.random.default_rng(373)
+        series = series_maker(rng, n_series=4, length=2)
+        ids = [f"s{sid}" for sid in range(4)]
+        factory = make_factory(synthetic_stack)
+        single = factory()
+        expected = [
+            single.step_batch(tick_frames(series, ids, t)) for t in range(2)
+        ]
+        addresses, processes = launch_local_workers(
+            factory, 1, max_connections=1
+        )
+        try:
+            crashed = ShardedEngine(factory, 1, transport=TcpTransport(addresses))
+            crashed.step_batch(tick_frames(series, ids, 0))
+            # Abrupt client death: sever the socket, no close command.
+            crashed._workers[0]._channel.close()
+            crashed.close()
+
+            with ShardedEngine(
+                factory, 1, transport=TcpTransport(addresses)
+            ) as resumed:
+                got = [
+                    resumed.step_batch(tick_frames(series, ids, t))
+                    for t in range(2)
+                ]
+            assert got == expected  # fresh engine, clean state
+            # The orderly close above consumed the single budgeted
+            # session; the worker now exits on its own.
+            for process in processes:
+                process.join(10.0)
+                assert not process.is_alive()
+        finally:
+            stop_local_workers(processes)
+
     def test_inproc_exotic_ids_work_but_wire_ids_are_validated(
         self, synthetic_stack, series_maker
     ):
