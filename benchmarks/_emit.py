@@ -1,0 +1,80 @@
+"""The shared ``BENCH_*.json`` envelope: one schema for every benchmark.
+
+Every perf benchmark in this directory emits a machine-readable artifact
+so the throughput trajectory is comparable across PRs and machines.
+Before this module each emitter assembled its own dict; this helper
+pins the envelope once:
+
+* ``schema_version`` -- bumped when the envelope shape changes, so a
+  dashboard reading a directory of artifacts from different PRs knows
+  what it is looking at;
+* provenance -- the repo's git SHA (when available), wall-clock
+  timestamp, python version, and host core counts (total and
+  affinity-aware: CI runners routinely pin benchmarks to a subset);
+* topology -- the serving ``transport`` and ``shards`` the numbers were
+  measured on, so a pipe-on-1-core figure is never confused with a
+  tcp-on-16-core one;
+* ``metrics`` -- the benchmark's own numbers, untouched;
+* ``metrics_snapshot`` -- optionally, a full
+  :meth:`~repro.serving.observability.metrics.MetricsRegistry.snapshot`
+  of the run's live registry, so the artifact carries the same counter
+  families a production scrape would show.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+
+#: Version of the BENCH_*.json envelope written by :func:`bench_envelope`.
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_sha() -> str | None:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_envelope(
+    name: str,
+    metrics: dict,
+    *,
+    transport=None,
+    shards=None,
+    metrics_snapshot=None,
+) -> dict:
+    """Assemble the canonical ``BENCH_<name>.json`` payload."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": name,
+        "git_sha": git_sha(),
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cores": usable_cores(),
+        "transport": transport,
+        "shards": shards,
+        "metrics": metrics,
+        "metrics_snapshot": metrics_snapshot,
+    }

@@ -25,6 +25,7 @@ import pytest
 
 from repro.serving import (
     FailoverPolicy,
+    MetricsRegistry,
     ServingController,
     ShardedEngine,
     StreamingEngine,
@@ -94,9 +95,14 @@ def test_failover_recovery_is_exact_and_bounded(
     steady_p95 = float(np.percentile(steady_latencies, 95))
 
     # Kill run: SIGKILL one worker between ticks; the next fan-out sees
-    # the death and the controller recovers.
+    # the death and the controller recovers.  A metrics registry rides
+    # along so the artifact carries the failover counter families a
+    # production scrape of this incident would have shown.
+    registry = MetricsRegistry()
     with ShardedEngine(factory, N_SHARDS, transport="pipe") as cluster:
-        controller = ServingController(cluster, failover=_policy())
+        controller = ServingController(
+            cluster, failover=_policy(), metrics=registry
+        )
         killed: dict = {}
         for t, frames in enumerate(workload.ticks):
             if t == KILL_TICK:
@@ -135,6 +141,7 @@ def test_failover_recovery_is_exact_and_bounded(
         },
         transport="pipe",
         shards=N_SHARDS,
+        metrics_snapshot=registry.snapshot(),
     )
 
     # Gate 1: exactness -- the kill is invisible in the results.

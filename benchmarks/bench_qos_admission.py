@@ -19,9 +19,16 @@ controlled runs:
   per-stream outcome sequences;
 * a *bounded-queue overflow* run (tiny per-stream queues) -- gates that
   the loud ``admission_overflow`` statistic actually fires when backlog
-  exceeds the bound.
+  exceeds the bound;
+* an *observability overhead* run -- the same policy-free workload with
+  a metrics registry + tracer attached vs. without; gates that the
+  instrumented median tick stays within ``OBSERVABILITY_OVERHEAD_MAX``
+  of the uninstrumented one (the disabled path is the exact
+  pre-observability loop, so this bounds what opting in costs) and that
+  attaching observability changes **zero** outcomes.
 
-Everything lands in ``BENCH_controller.json`` with the exact policy
+Everything lands in ``BENCH_controller.json`` /
+``BENCH_controller_observability.json`` with the exact policy
 configuration next to the usual transport/shards/host-core context, so
 QoS numbers stay comparable across PRs and machines.
 """
@@ -31,10 +38,12 @@ import pytest
 
 from repro.serving import (
     AdmissionPolicy,
+    MetricsRegistry,
     ServingController,
     StreamingEngine,
     build_stream_workload,
 )
+from repro.serving.observability import parse_prometheus
 
 N_STREAMS = 256
 N_TICKS = 30
@@ -43,6 +52,11 @@ FRAME_BUDGET = N_STREAMS // 2
 #: Headroom over the expected admitted-tick cost (budget_frames x median
 #: per-frame cost) granted to per-tick fixed costs and scheduler noise.
 BUDGET_HEADROOM = 1.5
+#: Instrumented-over-plain median tick latency bound.  Publication is a
+#: few dict lookups and counter increments per tick plus two wall-clock
+#: reads per phase span; 1.5x leaves room for timer noise on a busy
+#: runner while still catching an accidentally hot publication path.
+OBSERVABILITY_OVERHEAD_MAX = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -159,6 +173,64 @@ def test_admission_keeps_p95_within_budget(
     for stream_id, results in baseline_results.items():
         if stream_id % PRIORITY_CLASSES == 0:
             assert admitted_results[stream_id] == results
+
+
+def test_observability_overhead_is_bounded(
+    study_data, workload, write_bench_json
+):
+    # Plain policy-free run: the exact pre-observability tick loop.
+    plain = ServingController(_make_engine(study_data))
+    plain_results = plain.run(workload.ticks)
+    disabled = [t.latency_seconds for t in plain.telemetry]
+
+    # Same run with a registry attached (which also auto-attaches a
+    # wall-clock tracer, so phase spans are measured too -- the full
+    # opt-in cost, not just counter publication).
+    registry = MetricsRegistry()
+    observed_controller = ServingController(
+        _make_engine(study_data), metrics=registry
+    )
+    observed_results = observed_controller.run(workload.ticks)
+    observed = [t.latency_seconds for t in observed_controller.telemetry]
+
+    median_disabled = float(np.median(disabled))
+    median_observed = float(np.median(observed))
+    overhead = median_observed / median_disabled
+
+    # The artifact carries the live registry snapshot: the same counter
+    # families a production scrape of this run would have shown.
+    write_bench_json(
+        "controller_observability",
+        {
+            "streams": N_STREAMS,
+            "ticks": N_TICKS,
+            "median_disabled_tick_seconds": median_disabled,
+            "median_observed_tick_seconds": median_observed,
+            "overhead_ratio": overhead,
+            "overhead_max": OBSERVABILITY_OVERHEAD_MAX,
+        },
+        transport="single",
+        shards=1,
+        metrics_snapshot=registry.snapshot(),
+    )
+
+    # Gate 1: observability never changes outcomes, only measures them.
+    assert observed_results == plain_results, (
+        "attaching metrics/tracing changed the served results"
+    )
+    # Gate 2: the scrape of the instrumented run parses strictly and
+    # agrees with the controller's own counters.
+    families = parse_prometheus(registry.render_prometheus())
+    ticks_scraped = families["repro_controller_ticks_total"]["samples"][
+        ("repro_controller_ticks_total", ())
+    ]
+    assert ticks_scraped == observed_controller.stats.ticks == N_TICKS
+    # Gate 3: the instrumented median tick stays within the bound.
+    assert median_observed <= OBSERVABILITY_OVERHEAD_MAX * median_disabled, (
+        f"observability overhead {overhead:.2f}x exceeds the "
+        f"{OBSERVABILITY_OVERHEAD_MAX}x bound "
+        f"({median_observed * 1e3:.3f}ms vs {median_disabled * 1e3:.3f}ms)"
+    )
 
 
 def test_bounded_queue_overflow_is_loud(study_data, workload):

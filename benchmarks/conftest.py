@@ -9,30 +9,20 @@ to ``benchmarks/output/``.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
-import platform
-import time
 
 import pytest
 
+import _emit
 from repro.evaluation import StudyConfig, evaluate_study, prepare_study_data
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
-def _usable_cores() -> int:
-    """CPU cores this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
 @pytest.fixture(scope="session")
 def usable_cores() -> int:
     """The affinity-aware core count, shared with the BENCH_*.json context."""
-    return _usable_cores()
+    return _emit.usable_cores()
 
 
 @pytest.fixture(scope="session")
@@ -64,13 +54,11 @@ def write_output():
 def write_bench_json():
     """Writer for machine-readable ``BENCH_<name>.json`` artifacts.
 
-    Every perf benchmark emits one of these so the throughput trajectory
-    is comparable across PRs and machines: the metrics land under a
-    ``metrics`` key next to enough environment context to interpret them
-    -- python version, host core count (total and affinity-aware), plus
-    the serving topology (``transport`` and ``shards``) the numbers were
-    measured on, so a pipe-on-1-core figure is never confused with a
-    tcp-on-16-core one.
+    The payload shape is :func:`_emit.bench_envelope` -- schema version,
+    git SHA, host cores, timestamp, topology, the benchmark's metrics,
+    and (optionally) a live metrics-registry snapshot -- so every
+    benchmark in this directory emits the same envelope and downstream
+    tooling parses one format.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
 
@@ -80,17 +68,15 @@ def write_bench_json():
         *,
         transport=None,
         shards=None,
+        metrics_snapshot=None,
     ) -> pathlib.Path:
-        payload = {
-            "benchmark": name,
-            "unix_time": time.time(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "usable_cores": _usable_cores(),
-            "transport": transport,
-            "shards": shards,
-            "metrics": metrics,
-        }
+        payload = _emit.bench_envelope(
+            name,
+            metrics,
+            transport=transport,
+            shards=shards,
+            metrics_snapshot=metrics_snapshot,
+        )
         path = OUTPUT_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2))
         print(f"\nwrote {path}")

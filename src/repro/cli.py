@@ -177,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--compare-single", action="store_true",
                          help="also run the single-process engine and "
                               "verify bitwise-identical outputs")
+    cluster.add_argument("--flight-record", metavar="DIR", default=None,
+                         help="journal every wire frame to a flight log in "
+                              "DIR (replayable with replay-flight)")
     cluster.add_argument("--json", metavar="PATH",
                          help="write the cluster report JSON to PATH")
     _add_controller_flags(cluster)
@@ -203,6 +206,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = serve forever; a client that dies "
                              "mid-session does not consume the budget, so "
                              "failover reconnects still land)")
+    worker.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve this worker's Prometheus metrics on "
+                             "http://127.0.0.1:PORT/metrics (0 = ephemeral "
+                             "port, printed at startup)")
+
+    replay = sub.add_parser(
+        "replay-flight",
+        help="re-drive a recorded flight log and verify bitwise-identical "
+             "replies",
+    )
+    replay.add_argument("log", metavar="DIR",
+                        help="flight-log directory (frames.bin + "
+                             "manifest.json, as written by serve-cluster "
+                             "--flight-record)")
+    replay.add_argument("--paper-scale", action="store_true")
+    replay.add_argument("--smoke", action="store_true",
+                        help="tiny study configuration for a quick look")
+    replay.add_argument("--seed", type=int, default=42)
+    replay.add_argument("--threshold", type=float, default=None,
+                        help="per-stream monitor acceptance threshold "
+                             "(must match the recorded run's)")
+    replay.add_argument("--max-buffer-length", type=int, default=None,
+                        help="sliding-window cap per stream buffer "
+                             "(must match the recorded run's)")
+    replay.add_argument("--ttl", type=int, default=None,
+                        help="evict streams idle for this many ticks "
+                             "(must match the recorded run's)")
+    replay.add_argument("--json", metavar="PATH",
+                        help="write the replay report JSON to PATH")
 
     return parser
 
@@ -244,6 +277,14 @@ def _add_controller_flags(parser) -> None:
                        help="ticks buffered between recovery checkpoints "
                             "(= max replay depth of one recovery; "
                             "default 16, requires --max-failovers)")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve Prometheus text exposition on "
+                          "http://127.0.0.1:PORT/metrics during the run "
+                          "(0 = ephemeral port, printed at startup)")
+    obs.add_argument("--telemetry-window", type=int, default=4096, metavar="N",
+                     help="per-tick telemetry records the controller "
+                          "retains (default 4096)")
 
 
 def _parse_autoscale(spec: str):
@@ -497,6 +538,23 @@ def _engine_factory_from_args(args, data, monitor_factory):
     return engine_factory
 
 
+def _metrics_server_from_args(args):
+    """Start the opt-in metrics endpoint: ``(registry, server)``.
+
+    ``(None, None)`` without ``--metrics-port``; the caller must close
+    the server (its listener thread is a daemon, but an orderly close
+    keeps reruns off a lingering port).
+    """
+    if getattr(args, "metrics_port", None) is None:
+        return None, None
+    from repro.serving.observability import MetricsRegistry, MetricsServer
+
+    registry = MetricsRegistry()
+    server = MetricsServer(registry, port=args.metrics_port)
+    print(f"serving metrics at {server.url}", flush=True)
+    return registry, server
+
+
 def _transport_from_args(args):
     """Resolve serve-cluster's --transport/--workers into a transport spec."""
     if getattr(args, "transport", "pipe") != "tcp":
@@ -566,6 +624,7 @@ def _cmd_simulate_streams(args) -> int:
     # mid-run exception tears the shard workers down instead of leaking
     # them (the context manager closes the engine on every exit path;
     # a failing controller constructor must not leak them either).
+    metrics, metrics_server = _metrics_server_from_args(args)
     try:
         controller = ServingController(
             engine,
@@ -578,19 +637,27 @@ def _cmd_simulate_streams(args) -> int:
             on_tick=_telemetry_printer(
                 args, cluster=engine if sharded else None
             ),
+            telemetry_window=args.telemetry_window,
+            metrics=metrics,
         )
     except Exception:
         if sharded:
             engine.close()
+        if metrics_server is not None:
+            metrics_server.close()
         raise
-    with controller:
-        start = time.perf_counter()
-        per_stream = controller.run(workload.ticks)
-        engine_seconds = time.perf_counter() - start
-        statistics = (
-            engine.statistics() if sharded else engine.registry.statistics
-        )
-        final_shards = controller.n_shards
+    try:
+        with controller:
+            start = time.perf_counter()
+            per_stream = controller.run(workload.ticks)
+            engine_seconds = time.perf_counter() - start
+            statistics = (
+                engine.statistics() if sharded else engine.registry.statistics
+            )
+            final_shards = controller.n_shards
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     engine_fps = workload.n_frames / engine_seconds
     for stem in controller.snapshots_written:
         print(f"wrote snapshot {stem}.json/.npz")
@@ -802,6 +869,18 @@ def _cmd_serve_cluster(args) -> int:
 
     engine_factory = _engine_factory_from_args(args, data, monitor_factory)
 
+    metrics, metrics_server = _metrics_server_from_args(args)
+    recorder = None
+    if args.flight_record:
+        from repro.serving.observability import (
+            FlightRecorder,
+            FlightRecordingTransport,
+        )
+
+        recorder = FlightRecorder(args.flight_record)
+        transport = FlightRecordingTransport(transport, recorder)
+        print(f"flight-recording wire frames to {recorder.directory}")
+
     initial_shards = args.shards
     if autoscale is not None:
         # Start inside the policy's range (simulate-streams does the
@@ -810,40 +889,58 @@ def _cmd_serve_cluster(args) -> int:
         initial_shards = min(
             max(initial_shards, autoscale.min_shards), autoscale.max_shards
         )
-    print(f"starting {initial_shards} {args.transport} shard worker(s)...")
-    cluster = ShardedEngine(engine_factory, initial_shards, transport=transport)
-    # The controller owns both the tick loop and the cluster lifecycle:
-    # any exception from here on (restore included) reaps the workers --
-    # a failing controller constructor included.
     try:
-        controller = ServingController(
-            cluster,
-            autoscale=autoscale,
-            admission=admission,
-            failover=failover,
-            snapshot_every=args.snapshot_every,
-            snapshot_dir=args.snapshot_dir,
-            owns_engine=True,
-            on_tick=_telemetry_printer(args, cluster=cluster),
+        print(f"starting {initial_shards} {args.transport} shard worker(s)...")
+        cluster = ShardedEngine(
+            engine_factory, initial_shards, transport=transport
         )
-    except Exception:
-        cluster.close()
-        raise
-    with controller:
-        if restored is not None:
-            controller.restore(restored)
-            print(
-                f"restored {restored.n_streams} streams at tick {restored.tick} "
-                f"from {args.restore}"
+        # The controller owns both the tick loop and the cluster
+        # lifecycle: any exception from here on (restore included) reaps
+        # the workers -- a failing controller constructor included.
+        try:
+            controller = ServingController(
+                cluster,
+                autoscale=autoscale,
+                admission=admission,
+                failover=failover,
+                snapshot_every=args.snapshot_every,
+                snapshot_dir=args.snapshot_dir,
+                owns_engine=True,
+                on_tick=_telemetry_printer(args, cluster=cluster),
+                telemetry_window=args.telemetry_window,
+                metrics=metrics,
             )
+        except Exception:
+            cluster.close()
+            raise
+        with controller:
+            if restored is not None:
+                controller.restore(restored)
+                print(
+                    f"restored {restored.n_streams} streams at tick "
+                    f"{restored.tick} from {args.restore}"
+                )
 
-        start = time.perf_counter()
-        per_stream = controller.run(workload.ticks)
-        cluster_seconds = time.perf_counter() - start
-        cluster_fps = workload.n_frames / cluster_seconds
-        statistics = cluster.statistics()
-        fanout = cluster.fanout_stats()
-        final_shards = controller.n_shards
+            start = time.perf_counter()
+            per_stream = controller.run(workload.ticks)
+            cluster_seconds = time.perf_counter() - start
+            cluster_fps = workload.n_frames / cluster_seconds
+            statistics = cluster.statistics()
+            fanout = cluster.fanout_stats()
+            final_shards = controller.n_shards
+    finally:
+        # Closed AFTER the cluster (the controller context above) so the
+        # workers' goodbye traffic cannot race a closed journal; closed
+        # on failure too, so a partial log still gets its manifest.
+        if recorder is not None:
+            recorder.close()
+        if metrics_server is not None:
+            metrics_server.close()
+    if recorder is not None:
+        print(
+            f"wrote flight log ({recorder.records} records) to "
+            f"{recorder.directory}"
+        )
 
     cluster_outcomes = {
         stream_id: [result.outcome for result in results]
@@ -944,15 +1041,82 @@ def _cmd_serve_worker(args) -> int:
         # for this line instead of sleeping.
         print(f"worker listening on {host}:{bound_port}", flush=True)
 
-    served = serve_worker(
-        engine_factory,
-        host,
-        port,
-        max_connections=args.max_connections,
-        ready_callback=announce,
-    )
+    metrics, metrics_server = _metrics_server_from_args(args)
+    try:
+        served = serve_worker(
+            engine_factory,
+            host,
+            port,
+            max_connections=args.max_connections,
+            ready_callback=announce,
+            metrics=metrics,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     print(f"served {served} cluster connection(s)")
     return 0
+
+
+def _cmd_replay_flight(args) -> int:
+    from repro.evaluation import prepare_study_data
+    from repro.serving.observability import (
+        probe_engine_shape,
+        read_flight_log,
+        replay_flight,
+    )
+
+    # Validate the log before the (slow) study preparation.
+    manifest, _ = read_flight_log(args.log)
+    print(
+        f"flight log {args.log}: {manifest['records']} records, "
+        f"{manifest['n_shards']} shard(s), transport "
+        f"{manifest['transport']}"
+    )
+
+    config = _config_from_args(args)
+    monitor_factory = _monitor_factory_from_args(args)
+    print("preparing study pipeline (DDM + calibrated wrappers)...")
+    data = prepare_study_data(config)
+    engine_factory = _engine_factory_from_args(args, data, monitor_factory)
+
+    recorded_shape = manifest.get("engine_shape")
+    if recorded_shape is not None:
+        shape = probe_engine_shape(engine_factory)
+        if shape != recorded_shape:
+            # The hello replies would catch this too -- as opaque byte
+            # mismatches; diffing the config fingerprint names the flag.
+            print(
+                "error: engine configuration does not match the recorded "
+                "run:",
+                file=sys.stderr,
+            )
+            for key in sorted(set(recorded_shape) | set(shape)):
+                if recorded_shape.get(key) != shape.get(key):
+                    print(
+                        f"  {key}: recorded {recorded_shape.get(key)!r}, "
+                        f"configured {shape.get(key)!r}",
+                        file=sys.stderr,
+                    )
+            return 1
+
+    report = replay_flight(args.log, engine_factory)
+    print(report.summary())
+    for mismatch in report.mismatches[:5]:
+        print(
+            f"  seq {mismatch['seq']} shard {mismatch['shard']} "
+            f"{mismatch['command']}: first differing byte at offset "
+            f"{mismatch['first_difference']}",
+            file=sys.stderr,
+        )
+    if args.json:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -963,6 +1127,7 @@ _COMMANDS = {
     "simulate-streams": _cmd_simulate_streams,
     "serve-cluster": _cmd_serve_cluster,
     "serve-worker": _cmd_serve_worker,
+    "replay-flight": _cmd_replay_flight,
 }
 
 

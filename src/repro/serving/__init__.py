@@ -30,7 +30,12 @@ The runtime-facing layer above the core wrapper, in three tiers:
   restores its recovery snapshot, replays the buffered tick journal, and
   retries -- bitwise-identical to an uninterrupted run.  With all
   policies disabled a controlled run is bitwise-identical to driving the
-  engine directly.
+  engine directly;
+* a :mod:`~repro.serving.observability` subsystem -- a dependency-free
+  metrics registry with Prometheus text exposition over HTTP, span-style
+  tracing of the tick phases, and a wire-frame flight recorder whose
+  logs ``repro replay-flight`` re-drives bitwise-identically.  All
+  opt-in: nothing attached means the exact uninstrumented code paths.
 """
 
 from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
@@ -43,6 +48,14 @@ from repro.serving.controller import (
 )
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
 from repro.serving.failover import FailoverPolicy
+from repro.serving.observability import (
+    FlightRecorder,
+    FlightRecordingTransport,
+    MetricsRegistry,
+    MetricsServer,
+    TickTracer,
+    replay_flight,
+)
 from repro.serving.protocol import PROTOCOL_VERSION
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
 from repro.serving.simulate import (
@@ -99,4 +112,10 @@ __all__ = [
     "serve_worker",
     "launch_local_workers",
     "stop_local_workers",
+    "MetricsRegistry",
+    "MetricsServer",
+    "TickTracer",
+    "FlightRecorder",
+    "FlightRecordingTransport",
+    "replay_flight",
 ]

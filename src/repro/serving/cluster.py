@@ -55,6 +55,7 @@ import bisect
 import hashlib
 import struct
 import time
+from contextlib import nullcontext
 from typing import Callable, Sequence
 
 import numpy as np
@@ -84,6 +85,20 @@ __all__ = [
     "ShardedEngine",
     "encode_step_results",
 ]
+
+
+_NULL_SPAN = nullcontext()
+
+
+def _null_span(name, **meta):
+    """Span stand-in when no tracer is attached.
+
+    The tracer seam is duck-typed (anything with ``.span(name, **meta)``
+    returning a context manager) so this module never imports the
+    observability package; a cluster without a tracer pays one shared
+    no-op context manager per phase and nothing else.
+    """
+    return _NULL_SPAN
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +305,11 @@ class ShardedEngine:
         self._fanout_ticks = 0
         self._fanout_encode_seconds = 0.0
         self._fanout_overlap_seconds = 0.0
+        #: Optional tick tracer (duck-typed; see :func:`_null_span`).
+        #: The :class:`~repro.serving.controller.ServingController`
+        #: attaches its own here so fan-out / per-shard step / merge
+        #: spans land in the same per-tick trace as the control plane's.
+        self.tracer = None
         self._engine_shape: dict | None = None
         self._workers: list[WorkerEndpoint] = []
         try:
@@ -510,6 +530,10 @@ class ShardedEngine:
         already computing (first send to last send) -- the serialization
         cost hidden behind worker compute rather than serializing the
         tick.  ``ticks`` counts non-empty fan-outs.
+
+        A metrics-enabled controller mirrors these counters into the
+        ``repro_fanout_*_total`` families (as deltas, after each tick),
+        so the scraped values and this dict always agree.
         """
         return {
             "ticks": self._fanout_ticks,
@@ -605,77 +629,92 @@ class ShardedEngine:
             self._tick += 1
             return []
 
-        # Parent-side validation is the single engine's whole-tick atomic
-        # reject, byte-identical by construction (shared helper): every
-        # input error checkable without the models rejects here with no
-        # state change on any shard.  Only failures a worker detects
-        # mid-tick -- a raising monitor factory, a broken taQIM -- remain
-        # atomic per shard rather than per cluster.
-        rows, quality = validate_tick_frames(
-            frames,
-            n_stateless=self._engine_shape["n_stateless"],
-            has_scope_model=self._engine_shape["has_scope_model"],
-        )
-        if self.transport.requires_wire_ids:
-            # Reject before fan-out, like every other input error:
-            # payloads that cannot cross the codec (exotic ids, non-JSON
-            # scope values) must not half-execute a tick.  Numpy-scalar
-            # scope values are unwrapped to exact Python equivalents.
-            for frame in frames:
-                require_wire_id(frame.stream_id)
-            scope_rows = [
-                sanitize_wire_scope(frame.scope_factors, frame.stream_id)
-                for frame in frames
-            ]
-        else:
-            scope_rows = [frame.scope_factors for frame in frames]
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else _null_span
 
-        per_shard: list[list[int]] = [[] for _ in self._workers]
-        for index, frame in enumerate(frames):
-            per_shard[self.shard_for(frame.stream_id)].append(index)
+        with span("fanout", frames=len(frames), shards=self.n_shards):
+            # Parent-side validation is the single engine's whole-tick
+            # atomic reject, byte-identical by construction (shared
+            # helper): every input error checkable without the models
+            # rejects here with no state change on any shard.  Only
+            # failures a worker detects mid-tick -- a raising monitor
+            # factory, a broken taQIM -- remain atomic per shard rather
+            # than per cluster.
+            rows, quality = validate_tick_frames(
+                frames,
+                n_stateless=self._engine_shape["n_stateless"],
+                has_scope_model=self._engine_shape["has_scope_model"],
+            )
+            if self.transport.requires_wire_ids:
+                # Reject before fan-out, like every other input error:
+                # payloads that cannot cross the codec (exotic ids,
+                # non-JSON scope values) must not half-execute a tick.
+                # Numpy-scalar scope values are unwrapped to exact
+                # Python equivalents.
+                for frame in frames:
+                    require_wire_id(frame.stream_id)
+                scope_rows = [
+                    sanitize_wire_scope(frame.scope_factors, frame.stream_id)
+                    for frame in frames
+                ]
+            else:
+                scope_rows = [frame.scope_factors for frame in frames]
 
-        # Overlapped fan-out: encode + send one shard at a time, busy
-        # shards first, so shard k is computing while the parent encodes
-        # shard k+1; frameless shards get their (trivial) empty tick last.
-        order = [s for s, indices in enumerate(per_shard) if indices]
-        order += [s for s, indices in enumerate(per_shard) if not indices]
-        sent = []
-        first_send = last_send = None
-        encode_seconds = 0.0
-        try:
-            for shard in order:
-                worker = self._workers[shard]
-                indices = per_shard[shard]
-                t_start = time.perf_counter()
-                payload = (
-                    self._shard_payload(frames, rows, quality, scope_rows, indices)
-                    if indices
-                    else None
-                )
-                worker.send("step", payload)
-                t_sent = time.perf_counter()
-                encode_seconds += t_sent - t_start
-                if first_send is None:
-                    first_send = t_sent
-                last_send = t_sent
-                sent.append(worker)
-        except Exception as error:
-            # Whatever failed mid-fan-out (a dead worker, an encode
-            # error), drain the shards already stepping so their
-            # channels stay in protocol.
-            for worker in sent:
-                worker.recv()
-            if isinstance(error, ClusterWorkerError):
-                self._note_dead(error.shard)
-            raise
-        self._fanout_ticks += 1
-        self._fanout_encode_seconds += encode_seconds
-        if len(sent) > 1:
-            self._fanout_overlap_seconds += last_send - first_send
+            per_shard: list[list[int]] = [[] for _ in self._workers]
+            for index, frame in enumerate(frames):
+                per_shard[self.shard_for(frame.stream_id)].append(index)
+
+            # Overlapped fan-out: encode + send one shard at a time, busy
+            # shards first, so shard k is computing while the parent
+            # encodes shard k+1; frameless shards get their (trivial)
+            # empty tick last.
+            order = [s for s, indices in enumerate(per_shard) if indices]
+            order += [s for s, indices in enumerate(per_shard) if not indices]
+            sent = []
+            first_send = last_send = None
+            encode_seconds = 0.0
+            try:
+                for shard in order:
+                    worker = self._workers[shard]
+                    indices = per_shard[shard]
+                    t_start = time.perf_counter()
+                    payload = (
+                        self._shard_payload(
+                            frames, rows, quality, scope_rows, indices
+                        )
+                        if indices
+                        else None
+                    )
+                    worker.send("step", payload)
+                    t_sent = time.perf_counter()
+                    encode_seconds += t_sent - t_start
+                    if first_send is None:
+                        first_send = t_sent
+                    last_send = t_sent
+                    sent.append(worker)
+            except Exception as error:
+                # Whatever failed mid-fan-out (a dead worker, an encode
+                # error), drain the shards already stepping so their
+                # channels stay in protocol.
+                for worker in sent:
+                    worker.recv()
+                if isinstance(error, ClusterWorkerError):
+                    self._note_dead(error.shard)
+                raise
+            self._fanout_ticks += 1
+            self._fanout_encode_seconds += encode_seconds
+            if len(sent) > 1:
+                self._fanout_overlap_seconds += last_send - first_send
 
         # Drain every reply before raising so the channels stay in
         # protocol; failures report the lowest-numbered failing shard.
-        replies = {shard: self._workers[shard].recv() for shard in order}
+        # Per-shard spans measure the wait for each reply: the first
+        # busy shard's span is the cluster's straggler time, later
+        # shards' replies are usually already buffered.
+        replies = {}
+        for shard in order:
+            with span("shard_step", shard=shard):
+                replies[shard] = self._workers[shard].recv()
         failure = None
         for shard in sorted(order):
             reply = replies[shard]
@@ -687,11 +726,14 @@ class ShardedEngine:
         if failure is not None:
             raise_worker_error(*failure)
 
-        results: list[StreamStepResult | None] = [None] * len(frames)
-        for shard in order:
-            indices = per_shard[shard]
-            if indices:
-                self._merge_shard_results(frames, indices, replies[shard][1], results)
+        with span("merge"):
+            results: list[StreamStepResult | None] = [None] * len(frames)
+            for shard in order:
+                indices = per_shard[shard]
+                if indices:
+                    self._merge_shard_results(
+                        frames, indices, replies[shard][1], results
+                    )
         self._tick += 1
         return results
 

@@ -59,6 +59,20 @@ make the recovered run bitwise-identical to an uninterrupted one; only
 the ``failovers`` / ``replay_depth`` / ``recovery_seconds`` telemetry
 records that a worker was lost.  Without the policy (the default),
 worker loss fails fast exactly as before.
+
+**Observability.**  The controller is the publication point of the
+:mod:`repro.serving.observability` seam: attach a
+:class:`~repro.serving.observability.metrics.MetricsRegistry` and every
+:class:`ControllerStats` counter is mirrored into Prometheus-style
+metric families after each tick (deltas of the same numbers, so a scrape
+can never disagree with ``stats``), tick latency and phase durations
+land in histograms, and a
+:class:`~repro.serving.observability.tracing.TickTracer` records
+span-level timings of each tick's phases (intake -> admission -> step ->
+snapshot, plus the engine's fan-out sub-phases and failover recovery).
+With neither attached -- the default -- the tick loop runs the exact
+pre-observability code path: no extra clock reads, no allocations, no
+registry traffic.
 """
 
 from __future__ import annotations
@@ -75,6 +89,7 @@ from repro.serving.engine import (
     validate_tick_frames,
 )
 from repro.serving.failover import FailoverPolicy
+from repro.serving.observability.tracing import null_span
 from repro.serving.state import (
     RegistrySnapshot,
     frame_from_state,
@@ -275,6 +290,7 @@ class ControllerStats:
     shards_respawned: int = 0
     replayed_ticks: int = 0
     recovery_seconds: float = 0.0
+    telemetry_window: int = TELEMETRY_WINDOW
     deferred_by_priority: dict = field(default_factory=dict)
     dropped_by_priority: dict = field(default_factory=dict)
 
@@ -292,6 +308,7 @@ class ControllerStats:
             "shards_respawned": self.shards_respawned,
             "replayed_ticks": self.replayed_ticks,
             "recovery_seconds": self.recovery_seconds,
+            "telemetry_window": self.telemetry_window,
             "deferred_by_priority": dict(self.deferred_by_priority),
             "dropped_by_priority": dict(self.dropped_by_priority),
         }
@@ -358,6 +375,23 @@ class ServingController:
         policy tests are deterministic).
     on_tick:
         Optional callback receiving each tick's :class:`TickTelemetry`.
+    telemetry_window:
+        Per-tick :class:`TickTelemetry` records retained (FIFO); default
+        :data:`TELEMETRY_WINDOW`.  Surfaced in :class:`ControllerStats`
+        so a stats consumer knows how much history :attr:`telemetry`
+        covers.
+    metrics:
+        Optional
+        :class:`~repro.serving.observability.metrics.MetricsRegistry`;
+        when given, every tick publishes the controller's counters,
+        gauges, and latency/phase histograms into it.
+    tracer:
+        Optional
+        :class:`~repro.serving.observability.tracing.TickTracer`
+        recording per-phase spans.  When ``metrics`` is given without a
+        tracer, one is created automatically (wall-clock) so the phase
+        histograms have a source; pass an explicit tracer to control its
+        clock or window, or attach one alone for traces without metrics.
     """
 
     def __init__(
@@ -371,6 +405,9 @@ class ServingController:
         owns_engine: bool = False,
         clock: Callable[[], float] = time.perf_counter,
         on_tick: Callable[[TickTelemetry], None] | None = None,
+        telemetry_window: int = TELEMETRY_WINDOW,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if not hasattr(engine, "step_batch"):
             raise ValidationError("engine must expose a step_batch() method")
@@ -391,6 +428,10 @@ class ServingController:
             )
         if snapshot_every and snapshot_dir is None:
             raise ValidationError("snapshot_every > 0 requires snapshot_dir")
+        if telemetry_window < 1:
+            raise ValidationError(
+                f"telemetry_window must be >= 1, got {telemetry_window}"
+            )
         self.engine = engine
         self.autoscale = autoscale
         self.admission = admission
@@ -400,9 +441,24 @@ class ServingController:
         self.owns_engine = owns_engine
         self.clock = clock
         self.on_tick = on_tick
-        self.stats = ControllerStats()
-        #: The last :data:`TELEMETRY_WINDOW` ticks' telemetry records.
-        self.telemetry: deque[TickTelemetry] = deque(maxlen=TELEMETRY_WINDOW)
+        self.telemetry_window = telemetry_window
+        self.metrics = metrics
+        if metrics is not None and tracer is None:
+            # Metrics without a tracer would leave the phase histograms
+            # empty; a default wall-clock tracer fills them.  Never tied
+            # to the controller's ``clock``: a scripted-latency test
+            # must not have its clock sequence consumed by spans.
+            from repro.serving.observability.tracing import TickTracer
+
+            tracer = TickTracer(window=telemetry_window)
+        self.tracer = tracer
+        if tracer is not None and hasattr(engine, "tracer"):
+            # The sharded engine contributes fan-out/shard-step/merge
+            # spans of the same ticks through this attribute.
+            engine.tracer = tracer
+        self.stats = ControllerStats(telemetry_window=telemetry_window)
+        #: The last :attr:`telemetry_window` ticks' telemetry records.
+        self.telemetry: deque[TickTelemetry] = deque(maxlen=telemetry_window)
         self.snapshots_written: list[str] = []
         self._closed = False
         # Controller-level latency EWMA (telemetry + autoscale input).
@@ -426,6 +482,13 @@ class ServingController:
             # includes any state the engine already held when this
             # controller attached to it.
             self._recovery_snapshot = self.engine.snapshot()
+        # Observability publication state: metric families plus the last
+        # published value of each cumulative counter (publication is by
+        # delta against ``stats``, so scrape and stats always agree).
+        self._metric: dict = {}
+        self._published: dict = {}
+        if metrics is not None:
+            self._bind_metrics()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -479,88 +542,114 @@ class ServingController:
         recorded, and with admission enabled the rejected tick's frames
         are not queued (they were never accepted into the control plane).
         """
-        frames = list(frames)
-        submitted = len(frames)
-        if self.admission is not None:
-            admitted_q, deferral = self._admit(frames)
-            batch = [queued.frame for queued in admitted_q]
-        else:
-            admitted_q, deferral = None, None
-            batch = frames
-
-        recovery = _RecoveryLog()
-        before = self.clock()
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else null_span
         try:
-            results = self._attempt(
-                lambda: self.engine.step_batch(batch), recovery
-            )
-        except Exception:
-            if deferral is not None:
-                deferral.rollback()
-                # The engine rejected the tick atomically; the sequence
-                # counter must match a run where it never happened, or a
-                # later snapshot would diverge from the uninterrupted run.
-                self._seq = deferral.seq_before
-            raise
-        latency = self.clock() - before
-        if self.failover is not None:
-            # Journal the admitted batch, then checkpoint once the
-            # journal is full: the recovery snapshot advances to the
-            # current state and the replay window restarts empty.
-            self._journal.append(batch)
-            if len(self._journal) >= self.failover.journal_depth:
-                self._refresh_recovery_point(recovery)
-        if deferral is not None:
-            deferral.commit(self.admission.max_deferred_per_stream)
-            self.stats.frames_resumed += deferral.resumed
-            for queued in deferral.deferred_frames:
-                self._note_deferred(queued)
-            for queued in deferral.dropped_frames:
-                self._note_dropped(queued)
-
-        alpha = self.autoscale.ewma_alpha if self.autoscale is not None else 0.3
-        if self._latency_ewma is None:
-            self._latency_ewma = latency
-        else:
-            self._latency_ewma += alpha * (latency - self._latency_ewma)
-        if self.admission is not None and batch:
-            per_frame = latency / len(batch)
-            if self._frame_seconds_ewma is None:
-                self._frame_seconds_ewma = per_frame
+            with span("intake"):
+                frames = list(frames)
+                submitted = len(frames)
+                if self.admission is not None:
+                    self._validate_intake(frames)
+            if self.admission is not None:
+                with span("admission"):
+                    admitted_q, deferral = self._admit(frames)
+                batch = [queued.frame for queued in admitted_q]
             else:
-                self._frame_seconds_ewma += self.admission.ewma_alpha * (
-                    per_frame - self._frame_seconds_ewma
-                )
+                admitted_q, deferral = None, None
+                batch = frames
 
-        rebalanced_to = self._autoscale_step(recovery)
-        if self.snapshot_every and self.engine.tick % self.snapshot_every == 0:
-            self._write_snapshot(recovery)
+            recovery = _RecoveryLog()
+            before = self.clock()
+            try:
+                with span("step", frames=len(batch)):
+                    results = self._attempt(
+                        lambda: self.engine.step_batch(batch), recovery
+                    )
+            except Exception:
+                if deferral is not None:
+                    deferral.rollback()
+                    # The engine rejected the tick atomically; the
+                    # sequence counter must match a run where it never
+                    # happened, or a later snapshot would diverge from
+                    # the uninterrupted run.
+                    self._seq = deferral.seq_before
+                raise
+            latency = self.clock() - before
+            if self.failover is not None:
+                # Journal the admitted batch, then checkpoint once the
+                # journal is full: the recovery snapshot advances to the
+                # current state and the replay window restarts empty.
+                self._journal.append(batch)
+                if len(self._journal) >= self.failover.journal_depth:
+                    self._refresh_recovery_point(recovery)
+            if deferral is not None:
+                deferral.commit(self.admission.max_deferred_per_stream)
+                self.stats.frames_resumed += deferral.resumed
+                for queued in deferral.deferred_frames:
+                    self._note_deferred(queued)
+                for queued in deferral.dropped_frames:
+                    self._note_dropped(queued)
 
-        self.stats.ticks += 1
-        self.stats.frames_submitted += submitted
-        self.stats.frames_admitted += len(batch)
-        record = TickTelemetry(
-            tick=self.engine.tick,
-            submitted=submitted,
-            admitted=len(batch),
-            resumed=deferral.resumed if deferral is not None else 0,
-            deferred=(
-                len(deferral.deferred_frames) if deferral is not None else 0
-            ),
-            dropped=(
-                len(deferral.dropped_frames) if deferral is not None else 0
-            ),
-            backlog=self.backlog,
-            frame_budget=deferral.budget if deferral is not None else None,
-            latency_seconds=latency,
-            latency_ewma=self._latency_ewma,
-            n_shards=self.n_shards,
-            rebalanced_to=rebalanced_to,
-            failovers=recovery.failovers,
-            replay_depth=recovery.replayed,
-            recovery_seconds=recovery.seconds,
-        )
-        self.telemetry.append(record)
+            alpha = (
+                self.autoscale.ewma_alpha if self.autoscale is not None else 0.3
+            )
+            if self._latency_ewma is None:
+                self._latency_ewma = latency
+            else:
+                self._latency_ewma += alpha * (latency - self._latency_ewma)
+            if self.admission is not None and batch:
+                per_frame = latency / len(batch)
+                if self._frame_seconds_ewma is None:
+                    self._frame_seconds_ewma = per_frame
+                else:
+                    self._frame_seconds_ewma += self.admission.ewma_alpha * (
+                        per_frame - self._frame_seconds_ewma
+                    )
+
+            rebalanced_to = self._autoscale_step(recovery)
+            if (
+                self.snapshot_every
+                and self.engine.tick % self.snapshot_every == 0
+            ):
+                with span("snapshot"):
+                    self._write_snapshot(recovery)
+
+            self.stats.ticks += 1
+            self.stats.frames_submitted += submitted
+            self.stats.frames_admitted += len(batch)
+            record = TickTelemetry(
+                tick=self.engine.tick,
+                submitted=submitted,
+                admitted=len(batch),
+                resumed=deferral.resumed if deferral is not None else 0,
+                deferred=(
+                    len(deferral.deferred_frames) if deferral is not None else 0
+                ),
+                dropped=(
+                    len(deferral.dropped_frames) if deferral is not None else 0
+                ),
+                backlog=self.backlog,
+                frame_budget=deferral.budget if deferral is not None else None,
+                latency_seconds=latency,
+                latency_ewma=self._latency_ewma,
+                n_shards=self.n_shards,
+                rebalanced_to=rebalanced_to,
+                failovers=recovery.failovers,
+                replay_depth=recovery.replayed,
+                recovery_seconds=recovery.seconds,
+            )
+            self.telemetry.append(record)
+        except Exception:
+            # Whatever failed, the open spans belong to a tick that never
+            # completed; they must not leak into the next trace.
+            if tracer is not None:
+                tracer.abort_tick()
+            raise
+        trace = tracer.end_tick(self.engine.tick) if tracer is not None else None
+        if self.metrics is not None:
+            # Published BEFORE on_tick so a callback (or a concurrent
+            # scrape it triggers) already sees this tick's counters.
+            self._publish_tick(record, trace)
         if self.on_tick is not None:
             self.on_tick(record)
         return results
@@ -670,6 +759,15 @@ class ServingController:
             seconds = time.perf_counter() - started
             self.stats.recovery_seconds += seconds
             recovery.seconds += seconds
+            if self.tracer is not None:
+                # Self-measured span (see above re: clocks); lands in the
+                # interrupted tick's trace, where the stall happened.
+                self.tracer.record(
+                    "recovery",
+                    seconds,
+                    respawned=recovery.respawned,
+                    replayed=recovery.replayed,
+                )
 
     def _refresh_recovery_point(self, recovery: _RecoveryLog) -> None:
         """Advance the recovery snapshot to the current state and clear
@@ -751,20 +849,15 @@ class ServingController:
                 "an integer priority class"
             ) from None
 
-    def _admit(self, frames: list[StreamFrame]):
-        """Pick this tick's batch: one candidate per stream, sorted by
-        (priority class, arrival sequence), admitted up to the budget.
+    def _validate_intake(self, frames: list[StreamFrame]) -> None:
+        """Intake validation (the ``intake`` phase of an admission tick).
 
-        Queue mutations are staged in a :class:`_AdmissionOutcome` and
-        applied only after the engine accepted the tick (``commit``); a
-        rejected tick rolls back to the pre-tick queues, so controller
-        state matches the engine's nothing-happened semantics.
+        A deferred frame skips the engine's whole-tick validation until
+        the tick that admits it, so a malformed frame must be rejected
+        *here* -- with the engine's canonical checks and messages --
+        before it can hide in a queue.  Nothing (seq counter included)
+        changes on reject.
         """
-        # Intake validation: a deferred frame skips the engine's
-        # whole-tick validation until the tick that admits it, so a
-        # malformed frame must be rejected *here* -- with the engine's
-        # canonical checks and messages -- before it can hide in a
-        # queue.  Nothing (seq counter included) changes on reject.
         shape = self._intake_shape()
         if shape is not None:
             validate_tick_frames(
@@ -781,6 +874,17 @@ class ServingController:
                     )
                 seen_ids.add(frame.stream_id)
 
+    def _admit(self, frames: list[StreamFrame]):
+        """Pick this tick's batch: one candidate per stream, sorted by
+        (priority class, arrival sequence), admitted up to the budget.
+
+        The caller has already run :meth:`_validate_intake` on these
+        frames.  Queue mutations are staged in a
+        :class:`_AdmissionOutcome` and applied only after the engine
+        accepted the tick (``commit``); a rejected tick rolls back to
+        the pre-tick queues, so controller state matches the engine's
+        nothing-happened semantics.
+        """
         outcome = _AdmissionOutcome(self._queues, seq_before=self._seq)
         candidates: list[_QueuedFrame] = []
         backed_up: set = set()
@@ -826,6 +930,167 @@ class ServingController:
         self.stats.admission_overflow += 1
         by = self.stats.dropped_by_priority
         by[queued.priority] = by.get(queued.priority, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Observability publication (metrics mirror ControllerStats)
+    # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        """Register this controller's metric families (get-or-create, so
+        several controllers may share one registry)."""
+        m = self.metrics
+        f = self._metric
+        f["ticks"] = m.counter(
+            "repro_controller_ticks_total", "Controlled ticks completed."
+        )
+        f["submitted"] = m.counter(
+            "repro_controller_frames_submitted_total",
+            "Frames handed to the controller.",
+        )
+        f["admitted"] = m.counter(
+            "repro_controller_frames_admitted_total",
+            "Frames the engine actually stepped.",
+        )
+        f["resumed"] = m.counter(
+            "repro_controller_frames_resumed_total",
+            "Admitted frames that came from deferral queues.",
+        )
+        f["deferred"] = m.counter(
+            "repro_controller_frames_deferred_total",
+            "Frames (re)queued by admission control, by priority class.",
+            labels=("priority",),
+        )
+        f["dropped"] = m.counter(
+            "repro_controller_frames_dropped_total",
+            "Frames lost to deferral-queue overflow, by priority class.",
+            labels=("priority",),
+        )
+        f["rebalances"] = m.counter(
+            "repro_controller_rebalances_total",
+            "Shard-count changes (autoscale decisions + manual rebalances).",
+        )
+        f["snapshots"] = m.counter(
+            "repro_controller_snapshots_total",
+            "Periodic snapshots written to disk.",
+        )
+        f["failovers"] = m.counter(
+            "repro_controller_failovers_total",
+            "Worker-failure recoveries performed.",
+        )
+        f["respawned"] = m.counter(
+            "repro_controller_shards_respawned_total",
+            "Dead shard workers respawned during recovery.",
+        )
+        f["replayed"] = m.counter(
+            "repro_controller_replayed_ticks_total",
+            "Journaled ticks replayed during recovery.",
+        )
+        f["recovery_total"] = m.counter(
+            "repro_controller_recovery_seconds_total",
+            "Wall time spent in failover recovery.",
+        )
+        f["fanout_ticks"] = m.counter(
+            "repro_fanout_ticks_total",
+            "Multi-shard fan-out ticks executed by the sharded engine.",
+        )
+        f["fanout_encode"] = m.counter(
+            "repro_fanout_encode_seconds_total",
+            "Wall time encoding fan-out requests (the serial prefix).",
+        )
+        f["fanout_overlap"] = m.counter(
+            "repro_fanout_overlap_seconds_total",
+            "Wall time of the overlapped send window during fan-out.",
+        )
+        f["backlog"] = m.gauge(
+            "repro_controller_backlog_frames",
+            "Deferred frames currently queued across all streams.",
+        )
+        f["shards"] = m.gauge(
+            "repro_controller_shards", "Current shard count."
+        )
+        f["ewma"] = m.gauge(
+            "repro_controller_latency_ewma_seconds",
+            "Controller-level EWMA of tick latency.",
+        )
+        window = m.gauge(
+            "repro_controller_telemetry_window_ticks",
+            "Per-tick telemetry records the controller retains.",
+        )
+        window.set(self.telemetry_window)
+        f["latency"] = m.histogram(
+            "repro_tick_latency_seconds",
+            "Measured step_batch wall time per controlled tick.",
+        )
+        f["phase"] = m.histogram(
+            "repro_tick_phase_seconds",
+            "Traced duration of each tick phase.",
+            labels=("phase",),
+        )
+        f["recovery_hist"] = m.histogram(
+            "repro_recovery_seconds",
+            "Failover recovery wall time, per tick that recovered.",
+        )
+
+    def _advance(self, key, value, counter, **labels) -> None:
+        """Publish a cumulative stat as a counter delta.  Counters only
+        move forward; a restored (rolled-back) stats object simply stops
+        publishing until it passes the high-water mark again."""
+        previous = self._published.get(key, 0)
+        if value > previous:
+            series = counter.labels(**labels) if labels else counter
+            series.inc(value - previous)
+            self._published[key] = value
+
+    def _publish_tick(self, record: TickTelemetry, trace) -> None:
+        """Mirror this tick into the metrics registry.
+
+        Cumulative families are published as deltas of the very same
+        :class:`ControllerStats` fields a caller reads, so a scrape and
+        ``stats.as_dict()`` can never disagree about totals.
+        """
+        f = self._metric
+        stats = self.stats
+        self._advance("ticks", stats.ticks, f["ticks"])
+        self._advance("frames_submitted", stats.frames_submitted, f["submitted"])
+        self._advance("frames_admitted", stats.frames_admitted, f["admitted"])
+        self._advance("frames_resumed", stats.frames_resumed, f["resumed"])
+        self._advance("rebalances", stats.rebalances, f["rebalances"])
+        self._advance("snapshots", stats.snapshots_written, f["snapshots"])
+        self._advance("failovers", stats.failovers, f["failovers"])
+        self._advance("respawned", stats.shards_respawned, f["respawned"])
+        self._advance("replayed", stats.replayed_ticks, f["replayed"])
+        self._advance(
+            "recovery_seconds", stats.recovery_seconds, f["recovery_total"]
+        )
+        for priority, count in stats.deferred_by_priority.items():
+            self._advance(
+                ("deferred", priority), count, f["deferred"], priority=priority
+            )
+        for priority, count in stats.dropped_by_priority.items():
+            self._advance(
+                ("dropped", priority), count, f["dropped"], priority=priority
+            )
+        fanout_stats = getattr(self.engine, "fanout_stats", None)
+        if fanout_stats is not None:
+            fanout = fanout_stats()
+            self._advance("fanout_ticks", fanout["ticks"], f["fanout_ticks"])
+            self._advance(
+                "fanout_encode", fanout["encode_seconds"], f["fanout_encode"]
+            )
+            self._advance(
+                "fanout_overlap", fanout["overlap_seconds"], f["fanout_overlap"]
+            )
+        f["backlog"].set(record.backlog)
+        f["shards"].set(record.n_shards)
+        f["ewma"].set(record.latency_ewma)
+        f["latency"].observe(record.latency_seconds)
+        if record.recovery_seconds > 0.0:
+            f["recovery_hist"].observe(record.recovery_seconds)
+        if trace is not None:
+            phase = f["phase"]
+            for span_record in trace.spans:
+                phase.labels(phase=span_record.name).observe(
+                    span_record.seconds
+                )
 
     # ------------------------------------------------------------------
     # Autoscale

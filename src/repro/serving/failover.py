@@ -44,6 +44,19 @@ Recovery is bounded: once ``max_failovers`` recoveries have been spent,
 the next :class:`ClusterWorkerError` is re-raised to the caller with the
 failing shard attached -- the pre-failover fail-fast contract, restored
 when the environment is clearly beyond saving.
+
+Observability: a metrics-enabled controller exports every recovery as
+the ``repro_controller_failovers_total`` /
+``repro_controller_shards_respawned_total`` /
+``repro_controller_replayed_ticks_total`` counter families plus the
+``repro_recovery_seconds`` histogram, and its tracer records each
+recovery as a ``recovery`` span in the interrupted tick's trace (see
+:mod:`repro.serving.observability`).  The exactness claim itself is
+checkable after the fact: record a run through
+:class:`~repro.serving.observability.flight.FlightRecordingTransport`
+and ``repro replay-flight`` re-drives the log -- the failover's hello,
+restore, and replayed ticks included -- asserting every reply byte
+identical.
 """
 
 from __future__ import annotations

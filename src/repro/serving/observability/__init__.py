@@ -1,0 +1,64 @@
+"""Production observability for the serving stack.
+
+Three seams, one package:
+
+* :mod:`~repro.serving.observability.metrics` -- a dependency-free
+  registry of counters/gauges/histograms with Prometheus text
+  exposition over HTTP (:class:`MetricsServer`).
+* :mod:`~repro.serving.observability.tracing` -- span-style tick-phase
+  instrumentation with an injectable clock (:class:`TickTracer`).
+* :mod:`~repro.serving.observability.flight` -- a transport tap that
+  journals wire frames to disk (:class:`FlightRecorder`) and replays
+  them bitwise (:func:`replay_flight`).
+
+Everything here is opt-in: a controller or cluster without a registry,
+tracer, or recorder attached runs the exact pre-observability code path.
+"""
+
+from repro.serving.observability.flight import (
+    FlightRecord,
+    FlightRecorder,
+    FlightRecordingTransport,
+    FlightReplayReport,
+    probe_engine_shape,
+    read_flight_log,
+    replay_flight,
+)
+from repro.serving.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    parse_prometheus,
+)
+from repro.serving.observability.tracing import (
+    PHASES,
+    SpanRecord,
+    TickTrace,
+    TickTracer,
+    null_span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "FlightRecord",
+    "FlightRecorder",
+    "FlightRecordingTransport",
+    "FlightReplayReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "PHASES",
+    "SpanRecord",
+    "TickTrace",
+    "TickTracer",
+    "null_span",
+    "parse_prometheus",
+    "probe_engine_shape",
+    "read_flight_log",
+    "replay_flight",
+]

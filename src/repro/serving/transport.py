@@ -102,10 +102,41 @@ class WorkerServicer:
     calls :meth:`handle` directly, pipe and TCP workers call it from
     :func:`serve_connection`.  Raises on failure; the caller maps the
     exception into an error reply.
+
+    With a metrics registry attached (``serve-worker --metrics-port``)
+    every command is counted by name, errors separately, plus stepped
+    frames and live stream/tick gauges.  Families are get-or-create, so
+    the per-connection servicers of one worker process share series in
+    the one registry.  Without a registry (the default, and always the
+    in-cluster path) dispatch is exactly the bare call -- metrics can
+    never perturb the parent-side serving loop.
     """
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine, metrics=None) -> None:
         self.engine = engine
+        self.metrics = metrics
+        if metrics is not None:
+            self._requests = metrics.counter(
+                "repro_worker_requests_total",
+                "Commands serviced, by command name.",
+                labels=("command",),
+            )
+            self._errors = metrics.counter(
+                "repro_worker_errors_total",
+                "Commands that raised, by command name.",
+                labels=("command",),
+            )
+            self._frames = metrics.counter(
+                "repro_worker_frames_total",
+                "Frames stepped by this worker.",
+            )
+            self._streams = metrics.gauge(
+                "repro_worker_streams",
+                "Streams currently registered on this worker.",
+            )
+            self._tick_gauge = metrics.gauge(
+                "repro_worker_tick", "This worker's engine tick."
+            )
 
     def engine_shape(self) -> dict:
         """The hello payload: input shape plus a config fingerprint.
@@ -134,6 +165,21 @@ class WorkerServicer:
         }
 
     def handle(self, command: str, payload):
+        if self.metrics is None:
+            return self._handle(command, payload)
+        self._requests.labels(command=command).inc()
+        if command == "step" and payload is not None:
+            self._frames.inc(len(payload["ids"]))
+        try:
+            result = self._handle(command, payload)
+        except Exception:
+            self._errors.labels(command=command).inc()
+            raise
+        self._streams.set(len(self.engine.registry))
+        self._tick_gauge.set(self.engine.tick)
+        return result
+
+    def _handle(self, command: str, payload):
         engine = self.engine
         if command == "step":
             return self._step(payload)
@@ -299,14 +345,14 @@ class SocketChannel:
 _CHANNEL_ERRORS = (EOFError, BrokenPipeError, ConnectionError, OSError)
 
 
-def _handle_hello(engine_factory, payload) -> WorkerServicer:
+def _handle_hello(engine_factory, payload, metrics=None) -> WorkerServicer:
     """The one implementation of the hello handshake's worker side:
     build the engine, join it at the cluster's tick, wrap it in a
     servicer.  Shared by the byte-transport loop and the in-proc
     endpoint so hello semantics can never drift between transports."""
     engine = engine_factory()
     engine._tick = int(payload["initial_tick"])
-    return WorkerServicer(engine)
+    return WorkerServicer(engine, metrics=metrics)
 
 
 def _try_send(channel, data: bytes) -> bool:
@@ -324,7 +370,10 @@ def _try_send(channel, data: bytes) -> bool:
 
 
 def serve_connection(
-    channel, engine_factory: Callable, handshake_timeout: float | None = None
+    channel,
+    engine_factory: Callable,
+    handshake_timeout: float | None = None,
+    metrics=None,
 ) -> str:
     """Serve one cluster connection on a byte channel until close/EOF.
 
@@ -371,7 +420,7 @@ def serve_connection(
         )
         return "stray"
     try:
-        servicer = _handle_hello(engine_factory, payload)
+        servicer = _handle_hello(engine_factory, payload, metrics=metrics)
     except Exception as error:  # surfaced by the parent's hello reply
         _try_send(
             channel,
@@ -844,6 +893,7 @@ def serve_worker(
     max_connections: int = 0,
     ready_callback: Callable[[int], None] | None = None,
     handshake_timeout: float = 30.0,
+    metrics=None,
 ) -> int:
     """Run one TCP shard worker: accept cluster connections, serve each.
 
@@ -861,9 +911,22 @@ def serve_worker(
     consume the budget, so the worker is still listening when the
     cluster's failover reconnects.  Returns the number of sessions
     served to an orderly close.
+
+    ``metrics`` (an optional
+    :class:`~repro.serving.observability.metrics.MetricsRegistry`,
+    typically exposed over HTTP by the ``serve-worker --metrics-port``
+    CLI path) makes every servicer publish per-command counters and
+    gauges, plus a connection-outcome counter here.
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    connections = None
+    if metrics is not None:
+        connections = metrics.counter(
+            "repro_worker_connections_total",
+            "Cluster connections accepted, by how each ended.",
+            labels=("status",),
+        )
     served = 0
     try:
         listener.bind((host, port))
@@ -878,12 +941,17 @@ def serve_worker(
                 # disconnects) must never take the listener down with it:
                 # one client's failure ends one connection, nothing more.
                 status = serve_connection(
-                    channel, engine_factory, handshake_timeout=handshake_timeout
+                    channel,
+                    engine_factory,
+                    handshake_timeout=handshake_timeout,
+                    metrics=metrics,
                 )
             except Exception:
                 status = "served"  # conservatively count the lost slot
             finally:
                 channel.close()
+            if connections is not None:
+                connections.labels(status=status).inc()
             if status == "served":
                 served += 1
     finally:

@@ -291,6 +291,101 @@ class TestControlPlaneFlags:
         assert "outputs identical: True" in out
 
 
+class TestObservabilityCLI:
+    def test_parser_defaults(self):
+        for command in ("simulate-streams", "serve-cluster"):
+            args = build_parser().parse_args([command, "--smoke"])
+            assert args.metrics_port is None
+            assert args.telemetry_window == 4096
+        cluster = build_parser().parse_args(["serve-cluster", "--smoke"])
+        assert cluster.flight_record is None
+        worker = build_parser().parse_args(
+            ["serve-worker", "--listen", "127.0.0.1:0"]
+        )
+        assert worker.metrics_port is None
+        replay = build_parser().parse_args(["replay-flight", "some/dir"])
+        assert replay.command == "replay-flight"
+        assert replay.log == "some/dir"
+        assert replay.seed == 42
+        assert replay.json is None
+
+    def test_metrics_endpoint_announced(self, capsys):
+        code = main(
+            [
+                "simulate-streams", "--smoke",
+                "--streams", "4", "--ticks", "2",
+                "--metrics-port", "0",
+                "--telemetry-window", "2",
+            ]
+        )
+        assert code == 0
+        assert "serving metrics at http://127.0.0.1:" in capsys.readouterr().out
+
+    def test_record_then_replay_flight(self, tmp_path, capsys):
+        flight_dir = tmp_path / "flight"
+        code = main(
+            [
+                "serve-cluster", "--smoke",
+                "--streams", "8", "--ticks", "4",
+                "--shards", "2", "--transport", "inproc",
+                "--threshold", "0.5",
+                "--flight-record", str(flight_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"flight-recording wire frames to {flight_dir}" in out
+        assert "wrote flight log" in out
+        assert (flight_dir / "frames.bin").exists()
+        assert (flight_dir / "manifest.json").exists()
+
+        json_path = tmp_path / "replay.json"
+        code = main(
+            [
+                "replay-flight", str(flight_dir),
+                "--smoke", "--threshold", "0.5",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bitwise-identical" in out
+
+        import json
+
+        report = json.loads(json_path.read_text())
+        assert report["ok"] is True
+        assert report["mismatches"] == []
+        assert report["shards"] == [0, 1]
+        assert report["helloes"] >= 2
+
+    def test_replay_flight_wrong_config_is_explained(self, tmp_path, capsys):
+        flight_dir = tmp_path / "flight"
+        code = main(
+            [
+                "serve-cluster", "--smoke",
+                "--streams", "6", "--ticks", "3",
+                "--shards", "2", "--transport", "inproc",
+                "--threshold", "0.5",
+                "--flight-record", str(flight_dir),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # Replaying without the monitor (--threshold) is a different
+        # engine configuration; the probe must name the differing key
+        # instead of replaying into opaque byte mismatches.
+        code = main(["replay-flight", str(flight_dir), "--smoke"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "engine configuration does not match" in err
+        assert "monitor: recorded" in err
+
+    def test_replay_flight_missing_log_fails_fast(self, tmp_path, capsys):
+        assert main(["replay-flight", str(tmp_path)]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+
 class TestImportanceCommand:
     def test_smoke_importance_with_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "fig7.csv"
