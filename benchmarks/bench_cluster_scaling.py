@@ -23,6 +23,7 @@ shard is the single-process engine plus pure dispatch overhead, so its
 throughput must stay within a small factor of the plain engine's.
 """
 
+import statistics
 import time
 
 import numpy as np
@@ -30,10 +31,13 @@ import pytest
 
 from repro.core.monitor import UncertaintyMonitor
 from repro.serving import (
+    SLO,
     ServingController,
     ShardedEngine,
+    SLOTracker,
     StreamingEngine,
     TcpTransport,
+    TickTracer,
     build_stream_workload,
     launch_local_workers,
     replay_results,
@@ -55,6 +59,13 @@ MIN_INPROC_1SHARD_RELATIVE = 0.5
 # syscalls land between first and last send), so this floor is what
 # actually enforces the overlap claim.
 MIN_OVERLAP_FRACTION_OF_ENCODE = 0.3
+# Distributed tracing (trace contexts on requests, piggybacked worker
+# telemetry on replies, per-tick timeline assembly) must stay cheap:
+# the traced median tick within this factor of the untraced one.
+TRACING_OVERHEAD_MAX = 1.5
+# The SLO the traced bench run declares: generous enough that a healthy
+# run records verdicts without manufacturing breaches.
+BENCH_SLO_BUDGET_SECONDS = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +101,24 @@ def _cluster_run(engine_factory, transport_name, n_shards, workload, addresses):
     return results, seconds, fanout
 
 
+def _controlled_pipe_run(engine_factory, workload, *, traced):
+    """One controller-driven 2-shard pipe replay, plain or fully traced
+    (distributed tracing + an SLO tracker).  Returns per-stream results,
+    per-tick latencies, fan-out stats, and the SLO tracker (None plain)."""
+    tracer = TickTracer() if traced else None
+    slo = (
+        SLOTracker([SLO("p99_latency", BENCH_SLO_BUDGET_SECONDS)])
+        if traced
+        else None
+    )
+    with ShardedEngine(engine_factory, 2) as cluster:
+        controller = ServingController(cluster, tracer=tracer, slo=slo)
+        per_stream = controller.run(workload.ticks)
+        latencies = [t.latency_seconds for t in controller.telemetry]
+        fanout = cluster.fanout_stats()
+    return per_stream, latencies, fanout, slo
+
+
 def test_cluster_equivalence_and_scaling(
     study_data, engine_factory, workload, write_output, write_bench_json, usable_cores
 ):
@@ -117,6 +146,14 @@ def test_cluster_equivalence_and_scaling(
                 )
     finally:
         stop_local_workers(worker_processes)
+
+    # One traced 2-shard pipe run: the worker-side phase breakdown and
+    # the SLO verdicts ride along in BENCH_cluster.json so the
+    # distributed-tracing view of the same workload stays comparable
+    # across PRs (the overhead gate lives in its own test below).
+    _, traced_latencies, traced_fanout, slo = _controlled_pipe_run(
+        engine_factory, workload, traced=True
+    )
 
     scaling = seconds["pipe", 1] / seconds["pipe", 4]
     inproc_relative = single_seconds / seconds["inproc", 1]
@@ -171,6 +208,16 @@ def test_cluster_equivalence_and_scaling(
             "outputs_identical": True,
             "scaling_gate_min": MIN_SPEEDUP_4_VS_1,
             "scaling_gate_asserted": gate_active,
+            "tracing": {
+                "tick_latency_seconds": traced_latencies,
+                "worker_phase_seconds": {
+                    str(shard): phases
+                    for shard, phases in traced_fanout[
+                        "worker_phase_seconds"
+                    ].items()
+                },
+                "slo": slo.as_dict(),
+            },
         },
         transport=list(TRANSPORTS),
         shards=list(SHARD_COUNTS),
@@ -209,6 +256,68 @@ def test_cluster_equivalence_and_scaling(
             f"{cores}; equivalence asserted, scaling recorded "
             f"({scaling:.2f}x) in BENCH_cluster.json"
         )
+
+
+def test_tracing_overhead_is_bounded(
+    study_data, engine_factory, workload, write_bench_json
+):
+    """Distributed tracing must be free in outcomes and cheap in time.
+
+    The same 2-shard pipe workload runs once plain and once fully traced
+    (trace contexts on every fan-out request, piggybacked worker
+    telemetry, per-tick SLO evaluation).  The traced run must produce
+    bit-identical results -- the side channel rides reserved meta keys
+    that are stripped before command decoding, so it cannot perturb a
+    single payload byte -- and its median tick latency must stay within
+    ``TRACING_OVERHEAD_MAX`` of the plain run's.
+    """
+    plain_stream, plain_latencies, plain_fanout, _ = _controlled_pipe_run(
+        engine_factory, workload, traced=False
+    )
+    traced_stream, traced_latencies, traced_fanout, slo = _controlled_pipe_run(
+        engine_factory, workload, traced=True
+    )
+
+    assert traced_stream == plain_stream, (
+        "tracing changed results: the trace/telemetry side channel must "
+        "be invisible to payload handling"
+    )
+    # The untraced run must not even collect worker telemetry.
+    assert plain_fanout["worker_phase_seconds"] == {}
+    phases = traced_fanout["worker_phase_seconds"]
+    assert set(phases) == {0, 1}
+    assert all(shard["step"] > 0.0 for shard in phases.values())
+    assert slo.ticks == N_TICKS
+
+    plain_median = statistics.median(plain_latencies)
+    traced_median = statistics.median(traced_latencies)
+    overhead = traced_median / plain_median
+
+    write_bench_json(
+        "cluster_tracing",
+        {
+            "streams": N_STREAMS,
+            "ticks": N_TICKS,
+            "plain_median_tick_seconds": plain_median,
+            "traced_median_tick_seconds": traced_median,
+            "tracing_overhead": overhead,
+            "tracing_overhead_max": TRACING_OVERHEAD_MAX,
+            "outputs_identical": True,
+            "worker_phase_seconds": {
+                str(shard): shard_phases
+                for shard, shard_phases in phases.items()
+            },
+            "slo": slo.as_dict(),
+        },
+        transport="pipe",
+        shards=2,
+    )
+
+    assert overhead <= TRACING_OVERHEAD_MAX, (
+        f"traced median tick is {overhead:.2f}x the plain one "
+        f"(cap {TRACING_OVERHEAD_MAX}x); the tracing side channel has "
+        "become a tax on the serving loop"
+    )
 
 
 def test_snapshot_restore_roundtrip_overhead(

@@ -180,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--flight-record", metavar="DIR", default=None,
                          help="journal every wire frame to a flight log in "
                               "DIR (replayable with replay-flight)")
+    cluster.add_argument("--trace-export", metavar="DIR", default=None,
+                         help="assemble per-tick distributed timelines "
+                              "(controller + rebased worker spans) and "
+                              "write Chrome trace-event JSON to DIR/"
+                              "trace.json (open in Perfetto)")
     cluster.add_argument("--json", metavar="PATH",
                          help="write the cluster report JSON to PATH")
     _add_controller_flags(cluster)
@@ -237,6 +242,19 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--json", metavar="PATH",
                         help="write the replay report JSON to PATH")
 
+    export = sub.add_parser(
+        "export-trace",
+        help="reconstruct per-tick timelines from a recorded flight log "
+             "and write Chrome trace-event JSON (open in Perfetto)",
+    )
+    export.add_argument("log", metavar="DIR",
+                        help="flight-log directory (frames.bin + "
+                             "manifest.json, as written by serve-cluster "
+                             "--flight-record)")
+    export.add_argument("--out", metavar="PATH", default="trace.json",
+                        help="trace-event JSON output path "
+                             "(default: trace.json)")
+
     return parser
 
 
@@ -285,6 +303,11 @@ def _add_controller_flags(parser) -> None:
     obs.add_argument("--telemetry-window", type=int, default=4096, metavar="N",
                      help="per-tick telemetry records the controller "
                           "retains (default 4096)")
+    obs.add_argument("--slo-p99-ms", type=float, default=None, metavar="MS",
+                     help="track a p99 tick-latency SLO with this budget; "
+                          "breaches and multi-window error-budget burn "
+                          "rates land in the report (and metrics when "
+                          "--metrics-port is set)")
 
 
 def _parse_autoscale(spec: str):
@@ -555,6 +578,30 @@ def _metrics_server_from_args(args):
     return registry, server
 
 
+def _slo_from_args(args):
+    """Resolve --slo-p99-ms into an SLOTracker (None when unset)."""
+    if getattr(args, "slo_p99_ms", None) is None:
+        return None
+    from repro.serving.observability import SLO, SLOTracker
+
+    return SLOTracker([SLO("p99_latency", args.slo_p99_ms / 1e3)])
+
+
+def _print_slo_summary(slo) -> None:
+    for name, state in slo.as_dict()["objectives"].items():
+        alerts = state["alerts"]
+        line = (
+            f"slo {name}: {state['breaches']} breach(es) of "
+            f"{state['budget_seconds'] * 1e3:.1f}ms budget, burn rate "
+            f"short {state['burn_short']:.2f} / long {state['burn_long']:.2f}"
+        )
+        if sum(alerts.values()):
+            line += (
+                f", alerts fast={alerts['fast']} slow={alerts['slow']}"
+            )
+        print(line)
+
+
 def _transport_from_args(args):
     """Resolve serve-cluster's --transport/--workers into a transport spec."""
     if getattr(args, "transport", "pipe") != "tcp":
@@ -625,6 +672,7 @@ def _cmd_simulate_streams(args) -> int:
     # them (the context manager closes the engine on every exit path;
     # a failing controller constructor must not leak them either).
     metrics, metrics_server = _metrics_server_from_args(args)
+    slo = _slo_from_args(args)
     try:
         controller = ServingController(
             engine,
@@ -639,6 +687,7 @@ def _cmd_simulate_streams(args) -> int:
             ),
             telemetry_window=args.telemetry_window,
             metrics=metrics,
+            slo=slo,
         )
     except Exception:
         if sharded:
@@ -684,6 +733,9 @@ def _cmd_simulate_streams(args) -> int:
         "series_started": statistics.series_started,
         "streams_evicted": statistics.evicted,
     }
+    if slo is not None:
+        report["slo"] = slo.as_dict()
+        _print_slo_summary(slo)
     report.update(_controller_report(controller, autoscale, admission, final_shards))
     if sharded and autoscale is not None:
         shards_label = f"{initial_shards}->{final_shards} shards"
@@ -880,6 +932,15 @@ def _cmd_serve_cluster(args) -> int:
         recorder = FlightRecorder(args.flight_record)
         transport = FlightRecordingTransport(transport, recorder)
         print(f"flight-recording wire frames to {recorder.directory}")
+    tracer = None
+    exporter = None
+    if args.trace_export:
+        from repro.serving.observability import TickTracer, TraceExporter
+
+        tracer = TickTracer(window=args.telemetry_window)
+        exporter = TraceExporter(args.trace_export)
+        print(f"exporting distributed traces to {args.trace_export}")
+    slo = _slo_from_args(args)
 
     initial_shards = args.shards
     if autoscale is not None:
@@ -897,6 +958,16 @@ def _cmd_serve_cluster(args) -> int:
         # The controller owns both the tick loop and the cluster
         # lifecycle: any exception from here on (restore included) reaps
         # the workers -- a failing controller constructor included.
+        printer = _telemetry_printer(args, cluster=cluster)
+        if exporter is not None:
+            def on_tick(record, _printer=printer):
+                # on_tick fires after end_tick, so tracer.last is this
+                # tick's trace and cluster.last_rpc its worker side.
+                exporter.observe(tracer.last, cluster)
+                if _printer is not None:
+                    _printer(record)
+        else:
+            on_tick = printer
         try:
             controller = ServingController(
                 cluster,
@@ -906,9 +977,11 @@ def _cmd_serve_cluster(args) -> int:
                 snapshot_every=args.snapshot_every,
                 snapshot_dir=args.snapshot_dir,
                 owns_engine=True,
-                on_tick=_telemetry_printer(args, cluster=cluster),
+                on_tick=on_tick,
                 telemetry_window=args.telemetry_window,
                 metrics=metrics,
+                tracer=tracer,
+                slo=slo,
             )
         except Exception:
             cluster.close()
@@ -934,12 +1007,19 @@ def _cmd_serve_cluster(args) -> int:
         # on failure too, so a partial log still gets its manifest.
         if recorder is not None:
             recorder.close()
+        if exporter is not None:
+            trace_path = exporter.close()
         if metrics_server is not None:
             metrics_server.close()
     if recorder is not None:
         print(
             f"wrote flight log ({recorder.records} records) to "
             f"{recorder.directory}"
+        )
+    if exporter is not None:
+        print(
+            f"wrote distributed trace ({len(exporter.timelines)} ticks) to "
+            f"{trace_path}"
         )
 
     cluster_outcomes = {
@@ -960,6 +1040,16 @@ def _cmd_serve_cluster(args) -> int:
         "streams_evicted": statistics.evicted,
         "snapshots_written": list(controller.snapshots_written),
     }
+    if exporter is not None:
+        report["trace_file"] = str(trace_path)
+        report["trace_ticks"] = len(exporter.timelines)
+        report["worker_phase_seconds"] = {
+            str(shard): phases
+            for shard, phases in fanout["worker_phase_seconds"].items()
+        }
+    if slo is not None:
+        report["slo"] = slo.as_dict()
+        _print_slo_summary(slo)
     report.update(_controller_report(controller, autoscale, admission, final_shards))
     shards_label = (
         f"{initial_shards}->{final_shards}"
@@ -1119,6 +1209,35 @@ def _cmd_replay_flight(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_export_trace(args) -> int:
+    from repro.serving.observability import (
+        read_flight_log,
+        timeline_from_flight,
+        validate_trace_events,
+        write_trace_events,
+    )
+
+    manifest, _ = read_flight_log(args.log)
+    print(
+        f"flight log {args.log}: {manifest['records']} records, "
+        f"{manifest['n_shards']} shard(s), transport "
+        f"{manifest['transport']}"
+    )
+    timelines = timeline_from_flight(args.log)
+    if not timelines:
+        print("error: no step traffic in the flight log", file=sys.stderr)
+        return 1
+    path = write_trace_events(args.out, timelines)
+    import json
+
+    events = validate_trace_events(json.loads(path.read_text()))
+    print(
+        f"wrote {events} span(s) over {len(timelines)} tick(s) to {path} "
+        f"(open in https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "importance": _cmd_importance,
@@ -1128,6 +1247,7 @@ _COMMANDS = {
     "serve-cluster": _cmd_serve_cluster,
     "serve-worker": _cmd_serve_worker,
     "replay-flight": _cmd_replay_flight,
+    "export-trace": _cmd_export_trace,
 }
 
 

@@ -34,8 +34,16 @@ The runtime-facing layer above the core wrapper, in three tiers:
 * a :mod:`~repro.serving.observability` subsystem -- a dependency-free
   metrics registry with Prometheus text exposition over HTTP, span-style
   tracing of the tick phases, and a wire-frame flight recorder whose
-  logs ``repro replay-flight`` re-drives bitwise-identically.  All
-  opt-in: nothing attached means the exact uninstrumented code paths.
+  logs ``repro replay-flight`` re-drives bitwise-identically.
+  Distributed tracing extends the spans across process boundaries:
+  workers time their own recv/decode/step/encode/send phases and
+  piggyback the timings on reply frames, the cluster rebases them onto
+  the controller clock via an NTP-style offset handshake, and the
+  merged per-tick timelines export as Chrome trace-event JSON for
+  Perfetto.  An :class:`~repro.serving.observability.SLOTracker` scores
+  every tick's latency against latency objectives with multi-window
+  error-budget burn-rate alerting.  All opt-in: nothing attached means
+  the exact uninstrumented code paths.
 """
 
 from repro.serving.cluster import HashRing, ShardedEngine, stable_stream_hash
@@ -49,12 +57,19 @@ from repro.serving.controller import (
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
 from repro.serving.failover import FailoverPolicy
 from repro.serving.observability import (
+    SLO,
     FlightRecorder,
     FlightRecordingTransport,
     MetricsRegistry,
     MetricsServer,
+    SLOTracker,
     TickTracer,
+    TraceExporter,
+    assemble_tick_timeline,
+    estimate_clock_offset,
     replay_flight,
+    timeline_from_flight,
+    write_trace_events,
 )
 from repro.serving.protocol import PROTOCOL_VERSION
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
@@ -118,4 +133,11 @@ __all__ = [
     "FlightRecorder",
     "FlightRecordingTransport",
     "replay_flight",
+    "SLO",
+    "SLOTracker",
+    "TraceExporter",
+    "assemble_tick_timeline",
+    "estimate_clock_offset",
+    "timeline_from_flight",
+    "write_trace_events",
 ]

@@ -309,7 +309,20 @@ class ShardedEngine:
         #: The :class:`~repro.serving.controller.ServingController`
         #: attaches its own here so fan-out / per-shard step / merge
         #: spans land in the same per-tick trace as the control plane's.
+        #: A tracer also turns on trace-context propagation: each step
+        #: request carries a sampled trace context and workers piggyback
+        #: their recv/decode/step timings on the reply.
         self.tracer = None
+        #: Per-shard clock offsets from the hello handshake (NTP-style
+        #: midpoint estimate): ``{shard: {"offset", "uncertainty"}}``,
+        #: mapping worker ``perf_counter`` values onto this process's.
+        self._clock_offsets: dict[int, dict] = {}
+        #: Cumulative worker-reported phase seconds per shard (from
+        #: piggybacked reply telemetry; only grows on traced ticks).
+        self._worker_phase_seconds: dict[int, dict] = {}
+        #: The most recent traced tick's per-shard RPC envelopes and
+        #: piggybacked telemetry, for timeline assembly.
+        self._last_rpc: dict | None = None
         self._engine_shape: dict | None = None
         self._workers: list[WorkerEndpoint] = []
         try:
@@ -342,11 +355,31 @@ class ShardedEngine:
             # re-raises factory failures, and reports the engine shape +
             # config fingerprint.  Bounded by the transport's handshake
             # timeout so a silent TCP peer fails fast, not forever.
+            # ``_clock`` asks the worker to return its monotonic clock;
+            # with our timestamps around the round trip that yields an
+            # NTP-style offset estimate (accurate to +/- RTT/2) used to
+            # rebase piggybacked worker timings onto this timeline.
             endpoint.set_timeout(self.transport.handshake_timeout)
+            t_request = time.perf_counter()
             shape = endpoint.request(
-                "hello", {"initial_tick": self._tick, "shard": shard}
+                "hello",
+                {"initial_tick": self._tick, "shard": shard, "_clock": True},
             )
+            t_reply = time.perf_counter()
             endpoint.set_timeout(None)
+            hello_telemetry = getattr(endpoint, "last_telemetry", None)
+            offset, uncertainty = 0.0, 0.0
+            if hello_telemetry and "clock" in hello_telemetry:
+                from repro.serving.observability.distributed import (
+                    estimate_clock_offset,
+                )
+
+                offset, uncertainty = estimate_clock_offset(
+                    t_request, t_reply, hello_telemetry["clock"]
+                )
+            self._clock_offsets[shard] = {
+                "offset": offset, "uncertainty": uncertainty,
+            }
             # Every worker must run an identically configured engine.
             # For self-configuring (TCP) workers the reference is the
             # cluster's own factory fingerprint; otherwise shard 0's --
@@ -531,6 +564,14 @@ class ShardedEngine:
         cost hidden behind worker compute rather than serializing the
         tick.  ``ticks`` counts non-empty fan-outs.
 
+        ``worker_phase_seconds`` breaks each shard's time down from the
+        *worker's* side -- cumulative recv/decode/step/encode/send
+        seconds harvested from the telemetry piggybacked on traced step
+        replies (empty until a tracer is attached; encode/send ride one
+        request late, so a shard's final reply's encode+send are not
+        included).  This is the direct before/after metric for codec
+        work: parent-side ``encode_seconds`` vs worker-side decode.
+
         A metrics-enabled controller mirrors these counters into the
         ``repro_fanout_*_total`` families (as deltas, after each tick),
         so the scraped values and this dict always agree.
@@ -539,7 +580,51 @@ class ShardedEngine:
             "ticks": self._fanout_ticks,
             "encode_seconds": self._fanout_encode_seconds,
             "overlap_seconds": self._fanout_overlap_seconds,
+            "worker_phase_seconds": {
+                shard: dict(phases)
+                for shard, phases in sorted(self._worker_phase_seconds.items())
+            },
         }
+
+    @property
+    def clock_offsets(self) -> dict:
+        """Per-shard hello clock offsets: ``{shard: {"offset",
+        "uncertainty"}}`` in seconds, mapping each worker's monotonic
+        clock onto this process's (inproc shards are exactly 0)."""
+        return {shard: dict(entry) for shard, entry in self._clock_offsets.items()}
+
+    @property
+    def last_rpc(self) -> dict | None:
+        """The most recent traced tick's per-shard RPC capture:
+        ``{"tick": N, "shards": {shard: {"send", "sent", "done",
+        "telemetry"}}}`` -- timeline assembly's worker-side input.
+        ``None`` until a tick runs with a tracer attached."""
+        return self._last_rpc
+
+    def _harvest_worker_phases(self, rpc: dict) -> None:
+        """Fold one traced tick's piggybacked worker timings into the
+        cumulative per-shard phase totals (``fanout_stats``)."""
+        for shard, record in rpc.items():
+            telemetry = record.get("telemetry")
+            if not telemetry:
+                continue
+            try:
+                t_recv0, t_recv1 = telemetry["recv"]
+                decode = float(telemetry["decoded"]) - float(t_recv1)
+                step = float(telemetry["stepped"]) - float(telemetry["decoded"])
+                recv = float(t_recv1) - float(t_recv0)
+            except (KeyError, TypeError, ValueError):
+                continue  # old or foreign worker: no (usable) telemetry
+            phases = self._worker_phase_seconds.setdefault(
+                shard,
+                {"recv": 0.0, "decode": 0.0, "step": 0.0,
+                 "encode": 0.0, "send": 0.0},
+            )
+            phases["recv"] += recv
+            phases["decode"] += decode
+            phases["step"] += step
+            phases["encode"] += float(telemetry.get("prev_encode", 0.0))
+            phases["send"] += float(telemetry.get("prev_send", 0.0))
 
     def _send_all(self, pairs) -> None:
         """Broadcast to many workers, all-or-nothing on encoding.
@@ -673,6 +758,7 @@ class ShardedEngine:
             sent = []
             first_send = last_send = None
             encode_seconds = 0.0
+            rpc = {} if tracer is not None else None
             try:
                 for shard in order:
                     worker = self._workers[shard]
@@ -685,8 +771,22 @@ class ShardedEngine:
                         if indices
                         else None
                     )
+                    if rpc is not None:
+                        # Sampled tick: the request carries a trace
+                        # context (workers piggyback phase timings on the
+                        # reply) and t_start..recv-done brackets the
+                        # shard's RPC envelope on this clock.
+                        worker.trace_context = {
+                            "tick": self._tick + 1,
+                            "shard": shard,
+                            "parent": "shard_step",
+                            "sampled": True,
+                        }
+                        rpc[shard] = {"send": t_start}
                     worker.send("step", payload)
                     t_sent = time.perf_counter()
+                    if rpc is not None:
+                        rpc[shard]["sent"] = t_sent
                     encode_seconds += t_sent - t_start
                     if first_send is None:
                         first_send = t_sent
@@ -715,6 +815,14 @@ class ShardedEngine:
         for shard in order:
             with span("shard_step", shard=shard):
                 replies[shard] = self._workers[shard].recv()
+            if rpc is not None:
+                rpc[shard]["done"] = time.perf_counter()
+                rpc[shard]["telemetry"] = getattr(
+                    self._workers[shard], "last_telemetry", None
+                )
+        if rpc is not None:
+            self._last_rpc = {"tick": self._tick + 1, "shards": rpc}
+            self._harvest_worker_phases(rpc)
         failure = None
         for shard in sorted(order):
             reply = replies[shard]

@@ -272,6 +272,8 @@ class TickTelemetry:
     failovers: int = 0              # worker recoveries performed this tick
     replay_depth: int = 0           # journal ticks replayed recovering
     recovery_seconds: float = 0.0   # wall time spent in recovery this tick
+    slo_breaches: int = 0           # objectives this tick's latency breached
+    slo_burn_rate: float = 0.0      # worst short-window burn rate observed
 
 
 @dataclass
@@ -291,6 +293,8 @@ class ControllerStats:
     replayed_ticks: int = 0
     recovery_seconds: float = 0.0
     telemetry_window: int = TELEMETRY_WINDOW
+    slo_breaches: int = 0
+    slo_alerts: int = 0
     deferred_by_priority: dict = field(default_factory=dict)
     dropped_by_priority: dict = field(default_factory=dict)
 
@@ -309,6 +313,8 @@ class ControllerStats:
             "replayed_ticks": self.replayed_ticks,
             "recovery_seconds": self.recovery_seconds,
             "telemetry_window": self.telemetry_window,
+            "slo_breaches": self.slo_breaches,
+            "slo_alerts": self.slo_alerts,
             "deferred_by_priority": dict(self.deferred_by_priority),
             "dropped_by_priority": dict(self.dropped_by_priority),
         }
@@ -392,6 +398,13 @@ class ServingController:
         tracer, one is created automatically (wall-clock) so the phase
         histograms have a source; pass an explicit tracer to control its
         clock or window, or attach one alone for traces without metrics.
+    slo:
+        Optional
+        :class:`~repro.serving.observability.distributed.SLOTracker`; when
+        given, every tick's latency is fed through its objectives and the
+        verdicts surface in :class:`TickTelemetry` (``slo_breaches``,
+        ``slo_burn_rate``), :class:`ControllerStats`, and -- with
+        ``metrics`` attached -- the ``repro_slo_*`` metric families.
     """
 
     def __init__(
@@ -408,6 +421,7 @@ class ServingController:
         telemetry_window: int = TELEMETRY_WINDOW,
         metrics=None,
         tracer=None,
+        slo=None,
     ) -> None:
         if not hasattr(engine, "step_batch"):
             raise ValidationError("engine must expose a step_batch() method")
@@ -456,6 +470,7 @@ class ServingController:
             # The sharded engine contributes fan-out/shard-step/merge
             # spans of the same ticks through this attribute.
             engine.tracer = tracer
+        self.slo = slo
         self.stats = ControllerStats(telemetry_window=telemetry_window)
         #: The last :attr:`telemetry_window` ticks' telemetry records.
         self.telemetry: deque[TickTelemetry] = deque(maxlen=telemetry_window)
@@ -614,6 +629,19 @@ class ServingController:
                 with span("snapshot"):
                     self._write_snapshot(recovery)
 
+            slo_breaches = 0
+            slo_burn = 0.0
+            if self.slo is not None:
+                verdicts = self.slo.observe(latency)
+                slo_breaches = sum(1 for v in verdicts if v.breached)
+                slo_burn = max(
+                    (v.burn_short for v in verdicts), default=0.0
+                )
+                self.stats.slo_breaches += slo_breaches
+                self.stats.slo_alerts += sum(
+                    1 for v in verdicts if v.alerting
+                )
+
             self.stats.ticks += 1
             self.stats.frames_submitted += submitted
             self.stats.frames_admitted += len(batch)
@@ -637,6 +665,8 @@ class ServingController:
                 failovers=recovery.failovers,
                 replay_depth=recovery.replayed,
                 recovery_seconds=recovery.seconds,
+                slo_breaches=slo_breaches,
+                slo_burn_rate=slo_burn,
             )
             self.telemetry.append(record)
         except Exception:
@@ -1029,6 +1059,28 @@ class ServingController:
             "repro_recovery_seconds",
             "Failover recovery wall time, per tick that recovered.",
         )
+        f["worker_phase"] = m.counter(
+            "repro_cluster_worker_phase_seconds_total",
+            "Worker-side wall time per pipeline phase, per shard "
+            "(piggybacked telemetry; traced ticks only).",
+            labels=("shard", "phase"),
+        )
+        if self.slo is not None:
+            f["slo_burn"] = m.gauge(
+                "repro_slo_burn_rate",
+                "Error-budget burn rate per objective and window.",
+                labels=("slo", "window"),
+            )
+            f["slo_breaches"] = m.counter(
+                "repro_slo_breaches_total",
+                "Ticks whose latency breached the objective's budget.",
+                labels=("slo",),
+            )
+            f["slo_alerts"] = m.counter(
+                "repro_slo_alerts_total",
+                "Multi-window burn-rate alerts raised, by severity.",
+                labels=("slo", "severity"),
+            )
 
     def _advance(self, key, value, counter, **labels) -> None:
         """Publish a cumulative stat as a counter delta.  Counters only
@@ -1079,6 +1131,43 @@ class ServingController:
             self._advance(
                 "fanout_overlap", fanout["overlap_seconds"], f["fanout_overlap"]
             )
+            for shard, phases in fanout.get(
+                "worker_phase_seconds", {}
+            ).items():
+                for phase_name, seconds in phases.items():
+                    self._advance(
+                        ("worker_phase", shard, phase_name),
+                        seconds,
+                        f["worker_phase"],
+                        shard=str(shard),
+                        phase=phase_name,
+                    )
+        if self.slo is not None:
+            slo_burn = f["slo_burn"]
+            for objective in self.slo.objectives:
+                rates = self.slo.burn_rates(objective.name)
+                slo_burn.labels(slo=objective.name, window="short").set(
+                    rates["short"]
+                )
+                slo_burn.labels(slo=objective.name, window="long").set(
+                    rates["long"]
+                )
+                self._advance(
+                    ("slo_breaches", objective.name),
+                    self.slo.breaches(objective.name),
+                    f["slo_breaches"],
+                    slo=objective.name,
+                )
+                for severity, count in self.slo.alerts(
+                    objective.name
+                ).items():
+                    self._advance(
+                        ("slo_alerts", objective.name, severity),
+                        count,
+                        f["slo_alerts"],
+                        slo=objective.name,
+                        severity=severity,
+                    )
         f["backlog"].set(record.backlog)
         f["shards"].set(record.n_shards)
         f["ewma"].set(record.latency_ewma)

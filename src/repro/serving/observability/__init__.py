@@ -10,11 +10,31 @@ Three seams, one package:
 * :mod:`~repro.serving.observability.flight` -- a transport tap that
   journals wire frames to disk (:class:`FlightRecorder`) and replays
   them bitwise (:func:`replay_flight`).
+* :mod:`~repro.serving.observability.distributed` -- cross-process
+  trace assembly (clock-offset rebasing, per-tick timelines, Chrome
+  trace-event/Perfetto export) and the SLO/error-budget engine
+  (:class:`SLOTracker`, multi-window burn-rate alerts).
 
 Everything here is opt-in: a controller or cluster without a registry,
 tracer, or recorder attached runs the exact pre-observability code path.
 """
 
+from repro.serving.observability.distributed import (
+    SLO,
+    SLOTracker,
+    SLOVerdict,
+    TickTimeline,
+    TimelineSpan,
+    TraceExporter,
+    assemble_tick_timeline,
+    burn_rate,
+    estimate_clock_offset,
+    recompute_burn_rates,
+    timeline_from_flight,
+    trace_events,
+    validate_trace_events,
+    write_trace_events,
+)
 from repro.serving.observability.flight import (
     FlightRecord,
     FlightRecorder,
@@ -53,12 +73,26 @@ __all__ = [
     "MetricsRegistry",
     "MetricsServer",
     "PHASES",
+    "SLO",
+    "SLOTracker",
+    "SLOVerdict",
     "SpanRecord",
+    "TickTimeline",
     "TickTrace",
     "TickTracer",
+    "TimelineSpan",
+    "TraceExporter",
+    "assemble_tick_timeline",
+    "burn_rate",
+    "estimate_clock_offset",
     "null_span",
     "parse_prometheus",
     "probe_engine_shape",
     "read_flight_log",
+    "recompute_burn_rates",
     "replay_flight",
+    "timeline_from_flight",
+    "trace_events",
+    "validate_trace_events",
+    "write_trace_events",
 ]

@@ -41,6 +41,7 @@ import json
 import pathlib
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import ValidationError
@@ -96,6 +97,7 @@ class FlightRecord:
     command: str
     status: str
     data: bytes
+    ts: float | None = None  # monotonic journal time; None in old logs
 
 
 class FlightRecorder:
@@ -152,6 +154,11 @@ class FlightRecorder:
                 "kind": kind,
                 "command": command,
                 "status": status,
+                # Monotonic journal time: lets export-trace rebuild a
+                # per-shard RPC timeline from the log alone.  Additive --
+                # readers ignore unknown header keys, replay compares
+                # frame bytes, never headers.
+                "ts": time.perf_counter(),
             },
             separators=(",", ":"),
         ).encode("utf-8")
@@ -222,6 +229,23 @@ class FlightRecordingEndpoint(WorkerEndpoint):
     @property
     def alive(self) -> bool:
         return self._inner.alive
+
+    # The trace seam passes straight through to the inner endpoint.  The
+    # journal deliberately does NOT: `prepare`/`recv` below re-encode the
+    # canonical untraced frames, so trace context and piggybacked worker
+    # telemetry never enter a flight log and replay stays bitwise
+    # whether or not the recorded run was traced.
+    @property
+    def trace_context(self):
+        return self._inner.trace_context
+
+    @trace_context.setter
+    def trace_context(self, value) -> None:
+        self._inner.trace_context = value
+
+    @property
+    def last_telemetry(self):
+        return self._inner.last_telemetry
 
     # -- sends ---------------------------------------------------------
     def prepare(self, command: str, payload=None):
@@ -367,6 +391,7 @@ def read_flight_log(directory) -> tuple[dict, list[FlightRecord]]:
                 f"{frames_path}: record {header['seq']} has invalid "
                 f"kind/status {kind!r}/{status!r}"
             )
+        ts = header.get("ts")
         records.append(
             FlightRecord(
                 seq=int(header["seq"]),
@@ -375,6 +400,7 @@ def read_flight_log(directory) -> tuple[dict, list[FlightRecord]]:
                 command=str(header["command"]),
                 status=status,
                 data=frame,
+                ts=float(ts) if ts is not None else None,
             )
         )
     if manifest.get("records") != len(records):

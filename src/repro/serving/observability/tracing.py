@@ -54,11 +54,19 @@ PHASES = (
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One measured phase: name, duration, JSON-safe metadata."""
+    """One measured phase: name, duration, JSON-safe metadata.
+
+    ``start`` is the span's absolute begin time on the tracer's clock
+    (``None`` for externally measured durations).  It exists for timeline
+    assembly (:mod:`repro.serving.observability.distributed`) and is
+    deliberately left out of :meth:`as_dict`, which stays a pure
+    duration record.
+    """
 
     name: str
     seconds: float
     meta: dict = field(default_factory=dict)
+    start: float | None = None
 
     def as_dict(self) -> dict:
         return {"name": self.name, "seconds": self.seconds, "meta": dict(self.meta)}
@@ -100,7 +108,10 @@ class _Span:
 
     def __exit__(self, *exc_info) -> None:
         self._tracer.record(
-            self._name, self._tracer.clock() - self._start, **self._meta
+            self._name,
+            self._tracer.clock() - self._start,
+            start=self._start,
+            **self._meta,
         )
 
 
@@ -157,11 +168,12 @@ class TickTracer:
         """Measure one phase: ``with tracer.span("fanout", shards=4): ...``"""
         return _Span(self, name, meta)
 
-    def record(self, name: str, seconds: float, **meta) -> None:
+    def record(self, name: str, seconds: float, *, start=None, **meta) -> None:
         """Append an externally measured span (e.g. failover recovery,
         which times itself with ``time.perf_counter`` regardless of the
-        tracer clock)."""
-        self._spans.append(SpanRecord(name, float(seconds), meta))
+        tracer clock).  ``start``, when known, anchors the span on the
+        tracer's timeline for distributed-trace export."""
+        self._spans.append(SpanRecord(name, float(seconds), meta, start))
 
     @property
     def open_spans(self) -> list[SpanRecord]:

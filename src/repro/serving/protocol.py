@@ -48,14 +48,18 @@ from repro.exceptions import ProtocolError, ValidationError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "TELEMETRY_META_KEY",
+    "TRACE_META_KEY",
     "WIRE_MAGIC",
     "Frame",
     "encode_frame",
     "decode_frame",
     "encode_request",
     "decode_request",
+    "decode_request_traced",
     "encode_reply",
     "decode_reply",
+    "decode_reply_telemetry",
     "require_wire_id",
     "sanitize_wire_scope",
 ]
@@ -65,6 +69,16 @@ PROTOCOL_VERSION = 1
 
 #: Leading magic of every frame ("RePro Wire Codec").
 WIRE_MAGIC = b"RPWC"
+
+#: Reserved meta key carrying a request's trace context (tick id, parent
+#: span, sampling flag).  Stripped before command decoders run, so
+#: payloads never see it; workers that predate it ignore it entirely.
+TRACE_META_KEY = "_trace"
+
+#: Reserved meta key carrying a reply's piggybacked worker telemetry
+#: (per-request phase timings, or the worker clock on ``hello``).
+#: Stripped symmetrically on decode.
+TELEMETRY_META_KEY = "_telemetry"
 
 _PREFIX = struct.Struct(">4sHI")  # magic, version, header length
 
@@ -320,18 +334,30 @@ _REPLY_CODECS = {
 }
 
 
-def encode_request(command: str, payload=None) -> bytes:
-    """Encode one ``(command, payload)`` request into a wire frame."""
+def encode_request(command: str, payload=None, *, trace=None) -> bytes:
+    """Encode one ``(command, payload)`` request into a wire frame.
+
+    ``trace``, when given, rides in the reserved ``_trace`` meta key
+    alongside the command's own meta -- invisible to command decoders on
+    both ends, ignored by workers that predate it.
+    """
     try:
         encoder, _ = _REQUEST_CODECS[command]
     except KeyError:
         raise ProtocolError(f"unknown request command {command!r}") from None
     meta, arrays = encoder(payload)
+    if trace is not None:
+        meta = {**meta, TRACE_META_KEY: trace}
     return encode_frame(f"req:{command}", meta, arrays)
 
 
-def decode_request(data) -> tuple:
-    """Decode a request frame back into ``(command, payload)``."""
+def decode_request_traced(data) -> tuple:
+    """Decode a request frame into ``(command, payload, trace)``.
+
+    The reserved ``_trace`` meta key is popped *before* the command
+    decoder runs, so payloads are byte-for-byte what an untraced sender
+    would have produced; ``trace`` is ``None`` when absent.
+    """
     frame = decode_frame(data)
     if not frame.kind.startswith("req:"):
         raise ProtocolError(f"expected a request frame, got kind {frame.kind!r}")
@@ -340,14 +366,24 @@ def decode_request(data) -> tuple:
         _, decoder = _REQUEST_CODECS[command]
     except KeyError:
         raise ProtocolError(f"unknown request command {command!r}") from None
-    return command, decoder(frame.meta, frame.arrays)
+    trace = frame.meta.pop(TRACE_META_KEY, None)
+    return command, decoder(frame.meta, frame.arrays), trace
 
 
-def encode_reply(command: str, reply: tuple) -> bytes:
+def decode_request(data) -> tuple:
+    """Decode a request frame back into ``(command, payload)``."""
+    command, payload, _ = decode_request_traced(data)
+    return command, payload
+
+
+def encode_reply(command: str, reply: tuple, *, telemetry=None) -> bytes:
     """Encode a worker's protocol reply tuple for ``command``.
 
     ``reply`` is ``("ok", payload)`` or ``("error", name, message)``;
-    error frames encode identically for every command.
+    error frames encode identically for every command.  ``telemetry``,
+    when given on an ok reply, rides in the reserved ``_telemetry`` meta
+    key -- the worker's piggybacked phase timings (or its clock reading
+    on ``hello``), stripped symmetrically by the decoders.
     """
     if reply[0] == "error":
         return encode_frame("err", {"name": reply[1], "message": reply[2]})
@@ -356,7 +392,30 @@ def encode_reply(command: str, reply: tuple) -> bytes:
     except KeyError:
         raise ProtocolError(f"unknown reply command {command!r}") from None
     meta, arrays = encoder(reply[1])
+    if telemetry is not None:
+        meta = {**meta, TELEMETRY_META_KEY: telemetry}
     return encode_frame(f"ok:{command}", meta, arrays)
+
+
+def decode_reply_telemetry(data, command: str) -> tuple:
+    """Decode a reply frame into ``(reply_tuple, telemetry)``.
+
+    The reserved ``_telemetry`` meta key is popped before the command
+    decoder runs (``None`` when absent), so reply payloads -- including
+    the whole-meta ``hello`` shape -- never see it.
+    """
+    frame = decode_frame(data)
+    if frame.kind == "err":
+        return ("error", str(frame.meta.get("name", "ClusterError")),
+                str(frame.meta.get("message", ""))), None
+    if frame.kind != f"ok:{command}":
+        raise ProtocolError(
+            f"reply kind {frame.kind!r} does not match in-flight command "
+            f"{command!r}"
+        )
+    telemetry = frame.meta.pop(TELEMETRY_META_KEY, None)
+    _, decoder = _REPLY_CODECS[command]
+    return ("ok", decoder(frame.meta, frame.arrays)), telemetry
 
 
 def decode_reply(data, command: str) -> tuple:
@@ -365,14 +424,5 @@ def decode_reply(data, command: str) -> tuple:
     Returns the protocol tuple the cluster front end consumes:
     ``("ok", payload)`` or ``("error", name, message)``.
     """
-    frame = decode_frame(data)
-    if frame.kind == "err":
-        return ("error", str(frame.meta.get("name", "ClusterError")),
-                str(frame.meta.get("message", "")))
-    if frame.kind != f"ok:{command}":
-        raise ProtocolError(
-            f"reply kind {frame.kind!r} does not match in-flight command "
-            f"{command!r}"
-        )
-    _, decoder = _REPLY_CODECS[command]
-    return ("ok", decoder(frame.meta, frame.arrays))
+    reply, _ = decode_reply_telemetry(data, command)
+    return reply

@@ -48,8 +48,9 @@ from typing import Callable, Sequence
 import repro.exceptions as _exceptions
 from repro.exceptions import ClusterError, ClusterWorkerError, ValidationError
 from repro.serving.protocol import (
-    decode_reply,
+    decode_reply_telemetry,
     decode_request,
+    decode_request_traced,
     encode_reply,
     encode_request,
 )
@@ -105,16 +106,24 @@ class WorkerServicer:
 
     With a metrics registry attached (``serve-worker --metrics-port``)
     every command is counted by name, errors separately, plus stepped
-    frames and live stream/tick gauges.  Families are get-or-create, so
-    the per-connection servicers of one worker process share series in
-    the one registry.  Without a registry (the default, and always the
+    frames, live stream/tick gauges, and a per-phase latency histogram
+    fed by :meth:`note_request`.  Families are get-or-create, so the
+    per-connection servicers of one worker process share series in the
+    one registry.  Without a registry (the default, and always the
     in-cluster path) dispatch is exactly the bare call -- metrics can
     never perturb the parent-side serving loop.
+
+    With a :class:`~repro.serving.observability.tracing.TickTracer`
+    attached the servicer keeps its own per-request traces: every
+    ``handle`` runs inside a span, and a request that raises aborts its
+    tick so the failed request's spans never leak into (and poison) the
+    next request's trace.
     """
 
-    def __init__(self, engine, metrics=None) -> None:
+    def __init__(self, engine, metrics=None, tracer=None) -> None:
         self.engine = engine
         self.metrics = metrics
+        self.tracer = tracer
         if metrics is not None:
             self._requests = metrics.counter(
                 "repro_worker_requests_total",
@@ -136,6 +145,12 @@ class WorkerServicer:
             )
             self._tick_gauge = metrics.gauge(
                 "repro_worker_tick", "This worker's engine tick."
+            )
+            self._phase_seconds = metrics.histogram(
+                "repro_worker_phase_seconds",
+                "Per-request worker time by phase "
+                "(recv/decode/step/encode/send).",
+                labels=("phase",),
             )
 
     def engine_shape(self) -> dict:
@@ -165,6 +180,21 @@ class WorkerServicer:
         }
 
     def handle(self, command: str, payload):
+        tracer = self.tracer
+        if tracer is None:
+            return self._count(command, payload)
+        try:
+            with tracer.span("handle", command=command):
+                return self._count(command, payload)
+        except Exception:
+            # abort_tick semantics: the failed request's spans (the
+            # "handle" span above included -- it records on exception)
+            # must not linger in open_spans and pollute the trace the
+            # *next* request closes.
+            tracer.abort_tick()
+            raise
+
+    def _count(self, command: str, payload):
         if self.metrics is None:
             return self._handle(command, payload)
         self._requests.labels(command=command).inc()
@@ -178,6 +208,51 @@ class WorkerServicer:
         self._streams.set(len(self.engine.registry))
         self._tick_gauge.set(self.engine.tick)
         return result
+
+    def note_request(
+        self, trace, t_recv0, t_recv1, t_decoded, t_stepped,
+        prev_encode=0.0, prev_send=0.0,
+    ):
+        """Book one served request's phase timings; returns the telemetry
+        dict to piggyback on the reply (``None`` when unsampled).
+
+        Timestamps are this worker's own clock (``time.perf_counter``),
+        taken by :func:`serve_connection` around recv/decode/handle.
+        ``prev_encode``/``prev_send`` are the encode+send durations of
+        the *previous* reply on this connection -- a reply cannot carry
+        the cost of encoding itself, so those two phases ride one
+        request late (and are absent from the very first reply).
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("recv", t_recv1 - t_recv0, start=t_recv0)
+            tracer.record("decode", t_decoded - t_recv1, start=t_recv1)
+            tracer.record("step", t_stepped - t_decoded, start=t_decoded)
+            if prev_encode:
+                tracer.record("encode", prev_encode)
+            if prev_send:
+                tracer.record("send", prev_send)
+            tick = trace.get("tick") if isinstance(trace, dict) else None
+            tracer.end_tick(int(tick) if tick is not None else self.engine.tick)
+        if self.metrics is not None:
+            phase = self._phase_seconds
+            phase.labels(phase="recv").observe(t_recv1 - t_recv0)
+            phase.labels(phase="decode").observe(t_decoded - t_recv1)
+            phase.labels(phase="step").observe(t_stepped - t_decoded)
+            if prev_encode:
+                phase.labels(phase="encode").observe(prev_encode)
+            if prev_send:
+                phase.labels(phase="send").observe(prev_send)
+        if not isinstance(trace, dict) or not trace.get("sampled", True):
+            return None
+        return {
+            "tick": trace.get("tick"),
+            "recv": [t_recv0, t_recv1],
+            "decoded": t_decoded,
+            "stepped": t_stepped,
+            "prev_encode": prev_encode,
+            "prev_send": prev_send,
+        }
 
     def _handle(self, command: str, payload):
         engine = self.engine
@@ -345,14 +420,14 @@ class SocketChannel:
 _CHANNEL_ERRORS = (EOFError, BrokenPipeError, ConnectionError, OSError)
 
 
-def _handle_hello(engine_factory, payload, metrics=None) -> WorkerServicer:
+def _handle_hello(engine_factory, payload, metrics=None, tracer=None):
     """The one implementation of the hello handshake's worker side:
     build the engine, join it at the cluster's tick, wrap it in a
     servicer.  Shared by the byte-transport loop and the in-proc
     endpoint so hello semantics can never drift between transports."""
     engine = engine_factory()
     engine._tick = int(payload["initial_tick"])
-    return WorkerServicer(engine, metrics=metrics)
+    return WorkerServicer(engine, metrics=metrics, tracer=tracer)
 
 
 def _try_send(channel, data: bytes) -> bool:
@@ -374,6 +449,7 @@ def serve_connection(
     engine_factory: Callable,
     handshake_timeout: float | None = None,
     metrics=None,
+    tracer=None,
 ) -> str:
     """Serve one cluster connection on a byte channel until close/EOF.
 
@@ -397,6 +473,15 @@ def serve_connection(
     * ``"served"`` -- the session ended with an orderly ``close`` (or
       the hello was answered with an error: the cluster asked and got
       its definitive answer).
+
+    With ``metrics`` attached (``serve-worker --metrics-port``) the
+    servicer gets its own per-connection
+    :class:`~repro.serving.observability.tracing.TickTracer` and every
+    request's recv/decode/step/encode/send phases are timed; a request
+    whose trace context asks for sampling gets those timings piggybacked
+    on its reply's ``_telemetry`` meta.  A hello carrying ``_clock``
+    is answered with this worker's monotonic clock so the cluster can
+    rebase the piggybacked timestamps onto its own timeline.
     """
     try:
         channel.set_timeout(handshake_timeout)
@@ -419,24 +504,43 @@ def serve_connection(
             ),
         )
         return "stray"
+    if tracer is None and metrics is not None:
+        from repro.serving.observability.tracing import TickTracer
+
+        tracer = TickTracer()
     try:
-        servicer = _handle_hello(engine_factory, payload, metrics=metrics)
+        servicer = _handle_hello(
+            engine_factory, payload, metrics=metrics, tracer=tracer
+        )
     except Exception as error:  # surfaced by the parent's hello reply
         _try_send(
             channel,
             encode_reply("hello", ("error", type(error).__name__, str(error))),
         )
         return "served"  # a real cluster asked; it got its (error) answer
-    if not _try_send(channel, encode_reply("hello", ("ok", servicer.engine_shape()))):
+    hello_telemetry = (
+        {"clock": time.perf_counter()} if payload.get("_clock") else None
+    )
+    if not _try_send(
+        channel,
+        encode_reply(
+            "hello", ("ok", servicer.engine_shape()), telemetry=hello_telemetry
+        ),
+    ):
         return "lost"
 
+    clock = time.perf_counter
+    instrumented = tracer is not None or metrics is not None
+    prev_encode = prev_send = 0.0
     while True:
+        t_recv0 = clock()
         try:
             data = channel.recv_bytes()
         except _CHANNEL_ERRORS:  # parent went away; shut down quietly
             return "lost"
+        t_recv1 = clock()
         try:
-            command, payload = decode_request(data)
+            command, payload, trace = decode_request_traced(data)
         except Exception as error:
             if not _try_send(
                 channel,
@@ -447,6 +551,7 @@ def serve_connection(
             ):
                 return "lost"
             continue
+        t_decoded = clock()
         if command == "close":
             _try_send(channel, encode_reply("close", ("ok", None)))
             return "served"
@@ -454,8 +559,19 @@ def serve_connection(
             reply = ("ok", servicer.handle(command, payload))
         except Exception as error:
             reply = ("error", type(error).__name__, str(error))
+        telemetry = None
+        if reply[0] == "ok" and (trace is not None or instrumented):
+            telemetry = servicer.note_request(
+                trace, t_recv0, t_recv1, t_decoded, clock(),
+                prev_encode, prev_send,
+            )
         try:
-            sent = _try_send(channel, encode_reply(command, reply))
+            t_encode0 = clock()
+            encoded = encode_reply(command, reply, telemetry=telemetry)
+            t_encode1 = clock()
+            sent = _try_send(channel, encoded)
+            prev_encode = t_encode1 - t_encode0
+            prev_send = clock() - t_encode1
         except ValidationError as error:
             # The reply would not fit the wire (e.g. an over-cap
             # snapshot); report that instead of dropping the connection.
@@ -478,11 +594,19 @@ class WorkerEndpoint:
     :meth:`recv` exactly one reply tuple -- ``("ok", payload)`` or
     ``("error", name, message)``.  ``alive`` turns False the moment the
     peer is observed dead or out of protocol.
+
+    ``trace_context`` is a one-shot slot: set it before a send and that
+    request carries the context in its reserved ``_trace`` meta (then
+    the slot clears).  ``last_telemetry`` holds whatever the most recent
+    reply piggybacked in ``_telemetry`` (``None`` otherwise) -- the
+    attribute seam keeps tracing out of every send/recv signature.
     """
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
         self.alive = True
+        self.trace_context = None
+        self.last_telemetry = None
 
     def send(self, command: str, payload=None) -> None:
         raise NotImplementedError
@@ -552,6 +676,8 @@ class InprocEndpoint(WorkerEndpoint):
                 "protocol violation: recv with no request in flight",
             )
         (command, payload), self._pending = self._pending, self._NOTHING
+        trace, self.trace_context = self.trace_context, None
+        self.last_telemetry = None
         try:
             if command == "hello":
                 self._servicer = _handle_hello(self._engine_factory, payload)
@@ -560,6 +686,22 @@ class InprocEndpoint(WorkerEndpoint):
                 return ("ok", None)
             if self._servicer is None:
                 raise ClusterError("worker received a command before hello")
+            if trace is not None and trace.get("sampled", True):
+                # No wire, no recv/decode/encode phases -- but the same
+                # telemetry shape as the byte transports, so a merged
+                # timeline is structurally identical across transports.
+                t0 = time.perf_counter()
+                result = self._servicer.handle(command, payload)
+                t1 = time.perf_counter()
+                self.last_telemetry = {
+                    "tick": trace.get("tick"),
+                    "recv": [t0, t0],
+                    "decoded": t0,
+                    "stepped": t1,
+                    "prev_encode": 0.0,
+                    "prev_send": 0.0,
+                }
+                return ("ok", result)
             return ("ok", self._servicer.handle(command, payload))
         except Exception as error:
             return ("error", type(error).__name__, str(error))
@@ -587,7 +729,8 @@ class ChannelEndpoint(WorkerEndpoint):
         self.send_prepared(self.prepare(command, payload))
 
     def prepare(self, command: str, payload=None):
-        data = encode_request(command, payload)
+        trace, self.trace_context = self.trace_context, None
+        data = encode_request(command, payload, trace=trace)
         limit = getattr(self._channel, "max_message_bytes", None)
         if limit is not None and len(data) > limit:
             raise ValidationError(
@@ -609,13 +752,17 @@ class ChannelEndpoint(WorkerEndpoint):
 
     def recv(self) -> tuple:
         command, self._pending = self._pending, None
+        self.last_telemetry = None
         try:
             data = self._channel.recv_bytes()
         except _CHANNEL_ERRORS:
             self.alive = False
             return ("error", "ClusterWorkerError", "worker died mid-request")
         try:
-            return decode_reply(data, command or "")
+            reply, self.last_telemetry = decode_reply_telemetry(
+                data, command or ""
+            )
+            return reply
         except Exception as error:  # out-of-protocol peer: poisoned channel
             self.alive = False
             return (
