@@ -4,7 +4,8 @@ The sharded cluster's claim is threefold.  *Correctness*: partitioning
 1024 concurrent streams across shard workers by consistent hashing and
 merging each tick in input order is bitwise-identical to one
 single-process ``StreamingEngine`` -- asserted here unconditionally, for
-every transport (inproc, pipe, TCP loopback) at every shard count.
+every transport (inproc, pipe, shm rings, TCP loopback) at every shard
+count.
 *Scaling*: because a tick's per-stream work is embarrassingly parallel,
 4 pipe shards should deliver >= 2x the frames/sec of 1 shard at 1024+
 streams.  *Overlap*: the parent encodes shard k+1's payload while shard k
@@ -47,17 +48,25 @@ from repro.serving import (
 N_STREAMS = 1024
 N_TICKS = 6
 SHARD_COUNTS = (1, 2, 4)
-TRANSPORTS = ("inproc", "pipe", "tcp")
+TRANSPORTS = ("inproc", "pipe", "shm", "tcp")
 MIN_SPEEDUP_4_VS_1 = 2.0
 MIN_CORES_FOR_GATE = 4
+# PR-7 fan-out encode cost on pipe x 4, per tick, before the buffer-pool
+# codec landed (BENCH_cluster.json at ee5bc6e: 0.112246 s over 6 ticks).
+# The pooled encode-into path must at least halve it -- this is the
+# tentpole's perf acceptance gate, and unlike the scaling gate it holds
+# on any core count (it measures parent-side encode work, not
+# parallelism).
+BASELINE_ENCODE_SECONDS_PER_TICK = 0.11224608399970748 / 6
+MAX_ENCODE_RELATIVE_TO_BASELINE = 0.5
 # One inproc shard = the single engine + dispatch; anything below this
 # would mean the transport layer regressed the single-shard fast path.
 MIN_INPROC_1SHARD_RELATIVE = 0.5
-# With 4 evenly loaded shards, ~3/4 of the parent's encode work happens
-# after the first shard's payload is already in flight.  A serial
-# build-everything-then-send design scores near 0 here (only the send
-# syscalls land between first and last send), so this floor is what
-# actually enforces the overlap claim.
+# With 4 evenly loaded shards, a sizable share of the parent's encode
+# CPU lands after the first shard's payload is already in flight (every
+# later shard's build + send).  A serial build-everything-then-send
+# design scores near 0 here (only the later send syscalls count), so
+# this floor is what actually enforces the overlap claim.
 MIN_OVERLAP_FRACTION_OF_ENCODE = 0.3
 # Distributed tracing (trace contexts on requests, piggybacked worker
 # telemetry on replies, per-tick timeline assembly) must stay cheap:
@@ -173,11 +182,24 @@ def test_cluster_equivalence_and_scaling(
             lines.append(
                 f"{transport_name:>6} x {n_shards} shard(s):   {fps:>10,.0f} frames/s"
             )
+    encode_per_tick = overlap["encode_seconds"] / overlap["ticks"]
+    pool_pipe4 = overlap.get("pool", {})
+    shm_fanout = fanouts["shm", 4]
     lines += [
         f"pipe 4 vs 1 shard:     {scaling:.2f}x",
         f"inproc 1-shard vs single-process: {inproc_relative:.2f}x",
         f"pipe-4 fan-out encode: {overlap['encode_seconds'] * 1e3:.1f} ms total, "
         f"{overlap['overlap_seconds'] * 1e3:.1f} ms overlapped with compute",
+        f"pipe-4 encode/tick:    {encode_per_tick * 1e3:.2f} ms "
+        f"(PR-7 baseline {BASELINE_ENCODE_SECONDS_PER_TICK * 1e3:.2f} ms, "
+        f"gate <= {MAX_ENCODE_RELATIVE_TO_BASELINE:.1f}x)",
+        f"pipe-4 codec pool:     {pool_pipe4.get('hits', 0)} hits / "
+        f"{pool_pipe4.get('misses', 0)} misses, "
+        f"{pool_pipe4.get('bytes_copied', 0) / max(overlap['ticks'], 1) / 1e3:.0f} "
+        "kB copied/tick",
+        f"shm-4 codec pool:      "
+        f"{shm_fanout.get('pool', {}).get('bytes_copied', 0) / N_TICKS / 1e3:.0f} "
+        "kB copied/tick (scatter-copied straight into ring slots)",
         "outputs identical:     True (all transports, all shard counts)",
         f"scaling gate (>= {MIN_SPEEDUP_4_VS_1}x): "
         + ("ASSERTED" if gate_active else f"RECORDED ONLY ({cores} core(s))"),
@@ -208,6 +230,15 @@ def test_cluster_equivalence_and_scaling(
             "outputs_identical": True,
             "scaling_gate_min": MIN_SPEEDUP_4_VS_1,
             "scaling_gate_asserted": gate_active,
+            "codec_pool": {
+                "pipe_encode_seconds_per_tick": encode_per_tick,
+                "baseline_encode_seconds_per_tick": (
+                    BASELINE_ENCODE_SECONDS_PER_TICK
+                ),
+                "encode_gate_max_relative": MAX_ENCODE_RELATIVE_TO_BASELINE,
+                "pipe4": pool_pipe4,
+                "shm4": shm_fanout.get("pool", {}),
+            },
             "tracing": {
                 "tick_latency_seconds": traced_latencies,
                 "worker_phase_seconds": {
@@ -224,18 +255,30 @@ def test_cluster_equivalence_and_scaling(
     )
 
     # Fan-out encode/compute overlap: with 4 busy shards, the encode
-    # work performed between the first and last send (i.e. while shard 0
-    # is already computing) must be a substantial fraction of the total
-    # encode cost.  A serial build-all-then-send-all regression would
-    # collapse this window to just the send syscalls and fail the floor.
-    # This holds on 1 core too -- it measures pipelining of parent
-    # encode vs worker compute, not parallel cores.
+    # CPU spent after the first shard's payload is in flight (i.e. while
+    # shard 0 is already computing) must be a substantial fraction of
+    # the total encode cost.  A serial build-all-then-send-all
+    # regression would collapse this to just the later send syscalls
+    # and fail the floor.  This holds on 1 core too -- it measures
+    # pipelining of parent encode vs worker compute, not parallel cores.
     assert overlap["ticks"] == N_TICKS
     overlap_fraction = overlap["overlap_seconds"] / overlap["encode_seconds"]
     assert overlap_fraction >= MIN_OVERLAP_FRACTION_OF_ENCODE, (
         f"only {overlap_fraction:.0%} of fan-out encode ran while workers "
         f"were computing (floor {MIN_OVERLAP_FRACTION_OF_ENCODE:.0%}); "
         "parent serialization has regressed toward a serial prefix"
+    )
+
+    # Tentpole perf gate: the pooled encode-into codec (no per-segment
+    # tobytes, no b"".join, tick-wide payload stacking) must at least
+    # halve the PR-7 per-tick fan-out encode cost on pipe x 4.
+    assert encode_per_tick <= (
+        MAX_ENCODE_RELATIVE_TO_BASELINE * BASELINE_ENCODE_SECONDS_PER_TICK
+    ), (
+        f"pipe-4 fan-out encode is {encode_per_tick * 1e3:.2f} ms/tick; the "
+        f"pooled codec must stay <= {MAX_ENCODE_RELATIVE_TO_BASELINE:.1f}x "
+        f"of the PR-7 baseline "
+        f"({BASELINE_ENCODE_SECONDS_PER_TICK * 1e3:.2f} ms/tick)"
     )
 
     # Single-shard no-regression: one inproc shard is the plain engine
@@ -282,8 +325,9 @@ def test_tracing_overhead_is_bounded(
         "tracing changed results: the trace/telemetry side channel must "
         "be invisible to payload handling"
     )
-    # The untraced run must not even collect worker telemetry.
-    assert plain_fanout["worker_phase_seconds"] == {}
+    # The untraced run must not even collect worker telemetry -- the key
+    # is omitted entirely, never published as an empty breakdown.
+    assert "worker_phase_seconds" not in plain_fanout
     phases = traced_fanout["worker_phase_seconds"]
     assert set(phases) == {0, 1}
     assert all(shard["step"] > 0.0 for shard in phases.values())

@@ -121,10 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help="worker processes; > 1 serves through the "
                             "sharded cluster engine")
-    serve.add_argument("--transport", choices=["pipe", "inproc"],
+    serve.add_argument("--transport", choices=["pipe", "shm", "inproc"],
                        default="pipe",
                        help="cluster transport when --shards > 1 "
-                            "(forked pipe workers or in-process loopback)")
+                            "(forked pipe workers, shared-memory rings, "
+                            "or in-process loopback)")
     serve.add_argument("--snapshot-every", type=int, default=0, metavar="K",
                        help="write a registry snapshot every K ticks")
     serve.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
@@ -146,11 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of cluster ticks (frames per stream)")
     cluster.add_argument("--shards", type=int, default=4,
                          help="number of shard workers")
-    cluster.add_argument("--transport", choices=["pipe", "inproc", "tcp"],
+    cluster.add_argument("--transport",
+                         choices=["pipe", "shm", "inproc", "tcp"],
                          default="pipe",
                          help="worker transport: forked pipe workers "
-                              "(default), in-process loopback, or TCP to "
-                              "remote serve-worker processes (--workers)")
+                              "(default), zero-copy shared-memory rings, "
+                              "in-process loopback, or TCP to remote "
+                              "serve-worker processes (--workers)")
     cluster.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
                          help="worker addresses for --transport tcp, one "
                               "per shard in shard order")
@@ -1040,12 +1043,14 @@ def _cmd_serve_cluster(args) -> int:
         "streams_evicted": statistics.evicted,
         "snapshots_written": list(controller.snapshots_written),
     }
+    if "pool" in fanout:
+        report["codec_pool"] = fanout["pool"]
     if exporter is not None:
         report["trace_file"] = str(trace_path)
         report["trace_ticks"] = len(exporter.timelines)
         report["worker_phase_seconds"] = {
             str(shard): phases
-            for shard, phases in fanout["worker_phase_seconds"].items()
+            for shard, phases in fanout.get("worker_phase_seconds", {}).items()
         }
     if slo is not None:
         report["slo"] = slo.as_dict()

@@ -12,9 +12,12 @@ The runtime-facing layer above the core wrapper, in three tiers:
   across shard workers by consistent hashing and merges each tick back in
   input order.  Workers are reached through a pluggable transport
   (:mod:`repro.serving.transport`: in-proc loopback, forked pipe workers,
-  or TCP to ``repro serve-worker`` processes on other machines), all
-  speaking the versioned pickle-free wire codec of
-  :mod:`repro.serving.protocol`; :mod:`repro.serving.state`
+  zero-copy shared-memory rings (:mod:`repro.serving.shm`), or TCP to
+  ``repro serve-worker`` processes on other machines), all speaking the
+  versioned pickle-free wire codec of :mod:`repro.serving.protocol` --
+  encoded through a reusable
+  :class:`~repro.serving.protocol.BufferPool` so steady-state ticks
+  copy each array payload exactly once and allocate nothing; :mod:`repro.serving.state`
   snapshot/restore makes the whole registry durable across restarts,
   shard rebalances, and transport changes;
 * a :class:`~repro.serving.controller.ServingController` control plane
@@ -71,7 +74,7 @@ from repro.serving.observability import (
     timeline_from_flight,
     write_trace_events,
 )
-from repro.serving.protocol import PROTOCOL_VERSION
+from repro.serving.protocol import PROTOCOL_VERSION, BufferPool
 from repro.serving.registry import RegistryStatistics, StreamRegistry, StreamState
 from repro.serving.simulate import (
     StreamWorkload,
@@ -85,6 +88,7 @@ from repro.serving.state import (
     RegistrySnapshot,
     StreamStateSnapshot,
 )
+from repro.serving.shm import ShmTransport
 from repro.serving.transport import (
     InprocTransport,
     PipeTransport,
@@ -117,12 +121,14 @@ __all__ = [
     "ControllerStats",
     "TickTelemetry",
     "PROTOCOL_VERSION",
+    "BufferPool",
     "SNAPSHOT_VERSION",
     "RegistrySnapshot",
     "StreamStateSnapshot",
     "Transport",
     "InprocTransport",
     "PipeTransport",
+    "ShmTransport",
     "TcpTransport",
     "serve_worker",
     "launch_local_workers",

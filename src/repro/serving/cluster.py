@@ -557,34 +557,52 @@ class ShardedEngine:
     def fanout_stats(self) -> dict:
         """Cumulative fan-out timing since construction.
 
-        ``encode_seconds`` is the parent time spent building + encoding +
-        handing off shard payloads; ``overlap_seconds`` is the part of
-        each tick's encode window that ran after the first shard was
-        already computing (first send to last send) -- the serialization
-        cost hidden behind worker compute rather than serializing the
-        tick.  ``ticks`` counts non-empty fan-outs.
+        ``encode_seconds`` is the parent *CPU* time
+        (``time.process_time``) spent building + encoding + handing off
+        shard payloads.  CPU rather than wall clock on purpose: the send
+        syscall wakes the worker, and on an oversubscribed host the
+        scheduler can run the worker's whole step inside the parent's
+        wall-clock window -- worker compute masquerading as
+        serialization cost.  ``overlap_seconds`` is the part of that CPU
+        spent after the first shard's payload was already in flight
+        (every later shard's build + send) -- the serialization cost
+        hidden behind worker compute rather than serializing the tick.
+        ``ticks`` counts non-empty fan-outs.
 
         ``worker_phase_seconds`` breaks each shard's time down from the
         *worker's* side -- cumulative recv/decode/step/encode/send
         seconds harvested from the telemetry piggybacked on traced step
-        replies (empty until a tracer is attached; encode/send ride one
-        request late, so a shard's final reply's encode+send are not
-        included).  This is the direct before/after metric for codec
-        work: parent-side ``encode_seconds`` vs worker-side decode.
+        replies (encode/send ride one request late, so a shard's final
+        reply's encode+send are not included).  The key is present only
+        once telemetry has actually been collected (a tracer attached
+        and at least one traced tick) -- an untraced run omits it rather
+        than reporting a misleading empty breakdown.  This is the direct
+        before/after metric for codec work: parent-side
+        ``encode_seconds`` vs worker-side decode.
+
+        ``pool`` mirrors the transport's send-side
+        :class:`~repro.serving.protocol.BufferPool` counters (hits,
+        misses, bytes_copied) for transports that pool their frame
+        buffers (pipe, shm); transports without a pool omit the key.
 
         A metrics-enabled controller mirrors these counters into the
         ``repro_fanout_*_total`` families (as deltas, after each tick),
         so the scraped values and this dict always agree.
         """
-        return {
+        stats = {
             "ticks": self._fanout_ticks,
             "encode_seconds": self._fanout_encode_seconds,
             "overlap_seconds": self._fanout_overlap_seconds,
-            "worker_phase_seconds": {
+        }
+        if self._worker_phase_seconds:
+            stats["worker_phase_seconds"] = {
                 shard: dict(phases)
                 for shard, phases in sorted(self._worker_phase_seconds.items())
-            },
-        }
+            }
+        pool = getattr(self.transport, "pool", None)
+        if pool is not None:
+            stats["pool"] = pool.stats()
+        return stats
 
     @property
     def clock_offsets(self) -> dict:
@@ -756,17 +774,37 @@ class ShardedEngine:
             order = [s for s, indices in enumerate(per_shard) if indices]
             order += [s for s, indices in enumerate(per_shard) if not indices]
             sent = []
-            first_send = last_send = None
-            encode_seconds = 0.0
+            first_sent = False
+            # Stack the whole tick's inputs once (one vectorized pass)
+            # instead of vstack-ing per-frame rows per shard; payloads
+            # below fancy-index these matrices.  Shared payload-build
+            # work, so it counts toward encode_seconds.  Fan-out cost is
+            # metered in parent *CPU* time: on an oversubscribed host
+            # the send syscall wakes the worker and the scheduler may
+            # run the worker's whole step inside the parent's wall-clock
+            # window, which is worker compute, not serialization.
+            p_stack = time.process_time()
+            rows_matrix = np.asarray(rows)
+            quality_matrix = np.asarray(quality)
+            new_series_all = np.fromiter(
+                (frame.new_series for frame in frames), bool, len(frames)
+            )
+            encode_seconds = time.process_time() - p_stack
+            overlap_seconds = 0.0
             rpc = {} if tracer is not None else None
             try:
                 for shard in order:
                     worker = self._workers[shard]
                     indices = per_shard[shard]
-                    t_start = time.perf_counter()
+                    p_start = time.process_time()
                     payload = (
                         self._shard_payload(
-                            frames, rows, quality, scope_rows, indices
+                            frames,
+                            rows_matrix,
+                            quality_matrix,
+                            new_series_all,
+                            scope_rows,
+                            indices,
                         )
                         if indices
                         else None
@@ -774,23 +812,26 @@ class ShardedEngine:
                     if rpc is not None:
                         # Sampled tick: the request carries a trace
                         # context (workers piggyback phase timings on the
-                        # reply) and t_start..recv-done brackets the
-                        # shard's RPC envelope on this clock.
+                        # reply) and send..recv-done brackets the shard's
+                        # RPC envelope on the wall clock (timelines need
+                        # wall time, unlike the CPU-metered stats).
                         worker.trace_context = {
                             "tick": self._tick + 1,
                             "shard": shard,
                             "parent": "shard_step",
                             "sampled": True,
                         }
-                        rpc[shard] = {"send": t_start}
+                        rpc[shard] = {"send": time.perf_counter()}
                     worker.send("step", payload)
-                    t_sent = time.perf_counter()
                     if rpc is not None:
-                        rpc[shard]["sent"] = t_sent
-                    encode_seconds += t_sent - t_start
-                    if first_send is None:
-                        first_send = t_sent
-                    last_send = t_sent
+                        rpc[shard]["sent"] = time.perf_counter()
+                    shard_seconds = time.process_time() - p_start
+                    encode_seconds += shard_seconds
+                    if first_sent:
+                        # Build + send work done while at least one shard
+                        # was already computing its payload.
+                        overlap_seconds += shard_seconds
+                    first_sent = True
                     sent.append(worker)
             except Exception as error:
                 # Whatever failed mid-fan-out (a dead worker, an encode
@@ -803,8 +844,7 @@ class ShardedEngine:
                 raise
             self._fanout_ticks += 1
             self._fanout_encode_seconds += encode_seconds
-            if len(sent) > 1:
-                self._fanout_overlap_seconds += last_send - first_send
+            self._fanout_overlap_seconds += overlap_seconds
 
         # Drain every reply before raising so the channels stay in
         # protocol; failures report the lowest-numbered failing shard.
@@ -846,16 +886,22 @@ class ShardedEngine:
         return results
 
     @staticmethod
-    def _shard_payload(frames, rows, quality, scope_rows, indices) -> dict:
-        """One shard's stacked-numpy step payload for this tick."""
+    def _shard_payload(
+        frames, rows_matrix, quality_matrix, new_series_all, scope_rows, indices
+    ) -> dict:
+        """One shard's stacked-numpy step payload for this tick.
+
+        Fancy-indexes the tick-wide matrices (one C-level gather per
+        array, bitwise-identical to the per-shard ``np.vstack`` it
+        replaced at a fraction of the Python overhead).
+        """
         scope = [scope_rows[i] for i in indices]
+        idx = np.asarray(indices, dtype=np.intp)
         return {
             "ids": [frames[i].stream_id for i in indices],
-            "X": np.vstack([rows[i] for i in indices]),
-            "Q": np.vstack([quality[i] for i in indices]),
-            "new_series": np.fromiter(
-                (frames[i].new_series for i in indices), bool, len(indices)
-            ),
+            "X": rows_matrix[idx],
+            "Q": quality_matrix[idx],
+            "new_series": new_series_all[idx],
             "scope": scope if any(s is not None for s in scope) else None,
         }
 

@@ -1030,6 +1030,19 @@ class ServingController:
             "repro_fanout_overlap_seconds_total",
             "Wall time of the overlapped send window during fan-out.",
         )
+        f["pool_hits"] = m.counter(
+            "repro_codec_pool_hits_total",
+            "Frame sends served from a recycled buffer-pool buffer.",
+        )
+        f["pool_misses"] = m.counter(
+            "repro_codec_pool_misses_total",
+            "Frame sends that had to allocate a fresh pool buffer.",
+        )
+        f["pool_bytes"] = m.counter(
+            "repro_codec_pool_bytes_copied_total",
+            "Payload bytes scatter-copied through the send-side codec "
+            "(the pooled encoder's single copy per segment).",
+        )
         f["backlog"] = m.gauge(
             "repro_controller_backlog_frames",
             "Deferred frames currently queued across all streams.",
@@ -1131,6 +1144,13 @@ class ServingController:
             self._advance(
                 "fanout_overlap", fanout["overlap_seconds"], f["fanout_overlap"]
             )
+            pool = fanout.get("pool")
+            if pool is not None:
+                self._advance("pool_hits", pool["hits"], f["pool_hits"])
+                self._advance("pool_misses", pool["misses"], f["pool_misses"])
+                self._advance(
+                    "pool_bytes", pool["bytes_copied"], f["pool_bytes"]
+                )
             for shard, phases in fanout.get(
                 "worker_phase_seconds", {}
             ).items():

@@ -33,6 +33,16 @@ Layering: :func:`encode_frame` / :func:`decode_frame` know only the frame
 format; :func:`encode_request` / :func:`decode_request` and
 :func:`encode_reply` / :func:`decode_reply` map each worker command's
 payload onto (meta, arrays) and back.  Transports move opaque ``bytes``.
+
+Zero-copy path: :func:`encode_frame_parts` stops one step earlier than
+:func:`encode_frame` -- it returns a :class:`FrameSegments` holding the
+packed prefix + header plus a borrowed ``memoryview`` per C-contiguous
+array segment, without materializing the joined frame.  Channels with a
+vectored ``send_frame`` write those segments straight to the wire (TCP
+``sendmsg``, shm ring slots), and :class:`BufferPool` assembles them into
+reusable size-classed buffers for channels that need one contiguous
+send -- either way each array's payload is copied exactly once.  The
+joined bytes are identical to :func:`encode_frame` output byte-for-byte.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ from __future__ import annotations
 import json
 import math
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,13 +61,19 @@ __all__ = [
     "TELEMETRY_META_KEY",
     "TRACE_META_KEY",
     "WIRE_MAGIC",
+    "BufferPool",
     "Frame",
+    "FrameSegments",
+    "PooledFrame",
     "encode_frame",
+    "encode_frame_parts",
     "decode_frame",
     "encode_request",
+    "encode_request_parts",
     "decode_request",
     "decode_request_traced",
     "encode_reply",
+    "encode_reply_parts",
     "decode_reply",
     "decode_reply_telemetry",
     "require_wire_id",
@@ -138,22 +154,74 @@ class Frame:
 # Frame layer
 # ---------------------------------------------------------------------------
 
-def encode_frame(kind: str, meta: dict | None = None, arrays: dict | None = None) -> bytes:
-    """Serialize one frame to bytes.
+@dataclass
+class FrameSegments:
+    """One encoded frame as a gather list, pre-join.
 
-    ``meta`` must be JSON-serializable; ``arrays`` maps names to numpy
-    arrays (any dtype/shape; forced C-contiguous with explicit byte
-    order on the wire).
+    ``segments[0]`` is the owned ``bytes`` of prefix + JSON header;
+    every following entry is a byte-``memoryview`` borrowed from a
+    C-contiguous numpy array (or ``b""`` for empty arrays).  The views
+    stay valid as long as ``_keepalive`` pins the backing arrays, so a
+    ``FrameSegments`` must be consumed (sent / joined / copied into a
+    pool buffer) before the tick's payload arrays are mutated.
+
+    Joining the segments yields byte-for-byte the :func:`encode_frame`
+    output for the same inputs.
+    """
+
+    segments: list
+    nbytes: int
+    _keepalive: tuple = field(default=(), repr=False)
+
+    def join(self) -> bytes:
+        """Materialize the frame as one owned ``bytes`` (single copy)."""
+        if len(self.segments) == 1:
+            return self.segments[0]
+        return b"".join(self.segments)
+
+    def copy_into(self, buffer, offset: int = 0) -> int:
+        """Scatter-copy every segment into ``buffer`` at ``offset``.
+
+        ``buffer`` is any writable bytes-like (pooled ``bytearray``, shm
+        ring slot ``memoryview``).  Returns the number of bytes written;
+        each segment is copied exactly once.
+        """
+        for segment in self.segments:
+            n = len(segment)
+            if n:
+                buffer[offset : offset + n] = segment
+                offset += n
+        return self.nbytes
+
+
+def encode_frame_parts(
+    kind: str, meta: dict | None = None, arrays: dict | None = None
+) -> FrameSegments:
+    """Encode one frame into a :class:`FrameSegments` gather list.
+
+    The zero-copy core of :func:`encode_frame`: C-contiguous arrays are
+    *not* copied here -- their raw memory rides along as borrowed
+    memoryviews for the channel (or pool) to copy exactly once at send
+    time.  Non-contiguous inputs are made contiguous first (one
+    unavoidable copy, as before).
     """
     arrays = arrays or {}
     manifest = []
-    segments = []
+    segments = [b""]  # placeholder for prefix + header
+    keepalive = []
+    nbytes = 0
     for name, array in arrays.items():
         array = np.ascontiguousarray(array)
         manifest.append(
             {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)}
         )
-        segments.append(array.tobytes())
+        if array.nbytes:
+            # .cast("B") rejects zero-sized views, hence the guard; the
+            # flat byte view over C-order memory is exactly .tobytes()
+            # without the copy.
+            segments.append(array.data.cast("B"))
+            keepalive.append(array)
+            nbytes += array.nbytes
     header = {"kind": kind, "meta": meta or {}, "arrays": manifest}
     try:
         header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
@@ -163,10 +231,117 @@ def encode_frame(kind: str, meta: dict | None = None, arrays: dict | None = None
             "wire transports require JSON-serializable payloads "
             "(e.g. str/int/float/bool/None stream ids)"
         ) from None
-    return b"".join(
-        [_PREFIX.pack(WIRE_MAGIC, PROTOCOL_VERSION, len(header_bytes)), header_bytes]
-        + segments
+    segments[0] = _PREFIX.pack(
+        WIRE_MAGIC, PROTOCOL_VERSION, len(header_bytes)
+    ) + header_bytes
+    nbytes += len(segments[0])
+    return FrameSegments(
+        segments=segments, nbytes=nbytes, _keepalive=tuple(keepalive)
     )
+
+
+def encode_frame(kind: str, meta: dict | None = None, arrays: dict | None = None) -> bytes:
+    """Serialize one frame to bytes.
+
+    ``meta`` must be JSON-serializable; ``arrays`` maps names to numpy
+    arrays (any dtype/shape; forced C-contiguous with explicit byte
+    order on the wire).  Each array's payload is copied exactly once,
+    into the joined output.
+    """
+    return encode_frame_parts(kind, meta, arrays).join()
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool: reusable send buffers for single-buffer channels
+# ---------------------------------------------------------------------------
+
+class PooledFrame:
+    """One frame assembled into a pooled buffer, awaiting send.
+
+    ``view`` is the frame's exact bytes as a memoryview into the pooled
+    ``bytearray`` (pure-Python classes cannot implement the buffer
+    protocol before 3.12, so channels consume the view).  Call
+    :meth:`release` once the channel has handed the bytes to the kernel;
+    the buffer then returns to the pool for reuse.  Anything decoded
+    from the frame must own its memory by then (``decode_frame`` copies
+    arrays out), because reuse overwrites the backing buffer.
+    """
+
+    __slots__ = ("_pool", "_buffer", "nbytes")
+
+    def __init__(self, pool, buffer, nbytes):
+        self._pool = pool
+        self._buffer = buffer
+        self.nbytes = nbytes
+
+    @property
+    def view(self) -> memoryview:
+        return memoryview(self._buffer)[: self.nbytes]
+
+    def release(self) -> None:
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None:
+            self._pool._release(buffer)
+
+
+class BufferPool:
+    """Size-classed free lists of reusable frame buffers.
+
+    ``acquire`` hands out a ``bytearray`` at least as large as requested
+    from power-of-two size classes, recycling released buffers instead
+    of allocating fresh ones on every frame -- the steady-state tick
+    loop reuses the same few buffers forever (``hits``) and only
+    allocates when a frame outgrows everything seen so far (``misses``).
+    ``bytes_copied`` counts payload bytes scatter-copied through
+    :meth:`encode_into`, the codec's single copy per segment.
+    """
+
+    #: Smallest size class: small control frames (hello/stats/close)
+    #: all share one class instead of fragmenting the pool.
+    MIN_BUFFER_BYTES = 4096
+
+    def __init__(self, *, max_buffers_per_class: int = 8):
+        self._classes: dict[int, list[bytearray]] = {}
+        self._max_per_class = max_buffers_per_class
+        self.hits = 0
+        self.misses = 0
+        self.bytes_copied = 0
+
+    @staticmethod
+    def _class_for(nbytes: int) -> int:
+        size = BufferPool.MIN_BUFFER_BYTES
+        while size < nbytes:
+            size <<= 1
+        return size
+
+    def acquire(self, nbytes: int) -> bytearray:
+        """A buffer of at least ``nbytes``; callers use a prefix slice."""
+        free = self._classes.get(self._class_for(nbytes))
+        if free:
+            self.hits += 1
+            return free.pop()
+        self.misses += 1
+        return bytearray(self._class_for(nbytes))
+
+    def _release(self, buffer: bytearray) -> None:
+        free = self._classes.setdefault(len(buffer), [])
+        if len(free) < self._max_per_class:
+            free.append(buffer)
+
+    def encode_into(self, parts: FrameSegments) -> PooledFrame:
+        """Assemble a gather list into one pooled buffer (single copy)."""
+        buffer = self.acquire(parts.nbytes)
+        parts.copy_into(buffer)
+        self.bytes_copied += parts.nbytes
+        return PooledFrame(self, buffer, parts.nbytes)
+
+    def stats(self) -> dict:
+        """Counters for fanout stats / metrics: hits, misses, bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_copied": self.bytes_copied,
+        }
 
 
 def decode_frame(data) -> Frame:
@@ -334,12 +509,12 @@ _REPLY_CODECS = {
 }
 
 
-def encode_request(command: str, payload=None, *, trace=None) -> bytes:
-    """Encode one ``(command, payload)`` request into a wire frame.
+def encode_request_parts(command: str, payload=None, *, trace=None) -> FrameSegments:
+    """:func:`encode_request` stopped pre-join: a zero-copy gather list.
 
-    ``trace``, when given, rides in the reserved ``_trace`` meta key
-    alongside the command's own meta -- invisible to command decoders on
-    both ends, ignored by workers that predate it.
+    Channels with a vectored ``send_frame`` (or a :class:`BufferPool`)
+    consume this directly; ``.join()`` yields the exact
+    :func:`encode_request` bytes.
     """
     try:
         encoder, _ = _REQUEST_CODECS[command]
@@ -348,7 +523,17 @@ def encode_request(command: str, payload=None, *, trace=None) -> bytes:
     meta, arrays = encoder(payload)
     if trace is not None:
         meta = {**meta, TRACE_META_KEY: trace}
-    return encode_frame(f"req:{command}", meta, arrays)
+    return encode_frame_parts(f"req:{command}", meta, arrays)
+
+
+def encode_request(command: str, payload=None, *, trace=None) -> bytes:
+    """Encode one ``(command, payload)`` request into a wire frame.
+
+    ``trace``, when given, rides in the reserved ``_trace`` meta key
+    alongside the command's own meta -- invisible to command decoders on
+    both ends, ignored by workers that predate it.
+    """
+    return encode_request_parts(command, payload, trace=trace).join()
 
 
 def decode_request_traced(data) -> tuple:
@@ -376,6 +561,20 @@ def decode_request(data) -> tuple:
     return command, payload
 
 
+def encode_reply_parts(command: str, reply: tuple, *, telemetry=None) -> FrameSegments:
+    """:func:`encode_reply` stopped pre-join: a zero-copy gather list."""
+    if reply[0] == "error":
+        return encode_frame_parts("err", {"name": reply[1], "message": reply[2]})
+    try:
+        encoder, _ = _REPLY_CODECS[command]
+    except KeyError:
+        raise ProtocolError(f"unknown reply command {command!r}") from None
+    meta, arrays = encoder(reply[1])
+    if telemetry is not None:
+        meta = {**meta, TELEMETRY_META_KEY: telemetry}
+    return encode_frame_parts(f"ok:{command}", meta, arrays)
+
+
 def encode_reply(command: str, reply: tuple, *, telemetry=None) -> bytes:
     """Encode a worker's protocol reply tuple for ``command``.
 
@@ -385,16 +584,7 @@ def encode_reply(command: str, reply: tuple, *, telemetry=None) -> bytes:
     key -- the worker's piggybacked phase timings (or its clock reading
     on ``hello``), stripped symmetrically by the decoders.
     """
-    if reply[0] == "error":
-        return encode_frame("err", {"name": reply[1], "message": reply[2]})
-    try:
-        encoder, _ = _REPLY_CODECS[command]
-    except KeyError:
-        raise ProtocolError(f"unknown reply command {command!r}") from None
-    meta, arrays = encoder(reply[1])
-    if telemetry is not None:
-        meta = {**meta, TELEMETRY_META_KEY: telemetry}
-    return encode_frame(f"ok:{command}", meta, arrays)
+    return encode_reply_parts(command, reply, telemetry=telemetry).join()
 
 
 def decode_reply_telemetry(data, command: str) -> tuple:

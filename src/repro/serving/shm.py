@@ -1,0 +1,555 @@
+"""Shared-memory ring transport: the zero-copy single-host backend.
+
+The pipe transport moves every frame through the kernel twice (write
+into the pipe, read back out).  This transport keeps frame payloads in
+:mod:`multiprocessing.shared_memory` instead: each shard worker gets a
+*request ring* (parent writes, worker reads) and a *reply ring* (worker
+writes, parent reads), and the codec's :class:`~repro.serving.protocol.
+FrameSegments` gather lists are scatter-copied straight into a ring slot
+-- the single copy the codec owes per segment.  The receiver decodes
+in place out of the slot (``decode_frame`` already takes memoryviews and
+copies arrays out), so a frame crosses processes with exactly one copy
+on the send side and zero joins, allocations, or kernel payload
+traversals anywhere.
+
+Ring layout (all fields u64, little-endian host order, 8-aligned)::
+
+    +-------------------+-----------------------------------------+
+    | header (128 B)    | magic+version | slots | slot_size       |
+    |                   | writer_seq (@24) ... consumed (@64)     |
+    +-------------------+-----------------------------------------+
+    | slot 0            | generation u64 | flags<<32|length u64   |
+    | (16 B + slot_size)| payload bytes ...                       |
+    +-------------------+-----------------------------------------+
+    | slot 1 ...        |                                         |
+
+``writer_seq`` counts published slots; ``consumed`` is the reader's
+progress, published for backpressure (they live on separate cache lines
+so the two sides never false-share).  A slot for sequence ``s`` lives at
+index ``s % slots`` and is published seqlock-style: payload first, then
+the flags/length word, then ``generation = s + 1`` -- a reader that sees
+the expected generation is guaranteed a complete slot, and a slot being
+recycled on a later lap shows a stale generation, never a torn frame.
+Frames larger than one slot span consecutive slots chained by the MORE
+flag (snapshot/restore traffic); the reader reassembles those with one
+extra copy, which only the cold path pays.
+
+Wakeup is a doorbell pipe, not payload transfer: after publishing, the
+writer sends one byte on a tiny duplex pipe shared by both directions,
+and a reader that misses the brief opportunistic spin blocks in
+``poll()`` on it.  The doorbell doubles as death detection -- a peer
+that vanishes closes its end, and both sides also cross-check process
+liveness (``Process.is_alive`` / a changed ``getppid``) so a SIGKILLed
+peer surfaces as a channel error, never a hang.
+
+Lifecycle: the parent creates both rings with unique names and unlinks
+them when the endpoint shuts down; the worker attaches by name (spawn
+start method safe) and deregisters itself from the resource tracker so
+the segments are unlinked exactly once.  ``Transport.respawn`` is
+shutdown + connect, so failover replaces a dead worker's rings with
+fresh ones automatically.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable
+
+from repro.exceptions import ProtocolError
+from repro.serving.protocol import BufferPool
+from repro.serving.transport import (
+    ChannelEndpoint,
+    Transport,
+    WorkerEndpoint,
+    _default_mp_context,
+    serve_connection,
+)
+
+__all__ = [
+    "ShmChannel",
+    "ShmEndpoint",
+    "ShmRing",
+    "ShmTransport",
+]
+
+#: Payload bytes per ring slot.  Comfortably holds a whole step
+#: request/reply for thousands of streams per shard; larger frames
+#: (snapshots) chain slots with the MORE flag.
+DEFAULT_SLOT_BYTES = 1 << 18
+
+#: Slots per ring.  Strict request/reply keeps at most one frame in
+#: flight per direction, so this only bounds chunked-frame pipelining.
+DEFAULT_SLOTS = 8
+
+#: Iterations of opportunistic generation-checking before a reader
+#: falls back to blocking on the doorbell.
+_SPIN_CHECKS = 100
+
+#: Doorbell poll granularity: how often a blocked side rechecks peer
+#: liveness and its deadline.
+_POLL_SECONDS = 0.05
+
+
+class ShmRing:
+    """One single-producer/single-consumer ring in a shm segment."""
+
+    MAGIC = 0x5250_5753_484D_0001  # "RPWSHM" + layout version 1
+
+    HEADER_BYTES = 128
+    SLOT_HEADER_BYTES = 16
+    FLAG_MORE = 1
+
+    # u64 indices of the header fields.
+    _F_MAGIC, _F_SLOTS, _F_SLOT_SIZE, _F_WRITER = 0, 1, 2, 3
+    _F_CONSUMED = 8  # byte offset 64: its own cache line
+
+    def __init__(self, shm, *, created: bool) -> None:
+        self._shm = shm
+        self._created = created
+        self._u64 = shm.buf.cast("Q")
+        if created:
+            pass  # create() fills the header before handing the ring out
+        elif self._u64[self._F_MAGIC] != self.MAGIC:
+            name = shm.name
+            self._u64.release()  # unpin the buffer so shm can unmap
+            shm.close()
+            raise ProtocolError(
+                f"shm segment {name!r} is not a ring of this layout"
+            )
+        self.slots = int(self._u64[self._F_SLOTS]) if not created else 0
+        self.slot_size = int(self._u64[self._F_SLOT_SIZE]) if not created else 0
+        self._stride = self.SLOT_HEADER_BYTES + self.slot_size
+
+    @classmethod
+    def create(cls, slots: int, slot_size: int) -> "ShmRing":
+        if slot_size % 8:
+            raise ValueError("slot_size must be a multiple of 8")
+        size = cls.HEADER_BYTES + slots * (cls.SLOT_HEADER_BYTES + slot_size)
+        name = f"repro_ring_{os.getpid()}_{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        cls._untrack(shm)
+        shm.buf[: cls.HEADER_BYTES] = bytes(cls.HEADER_BYTES)
+        ring = cls(shm, created=True)
+        ring._u64[cls._F_SLOTS] = slots
+        ring._u64[cls._F_SLOT_SIZE] = slot_size
+        # Magic last: an attacher that wins a race sees no-magic, not a
+        # half-written geometry.
+        ring._u64[cls._F_MAGIC] = cls.MAGIC
+        ring.slots, ring.slot_size = slots, slot_size
+        ring._stride = cls.SLOT_HEADER_BYTES + slot_size
+        return ring
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        shm = shared_memory.SharedMemory(name=name)
+        cls._untrack(shm)
+        return cls(shm, created=False)
+
+    @staticmethod
+    def _untrack(shm) -> None:
+        """Opt this segment out of the resource tracker.
+
+        Python registers shared memory with the tracker on *both* create
+        and attach; with forked workers both sides talk to the same
+        tracker process, so paired register/unregister calls would
+        double-remove (tracker KeyError spam), and with spawned workers
+        the worker's own tracker would unlink the segment when the
+        worker exits.  Ring lifetime is owned deterministically by
+        :meth:`ShmEndpoint.shutdown` instead, which always unlinks --
+        the tracker's crash safety net is traded for correct unlink
+        ordering (a hard-killed *parent* may leak segments in /dev/shm).
+        """
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- field accessors ----------------------------------------------
+    @property
+    def writer_seq(self) -> int:
+        return self._u64[self._F_WRITER]
+
+    @writer_seq.setter
+    def writer_seq(self, value: int) -> None:
+        self._u64[self._F_WRITER] = value
+
+    @property
+    def consumed(self) -> int:
+        return self._u64[self._F_CONSUMED]
+
+    @consumed.setter
+    def consumed(self, value: int) -> None:
+        self._u64[self._F_CONSUMED] = value
+
+    def generation(self, seq: int) -> int:
+        base = self.HEADER_BYTES + (seq % self.slots) * self._stride
+        return self._u64[base // 8]
+
+    def meta(self, seq: int) -> tuple[int, int]:
+        """(flags, length) of the published slot for ``seq``."""
+        base = self.HEADER_BYTES + (seq % self.slots) * self._stride
+        word = self._u64[base // 8 + 1]
+        return word >> 32, word & 0xFFFF_FFFF
+
+    def payload(self, seq: int, length: int) -> memoryview:
+        base = (
+            self.HEADER_BYTES
+            + (seq % self.slots) * self._stride
+            + self.SLOT_HEADER_BYTES
+        )
+        return self._shm.buf[base : base + length]
+
+    def publish(self, seq: int, flags: int, length: int) -> None:
+        """Seqlock publish: meta word, then generation, then writer_seq.
+
+        The payload must already be in the slot.  CPython's eval loop
+        orders these stores as written; on strongly-ordered hosts (the
+        x86 targets this single-host transport serves) the reader
+        observing ``generation == seq + 1`` therefore observes the
+        complete slot.
+        """
+        base = self.HEADER_BYTES + (seq % self.slots) * self._stride
+        self._u64[base // 8 + 1] = (flags << 32) | length
+        self._u64[base // 8] = seq + 1
+        self._u64[self._F_WRITER] = seq + 1
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._u64.release()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass  # the mapping goes when the last view is collected
+
+    def unlink(self) -> None:
+        # SharedMemory.unlink unregisters from the resource tracker, so
+        # balance the books for the registration _untrack removed --
+        # otherwise the tracker process logs a KeyError per ring.
+        try:
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+class ShmChannel:
+    """Byte-channel over a send ring + recv ring + doorbell pipe.
+
+    Speaks the same ``send_bytes``/``send_frame``/``recv_bytes`` surface
+    as :class:`~repro.serving.transport.PipeChannel`, so
+    :func:`~repro.serving.transport.serve_connection` and
+    :class:`~repro.serving.transport.ChannelEndpoint` run on it
+    unchanged.  ``recv_bytes`` returns a memoryview *into the ring slot*
+    for single-slot frames -- zero-copy -- and defers releasing the slot
+    until the next channel operation, by which point the strict
+    request/reply protocol guarantees the frame has been decoded (and
+    its arrays copied out).
+    """
+
+    def __init__(
+        self,
+        send_ring: ShmRing,
+        recv_ring: ShmRing,
+        doorbell,
+        *,
+        peer_alive: Callable[[], bool],
+        pool: BufferPool | None = None,
+    ) -> None:
+        self._send_ring = send_ring
+        self._recv_ring = recv_ring
+        self._doorbell = doorbell
+        self._peer_alive = peer_alive
+        self.pool = pool
+        self._timeout: float | None = None
+        self._write_seq = send_ring.writer_seq
+        self._read_seq = recv_ring.consumed
+        self._pending_view: memoryview | None = None
+        self._pending_release: int | None = None
+        self._doorbell_eof = False
+        self._closed = False
+
+    # -- sending -------------------------------------------------------
+    def send_frame(self, parts) -> None:
+        """Scatter-copy a gather list straight into a ring slot."""
+        self._release_pending()
+        if parts.nbytes <= self._send_ring.slot_size:
+            seq = self._wait_space()
+            parts.copy_into(self._send_ring.payload(seq, parts.nbytes))
+            if self.pool is not None:
+                self.pool.bytes_copied += parts.nbytes
+            self._publish(seq, 0, parts.nbytes)
+            self._ring_doorbell()
+            return
+        # Oversized frame (snapshot/restore): assemble once in a pooled
+        # buffer, then chain slot-sized chunks with the MORE flag.
+        pool = self.pool or BufferPool()
+        frame = pool.encode_into(parts)
+        try:
+            self._send_chunked(frame.view)
+        finally:
+            frame.release()
+
+    def send_bytes(self, data) -> None:
+        self._release_pending()
+        view = memoryview(data)
+        if view.nbytes <= self._send_ring.slot_size:
+            seq = self._wait_space()
+            self._send_ring.payload(seq, view.nbytes)[:] = view
+            if self.pool is not None:
+                self.pool.bytes_copied += view.nbytes
+            self._publish(seq, 0, view.nbytes)
+            self._ring_doorbell()
+            return
+        self._send_chunked(view)
+
+    def _send_chunked(self, view: memoryview) -> None:
+        slot_size = self._send_ring.slot_size
+        offset, total = 0, view.nbytes
+        while offset < total:
+            length = min(slot_size, total - offset)
+            seq = self._wait_space()
+            self._send_ring.payload(seq, length)[:] = view[
+                offset : offset + length
+            ]
+            offset += length
+            flags = ShmRing.FLAG_MORE if offset < total else 0
+            self._publish(seq, flags, length)
+            self._ring_doorbell()
+        if self.pool is not None:
+            self.pool.bytes_copied += total
+
+    def _publish(self, seq: int, flags: int, length: int) -> None:
+        self._send_ring.publish(seq, flags, length)
+        self._write_seq = seq + 1
+
+    def _wait_space(self) -> int:
+        """Block until the next write slot is free; returns its seq."""
+        ring, seq = self._send_ring, self._write_seq
+        deadline = (
+            None if self._timeout is None else time.monotonic() + self._timeout
+        )
+        pause = 0.0
+        while ring.consumed + ring.slots <= seq:
+            # Rare: only chunked frames ever outrun the reader.  The
+            # reader publishes ``consumed`` per chunk, so plain sleep
+            # polling converges without a reverse doorbell.
+            self._check_peer(deadline)
+            time.sleep(pause)
+            pause = min(pause + 0.0002, 0.002)
+        return seq
+
+    def _ring_doorbell(self) -> None:
+        try:
+            self._doorbell.send_bytes(b"\0")
+        except (BrokenPipeError, ConnectionError, EOFError, OSError):
+            # Peer already gone: the published frame will never be read,
+            # and the next wait/recv surfaces the death.  Swallowing here
+            # keeps publish-then-notify atomic from the caller's view.
+            self._doorbell_eof = True
+
+    # -- receiving -----------------------------------------------------
+    def recv_bytes(self):
+        self._release_pending()
+        # Drain doorbell bytes even when the frame is already published
+        # (the spin fast path) -- otherwise one byte per frame would
+        # accumulate until the writer's doorbell pipe filled.
+        self._drain_doorbell()
+        ring, seq = self._recv_ring, self._read_seq
+        deadline = (
+            None if self._timeout is None else time.monotonic() + self._timeout
+        )
+        self._wait_frame(seq, deadline)
+        flags, length = ring.meta(seq)
+        if not flags & ShmRing.FLAG_MORE:
+            # Zero-copy path: hand out a view into the slot; the slot is
+            # recycled (consumed advanced) at the next channel op, after
+            # the strictly-sequenced decode has copied the arrays out.
+            view = ring.payload(seq, length)
+            self._read_seq = seq + 1
+            self._pending_view = view
+            self._pending_release = seq + 1
+            return view
+        # Chunked frame: reassemble, releasing each chunk as it is
+        # copied so the writer can stream ahead of us.
+        chunks = bytearray()
+        while True:
+            chunks += ring.payload(seq, length)
+            seq += 1
+            ring.consumed = seq
+            self._read_seq = seq
+            if not flags & ShmRing.FLAG_MORE:
+                return chunks
+            self._wait_frame(seq, deadline)
+            flags, length = ring.meta(seq)
+
+    def _wait_frame(self, seq: int, deadline) -> None:
+        ring = self._recv_ring
+        expected = seq + 1
+        while True:
+            for _ in range(_SPIN_CHECKS):
+                if ring.generation(seq) == expected:
+                    return
+            self._drain_doorbell()
+            if ring.generation(seq) == expected:
+                return
+            self._check_peer(deadline)
+            if self._doorbell_eof:
+                time.sleep(0.0002)
+            else:
+                self._doorbell.poll(_POLL_SECONDS)
+
+    def _drain_doorbell(self) -> None:
+        if self._doorbell_eof:
+            return
+        try:
+            while self._doorbell.poll(0):
+                self._doorbell.recv_bytes()
+        except (EOFError, ConnectionError, BrokenPipeError, OSError):
+            # EOF means the peer is done sending forever -- but frames
+            # it published before dying are still in the ring, so this
+            # is a mode switch (to sleep polling), not yet an error.
+            self._doorbell_eof = True
+
+    def _check_peer(self, deadline) -> None:
+        if not self._peer_alive():
+            # One last look: a peer may die after publishing; its writes
+            # are durable in the segment, so drain before declaring EOF.
+            ring, seq = self._recv_ring, self._read_seq
+            if ring.generation(seq) != seq + 1:
+                raise BrokenPipeError("shm peer process is gone")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"shm channel operation timed out after {self._timeout}s"
+            )
+
+    def _release_pending(self) -> None:
+        if self._pending_view is not None:
+            self._pending_view.release()
+            self._pending_view = None
+        if self._pending_release is not None:
+            self._recv_ring.consumed = self._pending_release
+            self._pending_release = None
+
+    # -- channel surface ----------------------------------------------
+    def set_timeout(self, timeout: float | None) -> None:
+        self._timeout = timeout
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._release_pending()
+        self._send_ring.close()
+        self._recv_ring.close()
+        try:
+            self._doorbell.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ShmEndpoint(ChannelEndpoint):
+    """Parent-side shm endpoint: channel + worker process + ring owner."""
+
+    def __init__(self, shard, channel, process, rings) -> None:
+        super().__init__(shard, channel)
+        self.process = process
+        self._rings = rings
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        already = self._shut_down
+        super().shutdown(timeout)  # goodbye handshake + channel close
+        if already:
+            return
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        for ring in self._rings:
+            ring.unlink()
+
+
+def _shm_worker_main(doorbell, req_name, rep_name, engine_factory) -> None:
+    """Entry point of one shm shard process."""
+    parent_pid = os.getppid()
+    request_ring = ShmRing.attach(req_name)
+    reply_ring = ShmRing.attach(rep_name)
+    channel = ShmChannel(
+        send_ring=reply_ring,
+        recv_ring=request_ring,
+        doorbell=doorbell,
+        peer_alive=lambda: os.getppid() == parent_pid,
+        pool=BufferPool(),
+    )
+    try:
+        serve_connection(channel, engine_factory)
+    finally:
+        channel.close()
+        try:
+            doorbell.close()
+        except OSError:
+            pass
+
+
+class ShmTransport(Transport):
+    """One child process per shard, frames through shared-memory rings.
+
+    The zero-copy single-host backend: request and reply payloads live
+    in :mod:`multiprocessing.shared_memory` rings (see the module
+    docstring for the layout), with a byte-sized doorbell pipe for
+    blocking wakeup.  Same fork-by-default process model as
+    :class:`~repro.serving.transport.PipeTransport`; the parent-side
+    codec shares this transport's :class:`BufferPool` across shards.
+    """
+
+    name = "shm"
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        *,
+        slots: int = DEFAULT_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> None:
+        self._context = _default_mp_context(start_method)
+        self._slots = slots
+        self._slot_bytes = slot_bytes
+        self.pool = BufferPool()
+
+    def connect(self, shard: int, engine_factory: Callable) -> WorkerEndpoint:
+        request_ring = ShmRing.create(self._slots, self._slot_bytes)
+        reply_ring = ShmRing.create(self._slots, self._slot_bytes)
+        parent_bell, child_bell = self._context.Pipe()
+        process = self._context.Process(
+            target=_shm_worker_main,
+            args=(child_bell, request_ring.name, reply_ring.name, engine_factory),
+            daemon=True,
+            name=f"repro-shm-shard-{shard}",
+        )
+        try:
+            process.start()
+        except BaseException:
+            for ring in (request_ring, reply_ring):
+                ring.close()
+                ring.unlink()
+            raise
+        child_bell.close()
+        channel = ShmChannel(
+            send_ring=request_ring,
+            recv_ring=reply_ring,
+            doorbell=parent_bell,
+            peer_alive=process.is_alive,
+            pool=self.pool,
+        )
+        return ShmEndpoint(
+            shard, channel, process, rings=(request_ring, reply_ring)
+        )

@@ -48,11 +48,14 @@ from typing import Callable, Sequence
 import repro.exceptions as _exceptions
 from repro.exceptions import ClusterError, ClusterWorkerError, ValidationError
 from repro.serving.protocol import (
+    BufferPool,
     decode_reply_telemetry,
     decode_request,
     decode_request_traced,
     encode_reply,
+    encode_reply_parts,
     encode_request,
+    encode_request_parts,
 )
 from repro.serving.state import RegistrySnapshot
 
@@ -318,13 +321,33 @@ class WorkerServicer:
 # ---------------------------------------------------------------------------
 
 class PipeChannel:
-    """Message framing over a multiprocessing ``Connection``."""
+    """Message framing over a multiprocessing ``Connection``.
 
-    def __init__(self, conn) -> None:
+    With a :class:`~repro.serving.protocol.BufferPool` attached,
+    :meth:`send_frame` assembles gather lists into a reused pooled
+    buffer (one copy per segment, zero allocations in steady state)
+    instead of joining them into fresh bytes per frame.
+    """
+
+    def __init__(self, conn, pool=None) -> None:
         self._conn = conn
+        self.pool = pool
 
     def send_bytes(self, data: bytes) -> None:
         self._conn.send_bytes(data)
+
+    def send_frame(self, parts) -> None:
+        """Vectored send of a :class:`FrameSegments` gather list."""
+        if self.pool is None:
+            self._conn.send_bytes(parts.join())
+            return
+        frame = self.pool.encode_into(parts)
+        try:
+            # send_bytes blocks until the kernel owns the bytes, so the
+            # buffer is reusable the moment it returns.
+            self._conn.send_bytes(frame.view)
+        finally:
+            frame.release()
 
     def recv_bytes(self) -> bytes:
         return self._conn.recv_bytes()
@@ -381,6 +404,30 @@ class SocketChannel:
         else:
             self._sock.sendall(header)
             self._sock.sendall(data)
+
+    def send_frame(self, parts) -> None:
+        """Vectored send: length prefix + every segment via ``sendmsg``,
+        so array payloads go kernel-ward straight from the numpy buffers
+        without ever being joined into one Python-side copy."""
+        if parts.nbytes > MAX_MESSAGE_BYTES:
+            raise ValidationError(
+                f"refusing to send {parts.nbytes}-byte message (cap "
+                f"{MAX_MESSAGE_BYTES}); snapshot/restore in smaller pieces"
+            )
+        buffers = [self._LEN.pack(parts.nbytes)]
+        buffers += [s for s in parts.segments if len(s)]
+        total = parts.nbytes + self._LEN.size
+        sent = self._sock.sendmsg(buffers)
+        while sent < total:
+            # Partial send (signal, full socket buffer): drop whole
+            # buffers already gone, slice the one cut mid-way, retry.
+            while buffers and sent >= len(buffers[0]):
+                sent -= len(buffers[0])
+                del buffers[0]
+            if sent:
+                buffers[0] = memoryview(buffers[0])[sent:]
+            total = sum(len(b) for b in buffers)
+            sent = self._sock.sendmsg(buffers)
 
     def recv_bytes(self) -> bytes:
         (length,) = self._LEN.unpack(self._recv_exact(self._LEN.size))
@@ -439,6 +486,26 @@ def _try_send(channel, data: bytes) -> bool:
     """
     try:
         channel.send_bytes(data)
+        return True
+    except _CHANNEL_ERRORS:
+        return False
+
+
+def send_channel_frame(channel, parts) -> None:
+    """Send a :class:`FrameSegments` the best way ``channel`` supports:
+    its vectored ``send_frame`` when present, else one joined
+    ``send_bytes`` (the compatibility path for plain byte channels)."""
+    send_frame = getattr(channel, "send_frame", None)
+    if send_frame is not None:
+        send_frame(parts)
+    else:
+        channel.send_bytes(parts.join())
+
+
+def _try_send_frame(channel, parts) -> bool:
+    """:func:`_try_send` for gather lists."""
+    try:
+        send_channel_frame(channel, parts)
         return True
     except _CHANNEL_ERRORS:
         return False
@@ -567,9 +634,9 @@ def serve_connection(
             )
         try:
             t_encode0 = clock()
-            encoded = encode_reply(command, reply, telemetry=telemetry)
+            encoded = encode_reply_parts(command, reply, telemetry=telemetry)
             t_encode1 = clock()
-            sent = _try_send(channel, encoded)
+            sent = _try_send_frame(channel, encoded)
             prev_encode = t_encode1 - t_encode0
             prev_send = clock() - t_encode1
         except ValidationError as error:
@@ -730,19 +797,19 @@ class ChannelEndpoint(WorkerEndpoint):
 
     def prepare(self, command: str, payload=None):
         trace, self.trace_context = self.trace_context, None
-        data = encode_request(command, payload, trace=trace)
+        parts = encode_request_parts(command, payload, trace=trace)
         limit = getattr(self._channel, "max_message_bytes", None)
-        if limit is not None and len(data) > limit:
+        if limit is not None and parts.nbytes > limit:
             raise ValidationError(
-                f"{command!r} message of {len(data)} bytes exceeds the "
+                f"{command!r} message of {parts.nbytes} bytes exceeds the "
                 f"transport cap ({limit}); split the payload"
             )
-        return (command, data)
+        return (command, parts)
 
     def send_prepared(self, token) -> None:
-        command, data = token
+        command, parts = token
         try:
-            self._channel.send_bytes(data)
+            send_channel_frame(self._channel, parts)
         except _CHANNEL_ERRORS as error:
             self.alive = False
             raise ClusterWorkerError(
@@ -894,7 +961,7 @@ def _default_mp_context(start_method: str | None):
 
 def _pipe_worker_main(conn, engine_factory) -> None:
     """Entry point of one pipe shard process."""
-    channel = PipeChannel(conn)
+    channel = PipeChannel(conn, pool=BufferPool())
     try:
         serve_connection(channel, engine_factory)
     finally:
@@ -907,12 +974,18 @@ class PipeTransport(Transport):
     Defaults to the ``fork`` start method when the platform has it (the
     engine factory and its captured models need not be picklable); pass
     ``start_method="spawn"`` with a module-level factory elsewhere.
+
+    Every shard's parent-side channel shares this transport's
+    :class:`~repro.serving.protocol.BufferPool`, so the steady-state
+    fan-out reuses a handful of send buffers across all shards and
+    ``pool.stats()`` aggregates the whole cluster's codec copies.
     """
 
     name = "pipe"
 
     def __init__(self, start_method: str | None = None) -> None:
         self._context = _default_mp_context(start_method)
+        self.pool = BufferPool()
 
     def connect(self, shard: int, engine_factory: Callable) -> WorkerEndpoint:
         parent_conn, child_conn = self._context.Pipe()
@@ -924,7 +997,9 @@ class PipeTransport(Transport):
         )
         process.start()
         child_conn.close()
-        return PipeEndpoint(shard, PipeChannel(parent_conn), process)
+        return PipeEndpoint(
+            shard, PipeChannel(parent_conn, pool=self.pool), process
+        )
 
 
 def parse_address(address) -> tuple:
@@ -1011,8 +1086,9 @@ def resolve_transport(transport=None, start_method: str | None = None) -> Transp
     """Normalize a transport argument into a :class:`Transport`.
 
     Accepts a :class:`Transport` instance, ``None``/``"pipe"`` (the
-    single-host default), ``"inproc"``, or ``"tcp:HOST:PORT[,HOST:PORT...]"``.
-    ``start_method`` applies to the default pipe transport only.
+    single-host default), ``"inproc"``, ``"shm"`` (shared-memory rings),
+    or ``"tcp:HOST:PORT[,HOST:PORT...]"``.  ``start_method`` applies to
+    the process-spawning transports (pipe, shm) only.
     """
     if isinstance(transport, Transport):
         return transport
@@ -1020,11 +1096,15 @@ def resolve_transport(transport=None, start_method: str | None = None) -> Transp
         return PipeTransport(start_method=start_method)
     if transport == "inproc":
         return InprocTransport()
+    if transport == "shm":
+        from repro.serving.shm import ShmTransport
+
+        return ShmTransport(start_method=start_method)
     if isinstance(transport, str) and transport.startswith("tcp:"):
         return TcpTransport(transport[len("tcp:"):].split(","))
     raise ValidationError(
         f"unknown transport {transport!r}; expected 'inproc', 'pipe', "
-        "'tcp:HOST:PORT,...', or a Transport instance"
+        "'shm', 'tcp:HOST:PORT,...', or a Transport instance"
     )
 
 

@@ -14,12 +14,16 @@ from repro.exceptions import ProtocolError, ValidationError
 from repro.serving import RegistrySnapshot, StreamingEngine, StreamFrame
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
+    BufferPool,
     decode_frame,
     decode_reply,
     decode_request,
     encode_frame,
+    encode_frame_parts,
     encode_reply,
+    encode_reply_parts,
     encode_request,
+    encode_request_parts,
     require_wire_id,
 )
 
@@ -116,6 +120,165 @@ class TestFrameLayer:
     def test_non_json_meta_rejected_at_encode(self):
         with pytest.raises(ValidationError, match="wire-serializable"):
             encode_frame("k", {"id": object()})
+
+
+def _random_arrays(rng):
+    """A randomized arrays dict mixing dtypes, orders, and emptiness."""
+    dtypes = [
+        np.float64, np.float32, np.int64, np.int32, np.uint8, np.bool_,
+        np.dtype(">i4"), np.dtype("<f8"),
+    ]
+    arrays = {}
+    for index in range(rng.integers(0, 5)):
+        dtype = dtypes[rng.integers(0, len(dtypes))]
+        ndim = int(rng.integers(0, 4))
+        shape = tuple(int(rng.integers(0, 5)) for _ in range(ndim))
+        array = (rng.random(shape) * 100).astype(dtype)
+        kind = rng.integers(0, 3)
+        if kind == 1 and array.ndim >= 2 and array.shape[-1] > 1:
+            array = array[..., ::2]  # non-contiguous view
+        elif kind == 2 and array.ndim >= 2:
+            array = np.asfortranarray(array)
+        arrays[f"a{index}"] = array
+    return arrays
+
+
+class TestPooledCodec:
+    """The zero-copy gather-list encoder and its buffer pool."""
+
+    def test_parts_join_matches_legacy_bytes(self):
+        rng = np.random.default_rng(81)
+        for _ in range(50):
+            arrays = _random_arrays(rng)
+            meta = {"ids": list(range(int(rng.integers(0, 4))))}
+            legacy = encode_frame("req:step", meta, arrays)
+            parts = encode_frame_parts("req:step", meta, arrays)
+            assert parts.join() == legacy
+            assert parts.nbytes == len(legacy)
+
+    def test_pooled_assembly_matches_legacy_bytes(self):
+        rng = np.random.default_rng(82)
+        pool = BufferPool()
+        for _ in range(50):
+            arrays = _random_arrays(rng)
+            legacy = encode_frame("k", {"n": 1}, arrays)
+            frame = pool.encode_into(encode_frame_parts("k", {"n": 1}, arrays))
+            assert bytes(frame.view) == legacy
+            frame.release()
+        # Steady state recycles: far more hits than allocations.
+        assert pool.hits + pool.misses == 50
+        assert pool.hits > pool.misses
+
+    def test_request_and_reply_parts_match_joined_codecs(self):
+        payload = {
+            "ids": ["a", "b"],
+            "X": np.arange(8, dtype=float).reshape(2, 4),
+            "Q": np.ones((2, 3)),
+            "new_series": np.array([True, False]),
+            "scope": None,
+        }
+        assert (
+            encode_request_parts("step", payload, trace={"tick": 3}).join()
+            == encode_request("step", payload, trace={"tick": 3})
+        )
+        reply = ("ok", {"fused": np.arange(4.0)})
+        assert (
+            encode_reply_parts("step", reply, telemetry={"t": 1}).join()
+            == encode_reply("step", reply, telemetry={"t": 1})
+        )
+        error = ("error", "ValueError", "boom")
+        assert (
+            encode_reply_parts("step", error).join()
+            == encode_reply("step", error)
+        )
+
+    def test_pooled_roundtrip_mixed_dtypes_and_empties(self):
+        pool = BufferPool()
+        arrays = {
+            "f": np.linspace(0, 1, 7, dtype=np.float32),
+            "big_endian": np.arange(5, dtype=">i4"),
+            "empty": np.empty((0, 3), dtype=np.int16),
+            "scalarish": np.float64(2.5),
+            "strided": np.arange(24, dtype=np.int64).reshape(4, 6)[:, ::2],
+            "bools": np.array([[True], [False]]),
+        }
+        frame = pool.encode_into(encode_frame_parts("k", {"m": 1}, arrays))
+        decoded = decode_frame(frame.view)
+        frame.release()
+        for name, array in arrays.items():
+            expected = np.ascontiguousarray(array)
+            assert decoded.arrays[name].dtype == expected.dtype
+            assert decoded.arrays[name].shape == expected.shape
+            assert decoded.arrays[name].tobytes() == expected.tobytes()
+
+    def test_truncated_and_tampered_pooled_frames_fail_loudly(self):
+        pool = BufferPool()
+        parts = encode_frame_parts("k", {"x": 1}, {"a": np.ones(5)})
+        frame = pool.encode_into(parts)
+        good = bytes(frame.view)
+        frame.release()
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame(good[:5])
+        with pytest.raises(ProtocolError, match="cut short"):
+            decode_frame(good[:-4])
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(b"XXXX" + good[4:])
+        tampered = bytearray(good)
+        tampered[4] ^= 0xFF  # version word
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(tampered))
+        header_garbage = bytearray(good)
+        header_garbage[12] ^= 0xFF  # inside the JSON header
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(header_garbage))
+
+    def test_pool_reuse_never_aliases_live_decoded_arrays(self):
+        pool = BufferPool()
+        first = pool.encode_into(
+            encode_frame_parts("k", {}, {"a": np.full(64, 7.0)})
+        )
+        decoded = decode_frame(first.view)
+        kept = decoded.arrays["a"]
+        first.release()
+        # The released buffer is recycled and overwritten by the next
+        # frame of the same size class...
+        second = pool.encode_into(
+            encode_frame_parts("k", {}, {"a": np.zeros(64)})
+        )
+        assert pool.hits == 1
+        # ...but decoded arrays own their memory, so the live view of
+        # the first frame is unaffected.
+        assert np.array_equal(kept, np.full(64, 7.0))
+        second.release()
+
+    def test_released_frame_is_inert(self):
+        pool = BufferPool()
+        frame = pool.encode_into(encode_frame_parts("k", {"x": 1}, {}))
+        frame.release()
+        frame.release()  # idempotent
+        assert pool.stats()["hits"] == 0
+
+    def test_pool_size_classes_and_counters(self):
+        pool = BufferPool(max_buffers_per_class=2)
+        small = pool.acquire(100)
+        assert len(small) == BufferPool.MIN_BUFFER_BYTES
+        big = pool.acquire(BufferPool.MIN_BUFFER_BYTES + 1)
+        assert len(big) == 2 * BufferPool.MIN_BUFFER_BYTES
+        pool._release(small)
+        assert pool.acquire(50) is small
+        assert pool.stats() == {"hits": 1, "misses": 2, "bytes_copied": 0}
+
+    def test_segments_pin_backing_arrays(self):
+        # The gather list borrows array memory; _keepalive must hold the
+        # contiguous copies alive even when the caller drops its refs.
+        parts = encode_frame_parts(
+            "k", {}, {"a": np.arange(6.0).reshape(2, 3)[:, ::2]}
+        )
+        legacy = encode_frame("k", {}, {"a": np.arange(6.0).reshape(2, 3)[:, ::2]})
+        import gc
+
+        gc.collect()
+        assert parts.join() == legacy
 
 
 class TestWireIds:

