@@ -90,8 +90,19 @@ def _prefix_of(controlled: dict, baseline: dict) -> bool:
 def test_admission_keeps_p95_within_budget(
     study_data, workload, write_bench_json, usable_cores
 ):
+    # Both runs measure tick latency on the process CPU clock, not the
+    # wall clock: the p95 gate compares work done per tick, and on an
+    # oversubscribed CI runner a single scheduler preemption inside one
+    # tick's step_batch would blow a wall-clock p95 through any budget
+    # derived from the (equally noisy) baseline.  CPU time is what the
+    # frame budget actually bounds; the wall-clock QoS behavior is
+    # covered by the deterministic scripted-clock controller tests.
+    import time
+
     # Unbounded baseline: every frame admitted every tick.
-    baseline_controller = ServingController(_make_engine(study_data))
+    baseline_controller = ServingController(
+        _make_engine(study_data), clock=time.process_time
+    )
     baseline_results = baseline_controller.run(workload.ticks)
     baseline_latencies = [
         t.latency_seconds for t in baseline_controller.telemetry
@@ -109,7 +120,9 @@ def test_admission_keeps_p95_within_budget(
         max_frames_per_tick=FRAME_BUDGET,
         max_deferred_per_stream=N_TICKS + 1,  # no drops in this run
     )
-    controller = ServingController(_make_engine(study_data), admission=policy)
+    controller = ServingController(
+        _make_engine(study_data), admission=policy, clock=time.process_time
+    )
     admitted_results = controller.run(workload.ticks)
     latencies = [t.latency_seconds for t in controller.telemetry]
 
@@ -123,6 +136,7 @@ def test_admission_keeps_p95_within_budget(
             "streams": N_STREAMS,
             "ticks": N_TICKS,
             "priority_classes": PRIORITY_CLASSES,
+            "latency_clock": "process_time",
             "policy": {
                 "latency_budget_seconds": latency_budget,
                 "max_frames_per_tick": FRAME_BUDGET,

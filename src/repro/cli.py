@@ -287,7 +287,14 @@ def _add_controller_flags(parser) -> None:
     group.add_argument("--stats-every", type=int, default=0, metavar="N",
                        help="print per-tick controller telemetry every N "
                             "ticks (latency EWMA, admitted/deferred "
-                            "counts, shard count, fan-out overlap)")
+                            "counts, shard count, fan-out overlap, "
+                            "in-flight window depth)")
+    group.add_argument("--inflight-window", type=int, default=2, metavar="W",
+                       help="bounded in-flight tick window for sharded "
+                            "serving: the controller fans out tick t+1 "
+                            "while tick t's replies are still streaming "
+                            "back, up to W ticks deep (default 2; 1 = "
+                            "lockstep, bitwise the pre-pipelining loop)")
     fault = parser.add_argument_group("fault tolerance (worker failover)")
     fault.add_argument("--max-failovers", type=int, default=0, metavar="N",
                        help="recover from up to N worker deaths by "
@@ -394,11 +401,18 @@ def _telemetry_printer(args, cluster=None):
         if t.rebalanced_to is not None:
             line += f" (rebalanced to {t.rebalanced_to})"
         if cluster is not None:
-            overlap = cluster.fanout_stats()["overlap_seconds"]
+            stats = cluster.fanout_stats()
+            overlap = stats["overlap_seconds"]
             line += (
                 f", fan-out overlap +{(overlap - last_overlap[0]) * 1e3:.1f}ms"
             )
             last_overlap[0] = overlap
+            inflight = stats.get("inflight")
+            if inflight is not None and inflight["window"] > 1:
+                line += (
+                    f", inflight {t.inflight_depth}/{inflight['window']}"
+                    f" (peak {inflight['max_depth']})"
+                )
         print(line)
 
     return on_tick
@@ -665,7 +679,8 @@ def _cmd_simulate_streams(args) -> int:
                 max(initial_shards, autoscale.min_shards), autoscale.max_shards
             )
         engine = ShardedEngine(
-            engine_factory, initial_shards, transport=args.transport
+            engine_factory, initial_shards, transport=args.transport,
+            inflight_window=args.inflight_window,
         )
     else:
         engine = engine_factory()
@@ -956,7 +971,8 @@ def _cmd_serve_cluster(args) -> int:
     try:
         print(f"starting {initial_shards} {args.transport} shard worker(s)...")
         cluster = ShardedEngine(
-            engine_factory, initial_shards, transport=transport
+            engine_factory, initial_shards, transport=transport,
+            inflight_window=args.inflight_window,
         )
         # The controller owns both the tick loop and the cluster
         # lifecycle: any exception from here on (restore included) reaps

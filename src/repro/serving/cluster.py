@@ -55,6 +55,7 @@ import bisect
 import hashlib
 import struct
 import time
+from collections import deque
 from contextlib import nullcontext
 from typing import Callable, Sequence
 
@@ -272,6 +273,16 @@ class ShardedEngine:
     transport:
         A :class:`~repro.serving.transport.Transport` instance, or one of
         ``"pipe"`` (default), ``"inproc"``, ``"tcp:HOST:PORT,..."``.
+    inflight_window:
+        Maximum cluster ticks in flight at once (>= 1).  At 1 (the
+        default) :meth:`step_batch` is the only serving path and nothing
+        changes.  Above 1 a caller may pipeline:
+        :meth:`submit_batch` fans tick t+1 out while tick t's replies
+        are still streaming back, and :meth:`collect_batch` merges
+        completed ticks strictly in submission order -- results are
+        bitwise-identical to lockstep because every shard still serves
+        its requests FIFO.  Requests are tick-tagged on the wire and the
+        echo is verified, so replies can never pair with the wrong tick.
 
     Use as a context manager (or call :meth:`close`) to reap the workers.
     """
@@ -283,11 +294,17 @@ class ShardedEngine:
         replicas: int = 64,
         start_method: str | None = None,
         transport: Transport | str | None = None,
+        inflight_window: int = 1,
     ) -> None:
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        if inflight_window < 1:
+            raise ValidationError(
+                f"inflight_window must be >= 1, got {inflight_window}"
+            )
         self.engine_factory = engine_factory
         self.replicas = replicas
+        self.inflight_window = inflight_window
         self.transport = resolve_transport(transport, start_method=start_method)
         limit = self.transport.max_shards()
         if limit is not None and n_shards > limit:
@@ -305,6 +322,12 @@ class ShardedEngine:
         self._fanout_ticks = 0
         self._fanout_encode_seconds = 0.0
         self._fanout_overlap_seconds = 0.0
+        #: Submitted-but-uncollected ticks, oldest first; each entry is
+        #: one :meth:`submit_batch`'s bookkeeping.  Depth lives here (not
+        #: on endpoints) so proxy transports (chaos, flight recording)
+        #: need no introspection surface.
+        self._inflight: deque = deque()
+        self._inflight_max_depth = 0
         #: Optional tick tracer (duck-typed; see :func:`_null_span`).
         #: The :class:`~repro.serving.controller.ServingController`
         #: attaches its own here so fan-out / per-shard step / merge
@@ -404,6 +427,12 @@ class ShardedEngine:
         if self._closed:
             return
         self._closed = True
+        try:
+            # Settle any open window so the byte transports' goodbye
+            # handshake finds its channels in protocol.
+            self.abort_window()
+        except Exception:
+            pass
         for worker in self._workers:
             worker.shutdown()
         self._workers = []
@@ -439,6 +468,40 @@ class ShardedEngine:
         if shard is not None:
             self._dead_shards.add(shard)
 
+    def _require_drained(self) -> None:
+        """Control-plane operations (snapshot, restore, rebalance, stats)
+        interleave whole request/replies on the worker channels, so they
+        must not run while step replies are still owed -- the caller
+        collects (or aborts) the window first."""
+        if self._inflight:
+            raise ClusterError(
+                f"{len(self._inflight)} tick(s) still in flight; "
+                "collect_batch() or abort_window() before control-plane "
+                "operations"
+            )
+
+    def abort_window(self) -> int:
+        """Drain and discard every in-flight tick's replies.
+
+        The failover primitive: after a worker death mid-window the
+        submitted ticks can no longer complete in order, so their
+        pending replies are read off every channel (keeping surviving
+        workers in protocol -- an unread reply would poison the next
+        request) and dropped.  Workers observed dead while draining land
+        in :attr:`dead_shards`.  Returns the number of ticks aborted;
+        the caller re-submits them after recovery (they were never
+        counted as completed cluster ticks).
+        """
+        aborted = len(self._inflight)
+        while self._inflight:
+            record = self._inflight.popleft()
+            for shard in record.get("pending", ()):
+                worker = self._workers[shard]
+                reply = worker.recv()
+                if reply[0] != "ok" and not worker.alive:
+                    self._note_dead(shard)
+        return aborted
+
     def revive_shard(self, shard: int, snapshot: RegistrySnapshot | None = None) -> None:
         """Respawn/reconnect the worker for ``shard``, clearing it from
         :attr:`dead_shards`.
@@ -469,6 +532,7 @@ class ShardedEngine:
         then stays in :attr:`dead_shards` and the call can be retried.
         """
         self._require_open()
+        self._require_drained()
         if not 0 <= shard < len(self._workers):
             raise ValidationError(
                 f"shard {shard} is not a current worker "
@@ -516,6 +580,11 @@ class ShardedEngine:
     def dead_shards(self) -> list[int]:
         """Shards observed dead or out of protocol (excluded from serving)."""
         return sorted(self._dead_shards)
+
+    @property
+    def inflight_depth(self) -> int:
+        """Submitted-but-uncollected ticks currently in the window."""
+        return len(self._inflight)
 
     @property
     def n_streams(self) -> int:
@@ -585,14 +654,30 @@ class ShardedEngine:
         misses, bytes_copied) for transports that pool their frame
         buffers (pipe, shm); transports without a pool omit the key.
 
+        ``inflight`` describes the pipelined-tick window: the configured
+        ``window`` bound, current ``depth`` (submitted-but-uncollected
+        ticks), the high-water ``max_depth`` ever reached, and
+        ``oldest_age_seconds`` -- how long (monotonic wall clock) the
+        oldest in-flight tick has been waiting, the send/recv queue-age
+        signal the controller's backpressure reads.
+
         A metrics-enabled controller mirrors these counters into the
         ``repro_fanout_*_total`` families (as deltas, after each tick),
         so the scraped values and this dict always agree.
         """
+        oldest = self._inflight[0]["submitted_at"] if self._inflight else None
         stats = {
             "ticks": self._fanout_ticks,
             "encode_seconds": self._fanout_encode_seconds,
             "overlap_seconds": self._fanout_overlap_seconds,
+            "inflight": {
+                "window": self.inflight_window,
+                "depth": len(self._inflight),
+                "max_depth": self._inflight_max_depth,
+                "oldest_age_seconds": (
+                    time.monotonic() - oldest if oldest is not None else 0.0
+                ),
+            },
         }
         if self._worker_phase_seconds:
             stats["worker_phase_seconds"] = {
@@ -689,6 +774,7 @@ class ShardedEngine:
 
     def _worker_stats(self) -> list[dict]:
         self._require_healthy()
+        self._require_drained()
         return self._request_all(
             [(worker, "stats", None) for worker in self._workers]
         )
@@ -721,6 +807,7 @@ class ShardedEngine:
         engine raises them, without the ``[shard N]`` diagnostic prefix).
         """
         self._require_healthy()
+        self._require_drained()
         frames = list(frames)
         engine = self._single_inproc_engine()
         if engine is not None:
@@ -885,6 +972,256 @@ class ShardedEngine:
         self._tick += 1
         return results
 
+    # ------------------------------------------------------------------
+    # Pipelined serving: bounded in-flight window
+    # ------------------------------------------------------------------
+    def submit_batch(self, frames: Sequence[StreamFrame]) -> int:
+        """Fan one tick out without waiting for its replies.
+
+        The send half of :meth:`step_batch`, for pipelined callers:
+        validation, placement, payload build, and the overlapped
+        per-shard sends all happen now; the replies stay on the wire
+        until :meth:`collect_batch`.  Up to :attr:`inflight_window`
+        ticks may be outstanding; submitting past the bound raises
+        (the window is the backpressure boundary, not a buffer).
+
+        Every step request is tick-tagged (reserved ``_tick`` meta) and
+        workers echo the tag, so replies provably pair with the tick
+        they answer even with several in flight.  Returns the submitted
+        tick's number.  Validation failures raise before anything is
+        sent -- the window is unchanged.  A worker death mid-fan-out
+        drains this tick's partial sends (earlier in-flight ticks stay
+        owed; recover via :meth:`abort_window`) and raises.
+        """
+        self._require_healthy()
+        if len(self._inflight) >= self.inflight_window:
+            raise ClusterError(
+                f"in-flight window is full ({self.inflight_window} "
+                "tick(s)); collect_batch() before submitting more"
+            )
+        frames = list(frames)
+        target_tick = self._tick + len(self._inflight) + 1
+        submitted_at = time.monotonic()
+
+        engine = self._single_inproc_engine()
+        if engine is not None:
+            # Single in-proc shard: nothing to overlap with -- the
+            # "worker" computes on this thread either way.  Step now so
+            # the submit/collect surface (and its ordering guarantee)
+            # still holds; results wait in the window for collection.
+            results = engine.step_batch(frames)
+            self._inflight.append(
+                {
+                    "kind": "engine",
+                    "tick": target_tick,
+                    "pending": (),
+                    "results": results,
+                    "submitted_at": submitted_at,
+                }
+            )
+            self._note_depth()
+            return target_tick
+
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else _null_span
+
+        if not frames:
+            for worker in self._workers:
+                worker.tick_tag = target_tick
+            self._send_all(
+                [(worker, "step", None) for worker in self._workers]
+            )
+            self._inflight.append(
+                {
+                    "kind": "empty",
+                    "tick": target_tick,
+                    "frames": frames,
+                    "per_shard": [[] for _ in self._workers],
+                    "pending": list(range(len(self._workers))),
+                    "rpc": None,
+                    "submitted_at": submitted_at,
+                }
+            )
+            self._note_depth()
+            return target_tick
+
+        with span("fanout", frames=len(frames), shards=self.n_shards):
+            rows, quality = validate_tick_frames(
+                frames,
+                n_stateless=self._engine_shape["n_stateless"],
+                has_scope_model=self._engine_shape["has_scope_model"],
+            )
+            if self.transport.requires_wire_ids:
+                for frame in frames:
+                    require_wire_id(frame.stream_id)
+                scope_rows = [
+                    sanitize_wire_scope(frame.scope_factors, frame.stream_id)
+                    for frame in frames
+                ]
+            else:
+                scope_rows = [frame.scope_factors for frame in frames]
+
+            per_shard: list[list[int]] = [[] for _ in self._workers]
+            for index, frame in enumerate(frames):
+                per_shard[self.shard_for(frame.stream_id)].append(index)
+
+            order = [s for s, indices in enumerate(per_shard) if indices]
+            order += [s for s, indices in enumerate(per_shard) if not indices]
+            sent = []
+            first_sent = False
+            p_stack = time.process_time()
+            rows_matrix = np.asarray(rows)
+            quality_matrix = np.asarray(quality)
+            new_series_all = np.fromiter(
+                (frame.new_series for frame in frames), bool, len(frames)
+            )
+            encode_seconds = time.process_time() - p_stack
+            overlap_seconds = 0.0
+            rpc = {} if tracer is not None else None
+            try:
+                for shard in order:
+                    worker = self._workers[shard]
+                    indices = per_shard[shard]
+                    p_start = time.process_time()
+                    payload = (
+                        self._shard_payload(
+                            frames,
+                            rows_matrix,
+                            quality_matrix,
+                            new_series_all,
+                            scope_rows,
+                            indices,
+                        )
+                        if indices
+                        else None
+                    )
+                    worker.tick_tag = target_tick
+                    if rpc is not None:
+                        worker.trace_context = {
+                            "tick": target_tick,
+                            "shard": shard,
+                            "parent": "shard_step",
+                            "sampled": True,
+                        }
+                        rpc[shard] = {"send": time.perf_counter()}
+                    worker.send("step", payload)
+                    if rpc is not None:
+                        rpc[shard]["sent"] = time.perf_counter()
+                    shard_seconds = time.process_time() - p_start
+                    encode_seconds += shard_seconds
+                    if first_sent:
+                        overlap_seconds += shard_seconds
+                    first_sent = True
+                    sent.append(worker)
+            except Exception as error:
+                # Drain only THIS tick's partial sends; earlier in-flight
+                # ticks keep their owed replies (abort_window settles
+                # them during recovery).  Per-endpoint FIFO pairing makes
+                # the drained replies interchangeable -- all discarded.
+                for worker in sent:
+                    worker.recv()
+                if isinstance(error, ClusterWorkerError):
+                    self._note_dead(error.shard)
+                raise
+            self._fanout_ticks += 1
+            self._fanout_encode_seconds += encode_seconds
+            self._fanout_overlap_seconds += overlap_seconds
+
+        self._inflight.append(
+            {
+                "kind": "fanout",
+                "tick": target_tick,
+                "frames": frames,
+                "per_shard": per_shard,
+                "pending": list(order),
+                "rpc": rpc,
+                "submitted_at": submitted_at,
+            }
+        )
+        self._note_depth()
+        return target_tick
+
+    def collect_batch(self) -> list[StreamStepResult]:
+        """Wait for the *oldest* in-flight tick and merge its results.
+
+        The recv half of :meth:`step_batch`: blocks until every shard's
+        reply for the oldest submitted tick is in (``await_window``
+        spans per shard -- the genuine pipeline stall time, distinct
+        from lockstep's ``shard_step`` wait), verifies each reply's tick
+        echo, merges in input order (``merge_ready`` span), and
+        completes the cluster tick.  Ticks always complete in
+        submission order regardless of which shard finishes first --
+        that is the ordering guarantee windowed serving keeps.
+
+        A worker failure raises after this tick's replies are fully
+        drained; later in-flight ticks remain owed and the caller
+        settles them with :meth:`abort_window` before recovery.
+        """
+        self._require_open()
+        if not self._inflight:
+            raise ClusterError("collect_batch() with no tick in flight")
+        record = self._inflight.popleft()
+
+        if record["kind"] == "engine":
+            self._tick += 1
+            return record["results"]
+
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else _null_span
+        rpc = record["rpc"]
+        replies = {}
+        mismatch = None
+        for shard in record["pending"]:
+            worker = self._workers[shard]
+            with span("await_window", shard=shard, tick=record["tick"]):
+                reply = worker.recv()
+            replies[shard] = reply
+            if rpc is not None and shard in rpc:
+                rpc[shard]["done"] = time.perf_counter()
+                rpc[shard]["telemetry"] = getattr(
+                    worker, "last_telemetry", None
+                )
+            echo = getattr(worker, "last_reply_tick", None)
+            if reply[0] == "ok" and echo is not None and echo != record["tick"]:
+                mismatch = mismatch or (shard, echo)
+        if rpc is not None:
+            self._last_rpc = {"tick": record["tick"], "shards": rpc}
+            self._harvest_worker_phases(rpc)
+        if mismatch is not None:
+            # Belt over the endpoints' suspenders: a reply acknowledged
+            # for the wrong tick means pairing is broken cluster-wide.
+            shard, echo = mismatch
+            self._note_dead(shard)
+            raise ClusterError(
+                f"shard {shard} answered tick {echo}, expected "
+                f"{record['tick']}; reply pairing is broken"
+            )
+        failure = None
+        for shard in sorted(record["pending"]):
+            reply = replies[shard]
+            if reply[0] != "ok":
+                if not self._workers[shard].alive:
+                    self._note_dead(shard)
+                if failure is None:
+                    failure = (shard, reply[1], reply[2])
+        if failure is not None:
+            raise_worker_error(*failure)
+
+        frames = record["frames"]
+        with span("merge_ready", tick=record["tick"], frames=len(frames)):
+            results: list[StreamStepResult | None] = [None] * len(frames)
+            for shard, indices in enumerate(record["per_shard"]):
+                if indices:
+                    self._merge_shard_results(
+                        frames, indices, replies[shard][1], results
+                    )
+        self._tick += 1
+        return results
+
+    def _note_depth(self) -> None:
+        if len(self._inflight) > self._inflight_max_depth:
+            self._inflight_max_depth = len(self._inflight)
+
     @staticmethod
     def _shard_payload(
         frames, rows_matrix, quality_matrix, new_series_all, scope_rows, indices
@@ -952,6 +1289,7 @@ class ShardedEngine:
     def snapshot(self) -> RegistrySnapshot:
         """One cluster-wide snapshot: all shards' streams, merged."""
         self._require_healthy()
+        self._require_drained()
         parts = self._request_all(
             [(worker, "snapshot", None) for worker in self._workers]
         )
@@ -983,6 +1321,7 @@ class ShardedEngine:
         time.
         """
         self._require_healthy()
+        self._require_drained()
         split: list[list] = [[] for _ in self._workers]
         for stream in snapshot.streams:
             split[self.shard_for(stream.stream_id)].append(stream)
@@ -1019,6 +1358,7 @@ class ShardedEngine:
         "to": ...}``.
         """
         self._require_healthy()
+        self._require_drained()
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
         limit = self.transport.max_shards()

@@ -274,6 +274,7 @@ class TickTelemetry:
     recovery_seconds: float = 0.0   # wall time spent in recovery this tick
     slo_breaches: int = 0           # objectives this tick's latency breached
     slo_burn_rate: float = 0.0      # worst short-window burn rate observed
+    inflight_depth: int = 0         # ticks still in the window after this one
 
 
 @dataclass
@@ -295,6 +296,8 @@ class ControllerStats:
     telemetry_window: int = TELEMETRY_WINDOW
     slo_breaches: int = 0
     slo_alerts: int = 0
+    backpressure_throttles: int = 0
+    max_inflight_depth: int = 0
     deferred_by_priority: dict = field(default_factory=dict)
     dropped_by_priority: dict = field(default_factory=dict)
 
@@ -315,6 +318,8 @@ class ControllerStats:
             "telemetry_window": self.telemetry_window,
             "slo_breaches": self.slo_breaches,
             "slo_alerts": self.slo_alerts,
+            "backpressure_throttles": self.backpressure_throttles,
+            "max_inflight_depth": self.max_inflight_depth,
             "deferred_by_priority": dict(self.deferred_by_priority),
             "dropped_by_priority": dict(self.dropped_by_priority),
         }
@@ -341,6 +346,26 @@ class _RecoveryLog:
         self.respawned = 0
         self.replayed = 0
         self.seconds = 0.0
+
+
+class _PendingTick:
+    """One admitted-but-uncollected tick of a pipelined run.
+
+    Holds everything the collect half needs to finish the tick's
+    bookkeeping -- the admitted batch (also the failover re-submit
+    payload), the staged admission outcome (committed only once the
+    engine accepted the tick's replies), and the submit timestamp the
+    latency measurement and backpressure age read.
+    """
+
+    __slots__ = ("batch", "submitted", "deferral", "before", "recovery")
+
+    def __init__(self, batch, submitted, deferral, before) -> None:
+        self.batch = batch
+        self.submitted = submitted
+        self.deferral = deferral
+        self.before = before
+        self.recovery = _RecoveryLog()
 
 
 # ---------------------------------------------------------------------------
@@ -486,6 +511,12 @@ class ServingController:
         self._seq = 0
         self._frame_seconds_ewma: float | None = None
         self._queues: dict[object, deque[_QueuedFrame]] = {}
+        # Pipelined-run state: the controller-side mirror of the
+        # engine's in-flight window (one _PendingTick per submitted,
+        # uncollected tick).  Nonempty only inside a windowed run();
+        # lockstep tick() never touches it, so the backpressure check
+        # it feeds is inert there.
+        self._pending_ticks: deque[_PendingTick] = deque()
         # Failover state: the in-memory recovery snapshot (refreshed
         # every journal_depth ticks and at every controller snapshot)
         # plus the journal of admitted batches since it.
@@ -688,12 +719,288 @@ class ServingController:
         """Drive one :meth:`tick` per element of ``ticks``; results are
         grouped per stream (the shape every replay/CLI/bench consumer
         wants).  Frames still deferred when the schedule ends stay queued
-        -- :attr:`backlog` reports them."""
+        -- :attr:`backlog` reports them.
+
+        On an engine with a bounded in-flight window
+        (:class:`~repro.serving.cluster.ShardedEngine` built with
+        ``inflight_window > 1``) the loop *pipelines*: tick t+1's frames
+        are admitted and fanned out while tick t's replies are still on
+        the wire, and each tick's bookkeeping runs when its replies land
+        -- always in submission order, so results, journals, and
+        snapshots are those of the lockstep loop.  Autoscale forces
+        lockstep (a rebalance needs a drained pipeline); ``window == 1``
+        *is* the lockstep loop, bit for bit.
+        """
+        if (
+            self._pipeline_window() > 1
+            and hasattr(self.engine, "submit_batch")
+            and self.autoscale is None
+        ):
+            return self._run_pipelined(ticks)
         per_stream: dict[object, list[StreamStepResult]] = {}
         for frames in ticks:
             for result in self.tick(frames):
                 per_stream.setdefault(result.stream_id, []).append(result)
         return per_stream
+
+    # ------------------------------------------------------------------
+    # Pipelined run (bounded in-flight window)
+    # ------------------------------------------------------------------
+    def _pipeline_window(self) -> int:
+        """The engine's in-flight window bound (1 = lockstep)."""
+        return getattr(self.engine, "inflight_window", 1)
+
+    def _run_pipelined(self, ticks) -> dict[object, list[StreamStepResult]]:
+        """The windowed tick loop: keep up to ``window`` ticks in flight.
+
+        Each incoming tick is admitted and submitted as soon as a window
+        slot frees up; the oldest in-flight tick is collected (replies
+        merged, telemetry recorded, journal appended) whenever the
+        window is full -- so the engine's shards are stepping tick t+1
+        while the parent merges tick t.  Operations that need a drained
+        engine (periodic snapshots, journal checkpoints) drain the
+        window first, at exactly the tick cadence the lockstep loop
+        would have used.
+
+        Any failure settles the engine's window (every owed reply is
+        drained) before propagating, so the controller and engine stay
+        usable; with failover enabled a worker death additionally
+        re-submits every admitted-but-uncollected tick after recovery,
+        preserving exactly-once admission order.
+        """
+        per_stream: dict[object, list[StreamStepResult]] = {}
+        window = self._pipeline_window()
+        pending = self._pending_ticks
+        if self.failover is not None and self._recovery_snapshot is None:
+            # Same re-arm as _attempt's, hoisted to the window-empty
+            # moment (a capture mid-window would be refused).
+            self._recovery_snapshot = self.engine.snapshot()
+            self._journal.clear()
+        try:
+            for frames in ticks:
+                while pending and (
+                    len(pending) >= window or self._must_drain()
+                ):
+                    self._collect_one(per_stream)
+                self._submit_one(frames)
+            while pending:
+                self._collect_one(per_stream)
+        except Exception:
+            # The open spans belong to ticks that never completed, and
+            # the engine may still owe replies for them; settle both so
+            # the controller (and a caller's cleanup) stay usable.
+            if self.tracer is not None:
+                self.tracer.abort_tick()
+            self._settle_window()
+            pending.clear()
+            raise
+        return per_stream
+
+    def _must_drain(self) -> bool:
+        """Does the *newest* submitted tick, once collected, need a
+        drained engine?  Checked before every submit, so a snapshot-due
+        or checkpoint-due tick is always the last one in the window and
+        the drained-engine operation runs at its exact lockstep tick."""
+        pending = self._pending_ticks
+        if not pending:
+            return False
+        newest = self.engine.tick + len(pending)
+        if self.snapshot_every and newest % self.snapshot_every == 0:
+            return True
+        return (
+            self.failover is not None
+            and len(self._journal) + len(pending)
+            >= self.failover.journal_depth
+        )
+
+    def _submit_one(self, frames: Sequence[StreamFrame]) -> None:
+        """The submit half of a pipelined tick: intake -> admission ->
+        ``engine.submit_batch`` -> pending record.  Mirrors the front of
+        :meth:`tick`, with one deliberate difference: the admission
+        outcome commits *here*, once the engine accepted the submit --
+        not at collect.  The next tick's intake runs before this tick's
+        replies land, and it must see this tick's deferrals at the queue
+        heads, or a stream's deferred frame and its next frame would be
+        admitted out of order.  Rollback still covers a rejected submit,
+        and failover replays the committed batches verbatim, so the
+        admission schedule is decided exactly once either way."""
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else null_span
+        with span("intake"):
+            frames = list(frames)
+            submitted = len(frames)
+            if self.admission is not None:
+                self._validate_intake(frames)
+        if self.admission is not None:
+            with span("admission"):
+                admitted_q, deferral = self._admit(frames)
+            batch = [queued.frame for queued in admitted_q]
+        else:
+            deferral = None
+            batch = frames
+        record = _PendingTick(batch, submitted, deferral, self.clock())
+        try:
+            self._pipelined_attempt(
+                lambda: self.engine.submit_batch(batch), record.recovery
+            )
+        except Exception:
+            if deferral is not None:
+                deferral.rollback()
+                self._seq = deferral.seq_before
+            raise
+        if deferral is not None:
+            deferral.commit(self.admission.max_deferred_per_stream)
+            self.stats.frames_resumed += deferral.resumed
+            for queued in deferral.deferred_frames:
+                self._note_deferred(queued)
+            for queued in deferral.dropped_frames:
+                self._note_dropped(queued)
+        self._pending_ticks.append(record)
+        depth = len(self._pending_ticks)
+        if depth > self.stats.max_inflight_depth:
+            self.stats.max_inflight_depth = depth
+
+    def _collect_one(self, per_stream: dict) -> None:
+        """The collect half: finish the oldest in-flight tick.
+
+        Merged results join ``per_stream`` and every piece of per-tick
+        bookkeeping the lockstep :meth:`tick` does -- journal, EWMAs,
+        periodic snapshot, SLO verdicts, telemetry, metrics, ``on_tick``
+        -- runs here, in submission order.  (Admission already committed
+        at submit; see :meth:`_submit_one`.)
+        """
+        tracer = self.tracer
+        span = tracer.span if tracer is not None else null_span
+        record = self._pending_ticks[0]
+        recovery = record.recovery
+        deferral = record.deferral
+        with span("step", frames=len(record.batch)):
+            results = self._pipelined_attempt(
+                self.engine.collect_batch, recovery
+            )
+        self._pending_ticks.popleft()
+        latency = self.clock() - record.before
+        if self.failover is not None:
+            self._journal.append(record.batch)
+            if (
+                len(self._journal) >= self.failover.journal_depth
+                and not self._pending_ticks
+            ):
+                self._refresh_recovery_point(recovery)
+
+        alpha = 0.3
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+        else:
+            self._latency_ewma += alpha * (latency - self._latency_ewma)
+        if self.admission is not None and record.batch:
+            per_frame = latency / len(record.batch)
+            if self._frame_seconds_ewma is None:
+                self._frame_seconds_ewma = per_frame
+            else:
+                self._frame_seconds_ewma += self.admission.ewma_alpha * (
+                    per_frame - self._frame_seconds_ewma
+                )
+
+        if (
+            self.snapshot_every
+            and self.engine.tick % self.snapshot_every == 0
+            and not self._pending_ticks
+        ):
+            with span("snapshot"):
+                self._write_snapshot(recovery)
+
+        slo_breaches = 0
+        slo_burn = 0.0
+        if self.slo is not None:
+            verdicts = self.slo.observe(latency)
+            slo_breaches = sum(1 for v in verdicts if v.breached)
+            slo_burn = max((v.burn_short for v in verdicts), default=0.0)
+            self.stats.slo_breaches += slo_breaches
+            self.stats.slo_alerts += sum(1 for v in verdicts if v.alerting)
+
+        self.stats.ticks += 1
+        self.stats.frames_submitted += record.submitted
+        self.stats.frames_admitted += len(record.batch)
+        telemetry = TickTelemetry(
+            tick=self.engine.tick,
+            submitted=record.submitted,
+            admitted=len(record.batch),
+            resumed=deferral.resumed if deferral is not None else 0,
+            deferred=(
+                len(deferral.deferred_frames) if deferral is not None else 0
+            ),
+            dropped=(
+                len(deferral.dropped_frames) if deferral is not None else 0
+            ),
+            backlog=self.backlog,
+            frame_budget=deferral.budget if deferral is not None else None,
+            latency_seconds=latency,
+            latency_ewma=self._latency_ewma,
+            n_shards=self.n_shards,
+            rebalanced_to=None,
+            failovers=recovery.failovers,
+            replay_depth=recovery.replayed,
+            recovery_seconds=recovery.seconds,
+            slo_breaches=slo_breaches,
+            slo_burn_rate=slo_burn,
+            inflight_depth=len(self._pending_ticks),
+        )
+        self.telemetry.append(telemetry)
+        trace = (
+            tracer.end_tick(self.engine.tick) if tracer is not None else None
+        )
+        if self.metrics is not None:
+            self._publish_tick(telemetry, trace)
+        if self.on_tick is not None:
+            self.on_tick(telemetry)
+        for result in results:
+            per_stream.setdefault(result.stream_id, []).append(result)
+
+    def _pipelined_attempt(self, operation: Callable, recovery: _RecoveryLog):
+        """Failover wrapper for windowed submit/collect operations.
+
+        Like :meth:`_attempt`, but a worker death additionally settles
+        the engine's window (every in-flight tick's owed replies are
+        drained -- recovery's restore/replay needs a drained engine) and,
+        after the journal replay, *re-submits* every
+        admitted-but-uncollected tick in order, so the retried operation
+        resumes against an identical pipeline.  Deterministic engines
+        make the re-fanned-out ticks bitwise what the lost ones were.
+        """
+        while True:
+            try:
+                return operation()
+            except ClusterWorkerError as error:
+                self._settle_window()
+                if self.failover is None:
+                    raise
+                while True:
+                    if self.stats.failovers >= self.failover.max_failovers:
+                        raise error
+                    try:
+                        self._recover(error, recovery)
+                        for record in self._pending_ticks:
+                            self.engine.submit_batch(record.batch)
+                        break
+                    except ClusterWorkerError as again:
+                        error = again
+                        self._settle_window()
+
+    def _settle_window(self) -> None:
+        """Drain every reply the engine's in-flight window still owes.
+
+        Best-effort by design: the replies are discarded either way, and
+        a transport so broken that even the drain fails must not mask
+        the original error being handled.
+        """
+        abort = getattr(self.engine, "abort_window", None)
+        if abort is None:
+            return
+        try:
+            abort()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Failover (recovery snapshot + tick journal + respawn/replay loop)
@@ -843,7 +1150,16 @@ class ServingController:
     # Admission
     # ------------------------------------------------------------------
     def _frame_budget(self) -> int | None:
-        """The per-tick frame budget in force (None = unlimited)."""
+        """The per-tick frame budget in force (None = unlimited).
+
+        In a pipelined run the budget additionally answers to
+        *backpressure*: when the window is saturated and the oldest
+        in-flight tick has already outlived the latency budget, the
+        engine is not keeping up -- the budget is halved (floor 1) so
+        intake throttles *now*, before overflow starts dropping frames
+        from full deferral queues.  Lockstep runs never trip this (the
+        window mirror is empty there).
+        """
         policy = self.admission
         budget = policy.max_frames_per_tick
         if policy.latency_budget is not None and self._frame_seconds_ewma:
@@ -851,7 +1167,25 @@ class ServingController:
                 1, int(policy.latency_budget / self._frame_seconds_ewma)
             )
             budget = dynamic if budget is None else min(budget, dynamic)
+        if budget is not None and self._backpressure():
+            budget = max(1, budget // 2)
+            self.stats.backpressure_throttles += 1
         return budget
+
+    def _backpressure(self) -> bool:
+        """Is the pipeline window saturated *and* visibly behind?
+
+        Age is measured on the controller's injectable ``clock`` (the
+        same one that timestamps submits), so backpressure tests script
+        it deterministically.
+        """
+        policy = self.admission
+        pending = self._pending_ticks
+        if policy is None or policy.latency_budget is None or not pending:
+            return False
+        if len(pending) + 1 < self._pipeline_window():
+            return False
+        return self.clock() - pending[0].before > policy.latency_budget
 
     def _intake_shape(self) -> tuple[int, bool] | None:
         """``(n_stateless, has_scope_model)`` of the served engine, when
@@ -1043,6 +1377,16 @@ class ServingController:
             "Payload bytes scatter-copied through the send-side codec "
             "(the pooled encoder's single copy per segment).",
         )
+        f["backpressure"] = m.counter(
+            "repro_cluster_backpressure_throttles_total",
+            "Admission frame-budget halvings forced by a saturated, "
+            "behind-schedule in-flight window.",
+        )
+        f["inflight_depth"] = m.gauge(
+            "repro_cluster_inflight_depth",
+            "Submitted-but-uncollected ticks currently in the "
+            "pipeline window.",
+        )
         f["backlog"] = m.gauge(
             "repro_controller_backlog_frames",
             "Deferred frames currently queued across all streams.",
@@ -1126,6 +1470,10 @@ class ServingController:
         self._advance(
             "recovery_seconds", stats.recovery_seconds, f["recovery_total"]
         )
+        self._advance(
+            "backpressure", stats.backpressure_throttles, f["backpressure"]
+        )
+        f["inflight_depth"].set(record.inflight_depth)
         for priority, count in stats.deferred_by_priority.items():
             self._advance(
                 ("deferred", priority), count, f["deferred"], priority=priority

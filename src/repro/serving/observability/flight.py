@@ -42,6 +42,7 @@ import pathlib
 import struct
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.exceptions import ValidationError
@@ -224,17 +225,20 @@ class FlightRecordingEndpoint(WorkerEndpoint):
         self.shard = inner.shard
         self._recorder = recorder
         self._inner = inner
-        self._pending: str | None = None
+        # FIFO of in-flight commands: a windowed sender journals several
+        # requests before the first reply, and each reply pairs with the
+        # oldest one (per-connection reply order is FIFO).
+        self._pending: deque = deque()
 
     @property
     def alive(self) -> bool:
         return self._inner.alive
 
-    # The trace seam passes straight through to the inner endpoint.  The
-    # journal deliberately does NOT: `prepare`/`recv` below re-encode the
-    # canonical untraced frames, so trace context and piggybacked worker
-    # telemetry never enter a flight log and replay stays bitwise
-    # whether or not the recorded run was traced.
+    # The trace/tick seams pass straight through to the inner endpoint.
+    # The journal deliberately does NOT: `prepare`/`recv` below re-encode
+    # the canonical untagged frames, so trace context, tick tags, and
+    # piggybacked worker telemetry never enter a flight log and replay
+    # stays bitwise whether or not the recorded run was traced/windowed.
     @property
     def trace_context(self):
         return self._inner.trace_context
@@ -244,8 +248,20 @@ class FlightRecordingEndpoint(WorkerEndpoint):
         self._inner.trace_context = value
 
     @property
+    def tick_tag(self):
+        return self._inner.tick_tag
+
+    @tick_tag.setter
+    def tick_tag(self, value) -> None:
+        self._inner.tick_tag = value
+
+    @property
     def last_telemetry(self):
         return self._inner.last_telemetry
+
+    @property
+    def last_reply_tick(self):
+        return self._inner.last_reply_tick
 
     # -- sends ---------------------------------------------------------
     def prepare(self, command: str, payload=None):
@@ -264,14 +280,14 @@ class FlightRecordingEndpoint(WorkerEndpoint):
             self._recorder.journal(self.shard, "req", command, "failed", data)
             raise
         self._recorder.journal(self.shard, "req", command, "sent", data)
-        self._pending = command
+        self._pending.append(command)
 
     def send(self, command: str, payload=None) -> None:
         self.send_prepared(self.prepare(command, payload))
 
     # -- receives ------------------------------------------------------
     def recv(self) -> tuple:
-        command, self._pending = self._pending or "", None
+        command = self._pending.popleft() if self._pending else ""
         reply = self._inner.recv()
         if reply[0] == "ok":
             status = "ok"
@@ -493,7 +509,10 @@ def replay_flight(directory, engine_factory) -> FlightReplayReport:
     manifest, records = read_flight_log(directory)
     report = FlightReplayReport(records=len(records))
     servicers: dict[int, object] = {}
-    pending: dict[int, FlightRecord] = {}
+    # Per-shard FIFO of in-flight requests: a windowed cluster journals
+    # several requests before the first reply; each reply pairs with the
+    # oldest outstanding one, exactly as the live connection did.
+    pending: dict[int, deque] = {}
     shards = set()
 
     for record in records:
@@ -503,16 +522,12 @@ def replay_flight(directory, engine_factory) -> FlightReplayReport:
             if record.status == "failed":
                 report.skipped += 1  # never reached a worker; no semantics
                 continue
-            if record.shard in pending:
-                raise ValidationError(
-                    f"flight log record {record.seq}: shard {record.shard} "
-                    "has two requests in flight (corrupt log)"
-                )
-            pending[record.shard] = record
+            pending.setdefault(record.shard, deque()).append(record)
             continue
 
         report.replies += 1
-        request = pending.pop(record.shard, None)
+        queue = pending.get(record.shard)
+        request = queue.popleft() if queue else None
         if request is None:
             raise ValidationError(
                 f"flight log record {record.seq}: reply on shard "
@@ -562,6 +577,6 @@ def replay_flight(directory, engine_factory) -> FlightReplayReport:
                 }
             )
 
-    report.unmatched = len(pending)
+    report.unmatched = sum(len(queue) for queue in pending.values())
     report.shards = tuple(sorted(shards))
     return report

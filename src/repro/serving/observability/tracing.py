@@ -40,12 +40,20 @@ __all__ = ["PHASES", "SpanRecord", "TickTrace", "TickTracer", "null_span"]
 #: ``step`` is the controller-level envelope around the engine call;
 #: ``fanout``/``shard_step``/``merge`` are the cluster's sub-phases of
 #: it; ``recovery`` appears only on ticks that performed a failover.
+#: Pipelined (windowed) serving replaces ``shard_step``/``merge`` with
+#: ``await_window`` (blocking on the oldest in-flight tick's replies --
+#: the true pipeline stall, which shrinks as submits overlap it) and
+#: ``merge_ready`` (merging a tick whose replies have all landed); a
+#: Perfetto export shows tick t+1's ``fanout`` starting before tick t's
+#: ``await_window`` closes, which is the overlap made visible.
 PHASES = (
     "intake",
     "admission",
     "fanout",
     "shard_step",
+    "await_window",
     "merge",
+    "merge_ready",
     "step",
     "snapshot",
     "recovery",

@@ -59,6 +59,7 @@ from repro.exceptions import ProtocolError, ValidationError
 __all__ = [
     "PROTOCOL_VERSION",
     "TELEMETRY_META_KEY",
+    "TICK_META_KEY",
     "TRACE_META_KEY",
     "WIRE_MAGIC",
     "BufferPool",
@@ -71,10 +72,12 @@ __all__ = [
     "encode_request",
     "encode_request_parts",
     "decode_request",
+    "decode_request_full",
     "decode_request_traced",
     "encode_reply",
     "encode_reply_parts",
     "decode_reply",
+    "decode_reply_full",
     "decode_reply_telemetry",
     "require_wire_id",
     "sanitize_wire_scope",
@@ -95,6 +98,15 @@ TRACE_META_KEY = "_trace"
 #: (per-request phase timings, or the worker clock on ``hello``).
 #: Stripped symmetrically on decode.
 TELEMETRY_META_KEY = "_telemetry"
+
+#: Reserved meta key tagging a frame with its tick number.  Under a
+#: pipelined (windowed) tick loop more than one step request can be in
+#: flight per shard; the parent tags each request with the tick it
+#: belongs to and the worker echoes the tag on its reply, so the parent
+#: can assert that replies pair up with requests in admitted order.
+#: Stripped before command decoders run; absent frames encode
+#: byte-identically to a pre-windowing peer's.
+TICK_META_KEY = "_tick"
 
 _PREFIX = struct.Struct(">4sHI")  # magic, version, header length
 
@@ -509,7 +521,9 @@ _REPLY_CODECS = {
 }
 
 
-def encode_request_parts(command: str, payload=None, *, trace=None) -> FrameSegments:
+def encode_request_parts(
+    command: str, payload=None, *, trace=None, tick=None
+) -> FrameSegments:
     """:func:`encode_request` stopped pre-join: a zero-copy gather list.
 
     Channels with a vectored ``send_frame`` (or a :class:`BufferPool`)
@@ -523,25 +537,29 @@ def encode_request_parts(command: str, payload=None, *, trace=None) -> FrameSegm
     meta, arrays = encoder(payload)
     if trace is not None:
         meta = {**meta, TRACE_META_KEY: trace}
+    if tick is not None:
+        meta = {**meta, TICK_META_KEY: int(tick)}
     return encode_frame_parts(f"req:{command}", meta, arrays)
 
 
-def encode_request(command: str, payload=None, *, trace=None) -> bytes:
+def encode_request(command: str, payload=None, *, trace=None, tick=None) -> bytes:
     """Encode one ``(command, payload)`` request into a wire frame.
 
     ``trace``, when given, rides in the reserved ``_trace`` meta key
     alongside the command's own meta -- invisible to command decoders on
-    both ends, ignored by workers that predate it.
+    both ends, ignored by workers that predate it.  ``tick`` rides in
+    the reserved ``_tick`` key the same way; workers echo it on the
+    reply so a windowed parent can pair replies with requests.
     """
-    return encode_request_parts(command, payload, trace=trace).join()
+    return encode_request_parts(command, payload, trace=trace, tick=tick).join()
 
 
-def decode_request_traced(data) -> tuple:
-    """Decode a request frame into ``(command, payload, trace)``.
+def decode_request_full(data) -> tuple:
+    """Decode a request frame into ``(command, payload, trace, tick)``.
 
-    The reserved ``_trace`` meta key is popped *before* the command
-    decoder runs, so payloads are byte-for-byte what an untraced sender
-    would have produced; ``trace`` is ``None`` when absent.
+    The reserved ``_trace`` and ``_tick`` meta keys are popped *before*
+    the command decoder runs, so payloads are byte-for-byte what an
+    untagged sender would have produced; each is ``None`` when absent.
     """
     frame = decode_frame(data)
     if not frame.kind.startswith("req:"):
@@ -552,16 +570,25 @@ def decode_request_traced(data) -> tuple:
     except KeyError:
         raise ProtocolError(f"unknown request command {command!r}") from None
     trace = frame.meta.pop(TRACE_META_KEY, None)
-    return command, decoder(frame.meta, frame.arrays), trace
+    tick = frame.meta.pop(TICK_META_KEY, None)
+    return command, decoder(frame.meta, frame.arrays), trace, tick
+
+
+def decode_request_traced(data) -> tuple:
+    """Decode a request frame into ``(command, payload, trace)``."""
+    command, payload, trace, _ = decode_request_full(data)
+    return command, payload, trace
 
 
 def decode_request(data) -> tuple:
     """Decode a request frame back into ``(command, payload)``."""
-    command, payload, _ = decode_request_traced(data)
+    command, payload, _, _ = decode_request_full(data)
     return command, payload
 
 
-def encode_reply_parts(command: str, reply: tuple, *, telemetry=None) -> FrameSegments:
+def encode_reply_parts(
+    command: str, reply: tuple, *, telemetry=None, tick=None
+) -> FrameSegments:
     """:func:`encode_reply` stopped pre-join: a zero-copy gather list."""
     if reply[0] == "error":
         return encode_frame_parts("err", {"name": reply[1], "message": reply[2]})
@@ -572,40 +599,53 @@ def encode_reply_parts(command: str, reply: tuple, *, telemetry=None) -> FrameSe
     meta, arrays = encoder(reply[1])
     if telemetry is not None:
         meta = {**meta, TELEMETRY_META_KEY: telemetry}
+    if tick is not None:
+        meta = {**meta, TICK_META_KEY: int(tick)}
     return encode_frame_parts(f"ok:{command}", meta, arrays)
 
 
-def encode_reply(command: str, reply: tuple, *, telemetry=None) -> bytes:
+def encode_reply(command: str, reply: tuple, *, telemetry=None, tick=None) -> bytes:
     """Encode a worker's protocol reply tuple for ``command``.
 
     ``reply`` is ``("ok", payload)`` or ``("error", name, message)``;
-    error frames encode identically for every command.  ``telemetry``,
-    when given on an ok reply, rides in the reserved ``_telemetry`` meta
-    key -- the worker's piggybacked phase timings (or its clock reading
-    on ``hello``), stripped symmetrically by the decoders.
+    error frames encode identically for every command (and carry no
+    tick echo -- an error aborts the whole window, so pairing it with a
+    specific tick buys nothing).  ``telemetry``, when given on an ok
+    reply, rides in the reserved ``_telemetry`` meta key -- the worker's
+    piggybacked phase timings (or its clock reading on ``hello``),
+    stripped symmetrically by the decoders.  ``tick`` echoes the
+    request's ``_tick`` tag in the reserved ``_tick`` key.
     """
-    return encode_reply_parts(command, reply, telemetry=telemetry).join()
+    return encode_reply_parts(command, reply, telemetry=telemetry, tick=tick).join()
 
 
-def decode_reply_telemetry(data, command: str) -> tuple:
-    """Decode a reply frame into ``(reply_tuple, telemetry)``.
+def decode_reply_full(data, command: str) -> tuple:
+    """Decode a reply frame into ``(reply_tuple, telemetry, tick)``.
 
-    The reserved ``_telemetry`` meta key is popped before the command
-    decoder runs (``None`` when absent), so reply payloads -- including
-    the whole-meta ``hello`` shape -- never see it.
+    The reserved ``_telemetry`` and ``_tick`` meta keys are popped
+    before the command decoder runs (``None`` when absent), so reply
+    payloads -- including the whole-meta ``hello`` shape -- never see
+    them.  Error frames carry neither.
     """
     frame = decode_frame(data)
     if frame.kind == "err":
         return ("error", str(frame.meta.get("name", "ClusterError")),
-                str(frame.meta.get("message", ""))), None
+                str(frame.meta.get("message", ""))), None, None
     if frame.kind != f"ok:{command}":
         raise ProtocolError(
             f"reply kind {frame.kind!r} does not match in-flight command "
             f"{command!r}"
         )
     telemetry = frame.meta.pop(TELEMETRY_META_KEY, None)
+    tick = frame.meta.pop(TICK_META_KEY, None)
     _, decoder = _REPLY_CODECS[command]
-    return ("ok", decoder(frame.meta, frame.arrays)), telemetry
+    return ("ok", decoder(frame.meta, frame.arrays)), telemetry, tick
+
+
+def decode_reply_telemetry(data, command: str) -> tuple:
+    """Decode a reply frame into ``(reply_tuple, telemetry)``."""
+    reply, telemetry, _ = decode_reply_full(data, command)
+    return reply, telemetry
 
 
 def decode_reply(data, command: str) -> tuple:

@@ -80,8 +80,13 @@ __all__ = [
 #: (snapshots) chain slots with the MORE flag.
 DEFAULT_SLOT_BYTES = 1 << 18
 
-#: Slots per ring.  Strict request/reply keeps at most one frame in
-#: flight per direction, so this only bounds chunked-frame pipelining.
+#: Slots per ring.  A windowed parent keeps up to ``inflight_window``
+#: request frames outstanding per direction (plus chunked-frame
+#: continuation slots); replies decode inside ``recv`` -- their slots
+#: free immediately -- and a writer that does fill the ring simply
+#: blocks in ``_wait_space`` until the worker drains a slot, so any
+#: window size is *correct*; 8 slots keep the default windows (<= 4)
+#: wait-free for single-slot frames.
 DEFAULT_SLOTS = 8
 
 #: Iterations of opportunistic generation-checking before a reader

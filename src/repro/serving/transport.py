@@ -43,18 +43,18 @@ import multiprocessing
 import socket
 import struct
 import time
+from collections import deque
 from typing import Callable, Sequence
 
 import repro.exceptions as _exceptions
 from repro.exceptions import ClusterError, ClusterWorkerError, ValidationError
 from repro.serving.protocol import (
     BufferPool,
-    decode_reply_telemetry,
+    decode_reply_full,
     decode_request,
-    decode_request_traced,
+    decode_request_full,
     encode_reply,
     encode_reply_parts,
-    encode_request,
     encode_request_parts,
 )
 from repro.serving.state import RegistrySnapshot
@@ -549,6 +549,11 @@ def serve_connection(
     on its reply's ``_telemetry`` meta.  A hello carrying ``_clock``
     is answered with this worker's monotonic clock so the cluster can
     rebase the piggybacked timestamps onto its own timeline.
+
+    A request tagged with the reserved ``_tick`` meta key gets the tag
+    echoed on its reply, so a windowed parent can pair replies with the
+    requests it has in flight.  Untagged requests get untagged replies,
+    byte-identical to a pre-windowing worker's.
     """
     try:
         channel.set_timeout(handshake_timeout)
@@ -607,7 +612,7 @@ def serve_connection(
             return "lost"
         t_recv1 = clock()
         try:
-            command, payload, trace = decode_request_traced(data)
+            command, payload, trace, tick = decode_request_full(data)
         except Exception as error:
             if not _try_send(
                 channel,
@@ -634,7 +639,9 @@ def serve_connection(
             )
         try:
             t_encode0 = clock()
-            encoded = encode_reply_parts(command, reply, telemetry=telemetry)
+            encoded = encode_reply_parts(
+                command, reply, telemetry=telemetry, tick=tick
+            )
             t_encode1 = clock()
             sent = _try_send_frame(channel, encoded)
             prev_encode = t_encode1 - t_encode0
@@ -657,23 +664,33 @@ def serve_connection(
 class WorkerEndpoint:
     """Parent-side handle of one shard worker (any transport).
 
-    The protocol is strict request/reply: :meth:`send` one command, then
-    :meth:`recv` exactly one reply tuple -- ``("ok", payload)`` or
-    ``("error", name, message)``.  ``alive`` turns False the moment the
+    The protocol is strict request/reply per request, FIFO per
+    connection: each :meth:`send` owes exactly one :meth:`recv`, and
+    replies come back in send order (the worker serves one request at a
+    time).  A windowed sender may therefore have several requests
+    outstanding -- endpoints queue the per-request bookkeeping and pop
+    it reply by reply.  Reply tuples are ``("ok", payload)`` or
+    ``("error", name, message)``; ``alive`` turns False the moment the
     peer is observed dead or out of protocol.
 
     ``trace_context`` is a one-shot slot: set it before a send and that
     request carries the context in its reserved ``_trace`` meta (then
-    the slot clears).  ``last_telemetry`` holds whatever the most recent
-    reply piggybacked in ``_telemetry`` (``None`` otherwise) -- the
-    attribute seam keeps tracing out of every send/recv signature.
+    the slot clears).  ``tick_tag`` is the same one-shot seam for the
+    reserved ``_tick`` meta: the request is tagged with it, the worker
+    echoes the tag, and the endpoint verifies the echo against the send
+    order (``last_reply_tick`` exposes the echo after each recv).
+    ``last_telemetry`` holds whatever the most recent reply piggybacked
+    in ``_telemetry`` (``None`` otherwise) -- the attribute seams keep
+    tracing and windowing out of every send/recv signature.
     """
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
         self.alive = True
         self.trace_context = None
+        self.tick_tag = None
         self.last_telemetry = None
+        self.last_reply_tick = None
 
     def send(self, command: str, payload=None) -> None:
         raise NotImplementedError
@@ -722,29 +739,34 @@ class InprocEndpoint(WorkerEndpoint):
     worker compute).  Replies travel as protocol tuples with exceptions
     degraded to ``(name, message)`` pairs, so error behavior is
     indistinguishable from the byte transports.
-    """
 
-    _NOTHING = object()
+    Queued sends keep their one-shot ``trace_context``/``tick_tag``
+    captured at send time, exactly as a byte transport encodes them into
+    the outgoing frame -- a windowed sender's second request must not
+    steal (or clear) the first one's context.
+    """
 
     def __init__(self, shard: int, engine_factory: Callable) -> None:
         super().__init__(shard)
         self._engine_factory = engine_factory
         self._servicer: WorkerServicer | None = None
-        self._pending = self._NOTHING
+        self._pending: deque = deque()
 
     def send(self, command: str, payload=None) -> None:
-        self._pending = (command, payload)
+        trace, self.trace_context = self.trace_context, None
+        tick, self.tick_tag = self.tick_tag, None
+        self._pending.append((command, payload, trace, tick))
 
     def recv(self) -> tuple:
-        if self._pending is self._NOTHING:
+        if not self._pending:
             return (
                 "error",
                 "ClusterError",
                 "protocol violation: recv with no request in flight",
             )
-        (command, payload), self._pending = self._pending, self._NOTHING
-        trace, self.trace_context = self.trace_context, None
+        command, payload, trace, tick = self._pending.popleft()
         self.last_telemetry = None
+        self.last_reply_tick = tick
         try:
             if command == "hello":
                 self._servicer = _handle_hello(self._engine_factory, payload)
@@ -784,12 +806,19 @@ class InprocEndpoint(WorkerEndpoint):
 
 
 class ChannelEndpoint(WorkerEndpoint):
-    """Endpoint speaking codec frames over a byte channel (pipe or TCP)."""
+    """Endpoint speaking codec frames over a byte channel (pipe or TCP).
+
+    Sends queue their ``(command, tick)`` bookkeeping FIFO, so a
+    windowed sender can have several requests on the wire; each recv
+    pops the oldest entry, decodes against that command, and verifies
+    the worker's ``_tick`` echo against the tag the request carried
+    (a mismatched echo is an out-of-protocol peer, same as a bad kind).
+    """
 
     def __init__(self, shard: int, channel) -> None:
         super().__init__(shard)
         self._channel = channel
-        self._pending: str | None = None
+        self._pending: deque = deque()
         self._shut_down = False
 
     def send(self, command: str, payload=None) -> None:
@@ -797,17 +826,18 @@ class ChannelEndpoint(WorkerEndpoint):
 
     def prepare(self, command: str, payload=None):
         trace, self.trace_context = self.trace_context, None
-        parts = encode_request_parts(command, payload, trace=trace)
+        tick, self.tick_tag = self.tick_tag, None
+        parts = encode_request_parts(command, payload, trace=trace, tick=tick)
         limit = getattr(self._channel, "max_message_bytes", None)
         if limit is not None and parts.nbytes > limit:
             raise ValidationError(
                 f"{command!r} message of {parts.nbytes} bytes exceeds the "
                 f"transport cap ({limit}); split the payload"
             )
-        return (command, parts)
+        return (command, tick, parts)
 
     def send_prepared(self, token) -> None:
-        command, parts = token
+        command, tick, parts = token
         try:
             send_channel_frame(self._channel, parts)
         except _CHANNEL_ERRORS as error:
@@ -815,21 +845,23 @@ class ChannelEndpoint(WorkerEndpoint):
             raise ClusterWorkerError(
                 f"shard {self.shard} worker is gone ({error})", shard=self.shard
             ) from None
-        self._pending = command
+        self._pending.append((command, tick))
 
     def recv(self) -> tuple:
-        command, self._pending = self._pending, None
+        command, expected_tick = (
+            self._pending.popleft() if self._pending else (None, None)
+        )
         self.last_telemetry = None
+        self.last_reply_tick = None
         try:
             data = self._channel.recv_bytes()
         except _CHANNEL_ERRORS:
             self.alive = False
             return ("error", "ClusterWorkerError", "worker died mid-request")
         try:
-            reply, self.last_telemetry = decode_reply_telemetry(
+            reply, self.last_telemetry, tick = decode_reply_full(
                 data, command or ""
             )
-            return reply
         except Exception as error:  # out-of-protocol peer: poisoned channel
             self.alive = False
             return (
@@ -837,6 +869,23 @@ class ChannelEndpoint(WorkerEndpoint):
                 "ClusterWorkerError",
                 f"out-of-protocol reply ({error})",
             )
+        if (
+            reply[0] == "ok"
+            and expected_tick is not None
+            and tick != expected_tick
+        ):
+            # The worker answered out of send order (or dropped the
+            # echo): replies can no longer be paired with requests, so
+            # the channel is as unusable as one speaking garbage.
+            self.alive = False
+            return (
+                "error",
+                "ClusterWorkerError",
+                f"out-of-protocol reply (tick echo {tick!r} does not match "
+                f"in-flight tick {expected_tick!r})",
+            )
+        self.last_reply_tick = tick
+        return reply
 
     def set_timeout(self, timeout: float | None) -> None:
         self._channel.set_timeout(timeout)

@@ -40,12 +40,22 @@ garbage" -- on inproc, pipe, or TCP, without changing cluster code.
   endpoints (failover!) are wrapped again, with the shared request
   counters and the not-yet-fired fault list carried over.
 
-Every fault fires exactly once.  A run with an empty (or exhausted)
+  - ``delay``: nothing fails -- the reply simply becomes readable
+    ``seconds`` after the request was sent, emulating a slow round
+    trip.  The clock anchors at *send*, so a pipelined parent that
+    does other work while the request is in flight genuinely overlaps
+    the latency (the point of windowed ticks); a lockstep parent eats
+    the full delay on every tick.
+
+Every fault fires exactly once (``count`` times for ``count > 1``,
+on consecutive matching requests).  A run with an empty (or exhausted)
 fault list is byte-for-byte the wrapped transport.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.exceptions import ClusterWorkerError, ValidationError
@@ -53,7 +63,7 @@ from repro.serving.transport import Transport, WorkerEndpoint, resolve_transport
 
 __all__ = ["ChaosFault", "ChaosEndpoint", "ChaosTransport"]
 
-_MODES = ("kill", "hang", "garbage")
+_MODES = ("kill", "hang", "garbage", "delay")
 _PHASES = ("send", "recv")
 
 
@@ -74,11 +84,23 @@ class ChaosFault:
         respawns).  For a controller-driven run with per-tick fan-out,
         step-request index == tick index until the first recovery.
     mode:
-        "kill", "hang", or "garbage" (see module docstring).
+        "kill", "hang", "garbage", or "delay" (see module docstring).
+        "delay" emulates a slow round trip without killing anything:
+        the reply becomes readable ``seconds`` after the request was
+        *sent* (the clock is anchored at send, so a windowed parent
+        that pipelines work behind the in-flight request genuinely
+        overlaps it, exactly like real network latency).
     phase:
         "send" (the request never reaches a live peer) or "recv" (the
         request went out; the failure strikes on the reply).  "garbage"
-        is a reply corruption and therefore always "recv".
+        is a reply corruption and therefore always "recv"; "delay"
+        is always anchored at send.
+    seconds:
+        Emulated round-trip time for "delay" faults.
+    count:
+        How many consecutive matching requests fire this fault: indices
+        ``[index, index + count)``.  Lets one "delay" fault slow a
+        shard for a whole run without scheduling per-tick faults.
     """
 
     shard: int
@@ -86,6 +108,8 @@ class ChaosFault:
     index: int = 0
     mode: str = "kill"
     phase: str = "send"
+    seconds: float = 0.0
+    count: int = 1
     fired: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -95,6 +119,10 @@ class ChaosFault:
             raise ValidationError(f"unknown chaos phase {self.phase!r}")
         if self.mode == "garbage" and self.phase != "recv":
             raise ValidationError("garbage replies only make sense on recv")
+        if self.count < 1:
+            raise ValidationError("chaos fault count must be >= 1")
+        if self.mode == "delay" and self.seconds < 0:
+            raise ValidationError("chaos delay seconds must be >= 0")
 
 
 class ChaosEndpoint(WorkerEndpoint):
@@ -108,11 +136,43 @@ class ChaosEndpoint(WorkerEndpoint):
         self._transport = transport
         self._inner = inner
         self._dead = False  # chaos declared the peer gone
-        self._recv_fault: ChaosFault | None = None
+        # One entry per forwarded request, FIFO (a windowed parent can
+        # have several in flight): None for clean requests, a
+        # ("delay", ready_at) pair, or the recv-phase fault to apply
+        # when *that request's* reply is read -- so faults strike the
+        # exact request they were scheduled on even under pipelining.
+        self._pending_effects: deque = deque()
 
     @property
     def alive(self) -> bool:
         return not self._dead and self._inner.alive
+
+    # The windowing/tracing seams live on the inner endpoint (it does
+    # the encoding); delegate so a cluster that sets them on this proxy
+    # reaches the real thing.
+    @property
+    def trace_context(self):
+        return self._inner.trace_context
+
+    @trace_context.setter
+    def trace_context(self, value) -> None:
+        self._inner.trace_context = value
+
+    @property
+    def tick_tag(self):
+        return self._inner.tick_tag
+
+    @tick_tag.setter
+    def tick_tag(self, value) -> None:
+        self._inner.tick_tag = value
+
+    @property
+    def last_telemetry(self):
+        return self._inner.last_telemetry
+
+    @property
+    def last_reply_tick(self):
+        return self._inner.last_reply_tick
 
     # -- fault machinery -----------------------------------------------
     def _gone(self) -> ClusterWorkerError:
@@ -139,12 +199,23 @@ class ChaosEndpoint(WorkerEndpoint):
             raise self._gone()
         fault = self._transport._arm(self.shard, command)
         if fault is None:
+            self._pending_effects.append(None)
+            return
+        if fault.mode == "delay":
+            # RTT emulation, anchored at send: the reply exists
+            # `seconds` from *now*, so anything the parent does in the
+            # meantime (pipelined sends, merges of earlier ticks)
+            # genuinely overlaps the emulated latency.
+            self._pending_effects.append(
+                ("delay", time.monotonic() + fault.seconds)
+            )
             return
         if fault.phase == "recv":
-            self._recv_fault = fault
+            self._pending_effects.append(fault)
             return
         if fault.mode == "kill":
             if self._kill_peer():
+                self._pending_effects.append(None)
                 return  # forward the send; it fails organically
             self._dead = True
             raise self._gone()
@@ -169,9 +240,17 @@ class ChaosEndpoint(WorkerEndpoint):
         self._inner.send(command, payload)
 
     def recv(self) -> tuple:
-        fault, self._recv_fault = self._recv_fault, None
+        effect = (
+            self._pending_effects.popleft() if self._pending_effects else None
+        )
         if self._dead:
             return ("error", "ClusterWorkerError", "chaos: worker is gone")
+        if isinstance(effect, tuple) and effect[0] == "delay":
+            remaining = effect[1] - time.monotonic()
+            if remaining > 0:
+                time.sleep(remaining)
+            return self._inner.recv()
+        fault = effect
         if fault is not None:
             if fault.mode == "garbage":
                 self._inner.recv()  # drain the real reply; it is poison
@@ -234,9 +313,10 @@ class ChaosTransport(Transport):
                 not fault.fired
                 and fault.shard == shard
                 and fault.command == command
-                and fault.index == index
+                and fault.index <= index < fault.index + fault.count
             ):
-                fault.fired = True
+                if index >= fault.index + fault.count - 1:
+                    fault.fired = True  # exhausted after its last firing
                 return fault
         return None
 
