@@ -130,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a registry snapshot every K ticks")
     serve.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
                        help="directory for --snapshot-every artifacts")
+    serve.add_argument("--snapshot-mode", choices=["sync", "bg"],
+                       default="sync",
+                       help="write snapshots on the tick thread (sync) or "
+                            "hand serialization + disk I/O to a background "
+                            "writer thread (bg)")
+    serve.add_argument("--snapshot-deltas", type=int, default=0, metavar="K",
+                       help="incremental snapshots: write K per-shard "
+                            "delta snapshots between full bases behind an "
+                            "atomic manifest.json (0 = full snapshots only)")
+    serve.add_argument("--snapshot-retain", type=int, default=0, metavar="N",
+                       help="with --snapshot-deltas: keep only the newest "
+                            "N superseded base+delta generations on disk "
+                            "(0 = keep everything)")
     serve.add_argument("--compare-naive", action="store_true",
                        help="also time the per-stream step loop and "
                             "verify identical outputs")
@@ -174,9 +187,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a cluster snapshot every K ticks")
     cluster.add_argument("--snapshot-dir", default="snapshots", metavar="DIR",
                          help="directory for snapshot artifacts")
+    cluster.add_argument("--snapshot-mode", choices=["sync", "bg"],
+                         default="sync",
+                         help="write snapshots on the tick thread (sync) or "
+                              "hand serialization + disk I/O to a background "
+                              "writer thread (bg)")
+    cluster.add_argument("--snapshot-deltas", type=int, default=0,
+                         metavar="K",
+                         help="incremental snapshots: write K delta "
+                              "snapshots between full bases behind an "
+                              "atomic manifest.json (0 = full snapshots "
+                              "only)")
+    cluster.add_argument("--snapshot-retain", type=int, default=0,
+                         metavar="N",
+                         help="with --snapshot-deltas: keep only the newest "
+                              "N superseded base+delta generations on disk "
+                              "(0 = keep everything)")
     cluster.add_argument("--restore", metavar="STEM",
-                         help="restore registry state from a snapshot stem "
-                              "(as written by --snapshot-every) before serving")
+                         help="restore registry state from a snapshot stem, "
+                              "a snapshot-store directory, or its "
+                              "manifest.json (as written by "
+                              "--snapshot-every) before serving")
     cluster.add_argument("--compare-single", action="store_true",
                          help="also run the single-process engine and "
                               "verify bitwise-identical outputs")
@@ -699,6 +730,9 @@ def _cmd_simulate_streams(args) -> int:
             failover=failover,
             snapshot_every=args.snapshot_every,
             snapshot_dir=args.snapshot_dir,
+            snapshot_mode=args.snapshot_mode,
+            snapshot_deltas=args.snapshot_deltas,
+            snapshot_retain=args.snapshot_retain,
             owns_engine=sharded,
             on_tick=_telemetry_printer(
                 args, cluster=engine if sharded else None
@@ -728,6 +762,8 @@ def _cmd_simulate_streams(args) -> int:
     engine_fps = workload.n_frames / engine_seconds
     for stem in controller.snapshots_written:
         print(f"wrote snapshot {stem}.json/.npz")
+    if args.snapshot_deltas and controller.snapshots_written:
+        print(f"snapshot manifest {args.snapshot_dir}/manifest.json")
 
     engine_outcomes = {
         stream_id: [result.outcome for result in results]
@@ -902,6 +938,8 @@ def _print_controller_summary(controller, autoscale, admission, final_shards):
             f"{stats.shards_respawned} worker(s) respawned, "
             f"{stats.replayed_ticks} tick(s) replayed"
         )
+        if stats.shard_recoveries:
+            line += f" ({stats.shard_recoveries} shard-local)"
         if stats.failovers:
             line += f" in {stats.recovery_seconds * 1e3:.1f}ms"
         print(line)
@@ -910,10 +948,10 @@ def _print_controller_summary(controller, autoscale, admission, final_shards):
 def _cmd_serve_cluster(args) -> int:
     from repro.evaluation import prepare_study_data
     from repro.serving import (
-        RegistrySnapshot,
         ServingController,
         ShardedEngine,
         build_stream_workload,
+        load_snapshot,
         replay_engine,
     )
 
@@ -924,7 +962,7 @@ def _cmd_serve_cluster(args) -> int:
 
     restored = None
     if args.restore:  # fail fast on a bad snapshot too
-        restored = RegistrySnapshot.load(args.restore)
+        restored = load_snapshot(args.restore)
 
     print("preparing study pipeline (DDM + calibrated wrappers)...")
     data = prepare_study_data(config)
@@ -995,6 +1033,9 @@ def _cmd_serve_cluster(args) -> int:
                 failover=failover,
                 snapshot_every=args.snapshot_every,
                 snapshot_dir=args.snapshot_dir,
+                snapshot_mode=args.snapshot_mode,
+                snapshot_deltas=args.snapshot_deltas,
+                snapshot_retain=args.snapshot_retain,
                 owns_engine=True,
                 on_tick=on_tick,
                 telemetry_window=args.telemetry_window,
@@ -1088,6 +1129,8 @@ def _cmd_serve_cluster(args) -> int:
     _print_controller_summary(controller, autoscale, admission, final_shards)
     for stem in controller.snapshots_written:
         print(f"wrote snapshot {stem}.json/.npz")
+    if args.snapshot_deltas and controller.snapshots_written:
+        print(f"snapshot manifest {args.snapshot_dir}/manifest.json")
 
     if args.compare_single:
         single = engine_factory()

@@ -57,6 +57,11 @@ from repro.serving.controller import (
     ServingController,
     TickTelemetry,
 )
+from repro.serving.durability import (
+    SnapshotStore,
+    SnapshotWriter,
+    load_snapshot,
+)
 from repro.serving.engine import StreamFrame, StreamStepResult, StreamingEngine
 from repro.serving.failover import FailoverPolicy
 from repro.serving.observability import (
@@ -85,8 +90,10 @@ from repro.serving.simulate import (
 )
 from repro.serving.state import (
     SNAPSHOT_VERSION,
+    DeltaSnapshot,
     RegistrySnapshot,
     StreamStateSnapshot,
+    compose_snapshot,
 )
 from repro.serving.shm import ShmTransport
 from repro.serving.transport import (
@@ -124,7 +131,12 @@ __all__ = [
     "BufferPool",
     "SNAPSHOT_VERSION",
     "RegistrySnapshot",
+    "DeltaSnapshot",
     "StreamStateSnapshot",
+    "compose_snapshot",
+    "SnapshotStore",
+    "SnapshotWriter",
+    "load_snapshot",
     "Transport",
     "InprocTransport",
     "PipeTransport",

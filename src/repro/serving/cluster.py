@@ -72,7 +72,7 @@ from repro.serving.engine import (
 )
 from repro.serving.protocol import require_wire_id, sanitize_wire_scope
 from repro.serving.registry import RegistryStatistics
-from repro.serving.state import RegistrySnapshot
+from repro.serving.state import DeltaSnapshot, RegistrySnapshot
 from repro.serving.transport import (
     Transport,
     WorkerEndpoint,
@@ -328,6 +328,9 @@ class ShardedEngine:
         #: need no introspection surface.
         self._inflight: deque = deque()
         self._inflight_max_depth = 0
+        #: Surviving shards' ok replies from the last failed lockstep
+        #: tick (see :meth:`salvage_step`); ``None`` = nothing to salvage.
+        self._salvage: dict | None = None
         #: Optional tick tracer (duck-typed; see :func:`_null_span`).
         #: The :class:`~repro.serving.controller.ServingController`
         #: attaches its own here so fan-out / per-shard step / merge
@@ -502,7 +505,12 @@ class ShardedEngine:
                     self._note_dead(shard)
         return aborted
 
-    def revive_shard(self, shard: int, snapshot: RegistrySnapshot | None = None) -> None:
+    def revive_shard(
+        self,
+        shard: int,
+        snapshot: RegistrySnapshot | None = None,
+        statistics: dict | None = None,
+    ) -> None:
         """Respawn/reconnect the worker for ``shard``, clearing it from
         :attr:`dead_shards`.
 
@@ -522,10 +530,14 @@ class ShardedEngine:
           resumes -- the contract the control plane's journal replay
           implements;
         * leave it ``None`` and restore the whole cluster afterwards
-          (what :class:`~repro.serving.controller.ServingController`'s
-          recovery loop does): simplest, and keeps the cluster-wide
-          statistics exact, since per-worker lifecycle counters died
-          with the old worker.
+          (the controller's full-recovery fallback): simplest, and keeps
+          the cluster-wide statistics exact, since per-worker lifecycle
+          counters died with the old worker.
+
+        ``statistics``, when given with ``snapshot``, seeds the revived
+        worker's lifecycle counters (the dead worker's counters as of
+        the checkpoint) so shard-local recovery keeps cluster-wide
+        statistics exact without touching the surviving shards.
 
         Raises if the replacement cannot be reached (e.g. the TCP worker
         is still down past the transport's connect timeout); the shard
@@ -550,7 +562,8 @@ class ShardedEngine:
                     tick=snapshot.tick,
                     max_buffer_length=snapshot.max_buffer_length,
                     idle_ttl=snapshot.idle_ttl,
-                    statistics={},  # lifecycle counters live in the base
+                    # Without explicit counters they live in the base.
+                    statistics=dict(statistics) if statistics else {},
                     streams=[
                         stream
                         for stream in snapshot.streams
@@ -558,6 +571,62 @@ class ShardedEngine:
                     ],
                 ),
             )
+
+    def replay_shard(self, shard: int, batches) -> int:
+        """Re-step one revived shard through journaled ticks, alone.
+
+        The O(dead-shard) recovery primitive: after
+        :meth:`revive_shard` restored the shard's checkpoint, each
+        journaled batch is filtered to the frames this shard owns and
+        resent to it -- byte-identical to the lockstep fan-out payloads
+        it originally received (frameless batches become empty ticks so
+        TTL clocks advance exactly).  Surviving shards are never
+        touched.  Returns the number of ticks replayed.
+        """
+        self._require_open()
+        self._require_drained()
+        if not 0 <= shard < len(self._workers):
+            raise ValidationError(
+                f"shard {shard} is not a current worker "
+                f"(cluster has {len(self._workers)})"
+            )
+        worker = self._workers[shard]
+        batches = list(batches)
+        for frames in batches:
+            mine = [
+                frame
+                for frame in frames
+                if self.shard_for(frame.stream_id) == shard
+            ]
+            if not mine:
+                worker.request("step", None)
+                continue
+            rows, quality = validate_tick_frames(
+                mine,
+                n_stateless=self._engine_shape["n_stateless"],
+                has_scope_model=self._engine_shape["has_scope_model"],
+            )
+            if self.transport.requires_wire_ids:
+                for frame in mine:
+                    require_wire_id(frame.stream_id)
+                scope_rows = [
+                    sanitize_wire_scope(frame.scope_factors, frame.stream_id)
+                    for frame in mine
+                ]
+            else:
+                scope_rows = [frame.scope_factors for frame in mine]
+            payload = self._shard_payload(
+                mine,
+                np.asarray(rows),
+                np.asarray(quality),
+                np.fromiter(
+                    (frame.new_series for frame in mine), bool, len(mine)
+                ),
+                scope_rows,
+                list(range(len(mine))),
+            )
+            worker.request("step", payload)
+        return len(batches)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -808,6 +877,7 @@ class ShardedEngine:
         """
         self._require_healthy()
         self._require_drained()
+        self._salvage = None
         frames = list(frames)
         engine = self._single_inproc_engine()
         if engine is not None:
@@ -959,6 +1029,27 @@ class ShardedEngine:
                 if failure is None:
                     failure = (shard, reply[1], reply[2])
         if failure is not None:
+            # Partial-tick salvage: every shard that answered ok has
+            # completed this tick -- keep those replies so the control
+            # plane can revive + replay just the failed shard(s) and
+            # finish the tick via salvage_step() instead of restoring
+            # the whole cluster and re-stepping every shard.
+            self._salvage = {
+                "frames": frames,
+                "per_shard": per_shard,
+                "order": order,
+                "replies": {
+                    shard: replies[shard]
+                    for shard in order
+                    if replies[shard][0] == "ok"
+                },
+                "build": (
+                    rows_matrix,
+                    quality_matrix,
+                    new_series_all,
+                    scope_rows,
+                ),
+            }
             raise_worker_error(*failure)
 
         with span("merge"):
@@ -970,6 +1061,94 @@ class ShardedEngine:
                         frames, indices, replies[shard][1], results
                     )
         self._tick += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Partial-tick salvage (O(dead-shard) recovery)
+    # ------------------------------------------------------------------
+    @property
+    def salvage_pending(self) -> bool:
+        """True when the last failed lockstep tick kept its survivors'
+        replies and can complete via :meth:`salvage_step`."""
+        return self._salvage is not None
+
+    def salvage_step(self) -> list[StreamStepResult]:
+        """Complete the last failed lockstep tick shard-locally.
+
+        The failed :meth:`step_batch` kept every surviving shard's ok
+        reply; after the dead shard is revived (:meth:`revive_shard`
+        with its checkpoint) and replayed to the cluster tick
+        (:meth:`replay_shard`), this resends the tick's payload to just
+        the shard(s) that never answered ok -- byte-identical to the
+        original sends, since lockstep frames carry no tick tag --
+        merges the fresh replies with the kept ones in input order, and
+        completes the cluster tick.  If a resent shard fails again the
+        salvage context survives (minus any shard that answered ok
+        while draining), so the caller can revive and try once more, or
+        fall back to whole-cluster restore + replay.
+        """
+        self._require_healthy()
+        self._require_drained()
+        if self._salvage is None:
+            raise ClusterError("no partially-completed tick to salvage")
+        ctx = self._salvage
+        frames = ctx["frames"]
+        per_shard = ctx["per_shard"]
+        replies = ctx["replies"]
+        rows_matrix, quality_matrix, new_series_all, scope_rows = ctx["build"]
+        missing = [shard for shard in ctx["order"] if shard not in replies]
+        sent = []
+        try:
+            for shard in missing:
+                indices = per_shard[shard]
+                payload = (
+                    self._shard_payload(
+                        frames,
+                        rows_matrix,
+                        quality_matrix,
+                        new_series_all,
+                        scope_rows,
+                        indices,
+                    )
+                    if indices
+                    else None
+                )
+                self._workers[shard].send("step", payload)
+                sent.append(shard)
+        except Exception as error:
+            # Drain the shards already resent; ok replies are kept (those
+            # shards completed the tick) so a later attempt resends only
+            # what is still missing.
+            for shard in sent:
+                reply = self._workers[shard].recv()
+                if reply[0] == "ok":
+                    replies[shard] = reply
+                elif not self._workers[shard].alive:
+                    self._note_dead(shard)
+            if isinstance(error, ClusterWorkerError):
+                self._note_dead(error.shard)
+            raise
+        failure = None
+        for shard in sent:
+            reply = self._workers[shard].recv()
+            if reply[0] != "ok":
+                if not self._workers[shard].alive:
+                    self._note_dead(shard)
+                if failure is None:
+                    failure = (shard, reply[1], reply[2])
+            else:
+                replies[shard] = reply
+        if failure is not None:
+            raise_worker_error(*failure)
+        results: list[StreamStepResult | None] = [None] * len(frames)
+        for shard in ctx["order"]:
+            indices = per_shard[shard]
+            if indices:
+                self._merge_shard_results(
+                    frames, indices, replies[shard][1], results
+                )
+        self._tick += 1
+        self._salvage = None
         return results
 
     # ------------------------------------------------------------------
@@ -994,6 +1173,7 @@ class ShardedEngine:
         owed; recover via :meth:`abort_window`) and raises.
         """
         self._require_healthy()
+        self._salvage = None
         if len(self._inflight) >= self.inflight_window:
             raise ClusterError(
                 f"in-flight window is full ({self.inflight_window} "
@@ -1288,6 +1468,20 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     def snapshot(self) -> RegistrySnapshot:
         """One cluster-wide snapshot: all shards' streams, merged."""
+        merged, _ = self.snapshot_shards()
+        return merged
+
+    def snapshot_shards(
+        self,
+    ) -> tuple[RegistrySnapshot, dict[int, RegistrySnapshot]]:
+        """One fan-out yielding the merged snapshot AND each shard's part.
+
+        The parts are the control plane's per-shard recovery
+        checkpoints: reviving one dead shard restores only its part
+        (plus its journal slice, :meth:`replay_shard`) instead of the
+        whole cluster.  Each part keeps its worker-local lifecycle
+        counters so a revived shard's statistics resume exactly.
+        """
         self._require_healthy()
         self._require_drained()
         parts = self._request_all(
@@ -1309,6 +1503,43 @@ class ShardedEngine:
         for part in parts:
             for key in merged.statistics:
                 merged.statistics[key] += part.statistics.get(key, 0)
+        return merged, dict(enumerate(parts))
+
+    def snapshot_delta(self, since_tick: int) -> DeltaSnapshot:
+        """Cluster-wide incremental snapshot: streams dirty since a tick.
+
+        Each shard exports only the streams it touched after
+        ``since_tick`` plus its live membership; the merged delta, fed
+        to :func:`~repro.serving.state.compose_snapshot` over a base
+        captured at ``since_tick``, reproduces :meth:`snapshot` at the
+        current tick bitwise (same shard-order stream layout, same
+        absolute statistics).
+        """
+        self._require_healthy()
+        self._require_drained()
+        parts = self._request_all(
+            [(worker, "delta", int(since_tick)) for worker in self._workers]
+        )
+        for worker, part in zip(self._workers, parts):
+            if part.tick != self._tick:
+                raise ClusterError(
+                    f"shard {worker.shard} is at tick {part.tick}, cluster at "
+                    f"{self._tick}; state diverged (restore from a snapshot)"
+                )
+        merged = DeltaSnapshot(
+            tick=self._tick,
+            base_tick=int(since_tick),
+            max_buffer_length=parts[0].max_buffer_length,
+            idle_ttl=parts[0].idle_ttl,
+            statistics=dict(self._base_statistics),
+            streams=[stream for part in parts for stream in part.streams],
+            live_ids=[
+                stream_id for part in parts for stream_id in part.live_ids
+            ],
+        )
+        for part in parts:
+            for key in merged.statistics:
+                merged.statistics[key] += part.statistics.get(key, 0)
         return merged
 
     def restore(self, snapshot: RegistrySnapshot) -> None:
@@ -1322,6 +1553,7 @@ class ShardedEngine:
         """
         self._require_healthy()
         self._require_drained()
+        self._salvage = None  # the tick it belonged to is superseded
         split: list[list] = [[] for _ in self._workers]
         for stream in snapshot.streams:
             split[self.shard_for(stream.stream_id)].append(stream)
@@ -1359,6 +1591,7 @@ class ShardedEngine:
         """
         self._require_healthy()
         self._require_drained()
+        self._salvage = None  # placement is about to change under it
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
         limit = self.transport.max_shards()

@@ -115,6 +115,12 @@ CONTROLLER_STATE_VERSION = 1
 #: limit (benchmarks and tests consume far fewer ticks than this).
 TELEMETRY_WINDOW = 4096
 
+#: Snapshot path strings retained in ``snapshots_written`` (FIFO).  The
+#: total count lives in ``ControllerStats.snapshots_written`` forever;
+#: the path list is bounded so a long-running server's snapshot cadence
+#: cannot grow controller memory without limit.
+SNAPSHOTS_WRITTEN_KEEP = 64
+
 
 # ---------------------------------------------------------------------------
 # Policies (configuration is frozen; mutable state lives in the controller)
@@ -289,7 +295,9 @@ class ControllerStats:
     admission_overflow: int = 0
     rebalances: int = 0
     snapshots_written: int = 0
+    snapshots_dropped: int = 0
     failovers: int = 0
+    shard_recoveries: int = 0
     shards_respawned: int = 0
     replayed_ticks: int = 0
     recovery_seconds: float = 0.0
@@ -311,7 +319,9 @@ class ControllerStats:
             "admission_overflow": self.admission_overflow,
             "rebalances": self.rebalances,
             "snapshots_written": self.snapshots_written,
+            "snapshots_dropped": self.snapshots_dropped,
             "failovers": self.failovers,
+            "shard_recoveries": self.shard_recoveries,
             "shards_respawned": self.shards_respawned,
             "replayed_ticks": self.replayed_ticks,
             "recovery_seconds": self.recovery_seconds,
@@ -396,6 +406,29 @@ class ServingController:
     snapshot_every / snapshot_dir:
         Write ``engine`` + controller state to
         ``snapshot_dir/tick_NNNNNN`` every K completed ticks (0 = never).
+    snapshot_mode:
+        ``"sync"`` (default) serializes and writes each due snapshot on
+        the tick path, as always.  ``"bg"`` captures the consistent copy
+        on the tick path but hands serialization + disk I/O to a single
+        background writer thread with a bounded queue
+        (:class:`~repro.serving.durability.SnapshotWriter`): a slow disk
+        back-pressures into *dropped snapshots* (the loud
+        ``snapshots_dropped`` stat / ``repro_snapshot_dropped_total``
+        counter), never into tick latency; :meth:`close` drains every
+        accepted write.
+    snapshot_deltas:
+        0 (default) keeps the classic one-full-snapshot-per-cadence
+        ``tick_NNNNNN`` layout.  K > 0 switches ``snapshot_dir`` to the
+        incremental :class:`~repro.serving.durability.SnapshotStore`
+        layout: a full ``base_NNNNNN`` followed by up to K
+        ``delta_NNNNNN`` chains (each delta carries only streams dirty
+        since the previous write), composed through an atomic
+        ``manifest.json`` -- load with
+        :func:`~repro.serving.durability.load_snapshot`, bitwise what a
+        full snapshot at the same tick would restore.
+    snapshot_retain:
+        With ``snapshot_deltas > 0``: superseded base+delta generations
+        kept on disk after each compaction (0 = keep everything).
     owns_engine:
         When True, leaving the controller's context (or calling
         :meth:`close`) also closes the engine -- the lifecycle guarantee
@@ -440,6 +473,9 @@ class ServingController:
         failover: FailoverPolicy | None = None,
         snapshot_every: int = 0,
         snapshot_dir=None,
+        snapshot_mode: str = "sync",
+        snapshot_deltas: int = 0,
+        snapshot_retain: int = 0,
         owns_engine: bool = False,
         clock: Callable[[], float] = time.perf_counter,
         on_tick: Callable[[TickTelemetry], None] | None = None,
@@ -467,6 +503,18 @@ class ServingController:
             )
         if snapshot_every and snapshot_dir is None:
             raise ValidationError("snapshot_every > 0 requires snapshot_dir")
+        if snapshot_mode not in ("sync", "bg"):
+            raise ValidationError(
+                f"snapshot_mode must be 'sync' or 'bg', got {snapshot_mode!r}"
+            )
+        if snapshot_deltas < 0:
+            raise ValidationError(
+                f"snapshot_deltas must be >= 0, got {snapshot_deltas}"
+            )
+        if snapshot_retain < 0:
+            raise ValidationError(
+                f"snapshot_retain must be >= 0, got {snapshot_retain}"
+            )
         if telemetry_window < 1:
             raise ValidationError(
                 f"telemetry_window must be >= 1, got {telemetry_window}"
@@ -477,6 +525,9 @@ class ServingController:
         self.failover = failover
         self.snapshot_every = snapshot_every
         self.snapshot_dir = snapshot_dir
+        self.snapshot_mode = snapshot_mode
+        self.snapshot_deltas = snapshot_deltas
+        self.snapshot_retain = snapshot_retain
         self.owns_engine = owns_engine
         self.clock = clock
         self.on_tick = on_tick
@@ -499,8 +550,30 @@ class ServingController:
         self.stats = ControllerStats(telemetry_window=telemetry_window)
         #: The last :attr:`telemetry_window` ticks' telemetry records.
         self.telemetry: deque[TickTelemetry] = deque(maxlen=telemetry_window)
-        self.snapshots_written: list[str] = []
+        self.snapshots_written: deque[str] = deque(
+            maxlen=SNAPSHOTS_WRITTEN_KEEP
+        )
         self._closed = False
+        # Durability state: the background writer ("bg" mode), the
+        # incremental base+delta store (snapshot_deltas > 0), the tick
+        # of the last accepted write (None forces a full base), how many
+        # deltas the current chain holds, and sync-path write timings
+        # awaiting metric publication.
+        self._snapshot_writer = None
+        self._snapshot_store = None
+        self._delta_epoch: int | None = None
+        self._deltas_since_base = 0
+        self._sync_write_timings: list[float] = []
+        if snapshot_every and snapshot_mode == "bg":
+            from repro.serving.durability import SnapshotWriter
+
+            self._snapshot_writer = SnapshotWriter()
+        if snapshot_every and snapshot_deltas > 0:
+            from repro.serving.durability import SnapshotStore
+
+            self._snapshot_store = SnapshotStore(
+                snapshot_dir, retain=snapshot_retain
+            )
         # Controller-level latency EWMA (telemetry + autoscale input).
         self._latency_ewma: float | None = None
         # Autoscale state.
@@ -521,13 +594,19 @@ class ServingController:
         # every journal_depth ticks and at every controller snapshot)
         # plus the journal of admitted batches since it.
         self._recovery_snapshot: RegistrySnapshot | None = None
+        #: Per-shard recovery checkpoints: each shard's slice of the
+        #: recovery snapshot, with its worker-local lifecycle counters.
+        #: Captured in the same fan-out as the merged snapshot (see
+        #: ``ShardedEngine.snapshot_shards``); None when the engine has
+        #: no shard surface or the baseline is stale.
+        self._shard_checkpoints: dict[int, RegistrySnapshot] | None = None
         self._journal: deque[list[StreamFrame]] = deque()
         if failover is not None:
             # Captured eagerly so a worker death during the very first
             # controlled operation has a baseline to restore -- one that
             # includes any state the engine already held when this
             # controller attached to it.
-            self._recovery_snapshot = self.engine.snapshot()
+            self._rearm_checkpoint()
         # Observability publication state: metric families plus the last
         # published value of each cumulative counter (publication is by
         # delta against ``stats``, so scrape and stats always agree).
@@ -544,6 +623,11 @@ class ServingController:
         if self._closed:
             return
         self._closed = True
+        if self._snapshot_writer is not None:
+            # Drain-before-shutdown: every accepted snapshot write lands
+            # on disk (and must, before an owned engine's workers go
+            # away) -- only queue-refused writes are ever lost, loudly.
+            self._snapshot_writer.close()
         if self.owns_engine and hasattr(self.engine, "close"):
             self.engine.close()
 
@@ -609,7 +693,9 @@ class ServingController:
             try:
                 with span("step", frames=len(batch)):
                     results = self._attempt(
-                        lambda: self.engine.step_batch(batch), recovery
+                        lambda: self.engine.step_batch(batch),
+                        recovery,
+                        kind="step",
                     )
             except Exception:
                 if deferral is not None:
@@ -774,8 +860,7 @@ class ServingController:
         if self.failover is not None and self._recovery_snapshot is None:
             # Same re-arm as _attempt's, hoisted to the window-empty
             # moment (a capture mid-window would be refused).
-            self._recovery_snapshot = self.engine.snapshot()
-            self._journal.clear()
+            self._rearm_checkpoint()
         try:
             for frames in ticks:
                 while pending and (
@@ -1005,17 +1090,29 @@ class ServingController:
     # ------------------------------------------------------------------
     # Failover (recovery snapshot + tick journal + respawn/replay loop)
     # ------------------------------------------------------------------
-    def _attempt(self, operation: Callable, recovery: _RecoveryLog):
+    def _attempt(
+        self,
+        operation: Callable,
+        recovery: _RecoveryLog,
+        kind: str = "generic",
+    ):
         """Run one engine operation, recovering dead workers per the policy.
 
         Without a :class:`FailoverPolicy` this is a plain call -- zero
         extra engine traffic, preserving the disabled-policy invariant.
         With one, every :class:`ClusterWorkerError` -- from the operation
         or from a recovery attempt itself -- triggers one budgeted
-        recovery (revive + restore + replay) before the operation is
-        retried.  Exhausting ``max_failovers`` re-raises the latest
-        error, with the failing shard attached, exactly as a
-        failover-free controller would have.
+        recovery before the operation is retried.  Exhausting
+        ``max_failovers`` re-raises the latest error, with the failing
+        shard attached, exactly as a failover-free controller would have.
+
+        ``kind`` tells recovery what the interrupted operation was, so
+        the shard-local path knows what is safe: ``"step"`` (a lockstep
+        ``step_batch`` whose survivors' replies may be salvaged --
+        recovery then *completes* the tick and returns its results
+        instead of retrying), ``"snapshot"`` (read-only fan-out: a
+        shard-local revive + replay suffices before the retry), or
+        ``"generic"`` (anything else: always whole-cluster recovery).
         """
         if self.failover is None:
             return operation()
@@ -1028,8 +1125,7 @@ class ServingController:
                 # restore a dead shard's streams from, so a worker death
                 # during this capture must fail fast rather than
                 # blank-revive the shard and silently diverge.
-                self._recovery_snapshot = self.engine.snapshot()
-                self._journal.clear()
+                self._rearm_checkpoint()
             try:
                 return operation()
             except ClusterWorkerError as error:
@@ -1043,13 +1139,88 @@ class ServingController:
                     if self.stats.failovers >= self.failover.max_failovers:
                         raise error
                     try:
-                        self._recover(error, recovery)
+                        salvaged = self._recover(error, recovery, kind)
+                        if salvaged is not None:
+                            # Shard-local recovery already completed the
+                            # interrupted step from the survivors' kept
+                            # replies; retrying the operation would
+                            # double-step the tick.
+                            return salvaged[0]
                         break
                     except ClusterWorkerError as again:
                         error = again
 
-    def _recover(self, error: ClusterWorkerError, recovery: _RecoveryLog) -> None:
+    def _shard_local_possible(self, dead: set, kind: str) -> bool:
+        """May this recovery touch only the dead shard(s)?
+
+        Requires: the policy allows it, the operation kind is one whose
+        survivors are known un-advanced (a read-only snapshot fan-out)
+        or salvageable (a lockstep step whose ok replies were kept), no
+        pipelined window is open (window ticks interleave shards beyond
+        per-shard reconstruction), per-shard checkpoints exist for every
+        dead shard, and no dead shard is a mid-spawn index past the
+        worker list.
+        """
+        if not self.failover.shard_local or not dead:
+            return False
+        if kind not in ("step", "snapshot"):
+            return False
+        if self._pending_ticks:
+            return False
+        checkpoints = self._shard_checkpoints
+        if checkpoints is None:
+            return False
+        n_shards = self.engine.n_shards
+        if any(
+            shard >= n_shards or shard not in checkpoints for shard in dead
+        ):
+            return False
+        if kind == "step" and not getattr(
+            self.engine, "salvage_pending", False
+        ):
+            return False
+        return True
+
+    def _recover_shard_local(
+        self, dead: list, kind: str, recovery: _RecoveryLog
+    ):
+        """Revive + replay ONLY the dead shard(s); salvage a failed step.
+
+        Each dead shard is restored from its own checkpoint part (with
+        its worker-local lifecycle counters, so cluster statistics stay
+        exact) and re-stepped through its slice of the journal alone --
+        O(dead shard); every surviving shard keeps serving state
+        untouched.  For ``kind == "step"`` the interrupted tick is then
+        completed from the survivors' kept replies plus a resend to the
+        revived shard(s), and its results are returned in a 1-tuple;
+        snapshot kinds return None (the caller retries the fan-out).
+        """
+        for shard in dead:
+            part = self._shard_checkpoints[shard]
+            self.engine.revive_shard(
+                shard, snapshot=part, statistics=part.statistics
+            )
+            self.stats.shards_respawned += 1
+            recovery.respawned += 1
+            replayed = self.engine.replay_shard(shard, self._journal)
+            self.stats.replayed_ticks += replayed
+            recovery.replayed += replayed
+        if kind == "step":
+            return (self.engine.salvage_step(),)
+        return None
+
+    def _recover(
+        self,
+        error: ClusterWorkerError,
+        recovery: _RecoveryLog,
+        kind: str = "generic",
+    ):
         """One recovery pass: respawn dead shards, restore, replay.
+
+        Shard-local when possible (see :meth:`_shard_local_possible`),
+        whole-cluster otherwise.  Returns a 1-tuple of step results when
+        shard-local recovery salvaged the interrupted tick (the caller
+        must NOT retry the operation), else None.
 
         The caller enforces the ``max_failovers`` budget.  Recovery wall
         time is measured with ``time.perf_counter`` directly (not the
@@ -1070,6 +1241,12 @@ class ServingController:
             dead = set(self.engine.dead_shards)
             if error.shard is not None:
                 dead.add(error.shard)
+            if self._shard_local_possible(dead, kind):
+                salvaged = self._recover_shard_local(
+                    sorted(dead), kind, recovery
+                )
+                self.stats.shard_recoveries += 1
+                return salvaged
             for shard in sorted(dead):
                 # A shard index past the worker list names a worker that
                 # never finished spawning (mid-grow failure); there is
@@ -1079,19 +1256,21 @@ class ServingController:
                     self.engine.revive_shard(shard)
                     self.stats.shards_respawned += 1
                     recovery.respawned += 1
-            # Roll the WHOLE cluster back to the checkpoint and replay
-            # the journaled batches: survivors that already stepped the
-            # interrupted tick rewind with everyone else, so the retry
-            # cannot double-step them, and the cluster-wide statistics
-            # stay exact (the dead worker's counters died with it; a
-            # shard-local restore could not reconstruct them).  The
-            # checkpoint always exists here -- the constructor captures
-            # one eagerly and _attempt re-arms it outside this path.
+            # Fallback: roll the WHOLE cluster back to the checkpoint
+            # and replay the journaled batches: survivors that already
+            # stepped the interrupted tick rewind with everyone else, so
+            # the retry cannot double-step them, and the cluster-wide
+            # statistics stay exact (the dead worker's counters died
+            # with it; without a per-shard checkpoint they cannot be
+            # reconstructed shard-locally).  The checkpoint always
+            # exists here -- the constructor captures one eagerly and
+            # _attempt re-arms it outside this path.
             self.engine.restore(self._recovery_snapshot)
             for batch in self._journal:
                 self.engine.step_batch(batch)
             self.stats.replayed_ticks += len(self._journal)
             recovery.replayed += len(self._journal)
+            return None
         finally:
             seconds = time.perf_counter() - started
             self.stats.recovery_seconds += seconds
@@ -1106,11 +1285,40 @@ class ServingController:
                     replayed=recovery.replayed,
                 )
 
+    def _rearm_checkpoint(self) -> None:
+        """(Re)capture the recovery baseline from the engine as it
+        stands: the merged snapshot plus -- on a sharded engine -- the
+        per-shard checkpoint parts, all from one fan-out.  Unprotected
+        by design (see the callers' comments): with no baseline in hand
+        a worker death here must fail fast."""
+        shards_fn = getattr(self.engine, "snapshot_shards", None)
+        if shards_fn is not None:
+            merged, parts = shards_fn()
+        else:
+            merged, parts = self.engine.snapshot(), None
+        self._recovery_snapshot = merged
+        self._shard_checkpoints = parts
+        self._journal.clear()
+
     def _refresh_recovery_point(self, recovery: _RecoveryLog) -> None:
-        """Advance the recovery snapshot to the current state and clear
-        the journal (itself failover-protected: a worker lost during the
-        checkpoint capture is recovered from the previous checkpoint)."""
-        self._recovery_snapshot = self._attempt(self.engine.snapshot, recovery)
+        """Advance the recovery snapshot (and the per-shard checkpoint
+        parts, on a sharded engine) to the current state and clear the
+        journal.  Itself failover-protected: a worker lost during the
+        checkpoint capture is recovered from the previous checkpoint."""
+        shards_fn = getattr(self.engine, "snapshot_shards", None)
+        if shards_fn is not None:
+            merged, parts = self._attempt(
+                shards_fn, recovery, kind="snapshot"
+            )
+        else:
+            merged, parts = (
+                self._attempt(
+                    self.engine.snapshot, recovery, kind="snapshot"
+                ),
+                None,
+            )
+        self._recovery_snapshot = merged
+        self._shard_checkpoints = parts
         self._journal.clear()
 
     def _rebalance_engine(self, target: int, recovery: _RecoveryLog) -> dict:
@@ -1336,6 +1544,23 @@ class ServingController:
             "repro_controller_snapshots_total",
             "Periodic snapshots written to disk.",
         )
+        f["snapshots_dropped"] = m.counter(
+            "repro_snapshot_dropped_total",
+            "Snapshot writes refused by the full background writer queue.",
+        )
+        f["snapshot_queue"] = m.gauge(
+            "repro_snapshot_queue_depth",
+            "Snapshot writes accepted but not yet on disk.",
+        )
+        f["snapshot_write"] = m.histogram(
+            "repro_snapshot_write_seconds",
+            "Serialization + disk time per snapshot write (background "
+            "writer thread or synchronous tick path).",
+        )
+        f["shard_recoveries"] = m.counter(
+            "repro_controller_shard_recoveries_total",
+            "Recoveries that restored/replayed only the dead shard(s).",
+        )
         f["failovers"] = m.counter(
             "repro_controller_failovers_total",
             "Worker-failure recoveries performed.",
@@ -1464,6 +1689,25 @@ class ServingController:
         self._advance("frames_resumed", stats.frames_resumed, f["resumed"])
         self._advance("rebalances", stats.rebalances, f["rebalances"])
         self._advance("snapshots", stats.snapshots_written, f["snapshots"])
+        self._advance(
+            "snapshots_dropped",
+            stats.snapshots_dropped,
+            f["snapshots_dropped"],
+        )
+        self._advance(
+            "shard_recoveries",
+            stats.shard_recoveries,
+            f["shard_recoveries"],
+        )
+        writer = self._snapshot_writer
+        if writer is not None:
+            f["snapshot_queue"].set(writer.queue_depth)
+            for seconds in writer.drain_timings():
+                f["snapshot_write"].observe(seconds)
+        if self._sync_write_timings:
+            for seconds in self._sync_write_timings:
+                f["snapshot_write"].observe(seconds)
+            self._sync_write_timings.clear()
         self._advance("failovers", stats.failovers, f["failovers"])
         self._advance("respawned", stats.shards_respawned, f["respawned"])
         self._advance("replayed", stats.replayed_ticks, f["replayed"])
@@ -1603,12 +1847,25 @@ class ServingController:
         return self._snapshot(_RecoveryLog())
 
     def _snapshot(self, recovery: _RecoveryLog) -> RegistrySnapshot:
-        snapshot = self._attempt(self.engine.snapshot, recovery)
+        shards_fn = getattr(self.engine, "snapshot_shards", None)
+        if self.failover is not None and shards_fn is not None:
+            # One fan-out yields the snapshot AND the per-shard recovery
+            # checkpoints (the parts carry live worker statistics, so
+            # shard-local recovery resumes counters exactly).
+            snapshot, parts = self._attempt(
+                shards_fn, recovery, kind="snapshot"
+            )
+        else:
+            snapshot = self._attempt(
+                self.engine.snapshot, recovery, kind="snapshot"
+            )
+            parts = None
         snapshot.controller = self.state_dict()
         if self.failover is not None:
             # Engine restore ignores the attached controller state, so
             # the returned object can serve directly as the baseline.
             self._recovery_snapshot = snapshot
+            self._shard_checkpoints = parts
             self._journal.clear()
         return snapshot
 
@@ -1631,9 +1888,17 @@ class ServingController:
             # Rebase recovery on the restored state: the snapshot already
             # contains every journaled tick's effects, so the replay
             # window restarts empty (any journal the controller state
-            # carried was bookkeeping for the *capturing* run).
+            # carried was bookkeeping for the *capturing* run).  The
+            # per-shard parts are re-derived by ring split with empty
+            # statistics -- exact, because engine.restore just zeroed
+            # every worker's lifecycle counters into the cluster base.
             self._recovery_snapshot = snapshot
+            self._shard_checkpoints = self._derive_shard_checkpoints(snapshot)
             self._journal.clear()
+        # Whatever delta chain was being written described the previous
+        # timeline; the next cadence starts a fresh base.
+        self._delta_epoch = None
+        self._deltas_since_base = 0
         if self.autoscale is not None and snapshot.controller is not None:
             recorded = snapshot.controller.get("n_shards")
             if recorded is not None and recorded != self.n_shards:
@@ -1728,8 +1993,11 @@ class ServingController:
         self._journal.clear()
         # Whatever recovery baseline existed belongs to the previous
         # state; the next protected operation captures a fresh one from
-        # the engine as it then stands.
+        # the engine as it then stands.  Same for the delta chain.
         self._recovery_snapshot = None
+        self._shard_checkpoints = None
+        self._delta_epoch = None
+        self._deltas_since_base = 0
         if state is None:
             return
         self._seq = int(state.get("seq", 0))
@@ -1762,13 +2030,98 @@ class ServingController:
                     [frame_from_state(entry) for entry in batch]
                 )
 
+    def _derive_shard_checkpoints(
+        self, snapshot: RegistrySnapshot
+    ) -> dict[int, RegistrySnapshot] | None:
+        """Split a freshly-restored merged snapshot into per-shard parts."""
+        shard_for = getattr(self.engine, "shard_for", None)
+        if shard_for is None:
+            return None
+        n_shards = self.engine.n_shards
+        split: dict[int, list] = {shard: [] for shard in range(n_shards)}
+        for stream in snapshot.streams:
+            shard = shard_for(stream.stream_id)
+            if shard in split:
+                split[shard].append(stream)
+        return {
+            shard: RegistrySnapshot(
+                tick=snapshot.tick,
+                max_buffer_length=snapshot.max_buffer_length,
+                idle_ttl=snapshot.idle_ttl,
+                statistics={},  # engine.restore zeroed them into the base
+                streams=streams,
+            )
+            for shard, streams in split.items()
+        }
+
+    def _record_written(self, label: str) -> None:
+        self.stats.snapshots_written += 1
+        self.snapshots_written.append(label)
+
+    def _write_one(self, label: str, write: Callable[[], object]) -> bool:
+        """Route one accepted-capture write through the configured path:
+        the background writer ("bg" mode; False = queue full, dropped
+        loudly) or a timed synchronous write."""
+        if self._snapshot_writer is not None:
+            if not self._snapshot_writer.submit(label, write):
+                self.stats.snapshots_dropped += 1
+                return False
+            return True
+        started = time.perf_counter()
+        write()
+        if self.metrics is not None:  # pending histogram observations
+            self._sync_write_timings.append(time.perf_counter() - started)
+        return True
+
     def _write_snapshot(self, recovery: _RecoveryLog) -> None:
         import pathlib
 
+        if self._snapshot_store is not None:
+            self._write_incremental(recovery)
+            return
         stem = pathlib.Path(self.snapshot_dir) / f"tick_{self.engine.tick:06d}"
-        self._snapshot(recovery).save(stem)
-        self.stats.snapshots_written += 1
-        self.snapshots_written.append(str(stem))
+        snapshot = self._snapshot(recovery)
+        if self._write_one(str(stem), lambda: snapshot.save(stem)):
+            self._record_written(str(stem))
+
+    def _write_incremental(self, recovery: _RecoveryLog) -> None:
+        """One cadence write in the base+delta store layout.
+
+        A full base opens each chain (and whenever no accepted epoch
+        exists); the next K cadences write deltas of only the streams
+        dirty since the *last accepted* write.  The epoch advances only
+        on accepted writes, so a queue-dropped delta simply widens the
+        next delta's dirty window -- the on-disk chain stays contiguous.
+        """
+        store = self._snapshot_store
+        tick = self.engine.tick
+        if (
+            self._delta_epoch is None
+            or self._deltas_since_base >= self.snapshot_deltas
+        ):
+            snapshot = self._snapshot(recovery)
+            label = str(store.base_stem(tick))
+            accepted = self._write_one(
+                label, lambda: store.commit_base(snapshot)
+            )
+            next_chain_length = 0
+        else:
+            since = self._delta_epoch
+            delta = self._attempt(
+                lambda: self.engine.snapshot_delta(since),
+                recovery,
+                kind="snapshot",
+            )
+            delta.controller = self.state_dict()
+            label = str(store.delta_stem(tick))
+            accepted = self._write_one(
+                label, lambda: store.commit_delta(delta)
+            )
+            next_chain_length = self._deltas_since_base + 1
+        if accepted:
+            self._record_written(label)
+            self._delta_epoch = tick
+            self._deltas_since_base = next_chain_length
 
 
 class _AdmissionOutcome:

@@ -293,6 +293,20 @@ class StreamingEngine:
         """Capture all per-stream state plus the tick counter."""
         return RegistrySnapshot.capture(self.registry, tick=self._tick)
 
+    def snapshot_delta(self, since_tick: int):
+        """Capture only streams touched since ``since_tick``.
+
+        Returns a :class:`~repro.serving.state.DeltaSnapshot` carrying
+        the dirty streams' full state plus the live membership/order, so
+        :func:`~repro.serving.state.compose_snapshot` over a base at
+        ``since_tick`` reproduces :meth:`snapshot` exactly.
+        """
+        from repro.serving.state import DeltaSnapshot
+
+        return DeltaSnapshot.capture(
+            self.registry, tick=self._tick, since_tick=since_tick
+        )
+
     def restore(self, snapshot: RegistrySnapshot) -> None:
         """Replace the engine's streams and tick with a snapshot's.
 

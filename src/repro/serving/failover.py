@@ -20,15 +20,26 @@ least as dependable as the estimates it produces.
    (pipe: re-fork; TCP: reconnect to the same ``serve-worker`` address,
    whose connect loop already retries with backoff while an operator or
    supervisor restarts the process).
-2. **Restore** the whole cluster from the controller's in-memory
-   *recovery snapshot* (the engine-level
-   :class:`~repro.serving.state.RegistrySnapshot` it refreshes every
-   ``journal_depth`` ticks and at every written snapshot), via the same
-   ``to_wire``/``from_wire`` path snapshots always travel.
-3. **Replay** the bounded *tick journal* -- the admitted frame batches
-   of every tick since that snapshot -- through ``step_batch``, bringing
-   every shard back to the exact pre-failure state.
-4. **Retry** the interrupted operation.
+2. **Restore** -- shard-locally when possible (``shard_local``): the
+   controller keeps *per-shard* checkpoints alongside the merged
+   recovery snapshot (one ``snapshot_shards`` fan-out captures both),
+   so a lone dead shard is revived with only *its* part --
+   ``revive_shard(shard, snapshot=part, statistics=part.statistics)``
+   -- while every surviving shard keeps serving state untouched.  The
+   whole-cluster restore from the merged in-memory snapshot (via the
+   same ``to_wire``/``from_wire`` path snapshots always travel) remains
+   the fallback for everything else: pipelined windows, send-phase
+   losses, missing checkpoints.
+3. **Replay** -- again shard-locally when possible: the bounded *tick
+   journal* (the admitted frame batches of every tick since the
+   checkpoint) is filtered to the dead shard's frames and resent to it
+   alone (``replay_shard``), O(dead shard) instead of O(cluster); the
+   fallback replays every batch through ``step_batch``.
+4. **Retry** the interrupted operation -- or, for a lockstep step whose
+   surviving shards already answered, *salvage* it: the kept ok replies
+   merge with a resend to just the failed shard
+   (:meth:`~repro.serving.cluster.ShardedEngine.salvage_step`), so the
+   survivors never re-step the tick.
 
 Because every engine in this codebase is deterministic, restore + replay
 + retry reproduces the uninterrupted run bit for bit: the caller sees
@@ -92,11 +103,19 @@ class FailoverPolicy:
         ``(k - 1) * respawn_backoff``).  Covers a TCP worker that is
         still being restarted when the first reconnect fires; the first
         recovery attempt never waits.
+    shard_local:
+        When True (the default) and exactly the failed shard(s) can be
+        pinpointed with per-shard checkpoints available, recovery
+        restores and replays *only* the dead shard(s) -- O(dead shard)
+        -- and salvages the interrupted step from the survivors' kept
+        replies.  Whole-cluster restore + replay remains the fallback
+        (and the only path when False), bitwise-identical either way.
     """
 
     max_failovers: int = 8
     journal_depth: int = 16
     respawn_backoff: float = 0.05
+    shard_local: bool = True
 
     def __post_init__(self) -> None:
         if self.max_failovers < 1:

@@ -451,6 +451,17 @@ def _snapshot_from_wire(meta, arrays):
     return RegistrySnapshot.from_wire(meta["snapshot"], arrays)
 
 
+def _delta_to_wire(delta):
+    meta, arrays = delta.to_wire()
+    return {"delta": meta}, arrays
+
+
+def _delta_from_wire(meta, arrays):
+    from repro.serving.state import DeltaSnapshot
+
+    return DeltaSnapshot.from_wire(meta["delta"], arrays)
+
+
 def _encode_step_request(payload):
     if payload is None:  # frameless tick: time still passes on this shard
         return {"empty": True}, {}
@@ -500,6 +511,10 @@ _REQUEST_CODECS = {
         lambda p: ({"stream_ids": None if p is None else list(p)}, {}),
         lambda m, a: m["stream_ids"],
     ),
+    "delta": (
+        lambda p: ({"since_tick": int(p)}, {}),
+        lambda m, a: m["since_tick"],
+    ),
     "restore": (_snapshot_to_wire, _snapshot_from_wire),
     "inject": (_snapshot_to_wire, _snapshot_from_wire),
     "discard": (_encode_ids, lambda m, a: m["ids"]),
@@ -512,6 +527,7 @@ _REPLY_CODECS = {
     "hello": (lambda p: (p, {}), lambda m, a: m),
     "step": (_encode_step_reply, _decode_step_reply),
     "snapshot": (_snapshot_to_wire, _snapshot_from_wire),
+    "delta": (_delta_to_wire, _delta_from_wire),
     "restore": (lambda p: ({}, {}), lambda m, a: None),
     "inject": (lambda p: ({}, {}), lambda m, a: None),
     "discard": (lambda p: ({}, {}), lambda m, a: None),

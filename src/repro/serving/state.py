@@ -28,9 +28,12 @@ types are rejected at capture time.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -43,6 +46,9 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "StreamStateSnapshot",
     "RegistrySnapshot",
+    "DeltaSnapshot",
+    "compose_snapshot",
+    "arrays_digest",
     "frame_to_state",
     "frame_from_state",
 ]
@@ -51,7 +57,116 @@ __all__ = [
 SNAPSHOT_VERSION = 1
 
 _FORMAT_NAME = "repro-registry-snapshot"
+_DELTA_FORMAT_NAME = "repro-registry-delta"
 _JSON_ID_TYPES = (str, int, float, bool, type(None))
+
+
+# ---------------------------------------------------------------------------
+# Durable writes: content digests + atomic two-file commit
+# ---------------------------------------------------------------------------
+
+def arrays_digest(arrays: dict) -> str:
+    """Content digest of a snapshot's array dict (names, shapes, bytes).
+
+    blake2b over the canonically ordered (name, dtype, shape, bytes)
+    tuples, so the sidecar can commit to exactly the ``.npz`` it was
+    written with: a crash that leaves a sidecar next to stale arrays --
+    or an operator pairing files from different snapshots -- is caught
+    at load time instead of silently restoring mismatched state.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(repr(value.shape).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_write(path: pathlib.Path, write) -> None:
+    """Write ``path`` via tmp-file + fsync + ``os.replace``.
+
+    The temp file lives in the target directory (``os.replace`` must not
+    cross filesystems), so readers only ever see the old complete file
+    or the new complete file -- never a torn one.
+    """
+    tmp = path.parent / f".{path.name}.tmp"
+    with open(tmp, "wb") as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Best-effort directory fsync so the renames themselves are durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _save_snapshot_files(stem, meta: dict, arrays: dict):
+    """Shared atomic persistence of one (meta, arrays) snapshot pair.
+
+    The ``.npz`` is committed first and the sidecar last: the sidecar is
+    the snapshot's commit record (it names the digest of the arrays), so
+    it must only appear once the arrays it commits to are durably in
+    place.  A crash between the two leaves at worst a fresh ``.npz``
+    next to the *previous* sidecar -- which the digest check then
+    refuses loudly instead of pairing silently.
+    """
+    json_path, npz_path = _snapshot_paths(stem)
+    meta = dict(meta)
+    meta["digest"] = arrays_digest(arrays)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(npz_path, lambda fh: np.savez_compressed(fh, **arrays))
+    # Compact separators keep the encoding on CPython's C serializer
+    # (indented output falls back to the pure-Python encoder -- an
+    # order of magnitude slower, and GIL-bound: a 10k-stream sidecar
+    # serialized on the background writer would stall live ticks).
+    payload = json.dumps(meta, separators=(",", ":")).encode()
+    _atomic_write(json_path, lambda fh: fh.write(payload))
+    _fsync_directory(json_path.parent)
+    return json_path, npz_path
+
+
+def _load_snapshot_files(stem, format_name: str) -> tuple[dict, dict]:
+    """Read + cross-check one sidecar/arrays pair written by
+    :func:`_save_snapshot_files` (digest-less legacy sidecars still load)."""
+    json_path, npz_path = _snapshot_paths(stem)
+    try:
+        sidecar = json.loads(json_path.read_text())
+    except FileNotFoundError:
+        raise ValidationError(f"snapshot sidecar {json_path} not found") from None
+    if not isinstance(sidecar, dict) or sidecar.get("format") != format_name:
+        raise ValidationError(f"{json_path} is not a {format_name} sidecar")
+    try:
+        with np.load(npz_path) as archive:
+            arrays = {
+                "lengths": archive["lengths"],
+                "outcomes": archive["outcomes"],
+                "uncertainties": archive["uncertainties"],
+            }
+    except FileNotFoundError:
+        raise ValidationError(f"snapshot arrays {npz_path} not found") from None
+    recorded = sidecar.get("digest")
+    if recorded is not None:
+        actual = arrays_digest(arrays)
+        if actual != recorded:
+            raise ValidationError(
+                f"snapshot arrays {npz_path} do not belong to sidecar "
+                f"{json_path}: content digest {actual} != recorded "
+                f"{recorded} (torn write or mismatched files)"
+            )
+    return sidecar, arrays
 
 
 # ---------------------------------------------------------------------------
@@ -380,41 +495,243 @@ class RegistrySnapshot:
     # Persistence: <stem>.json sidecar + <stem>.npz arrays
     # ------------------------------------------------------------------
     def save(self, stem) -> tuple[pathlib.Path, pathlib.Path]:
-        """Write ``<stem>.json`` + ``<stem>.npz``; returns both paths.
+        """Write ``<stem>.json`` + ``<stem>.npz`` atomically; returns both.
 
         The sidecar holds everything human-auditable (version, tick,
-        configuration, per-stream metadata, monitor states); the ``.npz``
-        holds the wire arrays (:meth:`to_wire`).
+        configuration, per-stream metadata, monitor states) plus a
+        content digest of the arrays; the ``.npz`` holds the wire arrays
+        (:meth:`to_wire`).  Both files are committed via tmp-write +
+        fsync + rename (arrays first, sidecar last), so a crash mid-save
+        can never leave a readable-but-wrong snapshot behind.
         """
-        json_path, npz_path = _snapshot_paths(stem)
         meta, arrays = self.to_wire()
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-        json_path.write_text(json.dumps(meta, indent=2))
-        np.savez_compressed(npz_path, **arrays)
-        return json_path, npz_path
+        return _save_snapshot_files(stem, meta, arrays)
 
     @classmethod
     def load(cls, stem) -> "RegistrySnapshot":
-        """Read a snapshot written by :meth:`save`; checks the version."""
-        json_path, npz_path = _snapshot_paths(stem)
-        try:
-            sidecar = json.loads(json_path.read_text())
-        except FileNotFoundError:
-            raise ValidationError(f"snapshot sidecar {json_path} not found") from None
-        if not isinstance(sidecar, dict) or sidecar.get("format") != _FORMAT_NAME:
-            raise ValidationError(
-                f"{json_path} is not a {_FORMAT_NAME} sidecar"
-            )
-        try:
-            with np.load(npz_path) as archive:
-                arrays = {
-                    "lengths": archive["lengths"],
-                    "outcomes": archive["outcomes"],
-                    "uncertainties": archive["uncertainties"],
-                }
-        except FileNotFoundError:
-            raise ValidationError(f"snapshot arrays {npz_path} not found") from None
+        """Read a snapshot written by :meth:`save`.
+
+        Checks the format version and, when the sidecar records one, the
+        arrays' content digest -- a ``.npz`` that does not belong to its
+        sidecar (torn write, mismatched files) is refused with both
+        paths named instead of silently restoring stale state.
+        """
+        sidecar, arrays = _load_snapshot_files(stem, _FORMAT_NAME)
+        json_path, _ = _snapshot_paths(stem)
         return cls.from_wire(sidecar, arrays, source=str(json_path))
+
+
+@dataclass
+class DeltaSnapshot:
+    """The streams dirty since a base epoch, plus an eviction record.
+
+    The incremental half of durability: a full
+    :class:`RegistrySnapshot` of a large registry costs O(all streams)
+    to capture and serialize, every time, even though between two
+    snapshot cadences only the streams that received frames changed.  A
+    delta captures exactly those -- a stream's serving state mutates
+    only on frame receipt, which stamps ``last_tick``, so
+    ``last_tick >= base_tick`` is a complete dirtiness test -- plus
+    ``live_ids``, the full id list at capture time, so evictions (and
+    the registry's stream *order*, which ids re-created after an
+    eviction would otherwise scramble) survive composition.
+
+    Attributes
+    ----------
+    tick / base_tick:
+        The capture tick and the epoch this delta is dirty-since.  A
+        chain composes only when each delta's ``base_tick`` equals its
+        predecessor's ``tick``.
+    max_buffer_length / idle_ttl / statistics / controller:
+        Absolute values at capture time (not diffs); composition takes
+        them from the newest delta.
+    streams:
+        The dirty streams' full state (replacing their base entries).
+    live_ids:
+        Every stream alive at ``tick``, in registry order -- the
+        authoritative membership and ordering of the composed snapshot.
+    """
+
+    tick: int
+    base_tick: int
+    max_buffer_length: int | None
+    idle_ttl: int | None
+    statistics: dict = field(default_factory=dict)
+    streams: list[StreamStateSnapshot] = field(default_factory=list)
+    live_ids: list = field(default_factory=list)
+    version: int = SNAPSHOT_VERSION
+    controller: dict | None = None
+
+    @classmethod
+    def capture(
+        cls, registry: StreamRegistry, tick: int, since_tick: int
+    ) -> "DeltaSnapshot":
+        """Snapshot the streams dirty since the tick-``since_tick`` capture.
+
+        A snapshot taken at tick ``N`` (post-step) holds streams whose
+        ``last_tick`` is at most ``N - 1``; the first step *after* it
+        stamps ``last_tick = N``.  Dirty relative to that snapshot is
+        therefore ``last_tick >= since_tick`` -- ``>`` would silently
+        drop every stream last touched on the step immediately
+        following the predecessor capture.
+        """
+        states = registry.states
+        for state in states:
+            # Every live id rides the sidecar (not just the dirty ones),
+            # so the same JSON-scalar contract applies to all of them.
+            if not isinstance(state.stream_id, _JSON_ID_TYPES):
+                raise ValidationError(
+                    f"stream id {state.stream_id!r} is not JSON-serializable; "
+                    "snapshots support str/int/float/bool/None ids"
+                )
+        return cls(
+            tick=int(tick),
+            base_tick=int(since_tick),
+            max_buffer_length=registry.max_buffer_length,
+            idle_ttl=registry.idle_ttl,
+            statistics={
+                "created": registry.statistics.created,
+                "evicted": registry.statistics.evicted,
+                "series_started": registry.statistics.series_started,
+            },
+            streams=[
+                StreamStateSnapshot.capture(state)
+                for state in states
+                if state.last_tick >= since_tick
+            ],
+            live_ids=[state.stream_id for state in states],
+        )
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.streams)
+
+    def to_wire(self) -> tuple[dict, dict]:
+        """(meta, arrays) split, same array layout as a full snapshot."""
+        meta = {
+            "format": _DELTA_FORMAT_NAME,
+            "version": self.version,
+            "tick": self.tick,
+            "base_tick": self.base_tick,
+            "max_buffer_length": self.max_buffer_length,
+            "idle_ttl": self.idle_ttl,
+            "statistics": self.statistics,
+            "controller": self.controller,
+            "live_ids": list(self.live_ids),
+            "streams": [
+                {
+                    "id": s.stream_id,
+                    "step_count": s.step_count,
+                    "last_tick": s.last_tick,
+                    "monitor": s.monitor,
+                }
+                for s in self.streams
+            ],
+        }
+        arrays = {
+            "lengths": np.array(
+                [s.outcomes.size for s in self.streams], dtype=np.int64
+            ),
+            "outcomes": (
+                np.concatenate([s.outcomes for s in self.streams])
+                if self.streams
+                else np.empty(0, dtype=np.int64)
+            ),
+            "uncertainties": (
+                np.concatenate([s.uncertainties for s in self.streams])
+                if self.streams
+                else np.empty(0, dtype=float)
+            ),
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_wire(cls, meta: dict, arrays: dict, source="wire frame") -> "DeltaSnapshot":
+        """Rebuild a delta from :meth:`to_wire` output, with validation."""
+        if meta.get("format") != _DELTA_FORMAT_NAME:
+            raise ValidationError(
+                f"{source} is not a {_DELTA_FORMAT_NAME} snapshot"
+            )
+        version = meta.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"delta snapshot {source} has format version {version}; "
+                f"this build reads version {SNAPSHOT_VERSION}"
+            )
+        # The array layout is the full snapshot's; borrow its decoder by
+        # round-tripping through a RegistrySnapshot-shaped meta dict.
+        full = RegistrySnapshot.from_wire(
+            {**meta, "format": _FORMAT_NAME}, arrays, source=source
+        )
+        return cls(
+            tick=full.tick,
+            base_tick=int(meta["base_tick"]),
+            max_buffer_length=full.max_buffer_length,
+            idle_ttl=full.idle_ttl,
+            statistics=full.statistics,
+            streams=full.streams,
+            live_ids=list(meta["live_ids"]),
+            version=full.version,
+            controller=full.controller,
+        )
+
+    def save(self, stem) -> tuple[pathlib.Path, pathlib.Path]:
+        """Atomically write ``<stem>.json`` + ``<stem>.npz`` (digested)."""
+        meta, arrays = self.to_wire()
+        return _save_snapshot_files(stem, meta, arrays)
+
+    @classmethod
+    def load(cls, stem) -> "DeltaSnapshot":
+        """Read a delta written by :meth:`save`; digest-checked."""
+        sidecar, arrays = _load_snapshot_files(stem, _DELTA_FORMAT_NAME)
+        json_path, _ = _snapshot_paths(stem)
+        return cls.from_wire(sidecar, arrays, source=str(json_path))
+
+
+def compose_snapshot(
+    base: RegistrySnapshot, deltas: Sequence["DeltaSnapshot"]
+) -> RegistrySnapshot:
+    """Rebuild the full snapshot a base + delta chain describes.
+
+    Deltas apply in order: each one's dirty streams replace (or add to)
+    the accumulated state, and the *newest* delta's ``live_ids`` decide
+    final membership and order -- so evictions, re-creations, and the
+    registry's insertion order all land exactly where a full snapshot
+    captured at the newest tick would put them.  Chain continuity is
+    enforced (each delta must extend the previous tick) and a live id
+    with no captured state anywhere in the chain is a hard error.
+    """
+    if not deltas:
+        return base
+    merged = {s.stream_id: s for s in base.streams}
+    tick = base.tick
+    for delta in deltas:
+        if delta.base_tick != tick:
+            raise ValidationError(
+                f"delta at tick {delta.tick} chains from tick "
+                f"{delta.base_tick}, expected {tick}; the chain is not "
+                "contiguous"
+            )
+        for stream in delta.streams:
+            merged[stream.stream_id] = stream
+        tick = delta.tick
+    newest = deltas[-1]
+    missing = [i for i in newest.live_ids if i not in merged]
+    if missing:
+        raise ValidationError(
+            f"delta chain is incomplete: {len(missing)} live stream(s) "
+            f"(first: {missing[0]!r}) have no captured state in the base "
+            "or any delta"
+        )
+    return RegistrySnapshot(
+        tick=newest.tick,
+        max_buffer_length=newest.max_buffer_length,
+        idle_ttl=newest.idle_ttl,
+        statistics=dict(newest.statistics),
+        streams=[merged[i] for i in newest.live_ids],
+        version=base.version,
+        controller=newest.controller,
+    )
 
 
 def _snapshot_paths(stem) -> tuple[pathlib.Path, pathlib.Path]:

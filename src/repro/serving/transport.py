@@ -267,6 +267,14 @@ class WorkerServicer:
             return RegistrySnapshot.capture(
                 engine.registry, tick=engine.tick, stream_ids=payload
             )
+        if command == "delta":
+            # Streams dirty since the shard's last persisted epoch -- the
+            # incremental-snapshot cost is O(touched), not O(resident).
+            from repro.serving.state import DeltaSnapshot
+
+            return DeltaSnapshot.capture(
+                engine.registry, tick=engine.tick, since_tick=payload
+            )
         if command == "restore":
             engine.restore(payload)
             return None

@@ -8,6 +8,8 @@ bitwise-identically to one that never stopped -- including the tick at
 which idle streams get evicted.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -173,10 +175,10 @@ class TestRegistrySnapshotRoundTrip:
         registry = populated_registry()
         snapshot = RegistrySnapshot.capture(registry, tick=1)
         json_path, _ = snapshot.save(tmp_path / "snap")
-        sidecar = json_path.read_text().replace(
-            f'"version": {SNAPSHOT_VERSION}', '"version": 999'
-        )
-        json_path.write_text(sidecar)
+        sidecar = json.loads(json_path.read_text())
+        assert sidecar["version"] == SNAPSHOT_VERSION
+        sidecar["version"] = 999
+        json_path.write_text(json.dumps(sidecar))
         with pytest.raises(ValidationError, match="version"):
             RegistrySnapshot.load(tmp_path / "snap")
 
